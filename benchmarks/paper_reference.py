@@ -1,0 +1,90 @@
+"""Reference numbers transcribed from the paper's Tables I and II.
+
+Used by the benchmark harness to print paper-vs-measured comparisons.
+Absolute values are not expected to match (our substrate is a simulator,
+not the authors' Vivado testbed); the *shape* — who wins, by roughly
+what factor — is what the benches check.
+"""
+
+from __future__ import annotations
+
+# Table I: per-design (ACC, R2, NRMS) for each model.
+TABLE1_PAPER: dict[str, dict[str, tuple[float, float, float]]] = {
+    "Design_116": {
+        "unet": (0.804, 0.827, 0.160), "pgnn": (0.847, 0.857, 0.167),
+        "pros2": (0.849, 0.856, 0.167), "ours": (0.885, 0.890, 0.144),
+    },
+    "Design_120": {
+        "unet": (0.742, 0.763, 0.241), "pgnn": (0.777, 0.790, 0.224),
+        "pros2": (0.803, 0.815, 0.208), "ours": (0.855, 0.852, 0.183),
+    },
+    "Design_136": {
+        "unet": (0.784, 0.777, 0.221), "pgnn": (0.826, 0.812, 0.200),
+        "pros2": (0.844, 0.826, 0.189), "ours": (0.882, 0.864, 0.164),
+    },
+    "Design_156": {
+        "unet": (0.791, 0.804, 0.208), "pgnn": (0.819, 0.829, 0.199),
+        "pros2": (0.846, 0.835, 0.189), "ours": (0.886, 0.860, 0.173),
+    },
+    "Design_176": {
+        "unet": (0.811, 0.863, 0.105), "pgnn": (0.838, 0.845, 0.128),
+        "pros2": (0.879, 0.859, 0.110), "ours": (0.892, 0.893, 0.104),
+    },
+    "Design_180": {
+        "unet": (0.867, 0.915, 0.132), "pgnn": (0.878, 0.916, 0.131),
+        "pros2": (0.904, 0.934, 0.116), "ours": (0.923, 0.946, 0.104),
+    },
+    "Design_190": {
+        "unet": (0.813, 0.821, 0.157), "pgnn": (0.827, 0.832, 0.152),
+        "pros2": (0.883, 0.882, 0.124), "ours": (0.903, 0.901, 0.112),
+    },
+    "Design_197": {
+        "unet": (0.764, 0.749, 0.175), "pgnn": (0.799, 0.782, 0.162),
+        "pros2": (0.793, 0.771, 0.166), "ours": (0.858, 0.832, 0.137),
+    },
+    "Design_227": {
+        "unet": (0.752, 0.754, 0.215), "pgnn": (0.828, 0.820, 0.178),
+        "pros2": (0.863, 0.851, 0.160), "ours": (0.893, 0.881, 0.140),
+    },
+    "Design_237": {
+        "unet": (0.789, 0.802, 0.166), "pgnn": (0.841, 0.845, 0.143),
+        "pros2": (0.859, 0.861, 0.135), "ours": (0.875, 0.867, 0.126),
+    },
+}
+
+TABLE1_PAPER_AVERAGE = {
+    "unet": (0.792, 0.808, 0.178),
+    "pgnn": (0.828, 0.833, 0.168),
+    "pros2": (0.852, 0.849, 0.156),
+    "ours": (0.885, 0.878, 0.139),
+}
+
+# Table II: per-team averages of (S_score, S_R, T_P&R, S_IR, S_DR).
+TABLE2_PAPER_AVERAGE = {
+    "UTDA": (36.57, 56.30, 0.57, 5.80, 9.30),
+    "SEU": (25.64, 40.20, 0.54, 4.70, 8.60),
+    "MPKU-Improve": (21.08, 42.00, 0.44, 4.70, 8.50),
+    "Ours": (19.41, 34.40, 0.49, 4.00, 8.40),
+}
+
+# Table II ratios (normalized to Ours): S_score, S_R, T_P&R, S_IR, S_DR.
+TABLE2_PAPER_RATIO = {
+    "UTDA": (1.88, 1.64, 1.17, 1.45, 1.11),
+    "SEU": (1.32, 1.17, 1.10, 1.18, 1.02),
+    "MPKU-Improve": (1.08, 1.22, 0.91, 1.18, 1.01),
+    "Ours": (1.00, 1.00, 1.00, 1.00, 1.00),
+}
+
+# Headline improvement claims (Section V-B): Ours vs each baseline.
+HEADLINE_TABLE1 = {
+    "unet": {"ACC": 0.106, "R2": 0.081, "NRMS": 0.282},
+    "pgnn": {"ACC": 0.065, "R2": 0.052, "NRMS": 0.214},
+    "pros2": {"ACC": 0.037, "R2": 0.034, "NRMS": 0.128},
+}
+
+# Headline Table-II claims: Ours improves S_R / S_score by these factors.
+HEADLINE_TABLE2 = {
+    "UTDA": {"S_R": 0.64, "S_score": 0.88},
+    "SEU": {"S_R": 0.17, "S_score": 0.32},
+    "MPKU-Improve": {"S_R": 0.22, "S_score": 0.08},
+}

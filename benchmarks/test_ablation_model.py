@@ -1,0 +1,143 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+The paper attributes its Table-I lead to (a) the MFA blocks on the skip
+connections and (b) the transformer bottleneck, and motivates each of
+its six input features.  These benches train ablated variants of the
+proposed model under the same budget and persist the deltas to
+``results/ablation.txt``:
+
+* full model vs. no-MFA vs. no-transformer vs. neither (plain ResNet
+  U-Net);
+* per-feature input ablation (each channel zeroed at evaluation time).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.features import FEATURE_NAMES
+from repro.models import MFATransformerNet
+from repro.train import TrainConfig, Trainer
+
+from .conftest import write_artifact
+
+_VARIANTS = {
+    "full": {"use_mfa": True, "layers": True},
+    "no_mfa": {"use_mfa": False, "layers": True},
+    "no_transformer": {"use_mfa": True, "layers": False},
+    "plain_unet_like": {"use_mfa": False, "layers": False},
+}
+
+
+def _build_variant(profile, use_mfa: bool, layers: bool) -> MFATransformerNet:
+    depth = {"tiny": 2, "fast": 4, "paper": 12}[profile.model_preset]
+    base = {"tiny": 4, "fast": 12, "paper": 16}[profile.model_preset]
+    return MFATransformerNet(
+        base_channels=base,
+        num_transformer_layers=depth if layers else 0,
+        grid=profile.grid,
+        use_mfa=use_mfa,
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="module")
+def ablation_results(profile, dataset):
+    results = {}
+    for name, opts in _VARIANTS.items():
+        model = _build_variant(profile, opts["use_mfa"], opts["layers"])
+        trainer = Trainer(
+            TrainConfig(
+                epochs=profile.ablation_epochs or profile.epochs,
+                batch_size=profile.batch_size,
+                lr=profile.lr,
+                lr_schedule=profile.lr_schedule,
+                weight_decay=1e-4,
+                max_class_weight=10.0,
+                seed=0,
+            )
+        )
+        train_result = trainer.train(model, dataset)
+        metrics = Trainer.evaluate(model, dataset.eval)
+        results[name] = {
+            "model": model,
+            "metrics": metrics,
+            "seconds": train_result.seconds,
+            "params": model.num_parameters(),
+        }
+    return results
+
+
+def test_architecture_ablation_report(benchmark, ablation_results, profile, dataset):
+    """Persist the MFA/transformer ablation table and check its shape."""
+    full_model = ablation_results["full"]["model"]
+    benchmark.pedantic(
+        lambda: Trainer.evaluate(full_model, dataset.eval),
+        rounds=1, iterations=1,
+    )
+    lines = [f"ABLATION — MFA / transformer ({profile.name} profile)", ""]
+    for name, entry in ablation_results.items():
+        m = entry["metrics"]
+        lines.append(
+            f"  {name:<16} ACC={m['ACC']:.3f} R2={m['R2']:6.3f} "
+            f"NRMS={m['NRMS']:.3f}  ({entry['params']} params, "
+            f"{entry['seconds']:.0f}s train)"
+        )
+    write_artifact("ablation", "\n".join(lines))
+    if profile.name == "smoke":
+        return  # smoke exercises plumbing only
+
+    for name, entry in ablation_results.items():
+        assert entry["metrics"]["ACC"] > 0.3, name
+    # Components add capacity...
+    assert (
+        ablation_results["full"]["params"]
+        > ablation_results["no_mfa"]["params"]
+    )
+    assert (
+        ablation_results["full"]["params"]
+        > ablation_results["no_transformer"]["params"]
+    )
+    # ...and the full model is never clearly dominated by an ablation.
+    full = ablation_results["full"]["metrics"]["ACC"]
+    best = max(e["metrics"]["ACC"] for e in ablation_results.values())
+    assert full >= best - 0.05
+
+
+def test_feature_ablation_report(benchmark, ablation_results, dataset):
+    """Persist the per-input-feature ablation (channels zeroed at eval)."""
+    model = ablation_results["full"]["model"]
+    feats = np.stack([s.features for s in dataset.eval])
+    labels = np.stack([s.labels for s in dataset.eval])
+    base = benchmark.pedantic(
+        lambda: float((model.predict_levels(feats) == labels).mean()),
+        rounds=1, iterations=1,
+    )
+    lines = [
+        "ABLATION — input features (channel zeroed at eval)",
+        "",
+        f"  {'(none)':<16} ACC={base:.3f}",
+    ]
+    for idx, name in enumerate(FEATURE_NAMES):
+        ablated = feats.copy()
+        ablated[:, idx] = 0.0
+        acc = float((model.predict_levels(ablated) == labels).mean())
+        lines.append(f"  -{name:<15} ACC={acc:.3f} (delta {acc - base:+.3f})")
+    # Zeroing all routing-demand maps must hurt: they are the core signal.
+    all_demand = feats.copy()
+    all_demand[:, 1:4] = 0.0
+    acc_nodemand = float((model.predict_levels(all_demand) == labels).mean())
+    lines.append(f"  -all demand maps ACC={acc_nodemand:.3f}")
+    write_artifact("ablation_features", "\n".join(lines))
+    if len(dataset.train) >= 40:  # smoke-size models are noise
+        assert acc_nodemand < base + 0.05
+
+
+def test_mfa_block_overhead(benchmark, profile, dataset):
+    """Time the full model forward vs. its size (context for Table I)."""
+    model = _build_variant(profile, use_mfa=True, layers=True)
+    features = dataset.eval[0].features[None]
+    benchmark.pedantic(
+        lambda: model.predict_levels(features), rounds=3, iterations=1
+    )

@@ -1,0 +1,76 @@
+"""Router ablation: pattern-only negotiation vs. the maze fallback.
+
+The label generator (our Vivado substitute) uses batch pattern routing;
+the optional A* rip-up pass (``repro.routing.maze``) is this repo's
+extension for squeezing out residual overuse.  This bench quantifies
+the trade-off — residual overuse, worst utilization and runtime — on a
+placed contest design, persisting the comparison to
+``results/ablation_router.txt``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.netlist import MLCAD2023_SPECS, generate_design
+from repro.placement import GPConfig, PlacerConfig, place_design
+from repro.routing import RouterConfig, congestion_report, route_design
+
+from .conftest import write_artifact
+
+
+@pytest.fixture(scope="module")
+def placed(profile):
+    design = generate_design(
+        MLCAD2023_SPECS["Design_176"], scale=profile.design_scale
+    )
+    place_design(
+        design,
+        config=PlacerConfig(gp=GPConfig(bins=32, max_iters=profile.gp_iters)),
+    )
+    return design
+
+
+def test_router_ablation_report(benchmark, placed):
+    rows = []
+    results = {}
+    for label, config in (
+        ("pattern-only", RouterConfig(maze_fallback=False)),
+        ("pattern+maze", RouterConfig(maze_fallback=True)),
+        ("fewer-iters(4)", RouterConfig(max_iterations=4, maze_fallback=False)),
+        ("no-jitter", RouterConfig(jitter=0.0, maze_fallback=False)),
+    ):
+        start = time.perf_counter()
+        result = route_design(placed, config)
+        elapsed = time.perf_counter() - start
+        report = congestion_report(result)
+        results[label] = result
+        rows.append(
+            f"  {label:<16} residual={result.residual_overuse:8.1f} "
+            f"maxutil={result.max_utilization():.2f} "
+            f"hot%={report.congested_fraction() * 100:5.2f} "
+            f"iters={result.iterations:2d} conv={str(result.converged):<5} "
+            f"{elapsed:.2f}s"
+        )
+    benchmark.pedantic(
+        lambda: route_design(placed, RouterConfig(maze_fallback=True)),
+        rounds=1, iterations=1,
+    )
+    write_artifact(
+        "ablation_router",
+        "ABLATION — router (Design_176)\n\n" + "\n".join(rows),
+    )
+    # The maze fallback must never be worse than pattern-only.
+    assert (
+        results["pattern+maze"].residual_overuse
+        <= results["pattern-only"].residual_overuse + 1e-9
+    )
+    # Negotiation iterations matter: 4 iterations must not land
+    # meaningfully *below* 12 (the loop is not strictly monotone —
+    # history costs occasionally shuffle routes — so allow slack).
+    assert (
+        results["fewer-iters(4)"].residual_overuse
+        >= results["pattern-only"].residual_overuse * 0.6
+    )

@@ -1,0 +1,69 @@
+"""Fig. 1 — the interconnect-tile congestion level map.
+
+The paper's Fig. 1 shows the target FPGA's interconnect tile grid with
+per-tile congestion levels (darker = more congested).  This bench
+regenerates that artifact from a routed placement — the per-tile level
+map rendered as ASCII digits, the level histogram, and the
+per-direction maxima that feed Eq. 1 — writing it to
+``results/fig1.txt``.  The router itself is what gets timed: it is the
+label generator for the entire training pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.contest import initial_routing_score
+from repro.netlist import MLCAD2023_SPECS, generate_design
+from repro.placement import GPConfig, PlacerConfig, place_design
+from repro.routing import congestion_report, route_design
+
+from .conftest import write_artifact
+
+
+@pytest.fixture(scope="module")
+def routed_design(profile):
+    design = generate_design(
+        MLCAD2023_SPECS["Design_116"], scale=profile.design_scale
+    )
+    place_design(
+        design,
+        config=PlacerConfig(gp=GPConfig(bins=32, max_iters=profile.gp_iters)),
+    )
+    return design
+
+
+def test_fig1_report(benchmark, routed_design):
+    """Route, quantize and persist the Fig. 1 congestion map."""
+    result = benchmark.pedantic(
+        lambda: route_design(routed_design), rounds=1, iterations=1
+    )
+    report = congestion_report(result)
+    hist = np.bincount(report.level_map.ravel(), minlength=8)
+    text = "\n".join(
+        [
+            "FIG. 1 — interconnect tile congestion level map (Design_116)",
+            "(one digit per tile, levels 0-7, row 0 at the bottom)",
+            "",
+            report.ascii_map(),
+            "",
+            f"level histogram: {dict(enumerate(hist.tolist()))}",
+            f"L_short per direction (E,S,W,N): {report.max_short_by_direction()}",
+            f"L_global per direction (E,S,W,N): {report.max_global_by_direction()}",
+            f"S_IR (Eq. 1): {initial_routing_score(report)}",
+        ]
+    )
+    write_artifact("fig1", text)
+
+    # A congested contest design shows a graded map with localized
+    # hotspots, not a flat or fully saturated one.
+    assert np.unique(report.level_map).size >= 3
+    assert report.congested_fraction(threshold=4) < 0.25
+
+
+def test_router_speed(benchmark, routed_design):
+    """Time the full negotiated routing pass (the label generator)."""
+    benchmark.pedantic(
+        lambda: route_design(routed_design), rounds=3, iterations=1
+    )

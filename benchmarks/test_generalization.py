@@ -1,0 +1,78 @@
+"""Generalization to unseen designs (extension experiment).
+
+The paper trains and evaluates on the same ten benchmarks.  A placement
+tool in the wild meets *new* designs, so this bench measures transfer:
+the proposed model is retrained with two designs held out entirely and
+evaluated on both splits.  Persisted to ``results/generalization.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models import build_model
+from repro.train import TrainConfig, Trainer
+
+from .conftest import write_artifact
+
+_HOLDOUT = frozenset({"Design_176", "Design_197"})
+
+
+@pytest.fixture(scope="module")
+def generalization(profile, dataset):
+    holdout = _HOLDOUT & set(profile.designs)
+    if len(holdout) < 1:
+        pytest.skip("profile has no holdout designs")
+    seen, unseen = dataset.split_by_design(holdout)
+    model = build_model("ours", profile.model_preset, grid=profile.grid)
+    trainer = Trainer(
+        TrainConfig(
+            epochs=profile.ablation_epochs or profile.epochs,
+            batch_size=profile.batch_size,
+            lr=profile.lr,
+            lr_schedule=profile.lr_schedule,
+            weight_decay=1e-4,
+            max_class_weight=10.0,
+            seed=0,
+        )
+    )
+    result = trainer.train(model, seen)
+    return {
+        "model": model,
+        "holdout": holdout,
+        "seen_metrics": Trainer.evaluate(model, seen.eval),
+        "unseen_metrics": Trainer.evaluate(model, unseen.eval),
+        "seconds": result.seconds,
+        "train_size": len(seen.train),
+        "unseen_size": len(unseen.eval),
+    }
+
+
+def test_generalization_report(benchmark, generalization, dataset):
+    model = generalization["model"]
+    benchmark.pedantic(
+        lambda: Trainer.evaluate(model, dataset.eval[:2]),
+        rounds=1, iterations=1,
+    )
+    seen = generalization["seen_metrics"]
+    unseen = generalization["unseen_metrics"]
+    text = "\n".join(
+        [
+            "GENERALIZATION — train with designs held out "
+            f"({', '.join(sorted(generalization['holdout']))})",
+            "",
+            f"  trained on {generalization['train_size']} samples "
+            f"({generalization['seconds']:.0f}s)",
+            f"  seen designs   ACC={seen['ACC']:.3f} R2={seen['R2']:6.3f} "
+            f"NRMS={seen['NRMS']:.3f}",
+            f"  unseen designs ACC={unseen['ACC']:.3f} R2={unseen['R2']:6.3f} "
+            f"NRMS={unseen['NRMS']:.3f} "
+            f"({generalization['unseen_size']} samples)",
+        ]
+    )
+    write_artifact("generalization", text)
+
+    # Transfer must be meaningful: well above chance on unseen designs,
+    # with a bounded generalization gap.
+    assert unseen["ACC"] > 0.25
+    assert unseen["ACC"] > seen["ACC"] - 0.35

@@ -1,0 +1,152 @@
+"""Table I — prediction comparison of U-Net / PGNN / PROS 2.0 / Ours.
+
+Regenerates the paper's Table I on the synthetic MLCAD suite: every
+model is trained under the same budget on the placement-sweep dataset
+and evaluated per design with ACC / R² / NRMS; measured rows are printed
+next to the paper's and written to ``results/table1.txt``.
+
+``pytest-benchmark`` times each model's inference (the quantity that
+matters when the predictor sits inside the placement loop) plus the
+per-design evaluation pass that generates the table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import MODEL_NAMES
+from repro.train import Trainer
+
+from .conftest import write_artifact
+from .paper_reference import TABLE1_PAPER, TABLE1_PAPER_AVERAGE
+
+
+@pytest.fixture(scope="module")
+def table1(dataset, trained_models):
+    """Per-design metrics for all four models."""
+    results = {}
+    for name in MODEL_NAMES:
+        model = trained_models["models"][name]
+        results[name] = Trainer.evaluate_by_design(model, dataset)
+    return results
+
+
+def _fmt(metrics: dict[str, float]) -> str:
+    return (
+        f"ACC={metrics['ACC']:.3f} R2={metrics['R2']:6.3f} "
+        f"NRMS={metrics['NRMS']:.3f}"
+    )
+
+
+def _render_table1(table1, trained_models, profile) -> str:
+    lines = [
+        f"TABLE I — prediction comparison "
+        f"({profile.name} profile, grid {profile.grid}, "
+        f"{profile.epochs} epochs, {profile.placements_per_design} "
+        f"placements/design)",
+        "",
+    ]
+    designs = sorted(d for d in next(iter(table1.values())) if d != "Average")
+    for design in designs:
+        lines.append(design)
+        for name in MODEL_NAMES:
+            measured = table1[name][design]
+            paper = TABLE1_PAPER.get(design, {}).get(name)
+            paper_str = (
+                f"   paper: ACC={paper[0]:.3f} R2={paper[1]:.3f} "
+                f"NRMS={paper[2]:.3f}" if paper else ""
+            )
+            lines.append(f"  {name:<6} {_fmt(measured)}{paper_str}")
+        lines.append("")
+    lines.append("Average")
+    for name in MODEL_NAMES:
+        avg = table1[name]["Average"]
+        paper = TABLE1_PAPER_AVERAGE[name]
+        lines.append(
+            f"  {name:<6} {_fmt(avg)}   paper: ACC={paper[0]:.3f} "
+            f"R2={paper[1]:.3f} NRMS={paper[2]:.3f} "
+            f"(train {trained_models['timings'][name]:.0f}s)"
+        )
+    return "\n".join(lines)
+
+
+def _rudy_as_predictor(dataset) -> dict[str, float]:
+    """Quantized-RUDY baseline (the analytical method the paper replaces)."""
+    from repro.routing import utilization_to_level
+    from repro.train import evaluate_predictions
+
+    pred = np.stack(
+        [utilization_to_level(s.features[3]) for s in dataset.eval]
+    )
+    true = np.stack([s.labels for s in dataset.eval])
+    return evaluate_predictions(pred, true)
+
+
+def test_table1_report(benchmark, table1, trained_models, dataset, profile):
+    """Generate and persist Table I; the timed unit is the evaluation
+    pass of the proposed model over the held-out set."""
+    ours = trained_models["models"]["ours"]
+    benchmark.pedantic(
+        lambda: Trainer.evaluate(ours, dataset.eval), rounds=1, iterations=1
+    )
+    rudy = _rudy_as_predictor(dataset)
+    text = _render_table1(table1, trained_models, profile)
+    text += (
+        f"\n  rudy   {_fmt(rudy)}   (quantized RUDY as predictor — the "
+        "analytical method every learned model must beat)"
+    )
+    # Per-level recall: the paper claims the transformer "improves the
+    # difference between various congestion levels" — this is where that
+    # shows (especially the penalized levels >= 4).
+    from repro.train import per_level_recall
+
+    true = np.stack([s.labels for s in dataset.eval])
+    text += "\n\nPer-level recall (levels 0-7; >=4 are Eq.1-penalized):"
+    for name in MODEL_NAMES:
+        pred = trained_models["models"][name].predict_levels(
+            np.stack([s.features for s in dataset.eval])
+        )
+        recall = per_level_recall(pred, true)
+        cells = " ".join(
+            "  --" if np.isnan(r) else f"{r:.2f}" for r in recall
+        )
+        text += f"\n  {name:<6} {cells}"
+    write_artifact("table1", text)
+
+    # Every learned model must beat quantized RUDY by a wide margin on
+    # every metric — the core premise of replacing RUDY with a model.
+    for name in MODEL_NAMES:
+        avg = table1[name]["Average"]
+        if profile.name != "smoke":
+            assert avg["ACC"] > rudy["ACC"] + 0.1, name
+            assert avg["NRMS"] < rudy["NRMS"] - 0.05, name
+    if profile.name == "smoke":
+        return  # smoke exercises plumbing only; too few epochs for shape
+
+    # Sanity floor: every model beats chance by a wide margin.
+    for name in MODEL_NAMES:
+        avg = table1[name]["Average"]
+        assert avg["ACC"] > 0.3, f"{name} below sanity floor"
+        assert avg["NRMS"] < 0.35, f"{name} below sanity floor"
+
+    # Shape of the headline claims: Ours leads U-Net and is not
+    # dominated by any baseline on average accuracy.
+    ours_avg = table1["ours"]["Average"]
+    unet_avg = table1["unet"]["Average"]
+    assert ours_avg["ACC"] >= unet_avg["ACC"] - 0.02
+    assert ours_avg["NRMS"] <= unet_avg["NRMS"] + 0.02
+    best_baseline = max(
+        table1[name]["Average"]["ACC"] for name in ("unet", "pgnn", "pros2")
+    )
+    assert ours_avg["ACC"] >= best_baseline - 0.03
+
+
+@pytest.mark.parametrize("name", MODEL_NAMES)
+def test_inference_speed(benchmark, name, trained_models, dataset):
+    """Time one forward prediction (the in-flow congestion query)."""
+    model = trained_models["models"][name]
+    features = dataset.eval[0].features[None]
+    benchmark.pedantic(
+        lambda: model.predict_expected(features), rounds=3, iterations=1
+    )

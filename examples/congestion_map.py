@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Visualize placement features, routed congestion and RUDY error (Fig. 1).
+
+Places and routes one design, then renders side by side (as ASCII art):
+
+* the routed congestion *level map* the contest scores (Fig. 1),
+* the RUDY estimate quantized to levels (what the contest winners used),
+* their disagreement map — the grids where an analytical estimator
+  misjudges the router, which is precisely the gap the paper's learned
+  model closes.
+
+With ``--out-dir`` the maps are additionally written as PGM/PPM images
+(the congestion levels use the Fig. 1 color ramp).
+
+Run:  python examples/congestion_map.py [--design Design_176] [--scale 64]
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+import numpy as np
+
+from repro.features import FeatureExtractor, resize_map
+from repro.netlist import MLCAD2023_SPECS, generate_design
+from repro.placement import GPConfig, PlacerConfig, RudyEstimator, place_design
+from repro.routing import congestion_report, route_design
+from repro.viz import ascii_heatmap as ascii_heat
+from repro.viz import level_colormap, write_pgm, write_ppm
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--design", default="Design_176",
+                        choices=sorted(MLCAD2023_SPECS))
+    parser.add_argument("--scale", type=float, default=64.0)
+    parser.add_argument("--out-dir", default=None,
+                        help="also write PGM/PPM images here")
+    args = parser.parse_args()
+
+    design = generate_design(MLCAD2023_SPECS[args.design], scale=1.0 / args.scale)
+    place_design(design, config=PlacerConfig(gp=GPConfig(bins=32)))
+
+    routing = route_design(design)
+    report = congestion_report(routing)
+    gw, gh = report.level_map.shape
+
+    print(f"=== {design.name}: routed congestion levels (Fig. 1) ===")
+    print(report.ascii_map())
+
+    rudy_levels = RudyEstimator(grid=gw)(design, design.x, design.y)
+    rudy_levels = resize_map(rudy_levels, gw, gh)
+    print("\n=== RUDY estimate, quantized to levels ===")
+    print(ascii_heat(rudy_levels, vmax=7))
+
+    error = np.abs(rudy_levels - report.level_map)
+    print("\n=== |RUDY - router| disagreement (darker = worse estimate) ===")
+    print(ascii_heat(error, vmax=4))
+    print(f"\nmean abs level error of RUDY: {error.mean():.2f}")
+    print(f"grids RUDY misses by >= 2 levels: {(error >= 2).mean() * 100:.1f}%")
+
+    print("\n=== input features (Section III-B), max-normalized ===")
+    features = FeatureExtractor(grid=min(gw, gh))(design)
+    names = ("macro map", "H net density", "V net density",
+             "RUDY", "pin RUDY", "cell density")
+    for name, feature in zip(names, features):
+        print(f"\n--- {name} ---")
+        print(ascii_heat(feature))
+
+    if args.out_dir:
+        out = Path(args.out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        write_ppm(level_colormap(report.level_map), out / "congestion.ppm")
+        write_pgm(rudy_levels, out / "rudy_levels.pgm")
+        write_pgm(error, out / "rudy_error.pgm")
+        for name, feature in zip(names, features):
+            write_pgm(feature, out / f"{name.replace(' ', '_')}.pgm")
+        print(f"\nimages written to {out}/")
+
+
+if __name__ == "__main__":
+    main()

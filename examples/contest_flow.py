@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Mini Table II: compare inflation strategies on contest designs.
+
+Trains a small congestion model, then runs the four Table-II teams
+(UTDA / SEU / MPKU-Improve / Ours) on a subset of designs and prints the
+contest scorecard — the end-to-end experiment of Section V-C at example
+scale.  Use ``benchmarks/test_table2_placement.py`` for the full run.
+
+Run:  python examples/contest_flow.py \
+          [--designs Design_116 Design_197] [--epochs 12]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.contest import contest_teams, format_table2, run_table2
+from repro.models import MFATransformerNet
+from repro.netlist import MLCAD2023_SPECS
+from repro.train import CongestionDataset, DatasetConfig, TrainConfig, Trainer
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--designs", nargs="+",
+                        default=["Design_116", "Design_197"],
+                        choices=sorted(MLCAD2023_SPECS))
+    parser.add_argument("--placements", type=int, default=3)
+    parser.add_argument("--epochs", type=int, default=12)
+    parser.add_argument("--grid", type=int, default=64)
+    parser.add_argument("--scale", type=float, default=64.0)
+    args = parser.parse_args()
+
+    print("Step 1/3 — dataset (placement sweep + router labels) ...")
+    config = DatasetConfig(
+        grid=args.grid,
+        placements_per_design=args.placements,
+        design_scale=1.0 / args.scale,
+        seed=7,
+    )
+    specs = [MLCAD2023_SPECS[name] for name in args.designs]
+    dataset = CongestionDataset.build(specs, config)
+    print(f"  {len(dataset.train)} training samples")
+
+    print("Step 2/3 — training the congestion model ...")
+    model = MFATransformerNet(
+        base_channels=12, num_transformer_layers=4, grid=args.grid, seed=0
+    )
+    trainer = Trainer(
+        TrainConfig(epochs=args.epochs, batch_size=8, lr=2e-3,
+                    max_class_weight=4.0)
+    )
+    result = trainer.train(model, dataset)
+    metrics = Trainer.evaluate(model, dataset.eval)
+    print(f"  loss {result.losses[0]:.3f} -> {result.losses[-1]:.3f}; "
+          f"eval ACC={metrics['ACC']:.3f} R2={metrics['R2']:.3f}")
+
+    print("Step 3/3 — running the four teams (this is the slow part) ...")
+    teams = contest_teams(model=model, model_grid=args.grid)
+    table = run_table2(
+        teams, design_names=tuple(args.designs), scale=1.0 / args.scale,
+        verbose=True,
+    )
+    print()
+    print(format_table2(table))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Render a placement gallery: floorplan, macros, congestion images.
+
+Runs the Fig. 6 flow on one design and writes a set of images to
+``--out-dir`` (PGM/PPM, viewable anywhere):
+
+* ``floorplan.ppm``        — the device's column stripes;
+* ``macros.ppm``           — floorplan with the legalized macros overlaid;
+* ``cells.ppm``            — floorplan with all instances overlaid;
+* ``congestion.ppm``       — routed congestion levels, Fig. 1 color ramp;
+* ``rudy.pgm``             — the RUDY demand estimate for comparison.
+
+Also prints the ASCII floorplan and the Vivado-style congestion summary.
+
+Run:  python examples/placement_gallery.py [--design Design_156] \
+          [--scale 64] [--out-dir gallery]
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+import numpy as np
+
+from repro.features import FeatureExtractor
+from repro.netlist import MLCAD2023_SPECS, generate_design
+from repro.placement import GPConfig, PlacerConfig, place_design
+from repro.routing import congestion_report, route_design
+from repro.viz import (
+    floorplan_ascii,
+    floorplan_image,
+    level_colormap,
+    write_pgm,
+    write_ppm,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--design", default="Design_156",
+                        choices=sorted(MLCAD2023_SPECS))
+    parser.add_argument("--scale", type=float, default=64.0)
+    parser.add_argument("--out-dir", default="gallery")
+    args = parser.parse_args()
+
+    design = generate_design(MLCAD2023_SPECS[args.design], scale=1.0 / args.scale)
+    device = design.device
+
+    print(f"=== {device.name} floorplan ===")
+    print(floorplan_ascii(device, rows=4))
+
+    outcome = place_design(
+        design, config=PlacerConfig(gp=GPConfig(bins=32))
+    )
+    print(f"\nplaced {design.name}: hpwl={outcome.hpwl:,.0f} "
+          f"legal={outcome.legal}")
+
+    routing = route_design(design)
+    report = congestion_report(routing)
+    print("\n" + report.summary())
+
+    out = Path(args.out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    write_ppm(floorplan_image(device), out / "floorplan.ppm")
+    write_ppm(
+        floorplan_image(device, design.x, design.y, marker=design.macro_mask),
+        out / "macros.ppm",
+    )
+    write_ppm(
+        floorplan_image(device, design.x, design.y), out / "cells.ppm"
+    )
+    write_ppm(level_colormap(report.level_map), out / "congestion.ppm")
+    rudy = FeatureExtractor(grid=device.tile_cols)(design)[3]
+    write_pgm(rudy, out / "rudy.pgm")
+    print(f"\nimages written to {out}/")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Quickstart: generate a contest design, place it, route it, score it.
+
+This walks the whole public API in one page:
+
+1. instantiate a synthetic MLCAD-2023-like benchmark (``repro.netlist``),
+2. run the routability-driven macro placement flow of Fig. 6
+   (``repro.placement``),
+3. route the placement and quantize congestion levels (``repro.routing``),
+4. compute the contest scores of Eqs. 1-3 (``repro.contest``).
+
+Run:  python examples/quickstart.py [--scale 64] [--design Design_116]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.contest import ContestScore, initial_routing_score
+from repro.netlist import MLCAD2023_SPECS, design_row, generate_design
+from repro.placement import GPConfig, PlacerConfig, place_design
+from repro.routing import DetailedRoutingModel, congestion_report, route_design
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--design", default="Design_116",
+                        choices=sorted(MLCAD2023_SPECS))
+    parser.add_argument("--scale", type=float, default=64.0,
+                        help="downscale factor (64 -> 1/64 of full size)")
+    args = parser.parse_args()
+
+    # 1. Benchmark generation ------------------------------------------------
+    design = generate_design(MLCAD2023_SPECS[args.design], scale=1.0 / args.scale)
+    row = design_row(design)
+    print(f"Generated {design.name} at 1/{args.scale:g} scale:")
+    print(f"  nominal (paper) stats : {row['#LUT']} LUT, {row['#FF']} FF, "
+          f"{row['#DSP']} DSP, {row['#BRAM']} BRAM")
+    print(f"  instantiated          : {row['instantiated']}")
+    print(f"  nets={design.num_nets} pins={design.num_pins} "
+          f"cascades={len(design.cascades)} regions={len(design.regions)}")
+
+    # 2. Routability-driven macro placement (Fig. 6 flow) --------------------
+    outcome = place_design(
+        design, config=PlacerConfig(gp=GPConfig(bins=32, max_iters=500))
+    )
+    print(f"\nPlacement finished in {outcome.t_macro_minutes * 60:.1f}s "
+          f"(T_macro={outcome.t_macro_minutes:.2f} min)")
+    print(f"  HPWL            : {outcome.hpwl:,.0f}")
+    print(f"  legal           : {outcome.legal}")
+    print(f"  final overflow  : "
+          f"{ {k: round(v, 3) for k, v in outcome.final_overflow.items()} }")
+
+    # 3. Routing + congestion levels ------------------------------------------
+    routing = route_design(design)
+    report = congestion_report(routing)
+    hist = np.bincount(report.level_map.ravel(), minlength=8)
+    print(f"\nRouted {routing.num_connections} connections in "
+          f"{routing.iterations} negotiation iterations "
+          f"(converged={routing.converged})")
+    print(f"  congestion level histogram: {hist.tolist()}")
+    print(f"  L_short per direction (E,S,W,N): {report.max_short_by_direction()}")
+    print(f"  L_global per direction (E,S,W,N): {report.max_global_by_direction()}")
+
+    # 4. Contest scoring (Eqs. 1-3) ---------------------------------------------
+    s_ir = initial_routing_score(report)
+    detailed = DetailedRoutingModel().evaluate(routing, report)
+    score = ContestScore(
+        design=design.name,
+        team="quickstart",
+        s_ir=s_ir,
+        s_dr=detailed.iterations,
+        t_macro_minutes=outcome.t_macro_minutes,
+        t_pr_hours=detailed.hours,
+    )
+    print(f"\nContest scores: S_IR={score.s_ir} S_DR={score.s_dr} "
+          f"S_R={score.s_r:.0f} T_P&R={score.t_pr_hours:.2f}h "
+          f"S_score={score.s_score:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Analysis utilities: feature correlation, report export."""
+
+from .correlation import FeatureCorrelation, correlate_features, forward_selection
+from .reports import rows_to_csv, rows_to_markdown
+
+__all__ = [
+    "FeatureCorrelation",
+    "correlate_features",
+    "forward_selection",
+    "rows_to_csv",
+    "rows_to_markdown",
+]

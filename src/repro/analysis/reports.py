@@ -1,0 +1,51 @@
+"""Report writers: CSV / Markdown renderings of experiment results.
+
+The benchmark harness persists human-readable text artifacts; these
+helpers additionally export machine-readable CSV and Markdown so runs
+can be diffed, plotted or dropped into a writeup.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+
+__all__ = ["rows_to_csv", "rows_to_markdown"]
+
+
+def rows_to_csv(rows: list[dict[str, object]]) -> str:
+    """Serialize a list of uniform dict rows as CSV text."""
+    if not rows:
+        return ""
+    columns = list(rows[0].keys())
+    for row in rows:
+        if list(row.keys()) != columns:
+            raise ValueError("all rows must share the same columns")
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=columns)
+    writer.writeheader()
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def rows_to_markdown(rows: list[dict[str, object]]) -> str:
+    """Serialize a list of uniform dict rows as a Markdown table."""
+    if not rows:
+        return ""
+    columns = list(rows[0].keys())
+    for row in rows:
+        if list(row.keys()) != columns:
+            raise ValueError("all rows must share the same columns")
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    lines = [
+        "| " + " | ".join(columns) + " |",
+        "| " + " | ".join("---" for _ in columns) + " |",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(fmt(row[c]) for c in columns) + " |")
+    return "\n".join(lines)

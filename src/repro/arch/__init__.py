@@ -1,0 +1,17 @@
+"""FPGA device model: sites, columns, interconnect tiles, constraints."""
+
+from .constraints import CascadeShape, RegionConstraint
+from .device import DEFAULT_COLUMN_PATTERN, FPGADevice, xcvu3p_like
+from .resources import CELL_RESOURCES, MACRO_RESOURCES, ResourceType, SiteType
+
+__all__ = [
+    "SiteType",
+    "ResourceType",
+    "MACRO_RESOURCES",
+    "CELL_RESOURCES",
+    "FPGADevice",
+    "xcvu3p_like",
+    "DEFAULT_COLUMN_PATTERN",
+    "CascadeShape",
+    "RegionConstraint",
+]

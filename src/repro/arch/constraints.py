@@ -1,0 +1,96 @@
+"""Placement constraints of the MLCAD 2023 contest (Section II-A).
+
+Two constraint families must be satisfied by any legal macro placement:
+
+* **Cascade shape constraints** — a list of macros that must occupy
+  consecutive sites of the same column in a fixed vertical order
+  (e.g. a chain of cascaded BRAMs).
+* **Region constraints** — a rectangular fence; every instance assigned
+  to the constraint must be placed on sites inside the rectangle.
+  Unassigned instances may be placed anywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["CascadeShape", "RegionConstraint"]
+
+
+@dataclass(frozen=True)
+class CascadeShape:
+    """Macros that must sit on consecutive same-column sites, in order.
+
+    Attributes
+    ----------
+    instances:
+        Instance indices, bottom to top; ``instances[i]`` must be placed
+        exactly one site above ``instances[i-1]``.
+    """
+
+    instances: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.instances) < 2:
+            raise ValueError("a cascade shape needs at least two macros")
+        if len(set(self.instances)) != len(self.instances):
+            raise ValueError("cascade shape instances must be distinct")
+
+    def __len__(self) -> int:
+        return len(self.instances)
+
+    def is_satisfied(self, x: np.ndarray, y: np.ndarray, tol: float = 1e-6) -> bool:
+        """Check column alignment and consecutive, ordered rows."""
+        xs = x[list(self.instances)]
+        ys = y[list(self.instances)]
+        same_col = np.all(np.abs(xs - xs[0]) < tol)
+        consecutive = np.all(np.abs(np.diff(ys) - 1.0) < tol)
+        return bool(same_col and consecutive)
+
+
+@dataclass(frozen=True)
+class RegionConstraint:
+    """A rectangular fence region with its assigned instances.
+
+    Coordinates are in site units, half-open on the upper edges:
+    a site ``(x, y)`` is inside iff ``xlo <= x < xhi`` and
+    ``ylo <= y < yhi``.
+    """
+
+    xlo: float
+    ylo: float
+    xhi: float
+    yhi: float
+    instances: frozenset[int] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if self.xhi <= self.xlo or self.yhi <= self.ylo:
+            raise ValueError(
+                f"degenerate region ({self.xlo},{self.ylo})-({self.xhi},{self.yhi})"
+            )
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return (0.5 * (self.xlo + self.xhi), 0.5 * (self.ylo + self.yhi))
+
+    def contains(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Vectorized membership test for site coordinates."""
+        x = np.asarray(x)
+        y = np.asarray(y)
+        return (
+            (x >= self.xlo) & (x < self.xhi) & (y >= self.ylo) & (y < self.yhi)
+        )
+
+    def violation(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Distance of each point to the region (0 when inside).
+
+        Used by the placer's region tension term: the gradient of this
+        distance pulls constrained instances back inside their fence.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        dx = np.maximum(np.maximum(self.xlo - x, x - self.xhi), 0.0)
+        dy = np.maximum(np.maximum(self.ylo - y, y - self.yhi), 0.0)
+        return np.hypot(dx, dy)

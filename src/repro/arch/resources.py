@@ -1,0 +1,57 @@
+"""Resource and site taxonomy of the MLCAD 2023 target device.
+
+The contest architecture (16nm Xilinx UltraScale+ XCVU3P) exposes four
+heterogeneous site types — CLB, DSP, BRAM and URAM (Section II-A).
+Following the paper, DSP/BRAM/URAM instances are *macros* and everything
+placed on CLB sites (LUTs, FFs) is a *cell*.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = ["SiteType", "ResourceType", "MACRO_RESOURCES", "CELL_RESOURCES"]
+
+
+class SiteType(Enum):
+    """Physical site kinds arranged in device columns."""
+
+    CLB = "CLB"
+    DSP = "DSP"
+    BRAM = "BRAM"
+    URAM = "URAM"
+    IO = "IO"
+
+
+class ResourceType(Enum):
+    """Logical resource consumed by a netlist instance."""
+
+    LUT = "LUT"
+    FF = "FF"
+    DSP = "DSP"
+    BRAM = "BRAM"
+    URAM = "URAM"
+
+    @property
+    def site_type(self) -> SiteType:
+        """The site type that hosts this resource."""
+        return _RESOURCE_TO_SITE[self]
+
+    @property
+    def is_macro(self) -> bool:
+        """Whether the paper treats instances of this resource as macros."""
+        return self in MACRO_RESOURCES
+
+
+_RESOURCE_TO_SITE = {
+    ResourceType.LUT: SiteType.CLB,
+    ResourceType.FF: SiteType.CLB,
+    ResourceType.DSP: SiteType.DSP,
+    ResourceType.BRAM: SiteType.BRAM,
+    ResourceType.URAM: SiteType.URAM,
+}
+
+MACRO_RESOURCES = frozenset(
+    {ResourceType.DSP, ResourceType.BRAM, ResourceType.URAM}
+)
+CELL_RESOURCES = frozenset({ResourceType.LUT, ResourceType.FF})

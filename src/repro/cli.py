@@ -1,0 +1,193 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands mirror the library's main workflows:
+
+* ``stats``  — print the benchmark-suite statistics (Table I left columns).
+* ``place``  — run the Fig. 6 flow on one design and report the outcome.
+* ``route``  — route the (freshly placed) design and print Fig. 1 levels.
+* ``score``  — place + route + contest scores (Eqs. 1-3) in one shot.
+* ``train``  — train a congestion model and save a checkpoint.
+* ``table2`` — run the four teams on selected designs (mini Table II).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MFA+Transformer congestion prediction reproduction (DATE 2025)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser, multi_design: bool = False):
+        from .netlist import MLCAD2023_SPECS
+
+        if multi_design:
+            p.add_argument(
+                "--designs", nargs="+", default=["Design_116"],
+                choices=sorted(MLCAD2023_SPECS),
+            )
+        else:
+            p.add_argument(
+                "--design", default="Design_116",
+                choices=sorted(MLCAD2023_SPECS),
+            )
+        p.add_argument(
+            "--scale", type=float, default=64.0,
+            help="downscale factor (64 means 1/64 of full size)",
+        )
+
+    add_common(sub.add_parser("stats", help="benchmark statistics"), multi_design=True)
+
+    place = sub.add_parser("place", help="run the Fig. 6 placement flow")
+    add_common(place)
+    place.add_argument("--iters", type=int, default=500)
+
+    route = sub.add_parser("route", help="place then route, print Fig. 1 map")
+    add_common(route)
+
+    score = sub.add_parser("score", help="place + route + contest scores")
+    add_common(score)
+
+    train = sub.add_parser("train", help="train a congestion model")
+    add_common(train, multi_design=True)
+    train.add_argument("--model", default="ours",
+                       choices=("unet", "pgnn", "pros2", "ours"))
+    train.add_argument("--epochs", type=int, default=20)
+    train.add_argument("--placements", type=int, default=4)
+    train.add_argument("--grid", type=int, default=64)
+    train.add_argument("--out", default="congestion_model.npz")
+
+    table2 = sub.add_parser("table2", help="mini Table II (4 teams)")
+    add_common(table2, multi_design=True)
+
+    return parser
+
+
+def _cmd_stats(args) -> int:
+    from .netlist import format_stats_table, mlcad2023_suite
+
+    designs = mlcad2023_suite(tuple(args.designs), scale=1.0 / args.scale)
+    print(format_stats_table(designs))
+    return 0
+
+
+def _cmd_place(args) -> int:
+    from .netlist import MLCAD2023_SPECS, generate_design
+    from .placement import GPConfig, PlacerConfig, place_design
+
+    design = generate_design(MLCAD2023_SPECS[args.design], scale=1.0 / args.scale)
+    outcome = place_design(
+        design, config=PlacerConfig(gp=GPConfig(bins=32, max_iters=args.iters))
+    )
+    print(f"{design.name}: hpwl={outcome.hpwl:,.0f} legal={outcome.legal} "
+          f"t_macro={outcome.t_macro_minutes:.2f}min")
+    print(f"overflow: { {k: round(v, 3) for k, v in outcome.final_overflow.items()} }")
+    return 0 if outcome.legal else 1
+
+
+def _cmd_route(args) -> int:
+    from .netlist import MLCAD2023_SPECS, generate_design
+    from .placement import place_design
+    from .routing import congestion_report, route_design
+
+    design = generate_design(MLCAD2023_SPECS[args.design], scale=1.0 / args.scale)
+    place_design(design)
+    report = congestion_report(route_design(design))
+    print(report.ascii_map())
+    hist = np.bincount(report.level_map.ravel(), minlength=8)
+    print(f"levels: {hist.tolist()}")
+    return 0
+
+
+def _cmd_score(args) -> int:
+    from .contest import ContestScore, initial_routing_score
+    from .netlist import MLCAD2023_SPECS, generate_design
+    from .placement import place_design
+    from .routing import DetailedRoutingModel, congestion_report, route_design
+
+    design = generate_design(MLCAD2023_SPECS[args.design], scale=1.0 / args.scale)
+    outcome = place_design(design)
+    routing = route_design(design)
+    report = congestion_report(routing)
+    detailed = DetailedRoutingModel().evaluate(routing, report)
+    score = ContestScore(
+        design=design.name, team="cli",
+        s_ir=initial_routing_score(report), s_dr=detailed.iterations,
+        t_macro_minutes=outcome.t_macro_minutes, t_pr_hours=detailed.hours,
+    )
+    print(f"{design.name}: S_IR={score.s_ir} S_DR={score.s_dr} "
+          f"S_R={score.s_r:.0f} T_P&R={score.t_pr_hours:.2f}h "
+          f"S_score={score.s_score:.2f}")
+    return 0
+
+
+def _cmd_train(args) -> int:
+    from .models import build_model
+    from .netlist import MLCAD2023_SPECS
+    from .nn import save_module
+    from .train import CongestionDataset, DatasetConfig, TrainConfig, Trainer
+
+    config = DatasetConfig(
+        grid=args.grid,
+        placements_per_design=args.placements,
+        design_scale=1.0 / args.scale,
+        seed=2023,
+    )
+    specs = [MLCAD2023_SPECS[name] for name in args.designs]
+    dataset = CongestionDataset.build(specs, config)
+    model = build_model(args.model, "fast", grid=args.grid)
+    trainer = Trainer(
+        TrainConfig(epochs=args.epochs, batch_size=8, lr=2e-3,
+                    max_class_weight=4.0,
+                    log_every=max(1, args.epochs // 10))
+    )
+    result = trainer.train(model, dataset)
+    metrics = Trainer.evaluate(model, dataset.eval)
+    print(f"trained {args.model} ({model.num_parameters():,} params) "
+          f"{result.epochs} epochs in {result.seconds:.0f}s")
+    print(f"eval: ACC={metrics['ACC']:.3f} R2={metrics['R2']:.3f} "
+          f"NRMS={metrics['NRMS']:.3f}")
+    save_module(model, args.out)
+    print(f"checkpoint: {args.out}")
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    from .contest import contest_teams, format_table2, run_table2
+
+    teams = contest_teams()
+    result = run_table2(
+        teams, design_names=tuple(args.designs), scale=1.0 / args.scale,
+        verbose=True,
+    )
+    print()
+    print(format_table2(result))
+    return 0
+
+
+_COMMANDS = {
+    "stats": _cmd_stats,
+    "place": _cmd_place,
+    "route": _cmd_route,
+    "score": _cmd_score,
+    "train": _cmd_train,
+    "table2": _cmd_table2,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""MLCAD 2023 contest scoring, teams and the Table-II harness."""
+
+from .evaluate import (
+    Table2Result,
+    evaluate_team_on_design,
+    format_table2,
+    run_table2,
+)
+from .scoring import (
+    ContestScore,
+    final_score,
+    initial_routing_score,
+    routability_score,
+)
+from .teams import TEAM_NAMES, TeamConfig, contest_teams
+
+__all__ = [
+    "initial_routing_score",
+    "routability_score",
+    "final_score",
+    "ContestScore",
+    "TeamConfig",
+    "TEAM_NAMES",
+    "contest_teams",
+    "Table2Result",
+    "evaluate_team_on_design",
+    "run_table2",
+    "format_table2",
+]

@@ -1,0 +1,160 @@
+"""Table-II evaluation harness: place, route, score, tabulate.
+
+Runs each team's flow on each design, scores the result with the
+contest metrics (Eqs. 1–3), and formats the same rows Table II reports
+(S_score, S_R, T_P&R, S_IR, S_DR per design plus Average and Ratio
+rows, where Ratio normalizes every team's average to "Ours").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..netlist import MLCAD2023_SPECS, TABLE2_DESIGNS, generate_design
+from ..placement import place_design
+from ..routing import DetailedRoutingModel, congestion_report, route_design
+from .scoring import ContestScore, initial_routing_score
+from .teams import TeamConfig
+
+__all__ = ["Table2Result", "evaluate_team_on_design", "run_table2", "format_table2"]
+
+_COLUMNS = ("S_score", "S_R", "T_P&R", "S_IR", "S_DR")
+
+
+def evaluate_team_on_design(
+    team: TeamConfig,
+    design_name: str,
+    scale: float = 1.0 / 64.0,
+) -> ContestScore:
+    """Run one team's full flow on one design and score it."""
+    spec = MLCAD2023_SPECS[design_name]
+    design = generate_design(spec, scale=scale)
+    estimator = team.estimator_factory(design)
+    outcome = place_design(
+        design, estimator=estimator, config=team.placer_config_factory()
+    )
+
+    routing = route_design(design)
+    report = congestion_report(routing)
+    s_ir = initial_routing_score(report)
+    detailed = DetailedRoutingModel().evaluate(routing, report)
+    return ContestScore(
+        design=design_name,
+        team=team.name,
+        s_ir=s_ir,
+        s_dr=detailed.iterations,
+        t_macro_minutes=outcome.t_macro_minutes,
+        t_pr_hours=detailed.hours,
+    )
+
+
+@dataclass
+class Table2Result:
+    """All scores of a Table-II run, indexed [team][design]."""
+
+    scores: dict[str, dict[str, ContestScore]] = field(default_factory=dict)
+
+    def add(self, score: ContestScore) -> None:
+        self.scores.setdefault(score.team, {})[score.design] = score
+
+    def averages(self) -> dict[str, dict[str, float]]:
+        """Per-team average of every Table-II column."""
+        result: dict[str, dict[str, float]] = {}
+        for team, by_design in self.scores.items():
+            rows = [s.row() for s in by_design.values()]
+            result[team] = {
+                col: float(np.mean([r[col] for r in rows])) for col in _COLUMNS
+            }
+        return result
+
+    def rows(self) -> list[dict[str, object]]:
+        """Flat per-(team, design) rows for CSV/Markdown export."""
+        flat: list[dict[str, object]] = []
+        for team, by_design in self.scores.items():
+            for design, score in sorted(by_design.items()):
+                row: dict[str, object] = {"team": team, "design": design}
+                row.update(score.row())
+                flat.append(row)
+        return flat
+
+    def to_csv(self) -> str:
+        """Export every score as CSV (via :mod:`repro.analysis.reports`)."""
+        from ..analysis import rows_to_csv
+
+        return rows_to_csv(self.rows())
+
+    def to_markdown(self) -> str:
+        """Export every score as a Markdown table."""
+        from ..analysis import rows_to_markdown
+
+        return rows_to_markdown(self.rows())
+
+    def ratios(self, reference: str = "Ours") -> dict[str, dict[str, float]]:
+        """Each team's averages normalized to the reference team's."""
+        avgs = self.averages()
+        if reference not in avgs:
+            raise KeyError(f"no scores recorded for reference team {reference!r}")
+        ref = avgs[reference]
+        return {
+            team: {
+                col: (vals[col] / ref[col] if ref[col] else float("nan"))
+                for col in _COLUMNS
+            }
+            for team, vals in avgs.items()
+        }
+
+
+def run_table2(
+    teams: list[TeamConfig],
+    design_names: tuple[str, ...] = TABLE2_DESIGNS,
+    scale: float = 1.0 / 64.0,
+    verbose: bool = False,
+) -> Table2Result:
+    """Evaluate every team on every design."""
+    result = Table2Result()
+    for team in teams:
+        for name in design_names:
+            score = evaluate_team_on_design(team, name, scale=scale)
+            result.add(score)
+            if verbose:
+                print(f"{team.name:<14} {name:<12} {score.row()}")
+    return result
+
+
+def format_table2(result: Table2Result) -> str:
+    """Render the Table-II layout: design rows, Average and Ratio rows."""
+    teams = list(result.scores)
+    designs = sorted(
+        {d for by_design in result.scores.values() for d in by_design}
+    )
+    header = f"{'Design':<12}"
+    for team in teams:
+        header += f" | {team:^37}"
+    sub = f"{'':<12}"
+    for _ in teams:
+        sub += " | " + " ".join(f"{c:>7}" for c in _COLUMNS)
+    lines = [header, sub, "-" * len(sub)]
+    for design in designs:
+        line = f"{design:<12}"
+        for team in teams:
+            score = result.scores[team].get(design)
+            if score is None:
+                line += " | " + " ".join(["     --"] * len(_COLUMNS))
+            else:
+                row = score.row()
+                line += " | " + " ".join(f"{row[c]:>7.2f}" for c in _COLUMNS)
+        lines.append(line)
+    avgs = result.averages()
+    line = f"{'Average':<12}"
+    for team in teams:
+        line += " | " + " ".join(f"{avgs[team][c]:>7.2f}" for c in _COLUMNS)
+    lines.append(line)
+    if "Ours" in avgs:
+        ratios = result.ratios("Ours")
+        line = f"{'Ratio':<12}"
+        for team in teams:
+            line += " | " + " ".join(f"{ratios[team][c]:>7.2f}" for c in _COLUMNS)
+        lines.append(line)
+    return "\n".join(lines)

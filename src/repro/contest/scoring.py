@@ -1,0 +1,73 @@
+"""MLCAD 2023 contest scoring (Section II-B, Eqs. 1–3).
+
+* ``S_IR`` (Eq. 1) penalizes the design's worst short/global congestion
+  level in each of the four directions, quadratically above level 3.
+* ``S_DR`` is the detailed-router iteration count.
+* ``S_R = S_IR × S_DR`` (Eq. 2).
+* ``S_score = [1 + max(0, T_macro − 10)] × S_R × T_P&R`` (Eq. 3), with
+  ``T_macro`` in minutes and ``T_P&R`` in hours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..routing import CongestionReport
+
+__all__ = ["initial_routing_score", "routability_score", "final_score", "ContestScore"]
+
+
+def initial_routing_score(report: CongestionReport) -> int:
+    """Eq. 1: S_IR from the worst levels per direction and wire class."""
+    short = report.max_short_by_direction()
+    global_ = report.max_global_by_direction()
+    penalty = 0.0
+    for levels in (short, global_):
+        excess = np.maximum(0, levels.astype(np.int64) - 3)
+        penalty += float((excess**2).sum())
+    return int(1 + penalty)
+
+
+def routability_score(s_ir: float, s_dr: float) -> float:
+    """Eq. 2: S_R = S_IR × S_DR."""
+    return float(s_ir) * float(s_dr)
+
+
+def final_score(
+    s_r: float, t_macro_minutes: float, t_pr_hours: float
+) -> float:
+    """Eq. 3: S_score = [1 + max(0, T_macro − 10)] × S_R × T_P&R."""
+    macro_factor = 1.0 + max(0.0, t_macro_minutes - 10.0)
+    return macro_factor * s_r * t_pr_hours
+
+
+@dataclass(frozen=True)
+class ContestScore:
+    """All contest metrics for one placement of one design."""
+
+    design: str
+    team: str
+    s_ir: int
+    s_dr: int
+    t_macro_minutes: float
+    t_pr_hours: float
+
+    @property
+    def s_r(self) -> float:
+        return routability_score(self.s_ir, self.s_dr)
+
+    @property
+    def s_score(self) -> float:
+        return final_score(self.s_r, self.t_macro_minutes, self.t_pr_hours)
+
+    def row(self) -> dict[str, float]:
+        """Table II row fragment for this (team, design)."""
+        return {
+            "S_score": round(self.s_score, 2),
+            "S_R": round(self.s_r, 2),
+            "T_P&R": round(self.t_pr_hours, 2),
+            "S_IR": self.s_ir,
+            "S_DR": self.s_dr,
+        }

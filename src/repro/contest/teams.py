@@ -1,0 +1,123 @@
+"""The Table-II contenders as flow configurations.
+
+Table II compares the paper's flow against the MLCAD 2023 winners on a
+common machine.  The winner binaries are not redistributable, so each
+team is reproduced as its published *strategy* running on this repo's
+shared placement substrate (DESIGN.md §2) — the comparison Table II
+makes is precisely between congestion-estimation/inflation strategies:
+
+* **UTDA** [11] — DREAMPlaceFPGA-MP: RUDY-driven inflation, single
+  inflation pass (the contest's top analytical method).
+* **SEU** — contest co-winner: RUDY-driven with a re-prediction pass
+  (two inflation rounds) and a slightly hotter gain.
+* **MPKU-Improve** [16] — OpenPARF 3.0 style: multi-electrostatics with
+  stronger spreading effort and a pin-density-augmented analytical
+  estimate; fastest T_P&R in the paper.
+* **Ours** — the paper's flow: the trained MFA+transformer model
+  replaces RUDY as the congestion estimator (Section IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..models import CongestionModel, ModelEstimator
+from ..netlist import Design
+from ..placement import (
+    CongestionEstimator,
+    GPConfig,
+    PinDensityAwareEstimator,
+    PlacerConfig,
+    RudyEstimator,
+)
+
+__all__ = ["TeamConfig", "TEAM_NAMES", "contest_teams"]
+
+TEAM_NAMES = ("UTDA", "SEU", "MPKU-Improve", "Ours")
+
+
+@dataclass
+class TeamConfig:
+    """One Table-II contender: estimator + flow configuration."""
+
+    name: str
+    description: str
+    estimator_factory: Callable[[Design], CongestionEstimator]
+    placer_config_factory: Callable[[], PlacerConfig]
+
+
+def _gp(seed: int = 0, max_iters: int = 400, lr: float = 0.45) -> GPConfig:
+    return GPConfig(bins=32, max_iters=max_iters, lr=lr, seed=seed)
+
+
+def contest_teams(
+    model: CongestionModel | None = None,
+    model_grid: int = 64,
+    seed: int = 0,
+) -> list[TeamConfig]:
+    """Build the four Table-II teams.
+
+    ``model`` is the trained congestion predictor used by "Ours"; when
+    omitted, "Ours" falls back to the pin-density-aware analytical
+    estimate so the harness still runs (clearly weaker — train a model
+    for the real comparison).
+    """
+    teams = [
+        TeamConfig(
+            name="UTDA",
+            description="RUDY-driven inflation, single pass [11]",
+            estimator_factory=lambda design: RudyEstimator(
+                grid=design.device.tile_cols, gain=0.85
+            ),
+            placer_config_factory=lambda: PlacerConfig(
+                gp=_gp(seed=seed), inflation_rounds=1
+            ),
+        ),
+        TeamConfig(
+            name="SEU",
+            description="RUDY-driven inflation, two passes (contest co-winner)",
+            estimator_factory=lambda design: RudyEstimator(
+                grid=design.device.tile_cols, gain=1.05
+            ),
+            placer_config_factory=lambda: PlacerConfig(
+                gp=_gp(seed=seed), inflation_rounds=2
+            ),
+        ),
+        TeamConfig(
+            name="MPKU-Improve",
+            description="multi-electrostatics + pin-density-aware estimate [16]",
+            estimator_factory=lambda design: PinDensityAwareEstimator(
+                grid=design.device.tile_cols
+            ),
+            placer_config_factory=lambda: PlacerConfig(
+                gp=_gp(seed=seed, max_iters=500, lr=0.40),
+                inflation_rounds=2,
+                stage2_iters=180,
+            ),
+        ),
+    ]
+
+    if model is not None:
+        ours_estimator: Callable[[Design], CongestionEstimator] = (
+            lambda design: ModelEstimator(
+                model=model,
+                model_grid=model_grid,
+                out_grid=design.device.tile_cols,
+            )
+        )
+    else:
+        ours_estimator = lambda design: PinDensityAwareEstimator(
+            grid=design.device.tile_cols, gain=0.9, pin_weight=0.35
+        )
+    teams.append(
+        TeamConfig(
+            name="Ours",
+            description="MFA+transformer model-driven inflation (Section IV)",
+            estimator_factory=ours_estimator,
+            placer_config_factory=lambda: PlacerConfig(
+                gp=_gp(seed=seed), inflation_rounds=2
+            ),
+        )
+    )
+    return teams

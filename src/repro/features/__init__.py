@@ -1,0 +1,5 @@
+"""Grid-based placement feature extraction (Section III-B)."""
+
+from .grids import FEATURE_NAMES, FeatureExtractor, extract_features, resize_map
+
+__all__ = ["FEATURE_NAMES", "FeatureExtractor", "extract_features", "resize_map"]

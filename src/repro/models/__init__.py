@@ -1,0 +1,31 @@
+"""Congestion prediction model zoo (Table I contenders)."""
+
+from .base import NUM_CLASSES, CongestionModel
+from .mfa import ChannelAttention, MFABlock, PositionAttention
+from .ours import MFATransformerNet, ResNetDown, UpBlock
+from .pgnn import GridGraphConv, PGNNNet
+from .predictor import ModelEstimator
+from .pros import ProsNet, ResidualStage
+from .registry import MODEL_NAMES, PRESETS, build_model
+from .unet import DoubleConv, UNet
+
+__all__ = [
+    "NUM_CLASSES",
+    "CongestionModel",
+    "MFABlock",
+    "PositionAttention",
+    "ChannelAttention",
+    "MFATransformerNet",
+    "ResNetDown",
+    "UpBlock",
+    "UNet",
+    "DoubleConv",
+    "PGNNNet",
+    "GridGraphConv",
+    "ProsNet",
+    "ResidualStage",
+    "ModelEstimator",
+    "MODEL_NAMES",
+    "PRESETS",
+    "build_model",
+]

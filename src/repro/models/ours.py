@@ -1,0 +1,179 @@
+"""The paper's congestion prediction model (Section III, Figs. 2 & 5).
+
+Architecture, following Fig. 5 exactly:
+
+* **Encoder** — four ResNet-style CNN downsampling layers; layer ``k``
+  halves H and W and outputs ``C·2^(k-1)`` channels, so the multiscale
+  pyramid is ``[C, H/2] → [2C, H/4] → [4C, H/8] → [8C, H/16]``.
+* **MFA blocks** — one after every CNN layer (feeding the skip
+  connections) plus one more before the transformer.
+* **Vision transformer** — the ``[8C, H/16, W/16]`` map is embedded to
+  ``C_t``-dimensional tokens and refined by ``L`` transformer layers
+  (paper default 12), then projected back to ``[8C, H/16, W/16]``.
+* **Decoder** — four upsampling blocks (upsample ×2, concat the skip's
+  MFA output, 3×3 conv + BN + ReLU) with output dims
+  ``[2C, H/8] → [C, H/4] → [C/2, H/2] → [8, H, W]``; the final 8-channel
+  map goes through softmax to produce per-level probabilities, and the
+  congestion level map is its (arg)max, size ``1 × H × W``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn.tensor import Tensor
+from .base import NUM_CLASSES, CongestionModel
+from .mfa import MFABlock
+
+__all__ = ["ResNetDown", "UpBlock", "MFATransformerNet"]
+
+
+class ResNetDown(nn.Module):
+    """ResNet basic block with stride-2 downsampling (an encoder layer)."""
+
+    def __init__(
+        self, in_ch: int, out_ch: int, rng: np.random.Generator | None = None
+    ) -> None:
+        super().__init__()
+        self.conv1 = nn.Conv2d(in_ch, out_ch, 3, stride=2, padding=1, bias=False, rng=rng)
+        self.bn1 = nn.BatchNorm2d(out_ch)
+        self.conv2 = nn.Conv2d(out_ch, out_ch, 3, stride=1, padding=1, bias=False, rng=rng)
+        self.bn2 = nn.BatchNorm2d(out_ch)
+        self.shortcut = nn.Conv2d(in_ch, out_ch, 1, stride=2, bias=False, rng=rng)
+        self.bn_sc = nn.BatchNorm2d(out_ch)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.bn2(self.conv2(out))
+        residual = self.bn_sc(self.shortcut(x))
+        return (out + residual).relu()
+
+
+class UpBlock(nn.Module):
+    """Decoder block: upsample ×2, concat skip, 3×3 conv + BN + ReLU."""
+
+    def __init__(
+        self,
+        in_ch: int,
+        skip_ch: int,
+        out_ch: int,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        self.skip_ch = skip_ch
+        self.up = nn.UpsampleNearest(2)
+        self.fuse = nn.ConvBNReLU(in_ch + skip_ch, out_ch, kernel_size=3, rng=rng)
+
+    def forward(self, x: Tensor, skip: Tensor | None = None) -> Tensor:
+        x = self.up(x)
+        if skip is not None:
+            x = nn.concatenate([x, skip], axis=1)
+        return self.fuse(x)
+
+
+class MFATransformerNet(CongestionModel):
+    """The proposed MFA + transformer congestion prediction model.
+
+    Parameters
+    ----------
+    in_channels:
+        Number of grid-based input features (6 in the paper).
+    base_channels:
+        ``C`` of Fig. 5.
+    num_transformer_layers:
+        ``L`` of Section III-C3 (paper: 12).
+    embed_dim:
+        ``C_t``; defaults to ``8 · base_channels``.
+    grid:
+        Input H = W; must be divisible by 16.
+    use_mfa:
+        Ablation switch: ``False`` replaces every MFA block with the
+        identity (plain skip connections, as in a vanilla U-Net).
+    num_transformer_layers:
+        ``0`` ablates the transformer entirely (the bottleneck passes
+        through unchanged).
+    """
+
+    def __init__(
+        self,
+        in_channels: int = 6,
+        base_channels: int = 16,
+        num_transformer_layers: int = 12,
+        embed_dim: int | None = None,
+        num_heads: int = 4,
+        grid: int = 64,
+        max_attention_tokens: int = 4096,
+        use_mfa: bool = True,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if grid % 16:
+            raise ValueError(f"grid must be divisible by 16, got {grid}")
+        rng = np.random.default_rng(seed)
+        c = base_channels
+        self.grid = grid
+        self.base_channels = c
+        self.num_classes = NUM_CLASSES
+        self.use_mfa = use_mfa
+
+        # Encoder (Fig. 5 "Down" stack).
+        self.down1 = ResNetDown(in_channels, c, rng=rng)
+        self.down2 = ResNetDown(c, 2 * c, rng=rng)
+        self.down3 = ResNetDown(2 * c, 4 * c, rng=rng)
+        self.down4 = ResNetDown(4 * c, 8 * c, rng=rng)
+
+        # MFA on every skip connection + one before the transformer.
+        if use_mfa:
+            self.mfa1 = MFABlock(c, max_tokens=max_attention_tokens, rng=rng)
+            self.mfa2 = MFABlock(2 * c, max_tokens=max_attention_tokens, rng=rng)
+            self.mfa3 = MFABlock(4 * c, max_tokens=max_attention_tokens, rng=rng)
+            self.mfa4 = MFABlock(8 * c, max_tokens=max_attention_tokens, rng=rng)
+            self.mfa_bottleneck = MFABlock(
+                8 * c, max_tokens=max_attention_tokens, rng=rng
+            )
+        else:
+            self.mfa1 = nn.Identity()
+            self.mfa2 = nn.Identity()
+            self.mfa3 = nn.Identity()
+            self.mfa4 = nn.Identity()
+            self.mfa_bottleneck = nn.Identity()
+
+        tokens = (grid // 16) ** 2
+        if num_transformer_layers > 0:
+            self.transformer = nn.TransformerStack(
+                in_channels=8 * c,
+                embed_dim=embed_dim or 8 * c,
+                num_layers=num_transformer_layers,
+                tokens=tokens,
+                num_heads=num_heads,
+                rng=rng,
+            )
+        else:
+            self.transformer = nn.Identity()
+
+        # Decoder (Fig. 5 "Up" stack): [2C,H/8], [C,H/4], [C/2,H/2], 8×H×W.
+        half_c = max(1, c // 2)
+        self.up1 = UpBlock(8 * c, 4 * c, 2 * c, rng=rng)
+        self.up2 = UpBlock(2 * c, 2 * c, c, rng=rng)
+        self.up3 = UpBlock(c, c, half_c, rng=rng)
+        self.up4 = UpBlock(half_c, 0, NUM_CLASSES, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Return per-level logits of shape ``(N, 8, H, W)``."""
+        d1 = self.down1(x)  # [C, H/2]
+        d2 = self.down2(d1)  # [2C, H/4]
+        d3 = self.down3(d2)  # [4C, H/8]
+        d4 = self.down4(d3)  # [8C, H/16]
+
+        s1 = self.mfa1(d1)
+        s2 = self.mfa2(d2)
+        s3 = self.mfa3(d3)
+        s4 = self.mfa4(d4)
+
+        z = self.transformer(self.mfa_bottleneck(s4))  # [8C, H/16]
+
+        u1 = self.up1(z, s3)  # [2C, H/8]
+        u2 = self.up2(u1, s2)  # [C, H/4]
+        u3 = self.up3(u2, s1)  # [C/2, H/2]
+        return self.up4(u3)  # [8, H, W] logits

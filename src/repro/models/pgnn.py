@@ -1,0 +1,88 @@
+"""PGNN-style congestion predictor — the [7] baseline.
+
+Baek et al.'s PGNN combines a GNN over the *pin proximity graph* (for
+pin accessibility) with a U-Net over grid features for DRC-hotspot /
+congestion prediction.  Substitution note (DESIGN.md §2): our features
+are already rasterized, so the pin-proximity GNN is realized as a
+graph convolution network over the **grid graph** (4-neighbour
+adjacency) applied to the pin-carrying channels — aggregation over
+neighbouring grid cells is exactly mean message passing on that graph,
+and is expressible as a fixed cross-shaped stencil followed by learned
+1×1 mixing.  The GNN embeddings are concatenated to the raw features
+and fed to a U-Net, preserving PGNN's two-branch structure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+from ..nn.tensor import Tensor
+from .base import CongestionModel
+from .unet import UNet
+
+__all__ = ["GridGraphConv", "PGNNNet"]
+
+# Mean aggregation over the 4-neighbourhood of the grid graph.
+_STENCIL = np.array(
+    [[0.0, 0.25, 0.0], [0.25, 0.0, 0.25], [0.0, 0.25, 0.0]]
+)
+
+
+class GridGraphConv(nn.Module):
+    """One GCN layer on the grid graph: aggregate neighbours, mix, ReLU.
+
+    ``h' = ReLU(W_self · h + W_neigh · mean_{j∈N(i)} h_j)`` where the
+    neighbour mean is the fixed cross stencil and both ``W`` are learned
+    1×1 convolutions.
+    """
+
+    def __init__(
+        self, in_ch: int, out_ch: int, rng: np.random.Generator | None = None
+    ) -> None:
+        super().__init__()
+        self.in_ch = in_ch
+        stencil = np.zeros((in_ch, in_ch, 3, 3))
+        for ch in range(in_ch):
+            stencil[ch, ch] = _STENCIL
+        # Fixed aggregation kernel (not a Parameter: message passing
+        # weights in a GCN are the learned 1x1 mixes, not the adjacency).
+        self._aggregate = nn.Tensor(stencil)
+        self.w_self = nn.Conv2d(in_ch, out_ch, 1, rng=rng)
+        self.w_neigh = nn.Conv2d(in_ch, out_ch, 1, bias=False, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        neigh = F.conv2d(x, self._aggregate, stride=1, padding=1)
+        return (self.w_self(x) + self.w_neigh(neigh)).relu()
+
+
+class PGNNNet(CongestionModel):
+    """Grid-graph GNN branch + U-Net trunk (PGNN architecture family)."""
+
+    def __init__(
+        self,
+        in_channels: int = 6,
+        gnn_channels: int = 8,
+        gnn_layers: int = 2,
+        base_channels: int = 12,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.gnn = nn.ModuleList()
+        ch = in_channels
+        for _ in range(gnn_layers):
+            self.gnn.append(GridGraphConv(ch, gnn_channels, rng=rng))
+            ch = gnn_channels
+        self.unet = UNet(
+            in_channels=in_channels + gnn_channels,
+            base_channels=base_channels,
+            seed=seed + 1,
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        h = x
+        for layer in self.gnn:
+            h = layer(h)
+        return self.unet(nn.concatenate([x, h], axis=1))

@@ -1,0 +1,74 @@
+"""Model-backed congestion estimator for the placement flow.
+
+Adapts a trained :class:`~repro.models.base.CongestionModel` to the
+``estimator(design, x, y) -> level map`` interface the Fig. 6 flow's
+inflation step consumes (Section IV: "we utilize our trained congestion
+prediction model … to predict congestion map Y_out instead of the
+original RUDY method").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..features import FeatureExtractor, resize_map
+from ..netlist import Design
+from .base import CongestionModel
+
+__all__ = ["ModelEstimator"]
+
+
+@dataclass
+class ModelEstimator:
+    """Wrap a trained model as a placement-flow congestion estimator.
+
+    Parameters
+    ----------
+    model:
+        A trained congestion model.
+    model_grid:
+        The H = W the model was trained at; features are extracted at
+        ``out_grid`` and resized to this before inference.
+    out_grid:
+        Resolution of the returned level map (defaults to model_grid).
+    mode:
+        ``"expected"`` returns the probability-weighted real-valued
+        level (the paper's ``Y_out ∈ R_+``); ``"argmax"`` returns hard
+        levels, which trigger the Eq. 11 threshold (Y > 3) more readily
+        when the softmax is diffuse.
+    lookahead_legalize:
+        When true, features are extracted from a *legalized preview* of
+        the queried placement (SimPL-style lookahead) instead of the raw
+        mid-GP positions.  The model is trained on legalized placements,
+        so this removes the distribution shift between training and the
+        in-flow query.
+    """
+
+    model: CongestionModel
+    model_grid: int = 64
+    out_grid: int | None = None
+    mode: str = "expected"
+    lookahead_legalize: bool = False
+
+    def __call__(self, design: Design, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        if self.mode not in ("expected", "argmax"):
+            raise ValueError(
+                f"unknown mode {self.mode!r}; use 'expected' or 'argmax'"
+            )
+        if self.lookahead_legalize:
+            from ..placement.legalize import legalize
+
+            preview = legalize(design, x, y)
+            x, y = preview.x, preview.y
+        out_grid = self.out_grid or self.model_grid
+        extractor = FeatureExtractor(grid=self.model_grid)
+        features = extractor(design, x, y)[None]  # (1, 6, G, G)
+        if self.mode == "expected":
+            levels = self.model.predict_expected(features)[0]
+        else:
+            levels = self.model.predict_levels(features)[0].astype(np.float64)
+        if levels.shape != (out_grid, out_grid):
+            levels = resize_map(levels, out_grid, out_grid)
+        return levels

@@ -1,0 +1,75 @@
+"""PROS 2.0-style congestion predictor — the [8] baseline.
+
+Chen et al.'s PROS 2.0 pairs a ResNet feature extractor with a U-Net
+style decoder and trains on real global-routing results.  We reproduce
+that architecture family: residual downsampling stages (stronger than
+the plain U-Net encoder of [6]) feeding a skip-connected decoder —
+still pure CNN, with neither the MFA attention nor the transformer of
+the proposed model, which is the comparison Table I makes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn.tensor import Tensor
+from .base import NUM_CLASSES, CongestionModel
+from .ours import ResNetDown, UpBlock
+
+__all__ = ["ResidualStage", "ProsNet"]
+
+
+class ResidualStage(nn.Module):
+    """A stride-2 ResNet block followed by a stride-1 ResNet block."""
+
+    def __init__(
+        self, in_ch: int, out_ch: int, rng: np.random.Generator | None = None
+    ) -> None:
+        super().__init__()
+        self.down = ResNetDown(in_ch, out_ch, rng=rng)
+        self.conv1 = nn.Conv2d(out_ch, out_ch, 3, padding=1, bias=False, rng=rng)
+        self.bn1 = nn.BatchNorm2d(out_ch)
+        self.conv2 = nn.Conv2d(out_ch, out_ch, 3, padding=1, bias=False, rng=rng)
+        self.bn2 = nn.BatchNorm2d(out_ch)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.down(x)
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.bn2(self.conv2(out))
+        return (out + x).relu()
+
+
+class ProsNet(CongestionModel):
+    """ResNet encoder + U-Net decoder (PROS 2.0 architecture family)."""
+
+    def __init__(
+        self,
+        in_channels: int = 6,
+        base_channels: int = 14,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        c = base_channels
+        self.base_channels = c
+
+        self.stage1 = ResidualStage(in_channels, c, rng=rng)  # H/2
+        self.stage2 = ResidualStage(c, 2 * c, rng=rng)  # H/4
+        self.stage3 = ResidualStage(2 * c, 4 * c, rng=rng)  # H/8
+        self.stage4 = ResidualStage(4 * c, 8 * c, rng=rng)  # H/16
+
+        self.up1 = UpBlock(8 * c, 4 * c, 4 * c, rng=rng)  # H/8
+        self.up2 = UpBlock(4 * c, 2 * c, 2 * c, rng=rng)  # H/4
+        self.up3 = UpBlock(2 * c, c, c, rng=rng)  # H/2
+        self.up4 = UpBlock(c, 0, NUM_CLASSES, rng=rng)  # H
+
+    def forward(self, x: Tensor) -> Tensor:
+        s1 = self.stage1(x)
+        s2 = self.stage2(s1)
+        s3 = self.stage3(s2)
+        s4 = self.stage4(s3)
+        u1 = self.up1(s4, s3)
+        u2 = self.up2(u1, s2)
+        u3 = self.up3(u2, s1)
+        return self.up4(u3)

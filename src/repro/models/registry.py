@@ -1,0 +1,61 @@
+"""Model registry: the four Table-I contenders by name, with presets.
+
+``build_model(name, preset)`` constructs each model at one of three
+sizes: ``"tiny"`` (unit tests), ``"fast"`` (benchmark harness) and
+``"paper"`` (the paper's configuration — C=16-ish channels, 12
+transformer layers, 256-capable).
+"""
+
+from __future__ import annotations
+
+from .base import CongestionModel
+from .ours import MFATransformerNet
+from .pgnn import PGNNNet
+from .pros import ProsNet
+from .unet import UNet
+
+__all__ = ["MODEL_NAMES", "PRESETS", "build_model"]
+
+MODEL_NAMES = ("unet", "pgnn", "pros2", "ours")
+PRESETS = ("tiny", "fast", "paper")
+
+
+def build_model(
+    name: str, preset: str = "fast", grid: int = 64, seed: int = 0
+) -> CongestionModel:
+    """Construct one of the Table-I models.
+
+    Parameters
+    ----------
+    name:
+        One of ``unet``, ``pgnn``, ``pros2``, ``ours``.
+    preset:
+        ``tiny`` / ``fast`` / ``paper`` capacity preset.
+    grid:
+        Input resolution (``ours`` requires a multiple of 16).
+    """
+    if name not in MODEL_NAMES:
+        raise ValueError(f"unknown model {name!r}; expected one of {MODEL_NAMES}")
+    if preset not in PRESETS:
+        raise ValueError(f"unknown preset {preset!r}; expected one of {PRESETS}")
+
+    sizes = {
+        "tiny": {"unet": 4, "pgnn": 4, "pros2": 4, "ours": 4, "layers": 2, "gnn": 4},
+        "fast": {"unet": 8, "pgnn": 8, "pros2": 10, "ours": 12, "layers": 4, "gnn": 8},
+        "paper": {"unet": 12, "pgnn": 12, "pros2": 14, "ours": 16, "layers": 12, "gnn": 8},
+    }[preset]
+
+    if name == "unet":
+        return UNet(base_channels=sizes["unet"], seed=seed)
+    if name == "pgnn":
+        return PGNNNet(
+            gnn_channels=sizes["gnn"], base_channels=sizes["pgnn"], seed=seed
+        )
+    if name == "pros2":
+        return ProsNet(base_channels=sizes["pros2"], seed=seed)
+    return MFATransformerNet(
+        base_channels=sizes["ours"],
+        num_transformer_layers=sizes["layers"],
+        grid=grid,
+        seed=seed,
+    )

@@ -1,0 +1,75 @@
+"""U-Net congestion predictor — the [6] baseline.
+
+Szentimrey et al. [6] apply a plain U-Net to grid-based placement
+features for FPGA congestion prediction.  This is the vanilla
+encoder/decoder with double-conv stages, max-pool downsampling, nearest
+upsampling and skip concatenations — no residual blocks, no attention,
+no transformer — which is exactly the capability gap the paper's
+Table I ablates against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn.tensor import Tensor
+from .base import NUM_CLASSES, CongestionModel
+
+__all__ = ["DoubleConv", "UNet"]
+
+
+class DoubleConv(nn.Module):
+    """(3×3 conv → BN → ReLU) × 2, the classic U-Net stage."""
+
+    def __init__(
+        self, in_ch: int, out_ch: int, rng: np.random.Generator | None = None
+    ) -> None:
+        super().__init__()
+        self.block = nn.Sequential(
+            nn.ConvBNReLU(in_ch, out_ch, kernel_size=3, rng=rng),
+            nn.ConvBNReLU(out_ch, out_ch, kernel_size=3, rng=rng),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.block(x)
+
+
+class UNet(CongestionModel):
+    """Plain U-Net with 4 encoder/decoder levels and 8-level output."""
+
+    def __init__(
+        self,
+        in_channels: int = 6,
+        base_channels: int = 12,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        c = base_channels
+        self.base_channels = c
+
+        self.enc1 = DoubleConv(in_channels, c, rng=rng)
+        self.enc2 = DoubleConv(c, 2 * c, rng=rng)
+        self.enc3 = DoubleConv(2 * c, 4 * c, rng=rng)
+        self.enc4 = DoubleConv(4 * c, 8 * c, rng=rng)
+        self.pool = nn.MaxPool2d(2)
+
+        self.up3 = nn.UpsampleNearest(2)
+        self.dec3 = DoubleConv(8 * c + 4 * c, 4 * c, rng=rng)
+        self.up2 = nn.UpsampleNearest(2)
+        self.dec2 = DoubleConv(4 * c + 2 * c, 2 * c, rng=rng)
+        self.up1 = nn.UpsampleNearest(2)
+        self.dec1 = DoubleConv(2 * c + c, c, rng=rng)
+        self.head = nn.Conv2d(c, NUM_CLASSES, 1, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        e1 = self.enc1(x)  # [c, H]
+        e2 = self.enc2(self.pool(e1))  # [2c, H/2]
+        e3 = self.enc3(self.pool(e2))  # [4c, H/4]
+        e4 = self.enc4(self.pool(e3))  # [8c, H/8]
+
+        d3 = self.dec3(nn.concatenate([self.up3(e4), e3], axis=1))
+        d2 = self.dec2(nn.concatenate([self.up2(d3), e2], axis=1))
+        d1 = self.dec1(nn.concatenate([self.up1(d2), e1], axis=1))
+        return self.head(d1)

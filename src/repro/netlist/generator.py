@@ -1,0 +1,402 @@
+"""Synthetic MLCAD-2023-like benchmark generator.
+
+The contest benchmark files are public but not available offline, so
+this module generates netlists that reproduce their *reported shape*
+(DESIGN.md §2): the per-design LUT/FF/DSP/BRAM statistics of Table I,
+thousands-of-macros scale, cascade-shape chains, rectangular region
+constraints, and the modular Rent's-rule-style connectivity that makes
+some placements congested — hub modules with heavy inter-module
+connectivity, wide macro buses that stress the routing around DSP/BRAM
+columns, and edge IO.
+
+Designs can be instantiated at a ``scale`` < 1 so the pure-Python flow
+stays laptop-fast; ``nominal_stats`` preserves the full-scale numbers
+for reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..arch import (
+    CascadeShape,
+    FPGADevice,
+    RegionConstraint,
+    ResourceType,
+    SiteType,
+    xcvu3p_like,
+)
+from .design import Design, Instance, Net
+
+__all__ = [
+    "DesignSpec",
+    "MLCAD2023_SPECS",
+    "generate_design",
+    "mlcad2023_suite",
+    "TABLE1_DESIGNS",
+    "TABLE2_DESIGNS",
+]
+
+_LUTS_PER_CLUSTER = 8.0
+
+
+@dataclass(frozen=True)
+class DesignSpec:
+    """Full-scale statistics and difficulty knobs for one benchmark.
+
+    ``hub_fraction`` and ``long_net_factor`` control how much
+    inter-module (long-range) connectivity the design has — the paper's
+    ten benchmarks are "the most congested and challenging" of the
+    suite, so these are set high and vary per design.
+    """
+
+    name: str
+    num_lut: int
+    num_ff: int
+    num_dsp: int
+    num_bram: int
+    num_uram: int = 32
+    seed: int = 0
+    hub_fraction: float = 0.10
+    long_net_factor: float = 0.60
+    region_count: int = 2
+    cascade_fraction: float = 0.30
+
+
+# Statistics straight from Table I (Design_230 appears only in Table II;
+# the paper does not list its stats, so we interpolate from its peers).
+MLCAD2023_SPECS: dict[str, DesignSpec] = {
+    spec.name: spec
+    for spec in [
+        DesignSpec("Design_116", 370_000, 315_000, 2052, 648, seed=116,
+                   hub_fraction=0.16, long_net_factor=0.95),
+        DesignSpec("Design_120", 383_000, 315_000, 2052, 648, seed=120,
+                   hub_fraction=0.08, long_net_factor=0.55),
+        DesignSpec("Design_136", 315_000, 268_000, 1870, 590, seed=136,
+                   hub_fraction=0.10, long_net_factor=0.70),
+        DesignSpec("Design_156", 338_000, 291_000, 1961, 619, seed=156,
+                   hub_fraction=0.09, long_net_factor=0.60),
+        DesignSpec("Design_176", 370_000, 315_000, 2052, 648, seed=176,
+                   hub_fraction=0.17, long_net_factor=1.00),
+        DesignSpec("Design_180", 383_000, 315_000, 2052, 648, seed=180,
+                   hub_fraction=0.15, long_net_factor=0.90),
+        DesignSpec("Design_190", 312_000, 256_000, 1824, 576, seed=190,
+                   hub_fraction=0.13, long_net_factor=0.80),
+        DesignSpec("Design_197", 323_000, 268_000, 1870, 590, seed=197,
+                   hub_fraction=0.08, long_net_factor=0.50),
+        DesignSpec("Design_227", 363_000, 303_000, 2006, 634, seed=227,
+                   hub_fraction=0.11, long_net_factor=0.70),
+        DesignSpec("Design_230", 352_000, 300_000, 1989, 629, seed=230,
+                   hub_fraction=0.12, long_net_factor=0.75),
+        DesignSpec("Design_237", 379_000, 315_000, 2052, 648, seed=237,
+                   hub_fraction=0.10, long_net_factor=0.65),
+    ]
+}
+
+TABLE1_DESIGNS = (
+    "Design_116", "Design_120", "Design_136", "Design_156", "Design_176",
+    "Design_180", "Design_190", "Design_197", "Design_227", "Design_237",
+)
+TABLE2_DESIGNS = (
+    "Design_116", "Design_120", "Design_136", "Design_156", "Design_176",
+    "Design_180", "Design_190", "Design_197", "Design_227", "Design_230",
+)
+
+
+def _sample_net_size(rng: np.random.Generator) -> int:
+    """Net degree distribution: dominated by 2–4 pin nets, rare wide nets."""
+    r = rng.random()
+    if r < 0.55:
+        return 2
+    if r < 0.80:
+        return 3
+    if r < 0.92:
+        return int(rng.integers(4, 7))
+    return int(rng.integers(7, 17))
+
+
+def generate_design(
+    spec: DesignSpec,
+    scale: float = 1.0 / 64.0,
+    device: FPGADevice | None = None,
+) -> Design:
+    """Instantiate a synthetic design for ``spec`` at the given scale.
+
+    Parameters
+    ----------
+    spec:
+        Full-scale statistics and difficulty knobs.
+    scale:
+        Fraction of the full-scale netlist to instantiate.  Cell and
+        macro counts both scale linearly so device utilization is
+        preserved.
+    device:
+        Target device; defaults to :func:`~repro.arch.xcvu3p_like` at the
+        same scale.
+    """
+    if device is None:
+        device = xcvu3p_like(scale)
+    rng = np.random.default_rng(spec.seed)
+
+    n_lut = max(64, int(round(spec.num_lut * scale)))
+    ff_per_lut = spec.num_ff / spec.num_lut
+    # Macro counts track the *utilization* of the real part (XCVU3P:
+    # 2280 DSP / 720 BRAM / 320 URAM sites) rather than raw netlist
+    # scale, so the scaled design stresses macro legalization and the
+    # macro-column congestion the same way the contest designs do.
+    xcvu3p_sites = {
+        ResourceType.DSP: 2280.0,
+        ResourceType.BRAM: 720.0,
+        ResourceType.URAM: 320.0,
+    }
+    counts = {}
+    for res, nominal in (
+        (ResourceType.DSP, spec.num_dsp),
+        (ResourceType.BRAM, spec.num_bram),
+        (ResourceType.URAM, spec.num_uram),
+    ):
+        utilization = nominal / xcvu3p_sites[res]
+        capacity = device.resource_capacity(res)
+        counts[res] = int(np.clip(round(utilization * capacity), 2, capacity))
+    n_dsp = counts[ResourceType.DSP]
+    n_bram = counts[ResourceType.BRAM]
+    n_uram = counts[ResourceType.URAM]
+
+    instances: list[Instance] = []
+    nets: list[Net] = []
+
+    # -- CLB-level cells: clusters of 8 LUTs + proportional FFs ------------
+    num_clusters = int(np.ceil(n_lut / _LUTS_PER_CLUSTER))
+    for i in range(num_clusters):
+        luts = min(_LUTS_PER_CLUSTER, n_lut - i * _LUTS_PER_CLUSTER)
+        instances.append(
+            Instance(
+                name=f"clb_{i}",
+                resource=ResourceType.LUT,
+                demand={
+                    ResourceType.LUT: float(luts),
+                    ResourceType.FF: float(luts) * ff_per_lut * 2.0,
+                },
+            )
+        )
+    cluster_ids = np.arange(num_clusters)
+
+    # -- macros --------------------------------------------------------------
+    macro_ids: dict[ResourceType, np.ndarray] = {}
+    for res, count in (
+        (ResourceType.DSP, n_dsp),
+        (ResourceType.BRAM, n_bram),
+        (ResourceType.URAM, n_uram),
+    ):
+        start = len(instances)
+        for i in range(count):
+            instances.append(
+                Instance(name=f"{res.value.lower()}_{i}", resource=res)
+            )
+        macro_ids[res] = np.arange(start, start + count)
+
+    # -- IO pads, fixed on the device boundary ---------------------------------
+    num_io = max(8, num_clusters // 24)
+    io_start = len(instances)
+    io_positions: list[tuple[float, float]] = []
+    for i in range(num_io):
+        instances.append(
+            Instance(
+                name=f"io_{i}",
+                resource=ResourceType.LUT,
+                demand={ResourceType.LUT: 0.0},
+                movable=False,
+            )
+        )
+        side = i % 4
+        along = rng.uniform(0.05, 0.95)
+        if side == 0:
+            io_positions.append((0.0, along * device.height))
+        elif side == 1:
+            io_positions.append((device.width - 1, along * device.height))
+        elif side == 2:
+            io_positions.append((along * device.width, 0.0))
+        else:
+            io_positions.append((along * device.width, device.height - 1))
+
+    # -- modular connectivity ------------------------------------------------------
+    # Partition clusters into modules of geometric sizes; a fraction of the
+    # modules are "hubs" that attract heavy inter-module traffic (what
+    # makes these benchmarks congestion-challenging).
+    module_of = np.zeros(num_clusters, dtype=np.int64)
+    modules: list[np.ndarray] = []
+    cursor = 0
+    while cursor < num_clusters:
+        size = int(np.clip(rng.geometric(1.0 / 24.0), 4, 120))
+        size = min(size, num_clusters - cursor)
+        members = cluster_ids[cursor : cursor + size]
+        module_of[members] = len(modules)
+        modules.append(members)
+        cursor += size
+    num_modules = len(modules)
+    num_hubs = max(1, int(round(spec.hub_fraction * num_modules)))
+    hub_modules = rng.choice(num_modules, size=num_hubs, replace=False)
+
+    # Intra-module nets: ~1.4 nets per cluster, local connectivity.
+    for members in modules:
+        count = max(1, int(round(1.4 * len(members))))
+        for _ in range(count):
+            size = min(_sample_net_size(rng), len(members))
+            if size < 2:
+                if len(members) < 2:
+                    continue
+                size = 2
+            pins = rng.choice(members, size=size, replace=False)
+            nets.append(Net(tuple(int(p) for p in pins)))
+
+    # Inter-module nets: hub-biased, these become the long congested routes.
+    inter_count = int(round(spec.long_net_factor * num_clusters))
+    hub_set = set(int(h) for h in hub_modules)
+    for _ in range(inter_count):
+        if rng.random() < 0.7 and hub_set:
+            m_a = int(rng.choice(list(hub_set)))
+        else:
+            m_a = int(rng.integers(num_modules))
+        m_b = int(rng.integers(num_modules))
+        if m_a == m_b:
+            m_b = (m_b + 1) % num_modules
+        size = _sample_net_size(rng)
+        n_a = max(1, size // 2)
+        n_b = max(1, size - n_a)
+        pins_a = rng.choice(modules[m_a], size=min(n_a, len(modules[m_a])), replace=False)
+        pins_b = rng.choice(modules[m_b], size=min(n_b, len(modules[m_b])), replace=False)
+        pins = tuple(int(p) for p in np.concatenate([pins_a, pins_b]))
+        if len(set(pins)) >= 2:
+            nets.append(Net(tuple(sorted(set(pins)))))
+
+    # Macro buses: each macro talks to one module through several nets
+    # (address/data buses), concentrating demand around macro columns.
+    for res, ids in macro_ids.items():
+        buses = 3 if res is ResourceType.DSP else 4
+        for macro in ids:
+            module = modules[int(rng.integers(num_modules))]
+            for _ in range(buses):
+                fan = min(int(rng.integers(2, 5)), len(module))
+                pins = rng.choice(module, size=fan, replace=False)
+                nets.append(
+                    Net((int(macro),) + tuple(int(p) for p in pins))
+                )
+
+    # IO nets.
+    for i in range(num_io):
+        module = modules[int(rng.integers(num_modules))]
+        fan = min(int(rng.integers(1, 4)), len(module))
+        pins = rng.choice(module, size=fan, replace=False)
+        nets.append(Net((io_start + i,) + tuple(int(p) for p in pins)))
+
+    # -- cascade shapes ------------------------------------------------------------
+    cascades: list[CascadeShape] = []
+    for res, max_len in (
+        (ResourceType.BRAM, 6),
+        (ResourceType.DSP, 4),
+        (ResourceType.URAM, 3),
+    ):
+        ids = list(macro_ids[res])
+        rng.shuffle(ids)
+        budget = int(round(spec.cascade_fraction * len(ids)))
+        cursor = 0
+        while cursor + 2 <= budget:
+            length = int(rng.integers(2, max_len + 1))
+            length = min(length, budget - cursor)
+            if length < 2:
+                break
+            chain = tuple(int(i) for i in ids[cursor : cursor + length])
+            cascades.append(CascadeShape(chain))
+            # Cascaded macros are also tightly connected.
+            for a, b in zip(chain[:-1], chain[1:]):
+                nets.append(Net((a, b)))
+            cursor += length
+
+    # -- region constraints -----------------------------------------------------------
+    regions: list[RegionConstraint] = []
+    cascaded = {i for c in cascades for i in c.instances}
+    already_fenced: set[int] = set()
+
+    def _sites_in_rect(site_type, xlo: float, xhi: float, ylo: float, yhi: float) -> int:
+        cols = device.columns_of_type(site_type)
+        cols_in = int(((cols >= xlo) & (cols < xhi)).sum())
+        rows_in = max(0, int(np.floor(yhi)) - int(np.ceil(ylo)))
+        return cols_in * rows_in
+
+    for r in range(spec.region_count):
+        w = rng.uniform(0.30, 0.50) * device.width
+        h = rng.uniform(0.30, 0.50) * device.height
+        xlo = rng.uniform(0, device.width - w)
+        ylo = rng.uniform(0, device.height - h)
+        xhi, yhi = xlo + w, ylo + h
+        # Assign modules and (non-cascaded) macros only up to ~60% of the
+        # region's actual site capacity so every region stays legalizable.
+        assigned: set[int] = set()
+        clb_budget = int(0.6 * _sites_in_rect(SiteType.CLB, xlo, xhi, ylo, yhi))
+        taken = 0
+        for _ in range(4):
+            module = modules[int(rng.integers(num_modules))]
+            fresh = [int(i) for i in module if int(i) not in already_fenced]
+            if taken + len(fresh) > clb_budget:
+                continue
+            assigned.update(fresh)
+            taken += len(fresh)
+        for res in (ResourceType.DSP, ResourceType.BRAM):
+            site_budget = int(
+                0.5 * _sites_in_rect(res.site_type, xlo, xhi, ylo, yhi)
+            )
+            pool = [
+                int(i)
+                for i in macro_ids[res]
+                if int(i) not in cascaded and int(i) not in already_fenced
+            ]
+            take = min(site_budget, len(pool) // (2 * spec.region_count))
+            if take > 0:
+                assigned.update(
+                    int(i) for i in rng.choice(pool, size=take, replace=False)
+                )
+        already_fenced.update(assigned)
+        regions.append(
+            RegionConstraint(xlo, ylo, xhi, yhi, frozenset(assigned))
+        )
+
+    design = Design(
+        name=spec.name,
+        device=device,
+        instances=instances,
+        nets=nets,
+        cascades=cascades,
+        regions=regions,
+        nominal_stats={
+            "LUT": spec.num_lut,
+            "FF": spec.num_ff,
+            "DSP": spec.num_dsp,
+            "BRAM": spec.num_bram,
+            "URAM": spec.num_uram,
+        },
+    )
+
+    # Install fixed IO locations and a random initial placement.
+    x = rng.uniform(0.3 * device.width, 0.7 * device.width, design.num_instances)
+    y = rng.uniform(0.3 * device.height, 0.7 * device.height, design.num_instances)
+    for i, (ix, iy) in enumerate(io_positions):
+        x[io_start + i] = ix
+        y[io_start + i] = iy
+    design.set_placement(x, y)
+    return design
+
+
+def mlcad2023_suite(
+    names: tuple[str, ...] = TABLE1_DESIGNS,
+    scale: float = 1.0 / 64.0,
+    device: FPGADevice | None = None,
+) -> list[Design]:
+    """Generate the requested contest designs at a common scale/device."""
+    if device is None:
+        device = xcvu3p_like(scale)
+    return [
+        generate_design(MLCAD2023_SPECS[name], scale=scale, device=device)
+        for name in names
+    ]

@@ -1,0 +1,52 @@
+"""Design statistics reporting (the left columns of Tables I/II)."""
+
+from __future__ import annotations
+
+from ..arch import ResourceType
+from .design import Design
+
+__all__ = ["design_row", "format_stats_table"]
+
+
+def design_row(design: Design) -> dict[str, object]:
+    """One benchmark-statistics row: nominal (paper-scale) and actual counts."""
+    nominal = design.nominal_stats
+    actual = design.stats()
+    return {
+        "design": design.name,
+        "#LUT": nominal.get("LUT", actual.get("LUT", 0)),
+        "#FF": nominal.get("FF", actual.get("FF", 0)),
+        "#DSP": nominal.get("DSP", actual.get("DSP", 0)),
+        "#BRAM": nominal.get("BRAM", actual.get("BRAM", 0)),
+        "instantiated": {
+            "LUT": actual["LUT"],
+            "FF": actual["FF"],
+            "DSP": actual["DSP"],
+            "BRAM": actual["BRAM"],
+            "URAM": actual["URAM"],
+        },
+        "#nets": design.num_nets,
+        "#pins": design.num_pins,
+        "#cascades": len(design.cascades),
+        "#regions": len(design.regions),
+        "util_LUT": round(design.utilization(ResourceType.LUT), 3),
+        "util_DSP": round(design.utilization(ResourceType.DSP), 3),
+        "util_BRAM": round(design.utilization(ResourceType.BRAM), 3),
+    }
+
+
+def format_stats_table(designs: list[Design]) -> str:
+    """Human-readable statistics table for examples and bench output."""
+    header = (
+        f"{'Design':<12} {'#LUT':>8} {'#FF':>8} {'#DSP':>6} {'#BRAM':>6} "
+        f"{'nets':>7} {'pins':>8} {'casc':>5} {'regs':>5}"
+    )
+    lines = [header, "-" * len(header)]
+    for design in designs:
+        row = design_row(design)
+        lines.append(
+            f"{row['design']:<12} {row['#LUT']:>8} {row['#FF']:>8} "
+            f"{row['#DSP']:>6} {row['#BRAM']:>6} {row['#nets']:>7} "
+            f"{row['#pins']:>8} {row['#cascades']:>5} {row['#regions']:>5}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Additional layers and losses beyond the paper's baseline recipe.
+
+* :class:`GroupNorm` — batch-size-independent normalization; useful when
+  training with the very small batches pure-numpy throughput forces.
+* :class:`FocalLoss2d` — focal cross-entropy (Lin et al.) for the
+  heavily imbalanced congestion level distribution; an alternative to
+  the inverse-frequency class weighting the default trainer uses.
+* :func:`label_smoothing_targets` — smoothed one-hot targets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from .loss import one_hot_levels
+from .module import Module, Parameter
+from .tensor import Tensor
+
+__all__ = ["GroupNorm", "FocalLoss2d", "label_smoothing_targets"]
+
+
+class GroupNorm(Module):
+    """Group normalization over NCHW tensors.
+
+    Splits channels into ``num_groups`` groups and normalizes each
+    group over (channels-in-group, H, W) — independent of batch size.
+    """
+
+    def __init__(self, num_groups: int, num_channels: int, eps: float = 1e-5):
+        super().__init__()
+        if num_channels % num_groups:
+            raise ValueError(
+                f"{num_channels} channels not divisible into {num_groups} groups"
+            )
+        self.num_groups = num_groups
+        self.num_channels = num_channels
+        self.eps = eps
+        self.gamma = Parameter(np.ones(num_channels))
+        self.beta = Parameter(np.zeros(num_channels))
+
+    def forward(self, x: Tensor) -> Tensor:
+        n, c, h, w = x.shape
+        if c != self.num_channels:
+            raise ValueError(f"expected {self.num_channels} channels, got {c}")
+        g = self.num_groups
+        grouped = x.reshape(n, g, (c // g) * h * w)
+        mean = grouped.mean(axis=2, keepdims=True)
+        centered = grouped - mean
+        var = (centered * centered).mean(axis=2, keepdims=True)
+        normed = centered * (var + self.eps) ** -0.5
+        normed = normed.reshape(n, c, h, w)
+        gamma = self.gamma.reshape(1, c, 1, 1)
+        beta = self.beta.reshape(1, c, 1, 1)
+        return normed * gamma + beta
+
+
+def label_smoothing_targets(
+    levels: np.ndarray, num_classes: int, smoothing: float = 0.1
+) -> np.ndarray:
+    """Smoothed one-hot targets: ``1-s`` on the true level, ``s/K`` elsewhere."""
+    if not 0.0 <= smoothing < 1.0:
+        raise ValueError(f"smoothing must be in [0, 1), got {smoothing}")
+    onehot = one_hot_levels(levels, num_classes)
+    return onehot * (1.0 - smoothing) + smoothing / num_classes
+
+
+class FocalLoss2d(Module):
+    """Focal loss over ``(N, K, H, W)`` logits.
+
+    ``FL = -(1 - p_t)^gamma · log(p_t)`` — down-weights the easy
+    (overwhelmingly level-0) cells so gradient signal concentrates on
+    the rare congested ones.
+    """
+
+    def __init__(self, num_classes: int, gamma: float = 2.0):
+        super().__init__()
+        if gamma < 0:
+            raise ValueError(f"gamma must be >= 0, got {gamma}")
+        self.num_classes = num_classes
+        self.gamma = gamma
+
+    def forward(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        n, k, h, w = logits.shape
+        if k != self.num_classes:
+            raise ValueError(f"expected {self.num_classes} classes, got {k}")
+        log_probs = F.log_softmax(logits, axis=1)
+        onehot = one_hot_levels(targets, k)
+        # p_t per pixel, detached for the modulation factor (standard
+        # practice: the focal weight is treated as a constant).
+        with_probs = np.exp(log_probs.data)
+        p_t = (with_probs * onehot).sum(axis=1, keepdims=True)
+        weight = (1.0 - p_t) ** self.gamma
+        picked = log_probs * Tensor(onehot * weight)
+        return -picked.sum() * (1.0 / (n * h * w))

@@ -1,0 +1,410 @@
+"""Structured neural-network operations with hand-written adjoints.
+
+These are the image-shaped primitives the paper's models need —
+2-D convolution (via im2col), max pooling, nearest-neighbour
+upsampling, zero padding, softmax/log-softmax and normalization — built
+on :class:`repro.nn.tensor.Tensor`.  Each op installs an explicit
+backward closure rather than composing scalar autograd primitives, which
+keeps numpy training tractable at the grid sizes used by the benchmark
+harness.
+
+All image tensors follow the NCHW convention used throughout the paper
+(Fig. 5 reports shapes as ``[channels, height, width]``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "pad2d",
+    "im2col",
+    "col2im",
+    "conv2d",
+    "conv_transpose2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "upsample_nearest",
+    "softmax",
+    "log_softmax",
+    "batch_norm",
+    "layer_norm",
+    "dropout",
+    "global_avg_pool2d",
+]
+
+
+def pad2d(x: Tensor, padding: int) -> Tensor:
+    """Zero-pad the two trailing (spatial) axes of an NCHW tensor."""
+    if padding == 0:
+        return x
+    p = int(padding)
+    pads = ((0, 0),) * (x.ndim - 2) + ((p, p), (p, p))
+
+    def backward(out: Tensor) -> None:
+        index = (slice(None),) * (x.ndim - 2) + (slice(p, -p), slice(p, -p))
+        x._accumulate(out.grad[index])
+
+    return Tensor._make(np.pad(x.data, pads), (x,), backward)
+
+
+def im2col(
+    data: np.ndarray, kernel: int, stride: int
+) -> tuple[np.ndarray, int, int]:
+    """Unfold padded NCHW data into convolution columns.
+
+    Returns ``(cols, out_h, out_w)`` where ``cols`` has shape
+    ``(N, C * kernel * kernel, out_h * out_w)``.
+    """
+    n, c, h, w = data.shape
+    out_h = (h - kernel) // stride + 1
+    out_w = (w - kernel) // stride + 1
+    s0, s1, s2, s3 = data.strides
+    windows = np.lib.stride_tricks.as_strided(
+        data,
+        shape=(n, c, kernel, kernel, out_h, out_w),
+        strides=(s0, s1, s2, s3, s2 * stride, s3 * stride),
+        writeable=False,
+    )
+    cols = windows.reshape(n, c * kernel * kernel, out_h * out_w)
+    return np.ascontiguousarray(cols), out_h, out_w
+
+
+def col2im(
+    cols: np.ndarray,
+    shape: tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+) -> np.ndarray:
+    """Adjoint of :func:`im2col`: scatter-add columns back to NCHW."""
+    n, c, h, w = shape
+    out_h = (h - kernel) // stride + 1
+    out_w = (w - kernel) // stride + 1
+    cols = cols.reshape(n, c, kernel, kernel, out_h, out_w)
+    data = np.zeros(shape, dtype=cols.dtype)
+    for ki in range(kernel):
+        h_stop = ki + stride * out_h
+        for kj in range(kernel):
+            w_stop = kj + stride * out_w
+            data[:, :, ki:h_stop:stride, kj:w_stop:stride] += cols[:, :, ki, kj]
+    return data
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2-D convolution over an NCHW tensor.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C_in, H, W)``.
+    weight:
+        Kernel of shape ``(C_out, C_in, k, k)``.
+    bias:
+        Optional per-output-channel bias of shape ``(C_out,)``.
+    """
+    x = as_tensor(x)
+    n = x.shape[0]
+    c_out, c_in, kernel, kernel_w = weight.shape
+    if kernel != kernel_w:
+        raise ValueError("only square kernels are supported")
+    if x.shape[1] != c_in:
+        raise ValueError(
+            f"input has {x.shape[1]} channels but weight expects {c_in}"
+        )
+
+    padded = np.pad(
+        x.data, ((0, 0), (0, 0), (padding, padding), (padding, padding))
+    ) if padding else x.data
+    cols, out_h, out_w = im2col(padded, kernel, stride)
+    w2d = weight.data.reshape(c_out, -1)
+    out_data = np.einsum("ok,nkl->nol", w2d, cols, optimize=True)
+    out_data = out_data.reshape(n, c_out, out_h, out_w)
+    if bias is not None:
+        out_data = out_data + bias.data.reshape(1, c_out, 1, 1)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(out: Tensor) -> None:
+        grad = out.grad.reshape(n, c_out, out_h * out_w)
+        if bias is not None:
+            bias._accumulate(grad.sum(axis=(0, 2)))
+        if weight.requires_grad:
+            grad_w = np.einsum("nol,nkl->ok", grad, cols, optimize=True)
+            weight._accumulate(grad_w.reshape(weight.shape))
+        if x.requires_grad:
+            grad_cols = np.einsum("ok,nol->nkl", w2d, grad, optimize=True)
+            grad_padded = col2im(grad_cols, padded.shape, kernel, stride)
+            if padding:
+                grad_padded = grad_padded[
+                    :, :, padding:-padding, padding:-padding
+                ]
+            x._accumulate(grad_padded)
+
+    return Tensor._make(out_data, parents, backward)
+
+
+def conv_transpose2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2-D transposed convolution (the adjoint of :func:`conv2d`).
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C_in, H, W)``.
+    weight:
+        Kernel of shape ``(C_in, C_out, k, k)`` (PyTorch convention).
+    bias:
+        Optional per-output-channel bias of shape ``(C_out,)``.
+
+    Output spatial size is ``(H - 1) * stride + k - 2 * padding``.
+    """
+    x = as_tensor(x)
+    n, c_in, h, w = x.shape
+    c_in_w, c_out, kernel, kernel_w = weight.shape
+    if kernel != kernel_w:
+        raise ValueError("only square kernels are supported")
+    if c_in != c_in_w:
+        raise ValueError(
+            f"input has {c_in} channels but weight expects {c_in_w}"
+        )
+    out_h = (h - 1) * stride + kernel - 2 * padding
+    out_w = (w - 1) * stride + kernel - 2 * padding
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"non-positive output size {(out_h, out_w)}; check padding"
+        )
+
+    # Forward of convT == input-backward of conv: expand x through the
+    # kernel into columns, then scatter-add (col2im) onto the output.
+    w2d = weight.data.reshape(c_in, c_out * kernel * kernel)
+    x_flat = x.data.reshape(n, c_in, h * w)
+    cols = np.einsum("ik,nil->nkl", w2d, x_flat, optimize=True)
+    padded_shape = (n, c_out, out_h + 2 * padding, out_w + 2 * padding)
+    out_data = col2im(cols, padded_shape, kernel, stride)
+    if padding:
+        out_data = out_data[:, :, padding:-padding, padding:-padding]
+    if bias is not None:
+        out_data = out_data + bias.data.reshape(1, c_out, 1, 1)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(out: Tensor) -> None:
+        grad = out.grad
+        if bias is not None:
+            bias._accumulate(grad.sum(axis=(0, 2, 3)))
+        grad_padded = (
+            np.pad(grad, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+            if padding
+            else grad
+        )
+        grad_cols, _, _ = im2col(grad_padded, kernel, stride)
+        if weight.requires_grad:
+            grad_w = np.einsum("nkl,nil->ik", grad_cols, x_flat, optimize=True)
+            weight._accumulate(grad_w.reshape(weight.shape))
+        if x.requires_grad:
+            grad_x = np.einsum("ik,nkl->nil", w2d, grad_cols, optimize=True)
+            x._accumulate(grad_x.reshape(n, c_in, h, w))
+
+    return Tensor._make(out_data, parents, backward)
+
+
+def max_pool2d(x: Tensor, kernel: int = 2, stride: int | None = None) -> Tensor:
+    """Max pooling over non-overlapping (by default) windows."""
+    stride = kernel if stride is None else stride
+    if stride != kernel:
+        raise ValueError("only stride == kernel pooling is supported")
+    n, c, h, w = x.shape
+    if h % kernel or w % kernel:
+        raise ValueError(
+            f"spatial dims {(h, w)} not divisible by pooling kernel {kernel}"
+        )
+    out_h, out_w = h // kernel, w // kernel
+    windows = x.data.reshape(n, c, out_h, kernel, out_w, kernel)
+    out_data = windows.max(axis=(3, 5))
+
+    def backward(out: Tensor) -> None:
+        mask = windows == out_data[:, :, :, None, :, None]
+        counts = mask.sum(axis=(3, 5), keepdims=True)
+        grad = mask * (out.grad[:, :, :, None, :, None] / counts)
+        x._accumulate(grad.reshape(n, c, h, w))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def avg_pool2d(x: Tensor, kernel: int = 2) -> Tensor:
+    """Average pooling over non-overlapping windows."""
+    n, c, h, w = x.shape
+    if h % kernel or w % kernel:
+        raise ValueError(
+            f"spatial dims {(h, w)} not divisible by pooling kernel {kernel}"
+        )
+    out_h, out_w = h // kernel, w // kernel
+    windows = x.data.reshape(n, c, out_h, kernel, out_w, kernel)
+    out_data = windows.mean(axis=(3, 5))
+
+    def backward(out: Tensor) -> None:
+        grad = out.grad[:, :, :, None, :, None] / (kernel * kernel)
+        x._accumulate(
+            np.broadcast_to(grad, (n, c, out_h, kernel, out_w, kernel))
+            .reshape(n, c, h, w)
+            .copy()
+        )
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Average over the spatial axes, returning ``(N, C)``."""
+    return x.mean(axis=(2, 3))
+
+
+def upsample_nearest(x: Tensor, scale: int = 2) -> Tensor:
+    """Nearest-neighbour upsampling of an NCHW tensor by ``scale``."""
+    n, c, h, w = x.shape
+    out_data = np.repeat(np.repeat(x.data, scale, axis=2), scale, axis=3)
+
+    def backward(out: Tensor) -> None:
+        grad = out.grad.reshape(n, c, h, scale, w, scale).sum(axis=(3, 5))
+        x._accumulate(grad)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    out_data = exp / exp.sum(axis=axis, keepdims=True)
+
+    def backward(out: Tensor) -> None:
+        g = out.grad
+        dot = (g * out_data).sum(axis=axis, keepdims=True)
+        x._accumulate(out_data * (g - dot))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - log_z
+    probs = np.exp(out_data)
+
+    def backward(out: Tensor) -> None:
+        g = out.grad
+        x._accumulate(g - probs * g.sum(axis=axis, keepdims=True))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def batch_norm(
+    x: Tensor,
+    gamma: Tensor,
+    beta: Tensor,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    training: bool,
+    momentum: float = 0.1,
+    eps: float = 1e-5,
+) -> Tensor:
+    """Batch normalization over an NCHW tensor (per-channel statistics).
+
+    ``running_mean``/``running_var`` are updated in place when
+    ``training`` is true, mirroring the PyTorch semantics the paper's
+    implementation relies on.
+    """
+    n, c, h, w = x.shape
+    axes = (0, 2, 3)
+    if training:
+        mean = x.data.mean(axis=axes)
+        var = x.data.var(axis=axes)
+        count = n * h * w
+        running_mean *= 1.0 - momentum
+        running_mean += momentum * mean
+        unbiased = var * count / max(count - 1, 1)
+        running_var *= 1.0 - momentum
+        running_var += momentum * unbiased
+    else:
+        mean = running_mean
+        var = running_var
+
+    inv_std = 1.0 / np.sqrt(var + eps)
+    x_hat = (x.data - mean.reshape(1, c, 1, 1)) * inv_std.reshape(1, c, 1, 1)
+    out_data = gamma.data.reshape(1, c, 1, 1) * x_hat + beta.data.reshape(
+        1, c, 1, 1
+    )
+
+    def backward(out: Tensor) -> None:
+        g = out.grad
+        beta._accumulate(g.sum(axis=axes))
+        gamma._accumulate((g * x_hat).sum(axis=axes))
+        if not x.requires_grad:
+            return
+        gw = g * gamma.data.reshape(1, c, 1, 1)
+        if training:
+            m = n * h * w
+            sum_gw = gw.sum(axis=axes, keepdims=True)
+            sum_gw_xhat = (gw * x_hat).sum(axis=axes, keepdims=True)
+            grad = (
+                inv_std.reshape(1, c, 1, 1)
+                / m
+                * (m * gw - sum_gw - x_hat * sum_gw_xhat)
+            )
+        else:
+            grad = gw * inv_std.reshape(1, c, 1, 1)
+        x._accumulate(grad)
+
+    return Tensor._make(out_data, (x, gamma, beta), backward)
+
+
+def layer_norm(
+    x: Tensor, gamma: Tensor, beta: Tensor, eps: float = 1e-5
+) -> Tensor:
+    """Layer normalization over the trailing axis (transformer style)."""
+    mean = x.data.mean(axis=-1, keepdims=True)
+    var = x.data.var(axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    x_hat = (x.data - mean) * inv_std
+    out_data = gamma.data * x_hat + beta.data
+
+    def backward(out: Tensor) -> None:
+        g = out.grad
+        reduce_axes = tuple(range(g.ndim - 1))
+        beta._accumulate(g.sum(axis=reduce_axes))
+        gamma._accumulate((g * x_hat).sum(axis=reduce_axes))
+        if not x.requires_grad:
+            return
+        gw = g * gamma.data
+        d = x.shape[-1]
+        sum_gw = gw.sum(axis=-1, keepdims=True)
+        sum_gw_xhat = (gw * x_hat).sum(axis=-1, keepdims=True)
+        x._accumulate(inv_std / d * (d * gw - sum_gw - x_hat * sum_gw_xhat))
+
+    return Tensor._make(out_data, (x, gamma, beta), backward)
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator) -> Tensor:
+    """Inverted dropout; identity when not training or ``p == 0``."""
+    if not training or p <= 0.0:
+        return x
+    keep = 1.0 - p
+    mask = (rng.random(x.shape) < keep) / keep
+
+    def backward(out: Tensor) -> None:
+        x._accumulate(out.grad * mask)
+
+    return Tensor._make(x.data * mask, (x,), backward)

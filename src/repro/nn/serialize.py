@@ -1,0 +1,38 @@
+"""Checkpoint serialization for :class:`~repro.nn.module.Module` trees.
+
+State dicts are flat ``name -> ndarray`` mappings, stored as compressed
+``.npz`` archives so trained congestion predictors can be saved once and
+reused by the placement flow without retraining.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["save_state", "load_state", "save_module", "load_module"]
+
+
+def save_state(state: dict[str, np.ndarray], path: str | os.PathLike) -> None:
+    """Write a state dict to a compressed ``.npz`` archive."""
+    np.savez_compressed(path, **state)
+
+
+def load_state(path: str | os.PathLike) -> dict[str, np.ndarray]:
+    """Read a state dict previously written by :func:`save_state`."""
+    with np.load(path) as archive:
+        return {name: archive[name] for name in archive.files}
+
+
+def save_module(module: Module, path: str | os.PathLike) -> None:
+    """Checkpoint a module's parameters and buffers."""
+    save_state(module.state_dict(), path)
+
+
+def load_module(module: Module, path: str | os.PathLike) -> Module:
+    """Restore a checkpoint into an already-constructed module."""
+    module.load_state_dict(load_state(path))
+    return module

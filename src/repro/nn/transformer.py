@@ -1,0 +1,113 @@
+"""Vision transformer layers (Section III-C3, Fig. 4).
+
+Each layer applies, with residual connections:
+
+    a_l = MSA(LN(z_{l-1})) + z_{l-1}          (Eq. 8)
+    z_l = MLP(LN(a_l)) + a_l                  (Eq. 10)
+
+(The paper's Eq. 10 writes ``MSA`` a second time, a typo for the MLP
+branch shown in Fig. 4; we implement the canonical pre-norm ViT block
+the figure depicts.)  :class:`TransformerStack` additionally provides
+the embedding that reshapes the ``[8C, H/16, W/16]`` encoder feature map
+into a ``[C_t, L]`` token sequence with learned position embeddings, and
+the inverse projection back to a spatial map for the decoder.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .attention import MultiHeadSelfAttention
+from .layers import GELU, LayerNorm, Linear
+from .module import Module, ModuleList, Parameter
+from .tensor import Tensor
+
+__all__ = ["TransformerLayer", "TransformerStack"]
+
+
+class TransformerLayer(Module):
+    """A single pre-norm ViT encoder block: LN→MSA→residual, LN→MLP→residual."""
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int = 4,
+        mlp_ratio: float = 2.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        hidden = int(dim * mlp_ratio)
+        self.norm1 = LayerNorm(dim)
+        self.attn = MultiHeadSelfAttention(dim, num_heads=num_heads, rng=rng)
+        self.norm2 = LayerNorm(dim)
+        self.fc1 = Linear(dim, hidden, rng=rng)
+        self.act = GELU()
+        self.fc2 = Linear(hidden, dim, rng=rng)
+
+    def forward(self, z: Tensor) -> Tensor:
+        a = self.attn(self.norm1(z)) + z
+        h = self.fc2(self.act(self.fc1(self.norm2(a))))
+        return h + a
+
+
+class TransformerStack(Module):
+    """Embedding + ``num_layers`` ViT layers + spatial re-projection.
+
+    The stack consumes an NCHW feature map of shape
+    ``(N, in_channels, h, w)`` (the paper's ``[8C, H/16, W/16]`` encoder
+    output), embeds each spatial position as a token of dimension
+    ``embed_dim`` (the paper's ``C_t``), applies the transformer layers
+    in series, and projects tokens back to ``(N, in_channels, h, w)`` so
+    the decoder can continue with spatial operations.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        embed_dim: int,
+        num_layers: int,
+        tokens: int,
+        num_heads: int = 4,
+        mlp_ratio: float = 2.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.embed_dim = embed_dim
+        self.tokens = tokens
+        self.embed = Linear(in_channels, embed_dim, rng=rng)
+        self.pos_embed = Parameter(
+            rng.normal(0.0, 0.02, size=(1, tokens, embed_dim))
+        )
+        self.layers = ModuleList(
+            [
+                TransformerLayer(
+                    embed_dim, num_heads=num_heads, mlp_ratio=mlp_ratio, rng=rng
+                )
+                for _ in range(num_layers)
+            ]
+        )
+        self.norm = LayerNorm(embed_dim)
+        self.unembed = Linear(embed_dim, in_channels, rng=rng)
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        n, c, h, w = x.shape
+        if c != self.in_channels:
+            raise ValueError(f"expected {self.in_channels} channels, got {c}")
+        if h * w != self.tokens:
+            raise ValueError(
+                f"expected {self.tokens} tokens, got {h}x{w}={h * w}"
+            )
+        # (N, C, H, W) -> (N, L, C): one token per spatial position.
+        z = x.reshape(n, c, h * w).transpose((0, 2, 1))
+        z = self.embed(z) + self.pos_embed
+        for layer in self.layers:
+            z = layer(z)
+        z = self.norm(z)
+        out = self.unembed(z)  # (N, L, C)
+        return out.transpose((0, 2, 1)).reshape(n, c, h, w)

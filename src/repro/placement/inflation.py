@@ -1,0 +1,117 @@
+"""Congestion-driven instance inflation (Eqs. 11–13).
+
+Given a predicted congestion *level* map ``Y`` (levels 0–7, penalized
+above 3 by Eq. 1), every instance sitting in a grid with ``Y > 3`` has
+its area inflated:
+
+.. math::
+    A_i^{est} = A_i \\cdot \\min\\{[\\max(1, Y^i_{out} - 2)]^{2.5},\\ \\epsilon\\}
+
+The per-resource increase is then scaled by Eq. 12 so total demand never
+exceeds the field capacity, and Eq. 13 commits the update.  The inflated
+areas feed straight back into the electrostatic density system, which is
+how congestion relief actually happens during stage-2 global placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..netlist import Design
+from .density import ElectrostaticSystem
+
+__all__ = ["InflationConfig", "lookup_levels", "inflate_field", "inflate_all_fields"]
+
+
+@dataclass(frozen=True)
+class InflationConfig:
+    """Knobs of Eqs. 11–13.
+
+    ``epsilon`` is the paper's empirical over-inflation guard; the level
+    threshold (inflate only where ``Y > 3``) and the 2.5 exponent come
+    straight from Eq. 11.
+    """
+
+    epsilon: float = 10.0
+    level_threshold: float = 3.0
+    exponent: float = 2.5
+
+
+def lookup_levels(
+    level_map: np.ndarray,
+    design: Design,
+    x: np.ndarray,
+    y: np.ndarray,
+    members: np.ndarray,
+) -> np.ndarray:
+    """Congestion level at each member instance's grid cell.
+
+    ``level_map`` is indexed ``[gx, gy]`` over a uniform grid covering
+    the device, matching :mod:`repro.features.grids`.
+    """
+    gw, gh = level_map.shape
+    device = design.device
+    gx = np.clip(
+        (x[members] / device.width * gw).astype(np.int64), 0, gw - 1
+    )
+    gy = np.clip(
+        (y[members] / device.height * gh).astype(np.int64), 0, gh - 1
+    )
+    return level_map[gx, gy]
+
+
+def inflate_field(
+    system: ElectrostaticSystem,
+    field_name: str,
+    level_map: np.ndarray,
+    x: np.ndarray,
+    y: np.ndarray,
+    config: InflationConfig = InflationConfig(),
+) -> dict[str, float]:
+    """Apply Eqs. 11–13 to one resource field, in place.
+
+    Returns summary statistics (instances inflated, area added, τ).
+    """
+    field = system.fields[field_name]
+    levels = lookup_levels(level_map, system.design, x, y, field.members)
+
+    areas = field.areas
+    # Eq. 11 — only grids with level above the penalty threshold inflate.
+    factor = np.minimum(
+        np.maximum(1.0, levels - 2.0) ** config.exponent, config.epsilon
+    )
+    factor = np.where(levels > config.level_threshold, factor, 1.0)
+    estimated = areas * factor
+    delta = estimated - areas  # ΔA_i, Eq. 11's target increase
+
+    total_delta = float(delta.sum())
+    if total_delta <= 0.0:
+        return {"inflated": 0, "area_added": 0.0, "tau": 1.0}
+
+    # Eq. 12 — cap total inflation by the field's free capacity.
+    free = field.total_capacity - float(areas.sum())
+    tau = min(max(free, 0.0) / total_delta, 1.0)
+
+    # Eq. 13 — commit.
+    field.areas = areas + tau * delta
+    return {
+        "inflated": int((delta > 0).sum()),
+        "area_added": float(tau * total_delta),
+        "tau": float(tau),
+    }
+
+
+def inflate_all_fields(
+    system: ElectrostaticSystem,
+    level_map: np.ndarray,
+    x: np.ndarray,
+    y: np.ndarray,
+    config: InflationConfig = InflationConfig(),
+) -> dict[str, dict[str, float]]:
+    """Apply inflation to every resource field; returns per-field stats."""
+    return {
+        name: inflate_field(system, name, level_map, x, y, config)
+        for name in system.fields
+    }

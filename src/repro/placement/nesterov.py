@@ -1,0 +1,222 @@
+"""Gradient-based global placement engine.
+
+Minimizes ``WL_WA + λ · Σ_fields energy + w_r · region tension`` over
+group variables (cascade clusters move as one, per
+:class:`~repro.placement.cascade.GroupMap`).  The density multiplier λ
+grows geometrically as in ePlace, the WA smoothing γ anneals, and the
+update rule is Nesterov momentum on an RMS-normalized gradient — a
+simplification of DREAMPlaceFPGA's Nesterov/Barzilai-Borwein scheme that
+is robust at the scales this pure-numpy reproduction runs at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..netlist import Design
+from .cascade import GroupMap
+from .density import ElectrostaticSystem
+from .regions import RegionTension
+from .wirelength import hpwl, lse_wirelength_grad, wa_wirelength_grad
+
+__all__ = ["GPConfig", "GlobalPlacer", "GPState"]
+
+_MACRO_FIELDS = ("DSP", "BRAM", "URAM")
+
+
+@dataclass
+class GPConfig:
+    """Hyper-parameters of the global placement engine."""
+
+    bins: int = 32
+    max_iters: int = 600
+    wirelength_model: str = "wa"  # "wa" (paper baseline) or "lse"
+    lr: float = 0.45  # site units per step on the RMS-normalized gradient
+    momentum: float = 0.90
+    lambda_init: float = 0.02
+    lambda_growth: float = 1.015
+    gamma_init_bins: float = 4.0  # initial WA gamma, in bin widths
+    gamma_final_bins: float = 0.5
+    region_weight: float = 0.05
+    seed: int = 0
+    # Fig. 6 overflow gates: congestion prediction + inflation run when
+    # macro overflow < 0.25 and CLB (LUT/FF) overflow < 0.15.
+    macro_overflow_gate: float = 0.25
+    clb_overflow_gate: float = 0.15
+    log_every: int = 0  # 0 disables progress logging
+
+
+@dataclass
+class GPState:
+    """Mutable optimizer state exposed to the flow (Fig. 6)."""
+
+    gx: np.ndarray
+    gy: np.ndarray
+    vx: np.ndarray
+    vy: np.ndarray
+    iteration: int = 0
+    history: list = field(default_factory=list)
+
+
+class GlobalPlacer:
+    """Electrostatic global placer over a design's group variables."""
+
+    def __init__(self, design: Design, config: GPConfig | None = None) -> None:
+        self.design = design
+        self.config = config or GPConfig()
+        self.groups = GroupMap(design)
+        self.system = ElectrostaticSystem(design, bins=self.config.bins)
+        self.regions = RegionTension(design)
+        self._lambda = self.config.lambda_init
+        self._density_scale: dict[str, float] | None = None
+
+        gx, gy = self.groups.initial_variables()
+        rng = np.random.default_rng(self.config.seed)
+        # Tiny jitter breaks the symmetry of a fully stacked start.
+        gx = gx + rng.normal(0, 0.25, gx.shape)
+        gy = gy + rng.normal(0, 0.25, gy.shape)
+        gx, gy = self.groups.clamp_variables(gx, gy)
+        self.state = GPState(
+            gx=gx,
+            gy=gy,
+            vx=np.zeros_like(gx),
+            vy=np.zeros_like(gy),
+        )
+
+    # -- observable quantities ----------------------------------------------------
+
+    def positions(self) -> tuple[np.ndarray, np.ndarray]:
+        """Current per-instance coordinates."""
+        return self.groups.expand(self.state.gx, self.state.gy)
+
+    def overflow(self) -> dict[str, float]:
+        x, y = self.positions()
+        return self.system.overflow(x, y)
+
+    def hpwl(self) -> float:
+        x, y = self.positions()
+        return hpwl(self.design, x, y)
+
+    def gates_met(self) -> bool:
+        """Whether the Fig. 6 inflation gates are satisfied."""
+        overflow = self.overflow()
+        clb_ok = overflow.get("CLB", 0.0) < self.config.clb_overflow_gate
+        macro_ok = all(
+            overflow.get(name, 0.0) < self.config.macro_overflow_gate
+            for name in _MACRO_FIELDS
+        )
+        return clb_ok and macro_ok
+
+    # -- optimization ----------------------------------------------------------------
+
+    def _gamma(self) -> float:
+        cfg = self.config
+        bin_w = self.design.device.width / cfg.bins
+        progress = min(1.0, self.state.iteration / max(cfg.max_iters, 1))
+        log_g = (
+            np.log(cfg.gamma_init_bins) * (1 - progress)
+            + np.log(cfg.gamma_final_bins) * progress
+        )
+        return float(np.exp(log_g) * bin_w)
+
+    def _gradient(self) -> tuple[np.ndarray, np.ndarray, dict[str, float]]:
+        """Combined objective gradient on group variables, plus metrics."""
+        cfg = self.config
+        lookahead = cfg.momentum
+        gx = self.state.gx + lookahead * self.state.vx
+        gy = self.state.gy + lookahead * self.state.vy
+        gx, gy = self.groups.clamp_variables(gx, gy)
+        x, y = self.groups.expand(gx, gy)
+
+        wl_grad = (
+            lse_wirelength_grad
+            if cfg.wirelength_model == "lse"
+            else wa_wirelength_grad
+        )
+        wl, wl_gx, wl_gy = wl_grad(self.design, x, y, self._gamma())
+        if self._density_scale is None:
+            # elfPlace-style per-field balancing: normalize each field's
+            # force to the wirelength gradient scale once, so lambda is
+            # dimensionless and sparse fields (URAM) are not starved.
+            wl_norm = np.sqrt(np.mean(wl_gx**2 + wl_gy**2)) + 1e-12
+            field_norms = self.system.field_force_norms(x, y)
+            self._density_scale = {
+                name: wl_norm / norm for name, norm in field_norms.items()
+            }
+        energies, fx, fy = self.system.energy_and_forces(
+            x, y, field_weights=self._density_scale
+        )
+        # Density penalty gradient is the negative force.
+        dn_gx, dn_gy = -fx, -fy
+        dn_scale = 1.0
+
+        rg_pen, rg_gx, rg_gy = self.regions.penalty_and_grad(x, y)
+
+        grad_x = wl_gx + self._lambda * dn_scale * dn_gx + cfg.region_weight * rg_gx
+        grad_y = wl_gy + self._lambda * dn_scale * dn_gy + cfg.region_weight * rg_gy
+        ggx, ggy = self.groups.reduce_grad(grad_x, grad_y)
+        # Precondition: heavy groups (long cascades) move proportionally.
+        ggx /= self.groups.group_sizes + 1e-12
+        ggy /= self.groups.group_sizes + 1e-12
+        metrics = {"wl": wl, "region": rg_pen, **energies}
+        return ggx, ggy, metrics
+
+    def step(self) -> dict[str, float]:
+        """One Nesterov step; returns the step's metrics."""
+        cfg = self.config
+        ggx, ggy, metrics = self._gradient()
+        rms = np.sqrt(np.mean(ggx**2 + ggy**2)) + 1e-12
+        ggx /= rms
+        ggy /= rms
+
+        self.state.vx = cfg.momentum * self.state.vx - cfg.lr * ggx
+        self.state.vy = cfg.momentum * self.state.vy - cfg.lr * ggy
+        self.state.gx, self.state.gy = self.groups.clamp_variables(
+            self.state.gx + self.state.vx, self.state.gy + self.state.vy
+        )
+        self.state.iteration += 1
+        self._lambda *= cfg.lambda_growth
+        return metrics
+
+    def run(
+        self,
+        max_iters: int | None = None,
+        stop_when=None,
+        check_every: int = 10,
+    ) -> dict[str, float]:
+        """Iterate until ``stop_when(self)`` is true or iterations run out.
+
+        ``stop_when`` defaults to the Fig. 6 overflow gates.
+        """
+        cfg = self.config
+        budget = max_iters if max_iters is not None else cfg.max_iters
+        stop = stop_when if stop_when is not None else GlobalPlacer.gates_met
+        metrics: dict[str, float] = {}
+        for i in range(budget):
+            metrics = self.step()
+            if cfg.log_every and self.state.iteration % cfg.log_every == 0:
+                overflow = self.overflow()
+                print(
+                    f"iter {self.state.iteration:4d} wl={metrics['wl']:.0f} "
+                    f"overflow={ {k: round(v, 3) for k, v in overflow.items()} }"
+                )
+            if (i + 1) % check_every == 0 and stop(self):
+                break
+        overflow = self.overflow()
+        metrics.update({f"overflow_{k}": v for k, v in overflow.items()})
+        metrics["hpwl"] = self.hpwl()
+        self.state.history.append(dict(metrics))
+        return metrics
+
+    # -- flow hooks --------------------------------------------------------------------
+
+    def apply_inflation(self, field_name: str, new_areas: np.ndarray) -> None:
+        """Install inflated areas for one field (Eqs. 11–13 output)."""
+        self.system.set_areas(field_name, new_areas)
+
+    def commit(self) -> None:
+        """Write the current positions back into the design."""
+        x, y = self.positions()
+        self.design.set_placement(x, y)

@@ -1,0 +1,80 @@
+"""Congestion-driven net weighting.
+
+Besides cell inflation (Eqs. 11–13), routability-driven placers
+commonly *upweight* nets that route through congested regions so the
+wirelength objective itself pulls them out of trouble.  This module
+implements that lever: every net whose bounding box overlaps a grid
+cell with predicted level above the Eq. 1 threshold has its weight
+multiplied, compounding over rounds up to a cap.
+
+Off by default in the Fig. 6 flow (the paper inflates only); enable
+with ``PlacerConfig(net_weighting=True)`` and measure with the
+inflation-strategy ablation bench.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..netlist import Design
+
+__all__ = ["apply_congestion_net_weights", "reset_net_weights"]
+
+
+def apply_congestion_net_weights(
+    design: Design,
+    level_map: np.ndarray,
+    x: np.ndarray,
+    y: np.ndarray,
+    threshold: float = 3.0,
+    factor: float = 1.5,
+    cap: float = 4.0,
+) -> int:
+    """Upweight nets whose bounding box touches hot grid cells.
+
+    Mutates ``design.net_weights`` in place (the WA/LSE gradients and
+    HPWL read it on every evaluation).  Returns the number of nets
+    reweighted this call.
+    """
+    if factor < 1.0:
+        raise ValueError(f"factor must be >= 1, got {factor}")
+    gw, gh = level_map.shape
+    device = design.device
+    bx = np.clip((x / device.width * gw).astype(np.int64), 0, gw - 1)
+    by = np.clip((y / device.height * gh).astype(np.int64), 0, gh - 1)
+
+    hot = level_map > threshold
+    if not hot.any():
+        return 0
+    # Net bounding boxes on the level grid.
+    px = bx[design.pin_inst]
+    py = by[design.pin_inst]
+    num = design.num_nets
+    nx0 = np.full(num, gw, dtype=np.int64)
+    nx1 = np.full(num, -1, dtype=np.int64)
+    ny0 = np.full(num, gh, dtype=np.int64)
+    ny1 = np.full(num, -1, dtype=np.int64)
+    np.minimum.at(nx0, design.pin_net, px)
+    np.maximum.at(nx1, design.pin_net, px)
+    np.minimum.at(ny0, design.pin_net, py)
+    np.maximum.at(ny1, design.pin_net, py)
+
+    # 2-D prefix sum of the hot mask -> O(1) box overlap queries.
+    summed = np.zeros((gw + 1, gh + 1))
+    summed[1:, 1:] = np.cumsum(np.cumsum(hot, axis=0), axis=1)
+    overlap = (
+        summed[nx1 + 1, ny1 + 1]
+        - summed[nx0, ny1 + 1]
+        - summed[nx1 + 1, ny0]
+        + summed[nx0, ny0]
+    )
+    touched = overlap > 0
+    design.net_weights[touched] = np.minimum(
+        design.net_weights[touched] * factor, cap
+    )
+    return int(touched.sum())
+
+
+def reset_net_weights(design: Design) -> None:
+    """Restore the original (construction-time) net weights."""
+    design.net_weights = np.asarray([n.weight for n in design.nets])

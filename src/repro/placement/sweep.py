@@ -1,0 +1,59 @@
+"""Placement parameter sweeps (Section V-A's "varying parameters").
+
+The paper builds its dataset by running the macro placement flow "with
+varying parameters to generate 30 different placement results" per
+benchmark.  :func:`sample_placer_config` draws one such configuration —
+GP seed, learning rate, density-multiplier growth, inflation rounds and
+stage-1 budget all vary — and :func:`sweep_configs` yields a whole
+sweep.  The training-dataset builder and the examples share this
+sampler so "a placement sweep" means the same thing everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from .nesterov import GPConfig
+from .placer import PlacerConfig
+
+__all__ = ["sample_placer_config", "sweep_configs"]
+
+
+def sample_placer_config(
+    rng: np.random.Generator,
+    gp_iters: int = 400,
+    stage2_iters: int = 120,
+    bins: int = 32,
+) -> PlacerConfig:
+    """Draw one placement configuration from the sweep distribution."""
+    gp = GPConfig(
+        bins=bins,
+        max_iters=gp_iters,
+        lr=float(rng.uniform(0.35, 0.55)),
+        lambda_growth=float(rng.uniform(1.012, 1.02)),
+        seed=int(rng.integers(1_000_000)),
+    )
+    stage1_lo = max(1, int(0.6 * gp_iters))
+    return PlacerConfig(
+        gp=gp,
+        inflation_rounds=int(rng.integers(0, 3)),
+        stage1_iters=int(rng.integers(stage1_lo, gp_iters + 1)),
+        stage2_iters=stage2_iters,
+    )
+
+
+def sweep_configs(
+    count: int,
+    seed: int = 0,
+    gp_iters: int = 400,
+    stage2_iters: int = 120,
+    bins: int = 32,
+) -> Iterator[PlacerConfig]:
+    """Yield ``count`` varied placement configurations (paper: 30)."""
+    rng = np.random.default_rng(seed)
+    for _ in range(count):
+        yield sample_placer_config(
+            rng, gp_iters=gp_iters, stage2_iters=stage2_iters, bins=bins
+        )

@@ -1,0 +1,29 @@
+"""Routing substrate: global router, congestion levels, detailed-routing model."""
+
+from .congestion import (
+    DIRECTIONS,
+    NUM_LEVELS,
+    CongestionReport,
+    congestion_report,
+    utilization_to_level,
+)
+from .detailed import DetailedRoutingModel, DetailedRoutingOutcome
+from .maze import MazeRefiner, astar_route, path_edges
+from .router import GlobalRouter, RouterConfig, RoutingResult, route_design
+
+__all__ = [
+    "GlobalRouter",
+    "RouterConfig",
+    "RoutingResult",
+    "route_design",
+    "CongestionReport",
+    "congestion_report",
+    "utilization_to_level",
+    "NUM_LEVELS",
+    "DIRECTIONS",
+    "DetailedRoutingModel",
+    "DetailedRoutingOutcome",
+    "MazeRefiner",
+    "astar_route",
+    "path_edges",
+]

@@ -1,0 +1,151 @@
+"""Interconnect-tile congestion levels (Fig. 1) from routing usage.
+
+The contest metric assesses congestion per interconnect tile in four
+directions (east, south, west, north), separately for *short* and
+*global* wires, on a 0–7 level scale where levels ≥ 4 mean overuse and
+are penalized by Eq. 1.  This module quantizes router utilization into
+those levels and assembles the per-tile label maps the prediction models
+train on.
+
+Level mapping (utilization → level): levels 0–3 split [0, 1] into
+quarters (no overuse), and each further 30 % of overuse adds one level —
+so the Eq. 1 penalty activates exactly when a boundary's demand exceeds
+its capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .router import RoutingResult
+
+__all__ = [
+    "NUM_LEVELS",
+    "DIRECTIONS",
+    "utilization_to_level",
+    "CongestionReport",
+    "congestion_report",
+]
+
+NUM_LEVELS = 8
+DIRECTIONS = ("east", "south", "west", "north")
+
+_LEVEL_EDGES = np.array(
+    [0.25, 0.50, 0.75, 1.00, 1.30, 1.60, 1.90], dtype=np.float64
+)
+
+
+def utilization_to_level(utilization: np.ndarray) -> np.ndarray:
+    """Quantize utilization (demand/capacity) into integer levels 0–7."""
+    return np.searchsorted(
+        _LEVEL_EDGES, np.asarray(utilization, dtype=np.float64), side="left"
+    ).astype(np.int64)
+
+
+def _directional_utilization(
+    h_use: np.ndarray, v_use: np.ndarray, cap: float, gw: int, gh: int
+) -> np.ndarray:
+    """Per-tile utilization in E/S/W/N order, shape ``(4, gw, gh)``.
+
+    A tile's east utilization is that of the boundary to its east
+    neighbour; border tiles have zero utilization outward.
+    """
+    out = np.zeros((4, gw, gh))
+    if h_use.size:
+        out[0, :-1, :] = h_use / cap  # east
+        out[2, 1:, :] = h_use / cap  # west
+    if v_use.size:
+        out[3, :, :-1] = v_use / cap  # north
+        out[1, :, 1:] = v_use / cap  # south
+    return out
+
+
+@dataclass
+class CongestionReport:
+    """Congestion levels of a routed placement.
+
+    Attributes
+    ----------
+    short_levels, global_levels:
+        ``(4, gw, gh)`` integer levels per direction (E, S, W, N).
+    level_map:
+        ``(gw, gh)`` per-tile level: the max over directions and wire
+        classes.  This is the ground-truth label map for the prediction
+        models (the paper's congestion level map).
+    """
+
+    short_levels: np.ndarray
+    global_levels: np.ndarray
+    level_map: np.ndarray
+
+    def max_short_by_direction(self) -> np.ndarray:
+        """``L_short,d`` of Eq. 1: the design's worst short level per direction."""
+        return self.short_levels.max(axis=(1, 2))
+
+    def max_global_by_direction(self) -> np.ndarray:
+        """``L_global,d`` of Eq. 1."""
+        return self.global_levels.max(axis=(1, 2))
+
+    def congested_fraction(self, threshold: int = 4) -> float:
+        """Fraction of tiles at or above ``threshold`` (penalized levels)."""
+        return float((self.level_map >= threshold).mean())
+
+    def ascii_map(self) -> str:
+        """Fig.-1-style rendering: one digit per tile, origin bottom-left."""
+        gw, gh = self.level_map.shape
+        rows = []
+        for j in reversed(range(gh)):
+            rows.append("".join(str(int(self.level_map[i, j])) for i in range(gw)))
+        return "\n".join(rows)
+
+    def summary(self) -> str:
+        """Vivado-report-style congestion summary text."""
+        hist = np.bincount(self.level_map.ravel(), minlength=NUM_LEVELS)
+        total = self.level_map.size
+        lines = [
+            "Congestion Report",
+            "-----------------",
+            f"tiles: {self.level_map.shape[0]} x {self.level_map.shape[1]}",
+            "",
+            f"{'level':>5} {'tiles':>7} {'%':>7}  note",
+        ]
+        for level, count in enumerate(hist):
+            note = "penalized (Eq. 1)" if level >= 4 else ""
+            lines.append(
+                f"{level:>5} {int(count):>7} {count / total * 100:>6.2f}%  {note}".rstrip()
+            )
+        short = self.max_short_by_direction()
+        global_ = self.max_global_by_direction()
+        for label, levels in (("short", short), ("global", global_)):
+            lines.append(
+                f"max {label:<6} E={levels[0]} S={levels[1]} "
+                f"W={levels[2]} N={levels[3]}"
+            )
+        return "\n".join(lines)
+
+
+def congestion_report(result: RoutingResult) -> CongestionReport:
+    """Quantize a routing result into the contest's congestion levels."""
+    gw = result.h_short.shape[0] + 1 if result.h_short.size else result.v_short.shape[0]
+    gh = result.v_short.shape[1] + 1 if result.v_short.size else result.h_short.shape[1]
+    gw = max(gw, result.v_short.shape[0], result.h_global.shape[0] + 1)
+    gh = max(gh, result.h_short.shape[1], result.v_global.shape[1] + 1)
+
+    short_util = _directional_utilization(
+        result.h_short, result.v_short, result.short_capacity, gw, gh
+    )
+    global_util = _directional_utilization(
+        result.h_global, result.v_global, result.global_capacity, gw, gh
+    )
+    short_levels = utilization_to_level(short_util)
+    global_levels = utilization_to_level(global_util)
+    level_map = np.maximum(
+        short_levels.max(axis=0), global_levels.max(axis=0)
+    )
+    return CongestionReport(
+        short_levels=short_levels,
+        global_levels=global_levels,
+        level_map=level_map,
+    )

@@ -1,0 +1,86 @@
+"""Detailed-routing effort model: S_DR and T_P&R.
+
+The contest derives ``S_DR`` from the number of iterations the Vivado
+detailed router needs — more iterations mean congestion is hurting
+routability.  Vivado is proprietary, so this module models that effort
+from observable global-routing behaviour (DESIGN.md §2): the negotiated
+-congestion iteration count, residual overuse, and the amount of
+congested area all drive detailed-routing effort in the same direction
+they drive Vivado's rip-up-and-reroute iterations.
+
+The model is calibrated so well-behaved placements land near the
+paper's observed floor (S_DR ≈ 6–8) and badly congested ones near its
+ceiling (S_DR ≈ 11–15); ``T_P&R`` (hours) similarly spans the paper's
+0.3–1.0 range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .congestion import CongestionReport
+from .router import RoutingResult
+
+__all__ = ["DetailedRoutingModel", "DetailedRoutingOutcome"]
+
+_BASE_ITERATIONS = 5.0
+_BASE_HOURS = 0.28
+
+
+@dataclass
+class DetailedRoutingOutcome:
+    """Modeled detailed-routing effort."""
+
+    iterations: int  # S_DR
+    hours: float  # T_P&R, in hours
+
+    @property
+    def s_dr(self) -> int:
+        return self.iterations
+
+
+class DetailedRoutingModel:
+    """Maps global-routing observables to (S_DR, T_P&R)."""
+
+    def __init__(
+        self,
+        base_iterations: float = _BASE_ITERATIONS,
+        base_hours: float = _BASE_HOURS,
+    ) -> None:
+        self.base_iterations = base_iterations
+        self.base_hours = base_hours
+
+    def evaluate(
+        self, routing: RoutingResult, report: CongestionReport
+    ) -> DetailedRoutingOutcome:
+        # Effort drivers, each dimensionless:
+        # 1. negotiation iterations the global router burned (0..max);
+        negotiation = max(0, routing.iterations - 1)
+        # 2. residual overuse the detailed router must untangle;
+        residual_norm = routing.residual_overuse / max(routing.num_connections, 1)
+        # 3. spread of penalized congestion (levels >= 4) across the die;
+        hot_fraction = report.congested_fraction(threshold=4)
+        # 4. worst-tile pressure beyond capacity.
+        peak = max(0.0, routing.max_utilization() - 1.0)
+
+        iterations = (
+            self.base_iterations
+            + 0.55 * negotiation
+            + 18.0 * residual_norm
+            + 25.0 * hot_fraction
+            + 2.2 * peak
+        )
+        iterations = int(np.clip(round(iterations), 4, 20))
+
+        # Runtime grows with both effort and die-wide congested area.
+        hours = (
+            self.base_hours
+            + 0.032 * (iterations - self.base_iterations)
+            + 1.6 * hot_fraction
+            + 0.12 * peak
+            + 0.02 * negotiation
+        )
+        hours = float(np.clip(hours, 0.15, 2.5))
+        return DetailedRoutingOutcome(iterations=iterations, hours=hours)

@@ -1,0 +1,202 @@
+"""Maze (A*) rerouting fallback for overflowed connections.
+
+Pattern routing explores at most two bends per connection; in dense
+hotspots that is occasionally not enough.  This module adds the classic
+global-router escape hatch: after negotiated pattern routing settles,
+connections that still cross overused boundaries are ripped up one at a
+time and rerouted with congestion-aware A* over the tile graph, which
+can produce arbitrarily-shaped detours.
+
+The refiner operates on explicit edge-usage arrays plus per-connection
+paths, so it composes with :class:`~repro.routing.router.GlobalRouter`
+(enable via ``RouterConfig(maze_fallback=True)``) and is also usable
+standalone for experiments (see ``benchmarks/test_ablation_router.py``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["astar_route", "MazeRefiner", "path_edges"]
+
+
+def astar_route(
+    cost_h: np.ndarray,
+    cost_v: np.ndarray,
+    src: tuple[int, int],
+    dst: tuple[int, int],
+) -> list[tuple[int, int]]:
+    """A* shortest path on the tile grid.
+
+    ``cost_h[i, j]`` is the cost of crossing between tiles ``(i, j)`` and
+    ``(i+1, j)``; ``cost_v[i, j]`` between ``(i, j)`` and ``(i, j+1)``.
+    Returns the tile sequence from ``src`` to ``dst`` inclusive.  The
+    heuristic is manhattan distance times the minimum edge cost, which
+    is admissible, so the returned path is optimal.
+    """
+    gw = cost_v.shape[0]
+    gh = cost_h.shape[1]
+    if src == dst:
+        return [src]
+    min_cost = min(
+        cost_h.min() if cost_h.size else np.inf,
+        cost_v.min() if cost_v.size else np.inf,
+    )
+    min_cost = max(float(min_cost), 1e-9)
+
+    def heuristic(x: int, y: int) -> float:
+        return (abs(x - dst[0]) + abs(y - dst[1])) * min_cost
+
+    start = src
+    best_g = {start: 0.0}
+    parent: dict[tuple[int, int], tuple[int, int]] = {}
+    heap: list[tuple[float, tuple[int, int]]] = [
+        (heuristic(*start), start)
+    ]
+    closed: set[tuple[int, int]] = set()
+    while heap:
+        f, node = heapq.heappop(heap)
+        if node in closed:
+            continue
+        if node == dst:
+            path = [node]
+            while node in parent:
+                node = parent[node]
+                path.append(node)
+            path.reverse()
+            return path
+        closed.add(node)
+        x, y = node
+        neighbours = []
+        if x + 1 < gw:
+            neighbours.append(((x + 1, y), float(cost_h[x, y])))
+        if x - 1 >= 0:
+            neighbours.append(((x - 1, y), float(cost_h[x - 1, y])))
+        if y + 1 < gh:
+            neighbours.append(((x, y + 1), float(cost_v[x, y])))
+        if y - 1 >= 0:
+            neighbours.append(((x, y - 1), float(cost_v[x, y - 1])))
+        g = best_g[node]
+        for nxt, step in neighbours:
+            cand = g + step
+            if cand < best_g.get(nxt, np.inf):
+                best_g[nxt] = cand
+                parent[nxt] = node
+                heapq.heappush(heap, (cand + heuristic(*nxt), nxt))
+    raise RuntimeError(f"no route from {src} to {dst}")  # pragma: no cover
+
+
+def path_edges(
+    path: list[tuple[int, int]],
+) -> tuple[list[tuple[int, int]], list[tuple[int, int]]]:
+    """Split a tile path into (horizontal, vertical) boundary edges.
+
+    A horizontal edge ``(i, j)`` is the boundary between tiles ``(i, j)``
+    and ``(i+1, j)``; vertical analogous.
+    """
+    h_edges: list[tuple[int, int]] = []
+    v_edges: list[tuple[int, int]] = []
+    for (x0, y0), (x1, y1) in zip(path[:-1], path[1:]):
+        if y0 == y1:
+            h_edges.append((min(x0, x1), y0))
+        elif x0 == x1:
+            v_edges.append((x0, min(y0, y1)))
+        else:  # pragma: no cover - A* only makes unit steps
+            raise ValueError("path contains a diagonal step")
+    return h_edges, v_edges
+
+
+@dataclass
+class MazeRefiner:
+    """Rip-up-and-reroute of connections crossing overused boundaries.
+
+    Parameters
+    ----------
+    capacity:
+        Boundary capacity of this wire class.
+    demand_unit:
+        Usage added per crossing (1 for short wires, ``1/GLOBAL_SPAN``
+        for globals).
+    overflow_penalty:
+        Weight of the quadratic overuse term in the A* edge costs.
+    max_reroutes:
+        Upper bound on the number of connections ripped up per pass;
+        hotspots involve few connections, so a modest cap keeps the
+        Python A* loop cheap.
+    """
+
+    capacity: float
+    demand_unit: float = 1.0
+    overflow_penalty: float = 16.0
+    max_reroutes: int = 400
+
+    def _edge_costs(
+        self, h_use: np.ndarray, v_use: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Cost of routing *one more* crossing through each boundary.
+
+        Pricing the marginal addition (usage + demand vs. capacity)
+        rather than the current overuse is what stops a ripped-up
+        connection from settling straight back onto a boundary that is
+        exactly full.
+        """
+        after_h = h_use + self.demand_unit
+        after_v = v_use + self.demand_unit
+        over_h = np.maximum(0.0, after_h - self.capacity) / self.capacity
+        over_v = np.maximum(0.0, after_v - self.capacity) / self.capacity
+        return (
+            1.0 + self.overflow_penalty * over_h,
+            1.0 + self.overflow_penalty * over_v,
+        )
+
+    def refine(
+        self,
+        h_use: np.ndarray,
+        v_use: np.ndarray,
+        paths: list[list[tuple[int, int]]],
+    ) -> tuple[np.ndarray, np.ndarray, list[list[tuple[int, int]]], int]:
+        """Reroute paths through overused boundaries.
+
+        Returns updated ``(h_use, v_use, paths, num_rerouted)``; inputs
+        are not mutated.
+        """
+        h_use = h_use.copy()
+        v_use = v_use.copy()
+        paths = list(paths)
+
+        over_h = h_use > self.capacity
+        over_v = v_use > self.capacity
+        if not over_h.any() and not over_v.any():
+            return h_use, v_use, paths, 0
+
+        offenders = []
+        for idx, path in enumerate(paths):
+            h_edges, v_edges = path_edges(path)
+            if any(over_h[e] for e in h_edges) or any(
+                over_v[e] for e in v_edges
+            ):
+                offenders.append(idx)
+            if len(offenders) >= self.max_reroutes:
+                break
+
+        rerouted = 0
+        for idx in offenders:
+            path = paths[idx]
+            h_edges, v_edges = path_edges(path)
+            for e in h_edges:
+                h_use[e] -= self.demand_unit
+            for e in v_edges:
+                v_use[e] -= self.demand_unit
+            cost_h, cost_v = self._edge_costs(h_use, v_use)
+            new_path = astar_route(cost_h, cost_v, path[0], path[-1])
+            nh, nv = path_edges(new_path)
+            for e in nh:
+                h_use[e] += self.demand_unit
+            for e in nv:
+                v_use[e] += self.demand_unit
+            paths[idx] = new_path
+            rerouted += 1
+        return h_use, v_use, paths, rerouted

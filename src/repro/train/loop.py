@@ -1,0 +1,149 @@
+"""Training loop for the congestion prediction models.
+
+The paper trains with Adam at lr = 1e-3 (Section V-A).  Congestion
+level maps are dominated by low levels, so the cross-entropy loss uses
+inverse-sqrt-frequency class weights — without them every model
+collapses onto the majority level and Table I's differences vanish.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import nn
+from ..models.base import CongestionModel
+from .dataset import CongestionDataset, Sample
+from .metrics import evaluate_predictions
+from .schedule import lr_at_epoch
+
+__all__ = ["TrainConfig", "TrainResult", "Trainer"]
+
+
+@dataclass
+class TrainConfig:
+    """Optimizer and schedule knobs (paper: Adam, lr 1e-3)."""
+
+    epochs: int = 10
+    batch_size: int = 4
+    lr: float = 1e-3
+    lr_schedule: str = "constant"  # constant | cosine | step
+    loss: str = "ce"  # ce | focal (focal ignores class weighting)
+    focal_gamma: float = 2.0
+    weight_decay: float = 0.0
+    grad_clip: float = 5.0
+    class_weighting: bool = True
+    max_class_weight: float = 8.0
+    # Stop early when the epoch loss has not improved by at least
+    # ``patience_delta`` for ``patience`` consecutive epochs (0 disables).
+    patience: int = 0
+    patience_delta: float = 1e-3
+    seed: int = 0
+    log_every: int = 0  # epochs between progress prints; 0 silences
+
+
+@dataclass
+class TrainResult:
+    """Loss curve and timing of one training run."""
+
+    losses: list[float] = field(default_factory=list)
+    epochs: int = 0
+    seconds: float = 0.0
+
+
+class Trainer:
+    """Trains a congestion model on a :class:`CongestionDataset`."""
+
+    def __init__(self, config: TrainConfig | None = None) -> None:
+        self.config = config or TrainConfig()
+
+    def _class_weights(self, dataset: CongestionDataset, num_classes: int) -> np.ndarray | None:
+        if not self.config.class_weighting:
+            return None
+        counts = dataset.class_frequencies(num_classes)
+        total = counts.sum()
+        # Inverse-sqrt frequency, clipped; absent classes get the max.
+        weights = np.where(
+            counts > 0, np.sqrt(total / (num_classes * np.maximum(counts, 1.0))), 1.0
+        )
+        weights = np.clip(weights, 1.0 / self.config.max_class_weight, self.config.max_class_weight)
+        return weights / weights.mean()
+
+    def train(self, model: CongestionModel, dataset: CongestionDataset) -> TrainResult:
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        if cfg.loss == "focal":
+            loss_fn = nn.FocalLoss2d(model.num_classes, gamma=cfg.focal_gamma)
+        elif cfg.loss == "ce":
+            weights = self._class_weights(dataset, model.num_classes)
+            loss_fn = nn.CrossEntropyLoss2d(model.num_classes, weight=weights)
+        else:
+            raise ValueError(f"unknown loss {cfg.loss!r}; use 'ce' or 'focal'")
+        optimizer = nn.Adam(
+            model.parameters(), lr=cfg.lr, weight_decay=cfg.weight_decay
+        )
+        result = TrainResult()
+        start = time.perf_counter()
+        model.train()
+        best_loss = np.inf
+        stall = 0
+        for epoch in range(cfg.epochs):
+            optimizer.lr = lr_at_epoch(
+                cfg.lr, epoch, cfg.epochs, schedule=cfg.lr_schedule
+            )
+            epoch_loss = 0.0
+            batches = 0
+            for feats, labels in dataset.batches(cfg.batch_size, rng):
+                optimizer.zero_grad()
+                logits = model(nn.Tensor(feats))
+                loss = loss_fn(logits, labels)
+                loss.backward()
+                nn.clip_grad_norm(model.parameters(), cfg.grad_clip)
+                optimizer.step()
+                epoch_loss += loss.item()
+                batches += 1
+            mean_loss = epoch_loss / max(batches, 1)
+            result.losses.append(mean_loss)
+            if cfg.log_every and (epoch + 1) % cfg.log_every == 0:
+                print(f"epoch {epoch + 1}/{cfg.epochs} loss={mean_loss:.4f}")
+            if cfg.patience:
+                if mean_loss < best_loss - cfg.patience_delta:
+                    best_loss = mean_loss
+                    stall = 0
+                else:
+                    stall += 1
+                    if stall >= cfg.patience:
+                        break
+        result.epochs = len(result.losses)
+        result.seconds = time.perf_counter() - start
+        model.eval()
+        return result
+
+    @staticmethod
+    def evaluate(model: CongestionModel, samples: list[Sample]) -> dict[str, float]:
+        """Table-I metrics of ``model`` on a sample list."""
+        if not samples:
+            raise ValueError("cannot evaluate on an empty sample list")
+        feats = np.stack([s.features for s in samples])
+        labels = np.stack([s.labels for s in samples])
+        pred = model.predict_levels(feats)
+        return evaluate_predictions(pred, labels)
+
+    @staticmethod
+    def evaluate_by_design(
+        model: CongestionModel, dataset: CongestionDataset
+    ) -> dict[str, dict[str, float]]:
+        """Per-design metrics plus the cross-design average (Table I rows)."""
+        per_design = {
+            name: Trainer.evaluate(model, samples)
+            for name, samples in sorted(dataset.eval_by_design().items())
+        }
+        if per_design:
+            keys = next(iter(per_design.values())).keys()
+            per_design["Average"] = {
+                k: float(np.mean([m[k] for m in per_design.values()]))
+                for k in keys
+            }
+        return per_design

@@ -1,0 +1,44 @@
+"""Learning-rate schedules for the training loop.
+
+The paper trains with a fixed Adam lr of 1e-3; cosine and step decay
+are provided for the longer bench runs, where they measurably stabilize
+the deeper models (PROS 2.0, the proposed model).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["lr_at_epoch", "SCHEDULES"]
+
+SCHEDULES = ("constant", "cosine", "step")
+
+
+def lr_at_epoch(
+    base_lr: float,
+    epoch: int,
+    total_epochs: int,
+    schedule: str = "constant",
+    min_lr_fraction: float = 0.05,
+    step_every: int = 20,
+    step_gamma: float = 0.5,
+) -> float:
+    """Learning rate for ``epoch`` (0-based) under the given schedule.
+
+    ``constant`` — the paper's setting.
+    ``cosine``   — cosine decay from ``base_lr`` to
+                   ``base_lr * min_lr_fraction`` over ``total_epochs``.
+    ``step``     — multiply by ``step_gamma`` every ``step_every`` epochs.
+    """
+    if schedule not in SCHEDULES:
+        raise ValueError(f"unknown schedule {schedule!r}; use one of {SCHEDULES}")
+    if epoch < 0 or total_epochs <= 0:
+        raise ValueError("epoch must be >= 0 and total_epochs > 0")
+    if schedule == "constant":
+        return base_lr
+    if schedule == "cosine":
+        floor = base_lr * min_lr_fraction
+        progress = min(epoch / max(total_epochs - 1, 1), 1.0)
+        return floor + 0.5 * (base_lr - floor) * (1 + np.cos(np.pi * progress))
+    # step
+    return base_lr * step_gamma ** (epoch // step_every)

@@ -1,0 +1,65 @@
+"""Test-time augmentation (TTA) for congestion prediction.
+
+The training pipeline already exploits the problem's 4-fold rotational
+symmetry for data augmentation (Section V-A); TTA applies the same
+symmetry at inference: predict on all four rotations of the input,
+rotate the probability maps back, and average.  This is a free accuracy
+boost for *any* of the models (applied equally, it does not change
+Table I's ordering) and is exposed as :func:`predict_levels_tta` /
+:func:`predict_expected_tta`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..features import FEATURE_NAMES
+from ..models.base import CongestionModel
+
+__all__ = ["predict_proba_tta", "predict_levels_tta", "predict_expected_tta"]
+
+_H_IDX = FEATURE_NAMES.index("h_net_density")
+_V_IDX = FEATURE_NAMES.index("v_net_density")
+
+
+def _rotate_features(features: np.ndarray, k: int) -> np.ndarray:
+    """Rotate a ``(N, 6, H, W)`` batch by ``k`` quarter-turns.
+
+    Odd rotations swap the horizontal/vertical net-density channels,
+    exactly as in training augmentation.
+    """
+    rotated = np.rot90(features, k=k, axes=(2, 3)).copy()
+    if k % 2 == 1:
+        rotated[:, [_H_IDX, _V_IDX]] = rotated[:, [_V_IDX, _H_IDX]]
+    return rotated
+
+
+def predict_proba_tta(model: CongestionModel, features: np.ndarray) -> np.ndarray:
+    """Rotation-averaged softmax probabilities, ``(N, 8, H, W)``.
+
+    Requires square inputs (H = W), which all the pipeline's rasters are.
+    """
+    features = np.asarray(features)
+    if features.ndim != 4:
+        raise ValueError(f"expected (N, 6, H, W), got shape {features.shape}")
+    if features.shape[2] != features.shape[3]:
+        raise ValueError("TTA requires square feature maps")
+    total = None
+    for k in range(4):
+        proba = model.predict_proba(_rotate_features(features, k))
+        # Rotate the prediction back into the original frame.
+        proba = np.rot90(proba, k=-k, axes=(2, 3))
+        total = proba if total is None else total + proba
+    return total / 4.0
+
+
+def predict_levels_tta(model: CongestionModel, features: np.ndarray) -> np.ndarray:
+    """Rotation-averaged hard level map, ``(N, H, W)``."""
+    return predict_proba_tta(model, features).argmax(axis=1)
+
+
+def predict_expected_tta(model: CongestionModel, features: np.ndarray) -> np.ndarray:
+    """Rotation-averaged expected (real-valued) levels, ``(N, H, W)``."""
+    proba = predict_proba_tta(model, features)
+    levels = np.arange(proba.shape[1]).reshape(1, -1, 1, 1)
+    return (proba * levels).sum(axis=1)

@@ -1,0 +1,15 @@
+"""Rendering of congestion/feature maps without plotting dependencies."""
+
+from .floorplan import SITE_GLYPHS, floorplan_ascii, floorplan_image
+from .render import ascii_heatmap, level_colormap, to_grayscale, write_pgm, write_ppm
+
+__all__ = [
+    "ascii_heatmap",
+    "to_grayscale",
+    "level_colormap",
+    "write_pgm",
+    "write_ppm",
+    "floorplan_ascii",
+    "floorplan_image",
+    "SITE_GLYPHS",
+]

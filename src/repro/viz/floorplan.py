@@ -1,0 +1,71 @@
+"""Device floorplan rendering: column types as ASCII or RGB.
+
+UltraScale+-style devices are column-striped; seeing the CLB/DSP/BRAM/
+URAM stripes makes macro-legalization and congestion artifacts much
+easier to interpret.  ``floorplan_ascii`` prints one character per
+column; ``floorplan_image`` produces an ``(H, W, 3)`` RGB array for
+:func:`repro.viz.write_ppm`, optionally overlaying a placement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..arch import FPGADevice, SiteType
+
+__all__ = ["floorplan_ascii", "floorplan_image", "SITE_GLYPHS"]
+
+SITE_GLYPHS = {
+    SiteType.CLB: ".",
+    SiteType.DSP: "D",
+    SiteType.BRAM: "B",
+    SiteType.URAM: "U",
+    SiteType.IO: "I",
+}
+
+_SITE_COLORS = {
+    SiteType.CLB: np.array([225, 225, 225], dtype=np.uint8),
+    SiteType.DSP: np.array([90, 140, 255], dtype=np.uint8),
+    SiteType.BRAM: np.array([90, 200, 120], dtype=np.uint8),
+    SiteType.URAM: np.array([200, 120, 220], dtype=np.uint8),
+    SiteType.IO: np.array([160, 160, 160], dtype=np.uint8),
+}
+
+
+def floorplan_ascii(device: FPGADevice, rows: int = 8) -> str:
+    """ASCII stripe view: ``rows`` identical lines of column glyphs."""
+    line = "".join(SITE_GLYPHS[t] for t in device.column_types)
+    legend = "  ".join(
+        f"{glyph}={site.value}" for site, glyph in SITE_GLYPHS.items()
+    )
+    return "\n".join([line] * rows + [legend])
+
+
+def floorplan_image(
+    device: FPGADevice,
+    x: np.ndarray | None = None,
+    y: np.ndarray | None = None,
+    marker: np.ndarray | None = None,
+) -> np.ndarray:
+    """RGB floorplan, one pixel per site, optional instance overlay.
+
+    ``x``/``y`` are instance coordinates in site units; ``marker`` is an
+    optional boolean mask selecting which instances to draw (default:
+    all).  Placed instances darken their site pixel.
+    """
+    width, height = device.num_cols, device.num_rows
+    image = np.zeros((height, width, 3), dtype=np.uint8)
+    for col, site_type in enumerate(device.column_types):
+        image[:, col] = _SITE_COLORS[site_type]
+    if x is not None and y is not None:
+        x = np.asarray(x)
+        y = np.asarray(y)
+        if marker is None:
+            marker = np.ones(x.shape[0], dtype=bool)
+        sel_x = np.clip(x[marker].astype(np.int64), 0, width - 1)
+        sel_y = np.clip(y[marker].astype(np.int64), 0, height - 1)
+        # Image row 0 is the top (highest y).
+        image[height - 1 - sel_y, sel_x] = (
+            image[height - 1 - sel_y, sel_x] * 0.35
+        ).astype(np.uint8)
+    return image

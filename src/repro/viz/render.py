@@ -1,0 +1,90 @@
+"""Dependency-free map rendering: ASCII heatmaps and PGM/PPM images.
+
+The environment ships no plotting library, so congestion/feature maps
+are rendered either as ASCII shades (for terminals and text artifacts)
+or as binary PGM/PPM images (viewable by any image tool).  The color
+ramp for congestion levels mimics the paper's Fig. 1: light yellow for
+low levels darkening to red-brown for penalized levels.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+__all__ = ["ascii_heatmap", "to_grayscale", "level_colormap", "write_pgm", "write_ppm"]
+
+_SHADES = " .:-=+*#%@"
+
+# Fig. 1-style ramp: levels 0-7 from near-white yellow to dark red.
+_LEVEL_COLORS = np.array(
+    [
+        [255, 255, 224],
+        [255, 240, 170],
+        [255, 220, 120],
+        [255, 190, 80],
+        [250, 140, 50],
+        [230, 90, 40],
+        [190, 40, 30],
+        [130, 10, 20],
+    ],
+    dtype=np.uint8,
+)
+
+
+def ascii_heatmap(data: np.ndarray, vmax: float | None = None) -> str:
+    """Render a 2-D ``[x, y]`` map as ASCII shades, row 0 at the bottom."""
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2:
+        raise ValueError(f"expected a 2-D map, got shape {data.shape}")
+    vmax = vmax if vmax is not None else max(float(data.max()), 1e-9)
+    scaled = np.clip(data / vmax * (len(_SHADES) - 1), 0, len(_SHADES) - 1)
+    chars = scaled.astype(int)
+    rows = []
+    for j in reversed(range(data.shape[1])):
+        rows.append("".join(_SHADES[chars[i, j]] for i in range(data.shape[0])))
+    return "\n".join(rows)
+
+
+def to_grayscale(data: np.ndarray, vmax: float | None = None) -> np.ndarray:
+    """Scale a 2-D map into uint8 grayscale (0 = black, 255 = white)."""
+    data = np.asarray(data, dtype=np.float64)
+    vmax = vmax if vmax is not None else max(float(data.max()), 1e-9)
+    return np.clip(data / vmax * 255.0, 0, 255).astype(np.uint8)
+
+
+def level_colormap(levels: np.ndarray) -> np.ndarray:
+    """Map integer congestion levels (0-7) to RGB (Fig. 1 ramp).
+
+    Returns an ``(H, W, 3)`` uint8 array in image orientation
+    (row 0 at the top = highest y).
+    """
+    levels = np.asarray(levels)
+    clipped = np.clip(levels.astype(np.int64), 0, 7)
+    # [x, y] map -> image rows top-down.
+    image = _LEVEL_COLORS[clipped.T[::-1]]
+    return image
+
+
+def write_pgm(data: np.ndarray, path: str | os.PathLike) -> str:
+    """Write a 2-D ``[x, y]`` map as a binary PGM (P5) grayscale image."""
+    gray = to_grayscale(data)
+    image = gray.T[::-1]  # image orientation
+    h, w = image.shape
+    with open(path, "wb") as handle:
+        handle.write(f"P5\n{w} {h}\n255\n".encode("ascii"))
+        handle.write(image.tobytes())
+    return str(path)
+
+
+def write_ppm(image: np.ndarray, path: str | os.PathLike) -> str:
+    """Write an ``(H, W, 3)`` uint8 RGB array as a binary PPM (P6) image."""
+    image = np.asarray(image, dtype=np.uint8)
+    if image.ndim != 3 or image.shape[2] != 3:
+        raise ValueError(f"expected (H, W, 3) RGB, got {image.shape}")
+    h, w, _ = image.shape
+    with open(path, "wb") as handle:
+        handle.write(f"P6\n{w} {h}\n255\n".encode("ascii"))
+        handle.write(image.tobytes())
+    return str(path)

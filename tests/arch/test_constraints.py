@@ -1,0 +1,71 @@
+"""Cascade-shape and region constraints (Section II-A)."""
+
+import numpy as np
+import pytest
+
+from repro.arch import CascadeShape, RegionConstraint
+
+
+class TestCascadeShape:
+    def test_requires_two_macros(self):
+        with pytest.raises(ValueError, match="two"):
+            CascadeShape((1,))
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="distinct"):
+            CascadeShape((1, 1))
+
+    def test_satisfied_when_consecutive_same_column(self):
+        shape = CascadeShape((0, 1, 2))
+        x = np.array([5.0, 5.0, 5.0])
+        y = np.array([3.0, 4.0, 5.0])
+        assert shape.is_satisfied(x, y)
+
+    def test_violated_when_column_differs(self):
+        shape = CascadeShape((0, 1))
+        assert not shape.is_satisfied(np.array([5.0, 6.0]), np.array([0.0, 1.0]))
+
+    def test_violated_when_rows_not_consecutive(self):
+        shape = CascadeShape((0, 1))
+        assert not shape.is_satisfied(np.array([5.0, 5.0]), np.array([0.0, 2.0]))
+
+    def test_violated_when_order_reversed(self):
+        shape = CascadeShape((0, 1))
+        assert not shape.is_satisfied(np.array([5.0, 5.0]), np.array([1.0, 0.0]))
+
+    def test_len(self):
+        assert len(CascadeShape((3, 4, 5, 6))) == 4
+
+
+class TestRegionConstraint:
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError, match="degenerate"):
+            RegionConstraint(1.0, 1.0, 1.0, 5.0)
+
+    def test_contains_half_open(self):
+        region = RegionConstraint(0.0, 0.0, 4.0, 4.0)
+        inside = region.contains(np.array([0.0, 3.9, 4.0]), np.array([0.0, 3.9, 0.0]))
+        np.testing.assert_array_equal(inside, [True, True, False])
+
+    def test_violation_zero_inside(self):
+        region = RegionConstraint(0.0, 0.0, 4.0, 4.0)
+        v = region.violation(np.array([2.0]), np.array([2.0]))
+        assert v[0] == 0.0
+
+    def test_violation_euclidean_outside(self):
+        region = RegionConstraint(0.0, 0.0, 4.0, 4.0)
+        v = region.violation(np.array([7.0]), np.array([8.0]))
+        assert v[0] == pytest.approx(5.0)  # 3-4-5 triangle from corner (4,4)
+
+    def test_violation_axis_aligned(self):
+        region = RegionConstraint(0.0, 0.0, 4.0, 4.0)
+        v = region.violation(np.array([6.0]), np.array([2.0]))
+        assert v[0] == pytest.approx(2.0)
+
+    def test_center(self):
+        region = RegionConstraint(0.0, 2.0, 4.0, 6.0)
+        assert region.center == (2.0, 4.0)
+
+    def test_instances_default_empty(self):
+        region = RegionConstraint(0, 0, 1, 1)
+        assert region.instances == frozenset()

@@ -1,0 +1,115 @@
+"""Device model: geometry, capacities, tile mapping."""
+
+import numpy as np
+import pytest
+
+from repro.arch import (
+    DEFAULT_COLUMN_PATTERN,
+    FPGADevice,
+    ResourceType,
+    SiteType,
+    xcvu3p_like,
+)
+
+
+class TestFPGADevice:
+    def test_column_types_length_checked(self):
+        with pytest.raises(ValueError, match="columns"):
+            FPGADevice(4, 4, (SiteType.CLB,) * 3, tile_cols=4, tile_rows=4)
+
+    def test_tile_grid_divisibility_checked(self):
+        with pytest.raises(ValueError, match="multiple"):
+            FPGADevice(6, 6, (SiteType.CLB,) * 6, tile_cols=4, tile_rows=4)
+
+    def test_columns_of_type(self, tiny_device):
+        dsp = tiny_device.columns_of_type(SiteType.DSP)
+        np.testing.assert_array_equal(dsp, [2, 10])
+        clb = tiny_device.columns_of_type(SiteType.CLB)
+        assert len(clb) == 10
+
+    def test_resource_capacity(self, tiny_device):
+        # 10 CLB columns x 16 rows x 8 LUTs.
+        assert tiny_device.resource_capacity(ResourceType.LUT) == 10 * 16 * 8
+        assert tiny_device.resource_capacity(ResourceType.FF) == 10 * 16 * 16
+        assert tiny_device.resource_capacity(ResourceType.DSP) == 2 * 16
+        assert tiny_device.resource_capacity(ResourceType.URAM) == 2 * 16
+
+    def test_site_capacity(self, tiny_device):
+        assert tiny_device.site_capacity(SiteType.CLB, ResourceType.LUT) == 8.0
+        assert tiny_device.site_capacity(SiteType.DSP, ResourceType.LUT) == 0.0
+        assert tiny_device.site_capacity(SiteType.DSP, ResourceType.DSP) == 1.0
+
+    def test_site_to_tile_mapping(self, tiny_device):
+        tx, ty = tiny_device.site_to_tile(np.array([0, 15]), np.array([0, 15]))
+        np.testing.assert_array_equal(tx, [0, 15])
+        np.testing.assert_array_equal(ty, [0, 15])
+
+    def test_site_to_tile_clips(self, tiny_device):
+        tx, ty = tiny_device.site_to_tile(np.array([99]), np.array([-3]))
+        assert tx[0] == tiny_device.tile_cols - 1
+        assert ty[0] == 0
+
+    def test_capacity_map_conserves_total(self, tiny_device):
+        for bins in (4, 8, 16):
+            cap = tiny_device.capacity_map(ResourceType.LUT, bins)
+            assert cap.shape == (bins, bins)
+            assert cap.sum() == pytest.approx(
+                tiny_device.resource_capacity(ResourceType.LUT)
+            )
+
+    def test_capacity_map_nonuniform_bins(self, tiny_device):
+        """Bins that straddle columns still conserve total capacity."""
+        cap = tiny_device.capacity_map(ResourceType.DSP, 5)
+        assert cap.sum() == pytest.approx(
+            tiny_device.resource_capacity(ResourceType.DSP)
+        )
+
+    def test_summary_keys(self, tiny_device):
+        summary = tiny_device.summary()
+        assert {"LUT", "FF", "DSP", "BRAM", "URAM"} <= set(summary)
+
+
+class TestXCVU3PLike:
+    def test_full_scale_resource_mix(self):
+        device = xcvu3p_like(1.0)
+        summary = device.summary()
+        # Same order of magnitude as the real part: ~394K LUTs, ~2.3K DSPs.
+        assert 3e5 < summary["LUT"] < 8e5
+        assert 1e3 < summary["DSP"] < 2e4
+        assert summary["FF"] == 2 * summary["LUT"]
+
+    def test_scale_shrinks_area_linearly(self):
+        full = xcvu3p_like(1.0)
+        quarter = xcvu3p_like(0.25)
+        ratio = (quarter.num_cols * quarter.num_rows) / (
+            full.num_cols * full.num_rows
+        )
+        assert ratio == pytest.approx(0.25, rel=0.2)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError, match="positive"):
+            xcvu3p_like(0.0)
+
+    def test_tile_grid_divides_site_grid(self):
+        for scale in (1.0, 0.1, 1 / 64):
+            device = xcvu3p_like(scale)
+            assert device.num_cols % device.tile_cols == 0
+            assert device.num_rows % device.tile_rows == 0
+
+    def test_macro_columns_present_at_small_scale(self):
+        device = xcvu3p_like(1 / 256)
+        for st_ in (SiteType.DSP, SiteType.BRAM, SiteType.URAM):
+            assert device.columns_of_type(st_).size > 0
+
+    def test_pattern_repeats(self):
+        device = xcvu3p_like(1.0)
+        n = len(DEFAULT_COLUMN_PATTERN)
+        assert device.column_types[:n] == DEFAULT_COLUMN_PATTERN
+
+    def test_resource_capacity_cached(self):
+        device = xcvu3p_like(1 / 64)
+        a = device.resource_capacity(ResourceType.LUT)
+        b = device.resource_capacity(ResourceType.LUT)
+        assert a == b
+        assert "LUT" not in device._capacity_cache  # keyed by enum, not name
+        assert ResourceType.LUT in device._capacity_cache

@@ -1,0 +1,109 @@
+"""Shared fixtures: tiny designs/devices sized for fast unit tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch import FPGADevice, SiteType, xcvu3p_like
+from repro.netlist import MLCAD2023_SPECS, Design, Instance, Net, generate_design
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_device() -> FPGADevice:
+    """A 16×16 device with one column of each macro type."""
+    pattern = (
+        SiteType.CLB,
+        SiteType.CLB,
+        SiteType.DSP,
+        SiteType.CLB,
+        SiteType.BRAM,
+        SiteType.CLB,
+        SiteType.URAM,
+        SiteType.CLB,
+    )
+    return FPGADevice(
+        num_cols=16,
+        num_rows=16,
+        column_types=pattern * 2,
+        tile_cols=16,
+        tile_rows=16,
+        name="tiny",
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_design() -> Design:
+    """A scaled-down contest design (fast to place/route)."""
+    return generate_design(MLCAD2023_SPECS["Design_116"], scale=1.0 / 256.0)
+
+
+@pytest.fixture
+def fresh_tiny_design() -> Design:
+    """Like ``tiny_design`` but mutable per-test (placement state)."""
+    return generate_design(MLCAD2023_SPECS["Design_116"], scale=1.0 / 256.0)
+
+
+@pytest.fixture(scope="session")
+def placed_tiny_design() -> Design:
+    """A tiny design with the full flow already run (shared, read-only)."""
+    from repro.placement import GPConfig, PlacerConfig, place_design
+
+    design = generate_design(MLCAD2023_SPECS["Design_120"], scale=1.0 / 256.0)
+    place_design(
+        design,
+        config=PlacerConfig(
+            gp=GPConfig(bins=16, max_iters=150),
+            inflation_rounds=1,
+            stage1_iters=120,
+            stage2_iters=40,
+        ),
+    )
+    return design
+
+
+def make_manual_design(device: FPGADevice) -> Design:
+    """A 6-instance hand-built design for exact-value tests."""
+    from repro.arch import ResourceType
+
+    instances = [
+        Instance("c0", ResourceType.LUT, {ResourceType.LUT: 8.0}),
+        Instance("c1", ResourceType.LUT, {ResourceType.LUT: 8.0}),
+        Instance("c2", ResourceType.LUT, {ResourceType.LUT: 4.0}),
+        Instance("d0", ResourceType.DSP),
+        Instance("b0", ResourceType.BRAM),
+        Instance("io", ResourceType.LUT, {ResourceType.LUT: 0.0}, movable=False),
+    ]
+    nets = [
+        Net((0, 1)),
+        Net((1, 2, 3)),
+        Net((0, 4)),
+        Net((2, 5), weight=2.0),
+    ]
+    return Design("manual", device, instances, nets)
+
+
+@pytest.fixture
+def manual_design(tiny_device: FPGADevice) -> Design:
+    return make_manual_design(tiny_device)
+
+
+def numerical_gradient(f, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar ``f()`` w.r.t. array ``x``."""
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    for _ in it:
+        idx = it.multi_index
+        old = x[idx]
+        x[idx] = old + eps
+        f_plus = f()
+        x[idx] = old - eps
+        f_minus = f()
+        x[idx] = old
+        grad[idx] = (f_plus - f_minus) / (2 * eps)
+    return grad

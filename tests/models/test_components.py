@@ -1,0 +1,108 @@
+"""Model building blocks: ResNetDown, UpBlock, GridGraphConv, base helpers."""
+
+import numpy as np
+import pytest
+
+from repro.models import GridGraphConv, ResNetDown, ResidualStage, UpBlock
+from repro.models.base import CongestionModel
+from repro.nn import Tensor
+
+
+class TestResNetDown:
+    def test_halves_spatial_doubles_channels(self, rng):
+        block = ResNetDown(4, 8, rng=rng)
+        out = block(Tensor(rng.normal(size=(2, 4, 16, 16))))
+        assert out.shape == (2, 8, 8, 8)
+
+    def test_shortcut_carries_signal(self, rng):
+        """Zeroing the main path leaves the (BN-scaled) shortcut alive."""
+        block = ResNetDown(3, 6, rng=rng)
+        block.conv1.weight.data[...] = 0.0
+        block.conv2.weight.data[...] = 0.0
+        out = block(Tensor(rng.normal(size=(1, 3, 8, 8))))
+        assert float(np.abs(out.data).sum()) > 0
+
+
+class TestResidualStage:
+    def test_shape(self, rng):
+        stage = ResidualStage(4, 8, rng=rng)
+        out = stage(Tensor(rng.normal(size=(1, 4, 8, 8))))
+        assert out.shape == (1, 8, 4, 4)
+
+
+class TestUpBlock:
+    def test_with_skip(self, rng):
+        block = UpBlock(8, 4, 6, rng=rng)
+        x = Tensor(rng.normal(size=(1, 8, 4, 4)))
+        skip = Tensor(rng.normal(size=(1, 4, 8, 8)))
+        assert block(x, skip).shape == (1, 6, 8, 8)
+
+    def test_without_skip(self, rng):
+        block = UpBlock(8, 0, 6, rng=rng)
+        x = Tensor(rng.normal(size=(1, 8, 4, 4)))
+        assert block(x).shape == (1, 6, 8, 8)
+
+
+class TestGridGraphConv:
+    def test_aggregation_is_neighbour_mean(self, rng):
+        layer = GridGraphConv(1, 1, rng=rng)
+        # Identity the self path, isolate the neighbour path.
+        layer.w_self.weight.data[...] = 0.0
+        layer.w_self.bias.data[...] = 0.0
+        layer.w_neigh.weight.data[...] = 1.0
+        x = np.zeros((1, 1, 5, 5))
+        x[0, 0, 2, 2] = 4.0
+        out = layer(Tensor(x)).data
+        # Each 4-neighbour of the center receives 4 * 0.25 = 1.
+        assert out[0, 0, 1, 2] == pytest.approx(1.0)
+        assert out[0, 0, 2, 1] == pytest.approx(1.0)
+        assert out[0, 0, 2, 2] == pytest.approx(0.0)  # not its own neighbour
+        assert out[0, 0, 0, 0] == pytest.approx(0.0)
+
+    def test_multi_channel_no_crosstalk(self, rng):
+        layer = GridGraphConv(2, 2, rng=rng)
+        layer.w_self.weight.data[...] = 0.0
+        layer.w_self.bias.data[...] = 0.0
+        # Neighbour mix = identity per channel.
+        layer.w_neigh.weight.data[...] = 0.0
+        layer.w_neigh.weight.data[0, 0, 0, 0] = 1.0
+        layer.w_neigh.weight.data[1, 1, 0, 0] = 1.0
+        x = np.zeros((1, 2, 5, 5))
+        x[0, 0, 2, 2] = 4.0
+        out = layer(Tensor(x)).data
+        assert out[0, 0, 1, 2] == pytest.approx(1.0)
+        assert out[0, 1, 1, 2] == pytest.approx(0.0)
+
+
+class TestBaseHelpers:
+    def test_expected_is_probability_weighted(self, rng):
+        class Fixed(CongestionModel):
+            def forward(self, x):
+                n = x.shape[0]
+                logits = np.full((n, 8, 2, 2), -100.0)
+                logits[:, 3] = 0.0  # all mass on level 3
+                logits[:, 5] = 0.0  # and level 5 equally
+                return Tensor(logits)
+
+        model = Fixed()
+        feats = rng.normal(size=(1, 6, 2, 2))
+        expected = model.predict_expected(feats)
+        np.testing.assert_allclose(expected, 4.0, atol=1e-9)  # (3+5)/2
+        levels = model.predict_levels(feats)
+        assert set(np.unique(levels)) <= {3, 5}
+
+
+class TestPresetContracts:
+    def test_paper_preset_uses_12_layers(self):
+        from repro.models import build_model
+
+        model = build_model("ours", "paper", grid=32)
+        assert model.transformer.num_layers == 12
+        assert model.base_channels == 16
+
+    def test_fast_preset_smaller_than_paper(self):
+        from repro.models import build_model
+
+        fast = build_model("ours", "fast", grid=32)
+        paper = build_model("ours", "paper", grid=32)
+        assert fast.num_parameters() < paper.num_parameters()

@@ -1,0 +1,102 @@
+"""MFA block, PAM, CAM (Fig. 3)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import ChannelAttention, MFABlock, PositionAttention
+from repro.nn import Tensor
+
+
+class TestPositionAttention:
+    def test_shape_preserved(self, rng):
+        pam = PositionAttention(4, rng=rng)
+        out = pam(Tensor(rng.normal(size=(2, 4, 8, 8))))
+        assert out.shape == (2, 4, 8, 8)
+
+    def test_identity_at_init(self, rng):
+        """alpha starts at 0, so PAM is the identity before training."""
+        pam = PositionAttention(4, rng=rng)
+        x = Tensor(rng.normal(size=(1, 4, 4, 4)))
+        np.testing.assert_allclose(pam(x).data, x.data)
+
+    def test_alpha_enables_mixing(self, rng):
+        pam = PositionAttention(4, rng=rng)
+        pam.alpha.data[...] = 1.0
+        x = Tensor(rng.normal(size=(1, 4, 4, 4)))
+        assert not np.allclose(pam(x).data, x.data)
+
+    def test_token_pooling_kicks_in(self, rng):
+        pam = PositionAttention(2, max_tokens=16, rng=rng)
+        assert pam._pool_factor(16, 16) == 4
+        assert pam._pool_factor(4, 4) == 1
+        pam.alpha.data[...] = 1.0
+        out = pam(Tensor(rng.normal(size=(1, 2, 16, 16))))
+        assert out.shape == (1, 2, 16, 16)
+
+    def test_gradients_flow(self, rng):
+        pam = PositionAttention(4, rng=rng)
+        pam.alpha.data[...] = 0.5
+        x = Tensor(rng.normal(size=(1, 4, 4, 4)), requires_grad=True)
+        (pam(x) ** 2).sum().backward()
+        assert x.grad is not None
+        assert pam.alpha.grad is not None
+
+
+class TestChannelAttention:
+    def test_shape_preserved(self, rng):
+        cam = ChannelAttention(6)
+        out = cam(Tensor(rng.normal(size=(2, 6, 5, 5))))
+        assert out.shape == (2, 6, 5, 5)
+
+    def test_identity_at_init(self, rng):
+        cam = ChannelAttention(6)
+        x = Tensor(rng.normal(size=(1, 6, 4, 4)))
+        np.testing.assert_allclose(cam(x).data, x.data)
+
+    def test_beta_enables_mixing(self, rng):
+        cam = ChannelAttention(6)
+        cam.beta.data[...] = 1.0
+        x = Tensor(rng.normal(size=(1, 6, 4, 4)))
+        assert not np.allclose(cam(x).data, x.data)
+
+    def test_gradients_flow(self, rng):
+        cam = ChannelAttention(4)
+        cam.beta.data[...] = 0.7
+        x = Tensor(rng.normal(size=(1, 4, 3, 3)), requires_grad=True)
+        (cam(x) ** 2).sum().backward()
+        assert x.grad is not None
+
+
+class TestMFABlock:
+    def test_shape_contract_fig3(self, rng):
+        """Input and output shapes are identical at every scale of Fig. 5."""
+        for channels, size in ((8, 16), (16, 8), (32, 4)):
+            block = MFABlock(channels, rng=rng)
+            x = Tensor(rng.normal(size=(1, channels, size, size)))
+            assert block(x).shape == (1, channels, size, size)
+
+    def test_channel_reduction_factor(self, rng):
+        block = MFABlock(32, reduction=16, rng=rng)
+        assert block.pam_reduce.conv.out_channels == 2
+        block_small = MFABlock(8, reduction=16, rng=rng)
+        assert block_small.pam_reduce.conv.out_channels == 1  # floor at 1
+
+    def test_residual_wrapper(self, rng):
+        """With the restore conv zeroed, the block reduces to identity."""
+        block = MFABlock(4, rng=rng)
+        block.restore.weight.data[...] = 0.0
+        block.restore.bias.data[...] = 0.0
+        x = Tensor(rng.normal(size=(1, 4, 4, 4)))
+        np.testing.assert_allclose(block(x).data, x.data)
+
+    def test_all_parameters_trainable(self, rng):
+        block = MFABlock(8, rng=rng)
+        x = Tensor(rng.normal(size=(2, 8, 8, 8)))
+        (block(x) ** 2).sum().backward()
+        grads = [p.grad is not None for _, p in block.named_parameters()]
+        # alpha/beta start at zero so their branches may be dead, but the
+        # main path (reduces + restore) must receive gradients.
+        assert block.restore.weight.grad is not None
+        assert block.pam_reduce.conv.weight.grad is not None
+        assert sum(grads) >= len(grads) - 2

@@ -1,0 +1,146 @@
+"""Model registry, baselines and the model-backed estimator."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    MODEL_NAMES,
+    PRESETS,
+    MFATransformerNet,
+    ModelEstimator,
+    PGNNNet,
+    ProsNet,
+    UNet,
+    build_model,
+)
+from repro.nn import Tensor
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_build_and_forward(self, name, rng):
+        model = build_model(name, "tiny", grid=32)
+        x = rng.normal(size=(1, 6, 32, 32))
+        logits = model(Tensor(x))
+        assert logits.shape == (1, 8, 32, 32)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown model"):
+            build_model("resnext")
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError, match="unknown preset"):
+            build_model("unet", "huge")
+
+    def test_preset_sizes_ordered(self):
+        tiny = build_model("ours", "tiny", grid=32).num_parameters()
+        fast = build_model("ours", "fast", grid=32).num_parameters()
+        assert tiny < fast
+
+    def test_expected_types(self):
+        assert isinstance(build_model("unet", "tiny"), UNet)
+        assert isinstance(build_model("pgnn", "tiny"), PGNNNet)
+        assert isinstance(build_model("pros2", "tiny"), ProsNet)
+        assert isinstance(build_model("ours", "tiny"), MFATransformerNet)
+
+    def test_only_ours_has_transformer(self):
+        """Table I note: Ours is the only hybrid CNN-transformer model."""
+        for name in ("unet", "pgnn", "pros2"):
+            model = build_model(name, "tiny")
+            assert not any(
+                type(m).__name__ == "TransformerStack" for m in model.modules()
+            )
+        ours = build_model("ours", "tiny")
+        assert any(
+            type(m).__name__ == "TransformerStack" for m in ours.modules()
+        )
+
+
+class TestBaselineModels:
+    @pytest.mark.parametrize("cls", [UNet, PGNNNet, ProsNet])
+    def test_trains_one_step(self, cls, rng):
+        from repro import nn
+
+        model = cls(base_channels=4, seed=0)
+        loss_fn = nn.CrossEntropyLoss2d(8)
+        opt = nn.Adam(model.parameters(), lr=1e-3)
+        x = rng.normal(size=(2, 6, 16, 16))
+        y = rng.integers(0, 8, size=(2, 16, 16))
+        logits = model(Tensor(x))
+        loss0 = loss_fn(logits, y)
+        loss0.backward()
+        opt.step()
+        loss1 = loss_fn(model(Tensor(x)), y)
+        assert loss1.item() < loss0.item()
+
+    def test_pgnn_gnn_branch_changes_output(self, rng):
+        model = PGNNNet(base_channels=4, gnn_channels=4, seed=0)
+        x = rng.normal(size=(1, 6, 16, 16))
+        base = model(Tensor(x)).data
+        for layer in model.gnn:
+            layer.w_neigh.weight.data[...] = 0.0
+            layer.w_self.weight.data[...] = 0.0
+            layer.w_self.bias.data[...] = 0.0
+        ablated = model(Tensor(x)).data
+        assert not np.allclose(base, ablated)
+
+    def test_pgnn_aggregation_is_fixed(self):
+        model = PGNNNet(base_channels=4, gnn_channels=4, seed=0)
+        params = {name for name, _ in model.named_parameters()}
+        assert not any("_aggregate" in p for p in params)
+
+
+class TestModelEstimator:
+    def test_level_map_shape_and_range(self, tiny_design):
+        model = build_model("unet", "tiny")
+        estimator = ModelEstimator(model, model_grid=32, out_grid=16)
+        levels = estimator(tiny_design, tiny_design.x, tiny_design.y)
+        assert levels.shape == (16, 16)
+        assert np.all(levels >= 0) and np.all(levels <= 7)
+
+    def test_default_out_grid_is_model_grid(self, tiny_design):
+        model = build_model("unet", "tiny")
+        estimator = ModelEstimator(model, model_grid=32)
+        levels = estimator(tiny_design, tiny_design.x, tiny_design.y)
+        assert levels.shape == (32, 32)
+
+
+class TestModelEstimatorModes:
+    def test_argmax_mode_integer_levels(self, tiny_design):
+        model = build_model("unet", "tiny")
+        estimator = ModelEstimator(model, model_grid=32, out_grid=32, mode="argmax")
+        levels = estimator(tiny_design, tiny_design.x, tiny_design.y)
+        np.testing.assert_allclose(levels % 1.0, 0.0)
+
+    def test_unknown_mode_rejected(self, tiny_design):
+        model = build_model("unet", "tiny")
+        estimator = ModelEstimator(model, model_grid=32, mode="median")
+        with pytest.raises(ValueError, match="unknown mode"):
+            estimator(tiny_design, tiny_design.x, tiny_design.y)
+
+
+class TestLookaheadLegalization:
+    def test_lookahead_runs_and_differs(self, fresh_tiny_design):
+        from repro.placement import GlobalPlacer, GPConfig
+
+        gp = GlobalPlacer(fresh_tiny_design, GPConfig(bins=16, max_iters=60))
+        gp.run(max_iters=60)
+        x, y = gp.positions()
+        model = build_model("unet", "tiny")
+        raw = ModelEstimator(model, model_grid=32, out_grid=16)
+        look = ModelEstimator(
+            model, model_grid=32, out_grid=16, lookahead_legalize=True
+        )
+        a = raw(fresh_tiny_design, x, y)
+        b = look(fresh_tiny_design, x, y)
+        assert a.shape == b.shape == (16, 16)
+
+    def test_lookahead_does_not_mutate_design(self, fresh_tiny_design):
+        d = fresh_tiny_design
+        x0 = d.x.copy()
+        model = build_model("unet", "tiny")
+        look = ModelEstimator(
+            model, model_grid=32, out_grid=16, lookahead_legalize=True
+        )
+        look(d, d.x, d.y)
+        np.testing.assert_allclose(d.x, x0)

@@ -1,0 +1,39 @@
+"""Checkpoint round-trips for every model in the zoo."""
+
+import numpy as np
+import pytest
+
+from repro.models import MODEL_NAMES, build_model
+from repro.nn import Tensor, load_module, save_module
+
+
+@pytest.mark.parametrize("name", MODEL_NAMES)
+class TestCheckpointRoundTrip:
+    def test_predictions_identical_after_reload(self, name, tmp_path, rng):
+        model = build_model(name, "tiny", grid=32, seed=3)
+        # Perturb from init so the test is not trivially passing.
+        for _, param in model.named_parameters():
+            param.data += rng.normal(0, 0.01, param.data.shape)
+        x = rng.normal(size=(1, 6, 32, 32))
+        expected = model.predict_proba(x)
+
+        path = tmp_path / f"{name}.npz"
+        save_module(model, path)
+        fresh = build_model(name, "tiny", grid=32, seed=99)
+        load_module(fresh, path)
+        np.testing.assert_allclose(fresh.predict_proba(x), expected, atol=1e-12)
+
+    def test_state_dict_complete(self, name, rng):
+        model = build_model(name, "tiny", grid=32)
+        state = model.state_dict()
+        param_names = {n for n, _ in model.named_parameters()}
+        buffer_names = {n for n, _ in model.named_buffers()}
+        assert set(state) == param_names | buffer_names
+
+    def test_mismatched_architecture_rejected(self, name, tmp_path):
+        model = build_model(name, "tiny", grid=32)
+        path = tmp_path / f"{name}.npz"
+        save_module(model, path)
+        bigger = build_model(name, "fast", grid=32)
+        with pytest.raises((KeyError, ValueError)):
+            load_module(bigger, path)

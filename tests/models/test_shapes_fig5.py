@@ -1,0 +1,119 @@
+"""Fig. 5 shape contract: every stated tensor dimension, asserted.
+
+The paper gives exact shapes for each stage: encoder outputs
+[C, H/2], [2C, H/4], [4C, H/8], [8C, H/16]; MFA blocks preserve their
+input scale; the transformer consumes [8C, H/16, W/16] as [C_t, L]
+tokens; the decoder emits [2C, H/8], [C, H/4], [C/2, H/2] and finally
+8 x H x W before the softmax that yields the 1 x H x W level map.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models import MFATransformerNet
+from repro.nn import Tensor
+
+H = 32  # H = W; must be divisible by 16
+C = 8
+
+
+@pytest.fixture(scope="module")
+def model():
+    return MFATransformerNet(
+        in_channels=6, base_channels=C, num_transformer_layers=2,
+        grid=H, seed=0,
+    )
+
+
+@pytest.fixture(scope="module")
+def rng_module():
+    return np.random.default_rng(0)
+
+
+class TestEncoderShapes:
+    def test_down_stack(self, model, rng_module):
+        x = Tensor(rng_module.normal(size=(1, 6, H, H)))
+        d1 = model.down1(x)
+        d2 = model.down2(d1)
+        d3 = model.down3(d2)
+        d4 = model.down4(d3)
+        assert d1.shape == (1, C, H // 2, H // 2)
+        assert d2.shape == (1, 2 * C, H // 4, H // 4)
+        assert d3.shape == (1, 4 * C, H // 8, H // 8)
+        assert d4.shape == (1, 8 * C, H // 16, H // 16)
+
+    def test_mfa_blocks_preserve_scales(self, model, rng_module):
+        for mfa, ch, size in (
+            (model.mfa1, C, H // 2),
+            (model.mfa2, 2 * C, H // 4),
+            (model.mfa3, 4 * C, H // 8),
+            (model.mfa4, 8 * C, H // 16),
+            (model.mfa_bottleneck, 8 * C, H // 16),
+        ):
+            x = Tensor(rng_module.normal(size=(1, ch, size, size)))
+            assert mfa(x).shape == (1, ch, size, size)
+
+
+class TestTransformerShapes:
+    def test_token_geometry(self, model):
+        assert model.transformer.tokens == (H // 16) ** 2
+        assert model.transformer.in_channels == 8 * C
+
+    def test_roundtrip(self, model, rng_module):
+        x = Tensor(rng_module.normal(size=(2, 8 * C, H // 16, H // 16)))
+        assert model.transformer(x).shape == (2, 8 * C, H // 16, H // 16)
+
+    def test_layer_count_configurable(self):
+        m = MFATransformerNet(
+            base_channels=4, num_transformer_layers=5, grid=16, seed=0
+        )
+        assert m.transformer.num_layers == 5
+
+
+class TestDecoderShapes:
+    def test_up_stack(self, model, rng_module):
+        z = Tensor(rng_module.normal(size=(1, 8 * C, H // 16, H // 16)))
+        s3 = Tensor(rng_module.normal(size=(1, 4 * C, H // 8, H // 8)))
+        s2 = Tensor(rng_module.normal(size=(1, 2 * C, H // 4, H // 4)))
+        s1 = Tensor(rng_module.normal(size=(1, C, H // 2, H // 2)))
+        u1 = model.up1(z, s3)
+        u2 = model.up2(u1, s2)
+        u3 = model.up3(u2, s1)
+        u4 = model.up4(u3)
+        assert u1.shape == (1, 2 * C, H // 8, H // 8)
+        assert u2.shape == (1, C, H // 4, H // 4)
+        assert u3.shape == (1, C // 2, H // 2, H // 2)
+        assert u4.shape == (1, 8, H, H)
+
+
+class TestEndToEnd:
+    def test_logits_shape(self, model, rng_module):
+        x = rng_module.normal(size=(2, 6, H, H))
+        logits = model(Tensor(x))
+        assert logits.shape == (2, 8, H, H)
+
+    def test_level_map_is_1xHxW(self, model, rng_module):
+        x = rng_module.normal(size=(1, 6, H, H))
+        levels = model.predict_levels(x)
+        assert levels.shape == (1, H, H)
+        assert levels.min() >= 0 and levels.max() <= 7
+
+    def test_softmax_head_distribution(self, model, rng_module):
+        x = rng_module.normal(size=(1, 6, H, H))
+        proba = model.predict_proba(x)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-10)
+
+    def test_expected_levels_real_valued(self, model, rng_module):
+        x = rng_module.normal(size=(1, 6, H, H))
+        expected = model.predict_expected(x)
+        assert expected.shape == (1, H, H)
+        assert np.all(expected >= 0) and np.all(expected <= 7)
+
+    def test_grid_must_divide_16(self):
+        with pytest.raises(ValueError, match="divisible"):
+            MFATransformerNet(grid=20)
+
+    def test_paper_default_transformer_depth(self):
+        """Section V-A: L = 12 transformer layers by default."""
+        m = MFATransformerNet(base_channels=2, grid=16, seed=0)
+        assert m.transformer.num_layers == 12

@@ -1,0 +1,132 @@
+"""Benchmark generator: statistics, constraints, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.arch import ResourceType, SiteType
+from repro.netlist import (
+    MLCAD2023_SPECS,
+    TABLE1_DESIGNS,
+    TABLE2_DESIGNS,
+    design_row,
+    format_stats_table,
+    generate_design,
+    mlcad2023_suite,
+)
+
+SCALE = 1.0 / 256.0
+
+
+class TestSpecs:
+    def test_all_table1_designs_present(self):
+        assert set(TABLE1_DESIGNS) <= set(MLCAD2023_SPECS)
+
+    def test_all_table2_designs_present(self):
+        assert set(TABLE2_DESIGNS) <= set(MLCAD2023_SPECS)
+
+    def test_table1_stats_match_paper(self):
+        spec = MLCAD2023_SPECS["Design_116"]
+        assert spec.num_lut == 370_000
+        assert spec.num_ff == 315_000
+        assert spec.num_dsp == 2052
+        assert spec.num_bram == 648
+
+
+class TestGeneration:
+    @pytest.fixture(scope="class")
+    def design(self):
+        return generate_design(MLCAD2023_SPECS["Design_116"], scale=SCALE)
+
+    def test_deterministic(self, design):
+        again = generate_design(MLCAD2023_SPECS["Design_116"], scale=SCALE)
+        assert again.num_instances == design.num_instances
+        assert again.num_nets == design.num_nets
+        np.testing.assert_allclose(again.x, design.x)
+
+    def test_lut_count_scales(self, design):
+        expected = 370_000 * SCALE
+        assert design.total_demand(ResourceType.LUT) == pytest.approx(
+            expected, rel=0.05
+        )
+
+    def test_macro_utilization_matches_real_part(self, design):
+        # XCVU3P DSP utilization of Design_116 is 2052/2280 = 90%.
+        assert design.utilization(ResourceType.DSP) == pytest.approx(0.90, abs=0.05)
+        assert design.utilization(ResourceType.BRAM) == pytest.approx(0.90, abs=0.05)
+
+    def test_lut_utilization_below_one(self, design):
+        assert 0.3 < design.utilization(ResourceType.LUT) < 1.0
+
+    def test_nominal_stats_preserved(self, design):
+        assert design.nominal_stats["LUT"] == 370_000
+
+    def test_has_constraints(self, design):
+        assert len(design.cascades) >= 1
+        assert len(design.regions) >= 1
+
+    def test_cascades_only_macros(self, design):
+        for cascade in design.cascades:
+            for inst in cascade.instances:
+                assert design.instances[inst].is_macro
+
+    def test_cascades_disjoint(self, design):
+        seen = set()
+        for cascade in design.cascades:
+            for inst in cascade.instances:
+                assert inst not in seen
+                seen.add(inst)
+
+    def test_region_macro_budget_fits(self, design):
+        """Regions must never be assigned more macros than they have sites."""
+        device = design.device
+        for region in design.regions:
+            for res in (ResourceType.DSP, ResourceType.BRAM):
+                assigned = [
+                    i for i in region.instances
+                    if design.instances[i].resource is res
+                ]
+                cols = device.columns_of_type(res.site_type)
+                cols_in = int(
+                    ((cols >= region.xlo) & (cols < region.xhi)).sum()
+                )
+                rows_in = int(np.floor(region.yhi)) - int(np.ceil(region.ylo))
+                assert len(assigned) <= cols_in * max(rows_in, 0)
+
+    def test_io_fixed_on_boundary(self, design):
+        fixed = np.flatnonzero(~design.movable_mask)
+        assert fixed.size >= 8
+        device = design.device
+        on_edge = (
+            (design.x[fixed] <= 1.0)
+            | (design.x[fixed] >= device.width - 1.5)
+            | (design.y[fixed] <= 1.0)
+            | (design.y[fixed] >= device.height - 1.5)
+        )
+        assert np.all(on_edge)
+
+    def test_nets_have_valid_pins(self, design):
+        assert design.pin_inst.max() < design.num_instances
+        assert np.all(design.net_degrees >= 2)
+
+    def test_different_seeds_give_different_netlists(self):
+        a = generate_design(MLCAD2023_SPECS["Design_116"], scale=SCALE)
+        b = generate_design(MLCAD2023_SPECS["Design_120"], scale=SCALE)
+        assert a.num_nets != b.num_nets
+
+
+class TestSuiteAndStats:
+    def test_suite_shares_device(self):
+        designs = mlcad2023_suite(("Design_116", "Design_120"), scale=SCALE)
+        assert designs[0].device is designs[1].device
+
+    def test_design_row(self, tiny_design):
+        row = design_row(tiny_design)
+        assert row["design"] == "Design_116"
+        assert row["#LUT"] == 370_000
+        assert row["instantiated"]["LUT"] > 0
+
+    def test_format_stats_table(self):
+        designs = mlcad2023_suite(("Design_116",), scale=SCALE)
+        table = format_stats_table(designs)
+        assert "Design_116" in table
+        assert "370000" in table

@@ -1,0 +1,109 @@
+"""GroupNorm, focal loss, label smoothing."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import FocalLoss2d, GroupNorm, Tensor, label_smoothing_targets
+
+from ..conftest import numerical_gradient
+
+
+class TestGroupNorm:
+    def test_normalizes_per_group(self, rng):
+        gn = GroupNorm(2, 4)
+        x = Tensor(rng.normal(3.0, 2.0, size=(2, 4, 5, 5)))
+        out = gn(x).data
+        # Each (sample, group) block has ~zero mean, unit variance.
+        grouped = out.reshape(2, 2, 2 * 5 * 5)
+        np.testing.assert_allclose(grouped.mean(axis=2), 0.0, atol=1e-6)
+        np.testing.assert_allclose(grouped.std(axis=2), 1.0, atol=1e-2)
+
+    def test_batch_independence(self, rng):
+        """A sample's output must not depend on its batch companions."""
+        gn = GroupNorm(2, 4)
+        a = rng.normal(size=(1, 4, 4, 4))
+        b = rng.normal(size=(1, 4, 4, 4))
+        alone = gn(Tensor(a)).data
+        together = gn(Tensor(np.concatenate([a, b]))).data[:1]
+        np.testing.assert_allclose(alone, together, atol=1e-10)
+
+    def test_divisibility_enforced(self):
+        with pytest.raises(ValueError, match="divisible"):
+            GroupNorm(3, 4)
+
+    def test_channel_check(self, rng):
+        gn = GroupNorm(2, 4)
+        with pytest.raises(ValueError, match="channels"):
+            gn(Tensor(rng.normal(size=(1, 6, 2, 2))))
+
+    def test_gradcheck(self, rng):
+        gn = GroupNorm(2, 4)
+        gn.gamma.data[...] = rng.normal(size=4)
+        gn.beta.data[...] = rng.normal(size=4)
+        x = Tensor(rng.normal(size=(2, 4, 3, 3)), requires_grad=True)
+        (gn(x) ** 2).sum().backward()
+
+        def f():
+            return float((gn(Tensor(x.data)).data ** 2).sum())
+
+        np.testing.assert_allclose(
+            numerical_gradient(f, x.data), x.grad, atol=1e-4
+        )
+
+    def test_trains(self, rng):
+        gn = GroupNorm(2, 4)
+        x = Tensor(rng.normal(size=(2, 4, 3, 3)))
+        (gn(x) ** 2).sum().backward()
+        assert gn.gamma.grad is not None
+        assert gn.beta.grad is not None
+
+
+class TestLabelSmoothing:
+    def test_values(self):
+        targets = label_smoothing_targets(np.array([[[1]]]), 4, smoothing=0.2)
+        assert targets[0, 1, 0, 0] == pytest.approx(0.8 + 0.05)
+        assert targets[0, 0, 0, 0] == pytest.approx(0.05)
+        np.testing.assert_allclose(targets.sum(axis=1), 1.0)
+
+    def test_zero_smoothing_is_one_hot(self):
+        targets = label_smoothing_targets(np.array([[[2]]]), 4, smoothing=0.0)
+        assert targets[0, 2, 0, 0] == 1.0
+
+    def test_range_checked(self):
+        with pytest.raises(ValueError, match="smoothing"):
+            label_smoothing_targets(np.array([[[0]]]), 4, smoothing=1.0)
+
+
+class TestFocalLoss:
+    def test_reduces_to_ce_at_gamma_zero(self, rng):
+        logits = rng.normal(size=(2, 4, 3, 3))
+        targets = rng.integers(0, 4, size=(2, 3, 3))
+        focal = FocalLoss2d(4, gamma=0.0)(Tensor(logits), targets)
+        ce = nn.CrossEntropyLoss2d(4)(Tensor(logits), targets)
+        assert focal.item() == pytest.approx(ce.item(), rel=1e-9)
+
+    def test_downweights_easy_examples(self):
+        """Confident-correct pixels contribute ~nothing at gamma=2."""
+        logits = np.zeros((1, 2, 1, 2))
+        logits[0, 1, 0, 0] = 8.0  # very confident, correct
+        targets = np.array([[[1, 0]]])
+        focal = FocalLoss2d(2, gamma=2.0)(Tensor(logits), targets)
+        ce = nn.CrossEntropyLoss2d(2)(Tensor(logits), targets)
+        assert focal.item() < ce.item()
+
+    def test_gamma_validation(self):
+        with pytest.raises(ValueError, match="gamma"):
+            FocalLoss2d(4, gamma=-1.0)
+
+    def test_class_count_validation(self, rng):
+        loss = FocalLoss2d(8)
+        with pytest.raises(ValueError, match="classes"):
+            loss(Tensor(rng.normal(size=(1, 4, 2, 2))), np.zeros((1, 2, 2), int))
+
+    def test_backward_runs(self, rng):
+        logits = Tensor(rng.normal(size=(2, 4, 3, 3)), requires_grad=True)
+        targets = rng.integers(0, 4, size=(2, 3, 3))
+        FocalLoss2d(4)(logits, targets).backward()
+        assert logits.grad is not None
+        assert np.isfinite(logits.grad).all()

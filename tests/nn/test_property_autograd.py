@@ -1,0 +1,114 @@
+"""Property-based tests (hypothesis) on the autograd core.
+
+These verify, over randomized shapes and values, the invariants any
+correct reverse-mode implementation must satisfy: gradients match finite
+differences, linearity of the backward pass, and broadcasting adjoints.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+_floats = st.floats(
+    min_value=-3.0, max_value=3.0, allow_nan=False, allow_infinity=False
+)
+
+
+def _finite_arrays(max_dims=2, max_side=4):
+    return array_shapes(min_dims=1, max_dims=max_dims, max_side=max_side).flatmap(
+        lambda shape: arrays(np.float64, shape, elements=_floats)
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(_finite_arrays())
+def test_sum_gradient_is_ones(data):
+    t = Tensor(data.copy(), requires_grad=True)
+    t.sum().backward()
+    np.testing.assert_allclose(t.grad, np.ones_like(data))
+
+
+@settings(max_examples=30, deadline=None)
+@given(_finite_arrays())
+def test_square_gradient_is_two_x(data):
+    t = Tensor(data.copy(), requires_grad=True)
+    (t * t).sum().backward()
+    np.testing.assert_allclose(t.grad, 2 * data, atol=1e-10)
+
+
+@settings(max_examples=30, deadline=None)
+@given(_finite_arrays(), st.floats(min_value=0.1, max_value=5.0))
+def test_scalar_scaling_of_backward(data, scale):
+    """d(c·f)/dx = c·df/dx."""
+    a = Tensor(data.copy(), requires_grad=True)
+    (a.tanh()).sum().backward()
+    base = a.grad.copy()
+    b = Tensor(data.copy(), requires_grad=True)
+    (b.tanh() * scale).sum().backward()
+    np.testing.assert_allclose(b.grad, scale * base, atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    arrays(np.float64, (3, 4), elements=_floats),
+    arrays(np.float64, (4,), elements=_floats),
+)
+def test_broadcast_add_adjoint_sums(matrix, row):
+    a = Tensor(matrix.copy(), requires_grad=True)
+    b = Tensor(row.copy(), requires_grad=True)
+    (a + b).sum().backward()
+    np.testing.assert_allclose(b.grad, 3 * np.ones(4))
+    np.testing.assert_allclose(a.grad, np.ones((3, 4)))
+
+
+@settings(max_examples=25, deadline=None)
+@given(arrays(np.float64, (2, 6), elements=_floats))
+def test_softmax_is_distribution(data):
+    out = F.softmax(Tensor(data), axis=-1).data
+    assert np.all(out >= 0)
+    np.testing.assert_allclose(out.sum(axis=-1), 1.0, atol=1e-12)
+
+
+@settings(max_examples=25, deadline=None)
+@given(arrays(np.float64, (2, 6), elements=_floats))
+def test_softmax_gradient_orthogonal_to_constant(data):
+    """Softmax is shift-invariant, so grad·1 = 0 for every row."""
+    t = Tensor(data.copy(), requires_grad=True)
+    weights = np.arange(6.0)
+    (F.softmax(t, axis=-1) * weights).sum().backward()
+    np.testing.assert_allclose(t.grad.sum(axis=-1), 0.0, atol=1e-10)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    arrays(np.float64, (1, 2, 4, 4), elements=_floats),
+    st.integers(min_value=1, max_value=2),
+)
+def test_conv_linearity_in_input(data, scale):
+    """conv(c·x) = c·conv(x) (convolution is linear, bias-free)."""
+    rng = np.random.default_rng(0)
+    w = Tensor(rng.normal(size=(3, 2, 3, 3)))
+    base = F.conv2d(Tensor(data), w, padding=1).data
+    scaled = F.conv2d(Tensor(scale * data), w, padding=1).data
+    np.testing.assert_allclose(scaled, scale * base, atol=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(arrays(np.float64, (1, 3, 4, 4), elements=_floats))
+def test_pool_upsample_energy_conservation(data):
+    """avg_pool then upsample preserves the mean exactly."""
+    t = Tensor(data)
+    down = F.avg_pool2d(t, 2)
+    up = F.upsample_nearest(down, 2)
+    np.testing.assert_allclose(up.data.mean(), down.data.mean(), atol=1e-12)
+
+
+@settings(max_examples=20, deadline=None)
+@given(arrays(np.float64, (2, 8), elements=_floats))
+def test_logsoftmax_upper_bound(data):
+    out = F.log_softmax(Tensor(data), axis=-1).data
+    assert np.all(out <= 1e-12)

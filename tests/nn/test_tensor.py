@@ -1,0 +1,262 @@
+"""Autograd core: op correctness, broadcasting, graph mechanics."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor, as_tensor, concatenate, stack
+from repro.nn.tensor import _unbroadcast
+
+from ..conftest import numerical_gradient
+
+
+class TestBasicOps:
+    def test_add_backward(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 1.0])
+        np.testing.assert_allclose(b.grad, [1.0, 1.0])
+
+    def test_mul_backward(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, [3.0, 4.0])
+        np.testing.assert_allclose(b.grad, [1.0, 2.0])
+
+    def test_sub_and_neg(self):
+        a = Tensor([5.0], requires_grad=True)
+        b = Tensor([2.0], requires_grad=True)
+        (a - b).backward()
+        assert a.grad[0] == 1.0
+        assert b.grad[0] == -1.0
+        c = Tensor([3.0], requires_grad=True)
+        (-c).backward()
+        assert c.grad[0] == -1.0
+
+    def test_div_backward(self):
+        a = Tensor([6.0], requires_grad=True)
+        b = Tensor([2.0], requires_grad=True)
+        (a / b).backward()
+        assert a.grad[0] == pytest.approx(0.5)
+        assert b.grad[0] == pytest.approx(-1.5)
+
+    def test_pow_backward(self):
+        a = Tensor([3.0], requires_grad=True)
+        (a**2).backward()
+        assert a.grad[0] == pytest.approx(6.0)
+
+    def test_pow_rejects_tensor_exponent(self):
+        a = Tensor([3.0], requires_grad=True)
+        with pytest.raises(TypeError):
+            a ** Tensor([2.0])
+
+    def test_rsub_rdiv(self):
+        a = Tensor([2.0], requires_grad=True)
+        (10.0 - a).backward()
+        assert a.grad[0] == -1.0
+        b = Tensor([2.0], requires_grad=True)
+        (10.0 / b).backward()
+        assert b.grad[0] == pytest.approx(-2.5)
+
+    def test_matmul_2d(self):
+        a = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        b = Tensor(np.arange(12.0).reshape(3, 4), requires_grad=True)
+        out = a @ b
+        assert out.shape == (2, 4)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 4)) @ b.data.T)
+        np.testing.assert_allclose(b.grad, a.data.T @ np.ones((2, 4)))
+
+    def test_matmul_batched(self, rng):
+        a = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(2, 4, 5)), requires_grad=True)
+        out = a @ b
+        assert out.shape == (2, 3, 5)
+        (out * out).sum().backward()
+
+        def f():
+            return float(((a.data @ b.data) ** 2).sum())
+
+        np.testing.assert_allclose(
+            numerical_gradient(f, a.data), a.grad, atol=1e-5
+        )
+
+
+class TestBroadcasting:
+    def test_add_broadcast_scalar(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        (a + 5.0).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3)))
+
+    def test_mul_broadcast_row(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        b = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(b.grad, [2.0, 2.0, 2.0])
+        np.testing.assert_allclose(a.grad, np.tile([1.0, 2.0, 3.0], (2, 1)))
+
+    def test_unbroadcast_keepdim_axis(self):
+        grad = np.ones((4, 3))
+        out = _unbroadcast(grad, (4, 1))
+        assert out.shape == (4, 1)
+        np.testing.assert_allclose(out, 3 * np.ones((4, 1)))
+
+    def test_unbroadcast_leading_axis(self):
+        grad = np.ones((5, 4, 3))
+        out = _unbroadcast(grad, (3,))
+        assert out.shape == (3,)
+        np.testing.assert_allclose(out, 20 * np.ones(3))
+
+
+class TestReductionsAndShape:
+    def test_sum_axis_keepdims(self):
+        a = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        out = a.sum(axis=1, keepdims=True)
+        assert out.shape == (2, 1)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3)))
+
+    def test_mean_gradient(self):
+        a = Tensor(np.arange(4.0), requires_grad=True)
+        a.mean().backward()
+        np.testing.assert_allclose(a.grad, 0.25 * np.ones(4))
+
+    def test_mean_multi_axis(self):
+        a = Tensor(np.ones((2, 3, 4)), requires_grad=True)
+        out = a.mean(axis=(1, 2))
+        assert out.shape == (2,)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.full((2, 3, 4), 1.0 / 12))
+
+    def test_max_gradient_ties_split(self):
+        a = Tensor(np.array([1.0, 3.0, 3.0]), requires_grad=True)
+        a.max().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 0.5, 0.5])
+
+    def test_max_axis(self):
+        a = Tensor(np.array([[1.0, 5.0], [7.0, 2.0]]), requires_grad=True)
+        out = a.max(axis=1)
+        np.testing.assert_allclose(out.data, [5.0, 7.0])
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [[0, 1], [1, 0]])
+
+    def test_reshape_transpose_roundtrip(self, rng):
+        a = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        out = a.reshape(6, 4).transpose(1, 0)
+        assert out.shape == (4, 6)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3, 4)))
+
+    def test_swapaxes(self, rng):
+        a = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        assert a.swapaxes(0, 2).shape == (4, 3, 2)
+
+    def test_getitem_gradient_accumulates(self):
+        a = Tensor(np.arange(5.0), requires_grad=True)
+        out = a[np.array([0, 0, 2])]
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [2.0, 0.0, 1.0, 0.0, 0.0])
+
+
+class TestNonlinearities:
+    @pytest.mark.parametrize("op", ["exp", "log", "tanh", "sigmoid", "relu", "gelu"])
+    def test_elementwise_numerical(self, op, rng):
+        raw = rng.uniform(0.5, 2.0, size=(3, 4))  # positive domain for log
+        a = Tensor(raw.copy(), requires_grad=True)
+        out = getattr(a, op)()
+        (out * out).sum().backward()
+
+        def f():
+            t = Tensor(a.data)
+            return float((getattr(t, op)().data ** 2).sum())
+
+        np.testing.assert_allclose(
+            numerical_gradient(f, a.data), a.grad, atol=1e-5
+        )
+
+    def test_sqrt(self):
+        a = Tensor([4.0], requires_grad=True)
+        a.sqrt().backward()
+        assert a.grad[0] == pytest.approx(0.25)
+
+
+class TestGraphMechanics:
+    def test_backward_requires_scalar(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(ValueError, match="scalar"):
+            (a * 2).backward()
+
+    def test_backward_explicit_grad_shape_check(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(ValueError, match="shape"):
+            (a * 2).backward(np.ones(4))
+
+    def test_diamond_graph_accumulates(self):
+        a = Tensor([2.0], requires_grad=True)
+        b = a * 3
+        c = a * 4
+        (b + c).backward()
+        assert a.grad[0] == pytest.approx(7.0)
+
+    def test_reused_tensor_many_paths(self):
+        a = Tensor([1.0], requires_grad=True)
+        out = a
+        for _ in range(5):
+            out = out + a
+        out.backward()
+        assert a.grad[0] == pytest.approx(6.0)
+
+    def test_no_grad_blocks_graph(self):
+        a = Tensor([1.0], requires_grad=True)
+        with nn.no_grad():
+            out = a * 2
+        assert not out.requires_grad
+        assert out._parents == ()
+
+    def test_no_grad_restores_state(self):
+        assert nn.is_grad_enabled()
+        with nn.no_grad():
+            assert not nn.is_grad_enabled()
+        assert nn.is_grad_enabled()
+
+    def test_detach(self):
+        a = Tensor([1.0], requires_grad=True)
+        d = a.detach()
+        assert not d.requires_grad
+        (d * 2).sum()
+        assert a.grad is None
+
+    def test_deep_chain_no_recursion_error(self):
+        a = Tensor([1.0], requires_grad=True)
+        out = a
+        for _ in range(5000):
+            out = out + 0.0
+        out.backward()
+        assert a.grad[0] == pytest.approx(1.0)
+
+
+class TestConcatenateStack:
+    def test_concatenate_gradients(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.ones((3, 2)), requires_grad=True)
+        out = concatenate([a, b], axis=0)
+        assert out.shape == (5, 2)
+        (out * np.arange(10.0).reshape(5, 2)).sum().backward()
+        np.testing.assert_allclose(a.grad, [[0, 1], [2, 3]])
+        np.testing.assert_allclose(b.grad, [[4, 5], [6, 7], [8, 9]])
+
+    def test_stack_gradients(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        out = stack([a, b], axis=0)
+        assert out.shape == (2, 2)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 1.0])
+        np.testing.assert_allclose(b.grad, [1.0, 1.0])
+
+    def test_as_tensor_passthrough(self):
+        a = Tensor([1.0])
+        assert as_tensor(a) is a
+        assert isinstance(as_tensor([1.0, 2.0]), Tensor)

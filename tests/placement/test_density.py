@@ -1,0 +1,184 @@
+"""Electrostatic density system: deposition, Poisson solve, overflow."""
+
+import numpy as np
+import pytest
+
+from repro.arch import ResourceType, SiteType
+from repro.placement import ElectrostaticSystem
+from repro.placement.density import FIELD_GROUPS
+
+
+@pytest.fixture
+def system(fresh_tiny_design):
+    return ElectrostaticSystem(fresh_tiny_design, bins=16)
+
+
+class TestFields:
+    def test_expected_fields_exist(self, system):
+        assert set(system.fields) <= set(FIELD_GROUPS)
+        assert "CLB" in system.fields
+        assert "DSP" in system.fields
+
+    def test_clb_area_is_max_of_lut_ff(self, system):
+        design = system.design
+        field = system.fields["CLB"]
+        lut_col = list(ResourceType).index(ResourceType.LUT)
+        ff_col = list(ResourceType).index(ResourceType.FF)
+        member = field.members[0]
+        expected = max(
+            design.demand_matrix[member, lut_col] / 8.0,
+            design.demand_matrix[member, ff_col] / 16.0,
+        )
+        assert field.areas[0] == pytest.approx(expected)
+
+    def test_capacity_positive_only_on_matching_columns(self, system):
+        cap = system.fields["DSP"].capacity
+        device = system.design.device
+        bins = system.bins
+        col_width = device.num_cols / bins
+        dsp_cols = set(device.columns_of_type(SiteType.DSP))
+        for b in range(bins):
+            covered = {
+                c for c in dsp_cols
+                if b * col_width - 1 < c < (b + 1) * col_width
+            }
+            if cap[b].sum() > 0:
+                assert covered
+
+
+class TestDeposition:
+    def test_mass_conserved(self, system):
+        x = system.design.x
+        y = system.design.y
+        for field in system.fields.values():
+            density, *_ = system._deposit(field, x, y)
+            assert density.sum() == pytest.approx(field.areas.sum())
+
+    def test_single_point_bilinear(self, system):
+        field = system.fields["DSP"]
+        x = system.design.x.copy()
+        y = system.design.y.copy()
+        member = field.members[0]
+        # Put the macro exactly at a bin center: all mass in one bin.
+        x[member] = 0.5 * system.bin_w
+        y[member] = 0.5 * system.bin_h
+        density, *_ = system._deposit(field, x, y)
+        assert density[0, 0] >= field.areas[0] - 1e-9
+
+
+class TestPoisson:
+    def test_uniform_density_gives_zero_field(self, system):
+        rho = np.zeros((16, 16))
+        phi, ex, ey = system._solve_poisson(rho)
+        np.testing.assert_allclose(ex, 0.0, atol=1e-9)
+        np.testing.assert_allclose(ey, 0.0, atol=1e-9)
+
+    def test_point_charge_field_points_outward(self, system):
+        rho = np.zeros((16, 16))
+        rho[8, 8] = 1.0
+        _, ex, ey = system._solve_poisson(rho)
+        # Field to the right of the charge pushes right (+x).
+        assert ex[10, 8] > 0
+        assert ex[6, 8] < 0
+        assert ey[8, 10] > 0
+        assert ey[8, 6] < 0
+
+    def test_energy_positive_for_clustered_charge(self, system):
+        x = np.full(system.design.num_instances, 8.0)
+        y = np.full(system.design.num_instances, 8.0)
+        energies, fx, fy = system.energy_and_forces(x, y)
+        assert energies["CLB"] > 0
+
+
+class TestForcesAndOverflow:
+    def test_forces_spread_a_cluster(self, system):
+        """Forces on a stacked placement push instances apart."""
+        n = system.design.num_instances
+        x = np.full(n, 8.0)
+        y = np.full(n, 8.0)
+        rng = np.random.default_rng(0)
+        x += rng.normal(0, 0.05, n)
+        _, fx, fy = system.energy_and_forces(x, y)
+        members = system.fields["CLB"].members
+        right = members[x[members] > 8.0]
+        left = members[x[members] < 8.0]
+        # On average, instances right of center are pushed right.
+        assert fx[right].mean() > 0
+        assert fx[left].mean() < 0
+
+    def test_overflow_high_when_stacked(self, system):
+        n = system.design.num_instances
+        overflow = system.overflow(np.full(n, 8.0), np.full(n, 8.0))
+        assert overflow["CLB"] > 0.5
+
+    def test_overflow_zero_when_spread_to_columns(self, system):
+        """Macros snapped evenly to their columns have no overflow."""
+        design = system.design
+        x = design.x.copy()
+        y = design.y.copy()
+        device = design.device
+        for name in ("DSP", "BRAM", "URAM"):
+            field = system.fields[name]
+            site = {"DSP": SiteType.DSP, "BRAM": SiteType.BRAM, "URAM": SiteType.URAM}[name]
+            cols = device.columns_of_type(site)
+            for i, member in enumerate(field.members):
+                x[member] = cols[i % len(cols)] + 0.5
+                y[member] = (i // len(cols)) % device.num_rows
+        overflow = system.overflow(x, y)
+        for name in ("DSP", "BRAM", "URAM"):
+            assert overflow[name] == pytest.approx(0.0, abs=1e-9)
+
+    def test_field_weights_scale_forces(self, system):
+        n = system.design.num_instances
+        x = np.full(n, 8.0)
+        y = np.full(n, 8.0)
+        _, fx1, _ = system.energy_and_forces(x, y, field_weights={"CLB": 1.0})
+        _, fx2, _ = system.energy_and_forces(x, y, field_weights={"CLB": 2.0})
+        members = system.fields["CLB"].members
+        only_clb = np.setdiff1d(
+            members, np.concatenate([f.members for n2, f in system.fields.items() if n2 != "CLB"])
+        )
+        np.testing.assert_allclose(fx2[only_clb], 2.0 * fx1[only_clb], atol=1e-12)
+
+
+class TestAreaMutation:
+    def test_set_areas_and_inflate(self, system):
+        field = system.fields["CLB"]
+        base = field.areas.copy()
+        system.inflate("CLB", np.full(base.shape, 2.0))
+        np.testing.assert_allclose(field.areas, 2 * base)
+        system.set_areas("CLB", base)
+        np.testing.assert_allclose(field.areas, base)
+
+    def test_shape_mismatch_rejected(self, system):
+        with pytest.raises(ValueError):
+            system.inflate("CLB", np.ones(3))
+        with pytest.raises(ValueError):
+            system.set_areas("CLB", np.ones(3))
+
+
+class TestFieldForceNorms:
+    def test_norms_positive_for_clustered(self, system):
+        n = system.design.num_instances
+        x = np.full(n, 8.0)
+        y = np.full(n, 8.0)
+        norms = system.field_force_norms(x, y)
+        assert set(norms) == set(system.fields)
+        for value in norms.values():
+            assert value > 0
+
+    def test_norms_match_direct_force_rms(self, system):
+        """field_force_norms equals the RMS of energy_and_forces output
+        restricted to one field (checked via a single-field weight)."""
+        design = system.design
+        rng = np.random.default_rng(0)
+        n = design.num_instances
+        x = rng.uniform(0, 16, n)
+        y = rng.uniform(0, 16, n)
+        norms = system.field_force_norms(x, y)
+        weights = {name: 0.0 for name in system.fields}
+        weights["DSP"] = 1.0
+        _, fx, fy = system.energy_and_forces(x, y, field_weights=weights)
+        members = system.fields["DSP"].members
+        rms = float(np.sqrt(np.mean(fx[members] ** 2 + fy[members] ** 2)))
+        assert rms == pytest.approx(norms["DSP"], rel=1e-6)

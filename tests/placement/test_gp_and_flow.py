@@ -1,0 +1,143 @@
+"""Global placer dynamics and the Fig. 6 flow contract."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import MLCAD2023_SPECS, generate_design
+from repro.placement import (
+    GlobalPlacer,
+    GPConfig,
+    MacroPlacer,
+    PlacerConfig,
+    RudyEstimator,
+    place_design,
+)
+
+
+@pytest.fixture
+def gp(fresh_tiny_design):
+    return GlobalPlacer(
+        fresh_tiny_design, GPConfig(bins=16, max_iters=100, seed=3)
+    )
+
+
+class TestGlobalPlacer:
+    def test_step_returns_metrics(self, gp):
+        metrics = gp.step()
+        assert "wl" in metrics
+        assert np.isfinite(metrics["wl"])
+
+    def test_overflow_decreases_after_warmup(self, gp):
+        """ePlace-style trajectory: collapse during WL-dominated warmup,
+        then monotone spreading once the density multiplier has grown."""
+        gp.run(max_iters=60)
+        after_warmup = gp.overflow()["CLB"]
+        gp.run(max_iters=200)
+        final = gp.overflow()["CLB"]
+        assert final < after_warmup
+
+    def test_positions_inside_device(self, gp):
+        gp.run(max_iters=50)
+        x, y = gp.positions()
+        device = gp.design.device
+        assert x.min() >= 0 and x.max() <= device.width
+        assert y.min() >= 0 and y.max() <= device.height
+
+    def test_fixed_instances_never_move(self, gp):
+        design = gp.design
+        fixed = np.flatnonzero(~design.movable_mask)
+        x0 = design.x[fixed].copy()
+        gp.run(max_iters=30)
+        x, y = gp.positions()
+        np.testing.assert_allclose(x[fixed], x0)
+
+    def test_cascade_members_stay_aligned_during_gp(self, gp):
+        gp.run(max_iters=30)
+        x, y = gp.positions()
+        for cascade in gp.design.cascades:
+            idx = list(cascade.instances)
+            assert np.allclose(x[idx], x[idx[0]])
+            np.testing.assert_allclose(np.diff(y[idx]), 1.0)
+
+    def test_commit_writes_back(self, gp):
+        gp.run(max_iters=20)
+        gp.commit()
+        x, y = gp.positions()
+        np.testing.assert_allclose(gp.design.x, np.clip(x, 0, None), atol=1e-6)
+
+    def test_gates_met_consistent_with_overflow(self, gp):
+        overflow = gp.overflow()
+        expected = overflow["CLB"] < 0.15 and all(
+            overflow.get(k, 0.0) < 0.25 for k in ("DSP", "BRAM", "URAM")
+        )
+        assert gp.gates_met() == expected
+
+    def test_run_respects_stop_predicate(self, gp):
+        calls = []
+
+        def stop(placer):
+            calls.append(placer.state.iteration)
+            return True
+
+        gp.run(max_iters=100, stop_when=stop, check_every=5)
+        assert gp.state.iteration == 5
+        assert calls
+
+
+class TestFig6Flow:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        design = generate_design(MLCAD2023_SPECS["Design_197"], scale=1 / 256)
+        config = PlacerConfig(
+            gp=GPConfig(bins=16, max_iters=150),
+            inflation_rounds=2,
+            stage1_iters=150,
+            stage2_iters=40,
+        )
+        return place_design(design, config=config), design
+
+    def test_flow_completes_and_is_legal(self, outcome):
+        result, _ = outcome
+        assert result.legal, result.legalization.failures
+
+    def test_inflation_ran_requested_rounds(self, outcome):
+        result, _ = outcome
+        assert len(result.inflation_stats) == 2
+
+    def test_overflow_improves_from_stage1(self, outcome):
+        result, _ = outcome
+        assert result.final_overflow["CLB"] <= result.stage1_overflow["CLB"] + 0.05
+
+    def test_placement_written_to_design(self, outcome):
+        result, design = outcome
+        np.testing.assert_allclose(design.x, result.x)
+        np.testing.assert_allclose(design.y, result.y)
+
+    def test_runtime_recorded(self, outcome):
+        result, _ = outcome
+        assert 0 < result.t_macro_minutes < 10  # paper's no-penalty regime
+
+    def test_hpwl_positive(self, outcome):
+        result, _ = outcome
+        assert result.hpwl > 0
+
+    def test_custom_estimator_used(self):
+        calls = []
+
+        def estimator(design, x, y):
+            calls.append(design.name)
+            return np.zeros((16, 16))
+
+        design = generate_design(MLCAD2023_SPECS["Design_197"], scale=1 / 256)
+        config = PlacerConfig(
+            gp=GPConfig(bins=16, max_iters=60),
+            inflation_rounds=2,
+            stage1_iters=60,
+            stage2_iters=10,
+        )
+        MacroPlacer(design, estimator=estimator, config=config).run()
+        assert len(calls) == 2
+
+    def test_default_estimator_is_rudy(self, fresh_tiny_design):
+        placer = MacroPlacer(fresh_tiny_design)
+        assert isinstance(placer.estimator, RudyEstimator)

@@ -1,0 +1,129 @@
+"""Instance inflation, Eqs. 11-13."""
+
+import numpy as np
+import pytest
+
+from repro.placement import (
+    ElectrostaticSystem,
+    InflationConfig,
+    inflate_all_fields,
+    inflate_field,
+    lookup_levels,
+)
+
+
+@pytest.fixture
+def system(fresh_tiny_design):
+    return ElectrostaticSystem(fresh_tiny_design, bins=16)
+
+
+def _uniform_levels(value: float, grid: int = 16) -> np.ndarray:
+    return np.full((grid, grid), value)
+
+
+class TestLookupLevels:
+    def test_maps_positions_to_grid(self, system):
+        design = system.design
+        level_map = np.zeros((16, 16))
+        level_map[0, 0] = 7.0
+        members = np.array([0])
+        x = np.array([0.1] + [0.0] * (design.num_instances - 1))
+        y = np.array([0.1] + [0.0] * (design.num_instances - 1))
+        levels = lookup_levels(level_map, design, x, y, members)
+        assert levels[0] == 7.0
+
+    def test_clips_out_of_range(self, system):
+        design = system.design
+        level_map = np.zeros((16, 16))
+        level_map[15, 15] = 5.0
+        members = np.array([0])
+        x = np.full(design.num_instances, 1e9)
+        y = np.full(design.num_instances, 1e9)
+        assert lookup_levels(level_map, design, x, y, members)[0] == 5.0
+
+
+class TestEq11:
+    def test_no_inflation_at_or_below_level_3(self, system):
+        x, y = system.design.x, system.design.y
+        base = system.fields["CLB"].areas.copy()
+        stats = inflate_field(system, "CLB", _uniform_levels(3.0), x, y)
+        np.testing.assert_allclose(system.fields["CLB"].areas, base)
+        assert stats["inflated"] == 0
+
+    def test_inflation_factor_formula(self, system):
+        """At level Y the factor is min(max(1, Y-2)^2.5, eps)."""
+        x, y = system.design.x, system.design.y
+        field = system.fields["URAM"]  # tiny field -> tau likely 1
+        base = field.areas.copy()
+        config = InflationConfig(epsilon=100.0)
+        stats = inflate_field(system, "URAM", _uniform_levels(4.0), x, y, config)
+        expected_factor = (4.0 - 2.0) ** 2.5  # = 5.657
+        if stats["tau"] == pytest.approx(1.0):
+            np.testing.assert_allclose(field.areas, base * expected_factor)
+
+    def test_epsilon_caps_inflation(self, system):
+        x, y = system.design.x, system.design.y
+        field = system.fields["URAM"]
+        base = field.areas.copy()
+        config = InflationConfig(epsilon=2.0)
+        stats = inflate_field(system, "URAM", _uniform_levels(7.0), x, y, config)
+        if stats["tau"] == pytest.approx(1.0):
+            np.testing.assert_allclose(field.areas, 2.0 * base)
+
+    def test_fractional_levels_between_3_and_4_inflate(self, system):
+        x, y = system.design.x, system.design.y
+        field = system.fields["URAM"]
+        base = field.areas.copy()
+        inflate_field(system, "URAM", _uniform_levels(3.5), x, y)
+        assert np.all(field.areas > base)
+
+
+class TestEq12Eq13:
+    def test_tau_caps_total_area_at_capacity(self, system):
+        x, y = system.design.x, system.design.y
+        field = system.fields["DSP"]  # 90% utilized -> little headroom
+        config = InflationConfig(epsilon=100.0)
+        stats = inflate_field(system, "DSP", _uniform_levels(7.0), x, y, config)
+        assert stats["tau"] < 1.0
+        assert field.total_area <= field.total_capacity + 1e-6
+
+    def test_tau_one_when_headroom(self, system):
+        x, y = system.design.x, system.design.y
+        stats = inflate_field(
+            system, "URAM", _uniform_levels(4.0), x, y, InflationConfig()
+        )
+        # URAM is ~10% utilized; modest inflation fits entirely.
+        assert stats["tau"] == pytest.approx(1.0)
+
+    def test_area_added_consistent(self, system):
+        x, y = system.design.x, system.design.y
+        field = system.fields["CLB"]
+        before = field.total_area
+        stats = inflate_field(system, "CLB", _uniform_levels(5.0), x, y)
+        assert field.total_area == pytest.approx(before + stats["area_added"])
+
+
+class TestInflateAll:
+    def test_all_fields_reported(self, system):
+        x, y = system.design.x, system.design.y
+        stats = inflate_all_fields(system, _uniform_levels(4.5), x, y)
+        assert set(stats) == set(system.fields)
+        for entry in stats.values():
+            assert {"inflated", "area_added", "tau"} <= set(entry)
+
+    def test_spatially_selective(self, system):
+        """Only instances inside hot grids inflate."""
+        design = system.design
+        x = design.x.copy()
+        y = design.y.copy()
+        field = system.fields["CLB"]
+        # Left half hot, right half cold; move half the members each side.
+        half = len(field.members) // 2
+        x[field.members[:half]] = 2.0
+        x[field.members[half:]] = 14.0
+        level_map = np.zeros((16, 16))
+        level_map[:8, :] = 6.0
+        base = field.areas.copy()
+        inflate_field(system, "CLB", level_map, x, y)
+        assert np.all(field.areas[:half] > base[:half])
+        np.testing.assert_allclose(field.areas[half:], base[half:])

@@ -1,0 +1,106 @@
+"""Legalization: legality of macros, cascades, regions, cells."""
+
+import numpy as np
+import pytest
+
+from repro.arch import ResourceType, SiteType
+from repro.placement import legalize, legalize_cells, legalize_macros
+
+
+@pytest.fixture(scope="module")
+def legalized(tiny_design):
+    design = tiny_design
+    result = legalize(design, design.x, design.y)
+    return design, result
+
+
+class TestMacroLegalization:
+    def test_no_failures(self, legalized):
+        _, result = legalized
+        assert result.legal, result.failures
+
+    def test_macros_on_matching_columns(self, legalized):
+        design, result = legalized
+        device = design.device
+        site_of = {
+            ResourceType.DSP: SiteType.DSP,
+            ResourceType.BRAM: SiteType.BRAM,
+            ResourceType.URAM: SiteType.URAM,
+        }
+        for res, site in site_of.items():
+            cols = set(device.columns_of_type(site).tolist())
+            for inst in design.instances_of(res):
+                if not design.instances[inst].movable:
+                    continue
+                assert result.x[inst] == int(result.x[inst])
+                assert int(result.x[inst]) in cols
+
+    def test_integer_rows(self, legalized):
+        design, result = legalized
+        macros = design.macro_indices()
+        np.testing.assert_allclose(result.y[macros] % 1.0, 0.0)
+
+    def test_no_two_macros_same_site(self, legalized):
+        design, result = legalized
+        macros = design.macro_indices()
+        sites = {(float(result.x[m]), float(result.y[m])) for m in macros}
+        assert len(sites) == len(macros)
+
+    def test_cascades_satisfied(self, legalized):
+        design, result = legalized
+        for cascade in design.cascades:
+            assert cascade.is_satisfied(result.x, result.y), cascade
+
+    def test_region_constrained_macros_inside(self, legalized):
+        design, result = legalized
+        for region in design.regions:
+            for inst in region.instances:
+                if design.instances[inst].is_macro:
+                    assert region.contains(
+                        np.array([result.x[inst]]), np.array([result.y[inst]])
+                    )[0]
+
+    def test_displacement_reported(self, legalized):
+        _, result = legalized
+        assert result.total_displacement >= 0
+        assert result.max_displacement <= result.total_displacement + 1e-9
+
+
+class TestCellLegalization:
+    def test_cells_on_clb_columns(self, legalized):
+        design, result = legalized
+        device = design.device
+        clb_cols = set(device.columns_of_type(SiteType.CLB).tolist())
+        for inst in design.instances_of(ResourceType.LUT):
+            instance = design.instances[inst]
+            if not instance.movable or sum(instance.demand.values()) == 0:
+                continue
+            assert int(result.x[inst]) in clb_cols
+
+    def test_one_cluster_per_site(self, legalized):
+        design, result = legalized
+        taken = set()
+        for inst in design.instances_of(ResourceType.LUT):
+            instance = design.instances[inst]
+            if not instance.movable or sum(instance.demand.values()) == 0:
+                continue
+            key = (float(result.x[inst]), float(result.y[inst]))
+            assert key not in taken
+            taken.add(key)
+
+
+class TestPartialAPIs:
+    def test_macro_only_pass_leaves_cells(self, tiny_design):
+        result = legalize_macros(tiny_design, tiny_design.x, tiny_design.y)
+        assert result.legal or result.failures  # returns a result either way
+
+    def test_cells_only_pass(self, tiny_design):
+        result = legalize_cells(tiny_design, tiny_design.x, tiny_design.y)
+        assert result.legal
+
+    def test_inputs_not_mutated(self, tiny_design):
+        x0 = tiny_design.x.copy()
+        y0 = tiny_design.y.copy()
+        legalize(tiny_design, tiny_design.x, tiny_design.y)
+        np.testing.assert_allclose(tiny_design.x, x0)
+        np.testing.assert_allclose(tiny_design.y, y0)

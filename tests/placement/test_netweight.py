@@ -1,0 +1,90 @@
+"""Congestion-driven net weighting."""
+
+import numpy as np
+import pytest
+
+from repro.placement import (
+    GPConfig,
+    PlacerConfig,
+    apply_congestion_net_weights,
+    place_design,
+    reset_net_weights,
+)
+
+
+class TestApplyWeights:
+    def test_no_hot_cells_no_change(self, fresh_tiny_design):
+        d = fresh_tiny_design
+        before = d.net_weights.copy()
+        n = apply_congestion_net_weights(
+            d, np.zeros((16, 16)), d.x, d.y
+        )
+        assert n == 0
+        np.testing.assert_allclose(d.net_weights, before)
+
+    def test_only_overlapping_nets_upweighted(self, fresh_tiny_design):
+        d = fresh_tiny_design
+        reset_net_weights(d)
+        before = d.net_weights.copy()
+        levels = np.zeros((16, 16))
+        levels[0, 0] = 7.0  # hot corner
+        n = apply_congestion_net_weights(d, levels, d.x, d.y, factor=2.0)
+        changed = ~np.isclose(d.net_weights, before)
+        assert changed.sum() == n
+        # Nets fully away from the corner keep their weight.
+        assert n < d.num_nets
+
+    def test_cap_respected(self, fresh_tiny_design):
+        d = fresh_tiny_design
+        reset_net_weights(d)
+        levels = np.full((16, 16), 7.0)
+        for _ in range(10):
+            apply_congestion_net_weights(d, levels, d.x, d.y, factor=2.0, cap=4.0)
+        assert d.net_weights.max() <= 4.0 + 1e-9
+
+    def test_factor_validation(self, fresh_tiny_design):
+        d = fresh_tiny_design
+        with pytest.raises(ValueError, match="factor"):
+            apply_congestion_net_weights(d, np.zeros((4, 4)), d.x, d.y, factor=0.5)
+
+    def test_reset(self, fresh_tiny_design):
+        d = fresh_tiny_design
+        levels = np.full((16, 16), 7.0)
+        apply_congestion_net_weights(d, levels, d.x, d.y, factor=3.0)
+        reset_net_weights(d)
+        np.testing.assert_allclose(
+            d.net_weights, [net.weight for net in d.nets]
+        )
+
+    def test_hot_box_overlap_uses_prefix_sums_correctly(self, manual_design):
+        d = manual_design
+        x = np.array([0.0, 2.0, 4.0, 14.0, 15.0, 8.0])
+        y = np.array([0.0, 0.0, 0.0, 14.0, 15.0, 8.0])
+        d.set_placement(x, y)
+        levels = np.zeros((16, 16))
+        levels[14, 14] = 7.0  # only the far corner is hot
+        reset_net_weights(d)
+        apply_congestion_net_weights(d, levels, d.x, d.y, factor=2.0)
+        # net2 spans (0,0)-(14,14)... check: net 2 connects inst 0 and 4.
+        assert d.net_weights[2] == pytest.approx(2.0)
+        # net0 connects inst 0,1 near origin -> untouched.
+        assert d.net_weights[0] == pytest.approx(1.0)
+
+
+class TestFlowIntegration:
+    def test_placer_flag_runs(self):
+        from repro.netlist import MLCAD2023_SPECS, generate_design
+
+        design = generate_design(MLCAD2023_SPECS["Design_120"], scale=1 / 256)
+        outcome = place_design(
+            design,
+            config=PlacerConfig(
+                gp=GPConfig(bins=16, max_iters=100),
+                inflation_rounds=1,
+                stage1_iters=80,
+                stage2_iters=20,
+                net_weighting=True,
+            ),
+        )
+        assert outcome.legal
+        assert "nets_reweighted" in outcome.inflation_stats[0]

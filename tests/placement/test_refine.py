@@ -1,0 +1,133 @@
+"""Macro refinement: HPWL never worsens, legality is preserved."""
+
+import numpy as np
+import pytest
+
+from repro.arch import ResourceType, SiteType
+from repro.netlist import MLCAD2023_SPECS, generate_design
+from repro.placement import (
+    GPConfig,
+    PlacerConfig,
+    legalize,
+    place_design,
+    refine_macros,
+)
+
+
+@pytest.fixture(scope="module")
+def legal_design():
+    design = generate_design(MLCAD2023_SPECS["Design_136"], scale=1 / 256)
+    place_design(
+        design,
+        config=PlacerConfig(
+            gp=GPConfig(bins=16, max_iters=150),
+            inflation_rounds=1,
+            stage1_iters=120,
+            stage2_iters=40,
+        ),
+    )
+    return design
+
+
+class TestRefineMacros:
+    def test_hpwl_never_worse(self, legal_design):
+        before = legal_design.hpwl()
+        result = refine_macros(legal_design, legal_design.x, legal_design.y)
+        assert result.hpwl_after <= before + 1e-6
+        assert result.hpwl_before == pytest.approx(before)
+        assert 0.0 <= result.improvement <= 1.0
+
+    def test_swaps_preserve_site_legality(self, legal_design):
+        result = refine_macros(legal_design, legal_design.x, legal_design.y)
+        device = legal_design.device
+        site_of = {
+            ResourceType.DSP: SiteType.DSP,
+            ResourceType.BRAM: SiteType.BRAM,
+            ResourceType.URAM: SiteType.URAM,
+        }
+        for res, site in site_of.items():
+            cols = set(device.columns_of_type(site).tolist())
+            for inst in legal_design.instances_of(res):
+                if legal_design.instances[int(inst)].movable:
+                    assert int(result.x[int(inst)]) in cols
+
+    def test_no_duplicate_sites_after_refinement(self, legal_design):
+        result = refine_macros(legal_design, legal_design.x, legal_design.y)
+        macros = legal_design.macro_indices()
+        sites = {
+            (float(result.x[m]), float(result.y[m])) for m in macros
+        }
+        assert len(sites) == len(macros)
+
+    def test_cascades_untouched(self, legal_design):
+        x0 = legal_design.x.copy()
+        y0 = legal_design.y.copy()
+        result = refine_macros(legal_design, x0, y0)
+        for cascade in legal_design.cascades:
+            for inst in cascade.instances:
+                assert result.x[inst] == x0[inst]
+                assert result.y[inst] == y0[inst]
+            assert cascade.is_satisfied(result.x, result.y)
+
+    def test_annealing_mode_never_commits_a_net_loss(self, legal_design):
+        before = legal_design.hpwl()
+        result = refine_macros(
+            legal_design, legal_design.x, legal_design.y,
+            max_passes=2, temperature=5.0, seed=1,
+        )
+        assert result.hpwl_after <= before + 1e-6
+
+    def test_improves_a_deliberately_bad_macro_order(self):
+        """Reverse macros within their columns: refinement must recover."""
+        design = generate_design(MLCAD2023_SPECS["Design_136"], scale=1 / 256)
+        rng = np.random.default_rng(3)
+        x = rng.uniform(0, design.device.width, design.num_instances)
+        y = rng.uniform(0, design.device.height, design.num_instances)
+        legal = legalize(design, x, y)
+        design.set_placement(legal.x, legal.y)
+        result = refine_macros(design, legal.x, legal.y, max_passes=4)
+        assert result.hpwl_after < result.hpwl_before
+        assert result.moves_accepted > 0
+
+
+class TestRefineCells:
+    def test_never_worse_and_legal(self, legal_design):
+        from repro.placement import refine_cells
+
+        before = legal_design.hpwl()
+        result = refine_cells(legal_design, legal_design.x, legal_design.y)
+        assert result.hpwl_after <= before + 1e-6
+        # Swaps preserve one-cluster-per-site legality.
+        taken = set()
+        for inst in legal_design.instances_of(ResourceType.LUT):
+            instance = legal_design.instances[int(inst)]
+            if not instance.movable or sum(instance.demand.values()) == 0:
+                continue
+            key = (float(result.x[int(inst)]), float(result.y[int(inst)]))
+            assert key not in taken
+            taken.add(key)
+
+    def test_improves_shuffled_cells(self):
+        from repro.placement import legalize, refine_cells
+
+        design = generate_design(MLCAD2023_SPECS["Design_120"], scale=1 / 256)
+        rng = np.random.default_rng(5)
+        x = rng.uniform(0, design.device.width, design.num_instances)
+        y = rng.uniform(0, design.device.height, design.num_instances)
+        legal = legalize(design, x, y)
+        design.set_placement(legal.x, legal.y)
+        result = refine_cells(design, legal.x, legal.y, max_passes=3)
+        assert result.hpwl_after < result.hpwl_before
+        assert result.moves_accepted > 0
+
+    def test_fenced_cells_stay_in_region(self, legal_design):
+        from repro.placement import refine_cells
+
+        result = refine_cells(legal_design, legal_design.x, legal_design.y)
+        for region in legal_design.regions:
+            for inst in region.instances:
+                if not legal_design.instances[inst].movable:
+                    continue
+                assert region.contains(
+                    np.array([result.x[inst]]), np.array([result.y[inst]])
+                )[0] or not legal_design.instances[inst].resource.is_macro

@@ -1,0 +1,133 @@
+"""Wirelength models: HPWL exactness, WA convergence and gradients."""
+
+import numpy as np
+import pytest
+
+from repro.placement import hpwl, wa_wirelength, wa_wirelength_grad
+
+from ..conftest import numerical_gradient
+
+
+class TestHPWL:
+    def test_matches_design_method(self, tiny_design):
+        assert hpwl(tiny_design, tiny_design.x, tiny_design.y) == pytest.approx(
+            tiny_design.hpwl()
+        )
+
+    def test_translation_invariant(self, manual_design, rng):
+        d = manual_design
+        x = rng.uniform(2, 10, d.num_instances)
+        y = rng.uniform(2, 10, d.num_instances)
+        base = hpwl(d, x, y)
+        assert hpwl(d, x + 1.0, y + 2.0) == pytest.approx(base)
+
+
+class TestWAWirelength:
+    def test_upper_bounds_hpwl(self, manual_design, rng):
+        d = manual_design
+        x = rng.uniform(0, 15, d.num_instances)
+        y = rng.uniform(0, 15, d.num_instances)
+        # WA is a lower bound of HPWL that tightens as gamma -> 0.
+        wa = wa_wirelength(d, x, y, gamma=0.05)
+        assert wa == pytest.approx(hpwl(d, x, y), rel=0.05)
+
+    def test_converges_to_hpwl_with_small_gamma(self, manual_design, rng):
+        d = manual_design
+        x = rng.uniform(0, 15, d.num_instances)
+        y = rng.uniform(0, 15, d.num_instances)
+        errors = [
+            abs(wa_wirelength(d, x, y, gamma) - hpwl(d, x, y))
+            for gamma in (4.0, 1.0, 0.25)
+        ]
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_gradient_matches_numerical(self, manual_design, rng):
+        d = manual_design
+        x = rng.uniform(0, 15, d.num_instances)
+        y = rng.uniform(0, 15, d.num_instances)
+        gamma = 1.5
+        wl, gx, gy = wa_wirelength_grad(d, x, y, gamma)
+        assert wl == pytest.approx(wa_wirelength(d, x, y, gamma))
+
+        def fx():
+            return wa_wirelength(d, x, y, gamma)
+
+        np.testing.assert_allclose(numerical_gradient(fx, x), gx, atol=1e-5)
+
+        def fy():
+            return wa_wirelength(d, x, y, gamma)
+
+        np.testing.assert_allclose(numerical_gradient(fy, y), gy, atol=1e-5)
+
+    def test_gradient_pulls_pins_together(self, manual_design):
+        """For a 2-pin net, gradients point toward each other."""
+        d = manual_design
+        x = np.full(d.num_instances, 8.0)
+        y = np.full(d.num_instances, 8.0)
+        x[0], x[1] = 2.0, 14.0
+        _, gx, _ = wa_wirelength_grad(d, x, y, gamma=1.0)
+        # Moving instance 0 right decreases WL -> positive gradient sign
+        # convention: grad points uphill, so grad_x[0] < 0 < grad_x[1].
+        assert gx[0] < 0 < gx[1]
+
+    def test_coincident_pins_zero_gradient(self, manual_design):
+        d = manual_design
+        x = np.full(d.num_instances, 5.0)
+        y = np.full(d.num_instances, 5.0)
+        wl, gx, gy = wa_wirelength_grad(d, x, y, gamma=1.0)
+        assert wl == pytest.approx(0.0, abs=1e-9)
+        np.testing.assert_allclose(gx, 0.0, atol=1e-9)
+
+    def test_numerical_stability_large_coordinates(self, manual_design):
+        d = manual_design
+        x = np.linspace(0, 1e4, d.num_instances)
+        y = np.linspace(0, 1e4, d.num_instances)
+        wl, gx, gy = wa_wirelength_grad(d, x, y, gamma=0.01)
+        assert np.all(np.isfinite([wl])) and np.all(np.isfinite(gx))
+
+
+class TestLSEWirelength:
+    def test_upper_bounds_hpwl(self, manual_design, rng):
+        from repro.placement import lse_wirelength
+
+        d = manual_design
+        x = rng.uniform(0, 15, d.num_instances)
+        y = rng.uniform(0, 15, d.num_instances)
+        assert lse_wirelength(d, x, y, gamma=1.0) >= hpwl(d, x, y) - 1e-9
+
+    def test_converges_to_hpwl(self, manual_design, rng):
+        from repro.placement import lse_wirelength
+
+        d = manual_design
+        x = rng.uniform(0, 15, d.num_instances)
+        y = rng.uniform(0, 15, d.num_instances)
+        errors = [
+            abs(lse_wirelength(d, x, y, g) - hpwl(d, x, y))
+            for g in (4.0, 1.0, 0.25)
+        ]
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_gradient_matches_numerical(self, manual_design, rng):
+        from repro.placement import lse_wirelength, lse_wirelength_grad
+
+        d = manual_design
+        x = rng.uniform(0, 15, d.num_instances)
+        y = rng.uniform(0, 15, d.num_instances)
+        wl, gx, gy = lse_wirelength_grad(d, x, y, 1.5)
+        assert wl == pytest.approx(lse_wirelength(d, x, y, 1.5))
+
+        def f():
+            return lse_wirelength(d, x, y, 1.5)
+
+        np.testing.assert_allclose(numerical_gradient(f, x), gx, atol=1e-5)
+        np.testing.assert_allclose(numerical_gradient(f, y), gy, atol=1e-5)
+
+    def test_gp_runs_with_lse_model(self, fresh_tiny_design):
+        from repro.placement import GlobalPlacer, GPConfig
+
+        gp = GlobalPlacer(
+            fresh_tiny_design,
+            GPConfig(bins=16, max_iters=30, wirelength_model="lse"),
+        )
+        metrics = gp.run(max_iters=30)
+        assert np.isfinite(metrics["hpwl"])

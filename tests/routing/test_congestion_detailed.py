@@ -1,0 +1,150 @@
+"""Congestion level quantization (Fig. 1) and the S_DR model."""
+
+import numpy as np
+import pytest
+
+from repro.routing import (
+    DIRECTIONS,
+    NUM_LEVELS,
+    CongestionReport,
+    DetailedRoutingModel,
+    RoutingResult,
+    congestion_report,
+    route_design,
+    utilization_to_level,
+)
+
+
+class TestLevelQuantization:
+    def test_zero_is_level_zero(self):
+        assert utilization_to_level(np.array([0.0]))[0] == 0
+
+    def test_level_boundaries(self):
+        utils = np.array([0.24, 0.25, 0.5, 0.75, 1.0, 1.01, 1.3, 1.6, 1.9, 5.0])
+        levels = utilization_to_level(utils)
+        np.testing.assert_array_equal(levels, [0, 0, 1, 2, 3, 4, 4, 5, 6, 7])
+
+    def test_penalty_starts_exactly_at_overuse(self):
+        """Levels >= 4 (penalized by Eq. 1) iff utilization > 1."""
+        assert utilization_to_level(np.array([1.0]))[0] == 3
+        assert utilization_to_level(np.array([1.000001]))[0] == 4
+
+    def test_max_level_is_seven(self):
+        assert utilization_to_level(np.array([100.0]))[0] == NUM_LEVELS - 1
+
+    def test_monotone(self, rng):
+        utils = np.sort(rng.uniform(0, 3, 100))
+        levels = utilization_to_level(utils)
+        assert np.all(np.diff(levels) >= 0)
+
+
+def _manual_result(gw=4, gh=4, short_cap=10.0, global_cap=5.0):
+    return RoutingResult(
+        h_short=np.zeros((gw - 1, gh)),
+        v_short=np.zeros((gw, gh - 1)),
+        h_global=np.zeros((gw - 1, gh)),
+        v_global=np.zeros((gw, gh - 1)),
+        short_capacity=short_cap,
+        global_capacity=global_cap,
+        iterations=3,
+        converged=True,
+        overuse_history=[0.0],
+        num_connections=10,
+        total_wirelength=25.0,
+    )
+
+
+class TestCongestionReport:
+    def test_directions_assigned_correctly(self):
+        result = _manual_result()
+        # Saturate the boundary between tiles (1,2) and (2,2).
+        result.h_short[1, 2] = 15.0  # 1.5x capacity -> level 5
+        report = congestion_report(result)
+        east, south, west, north = range(4)
+        assert report.short_levels[east, 1, 2] == 5  # tile (1,2) east
+        assert report.short_levels[west, 2, 2] == 5  # tile (2,2) west
+        assert report.short_levels[north, 1, 2] == 0
+
+    def test_vertical_directions(self):
+        result = _manual_result()
+        result.v_short[1, 1] = 11.0  # boundary (1,1)-(1,2), util 1.1 -> 4
+        report = congestion_report(result)
+        east, south, west, north = range(4)
+        assert report.short_levels[north, 1, 1] == 4
+        assert report.short_levels[south, 1, 2] == 4
+
+    def test_level_map_is_max_over_classes(self):
+        result = _manual_result()
+        result.h_short[0, 0] = 6.0  # util 0.6 -> level 2
+        result.h_global[0, 0] = 7.0  # util 1.4 -> level 5
+        report = congestion_report(result)
+        assert report.level_map[0, 0] == 5
+
+    def test_max_by_direction_shapes(self):
+        report = congestion_report(_manual_result())
+        assert report.max_short_by_direction().shape == (4,)
+        assert report.max_global_by_direction().shape == (4,)
+        assert len(DIRECTIONS) == 4
+
+    def test_congested_fraction(self):
+        result = _manual_result()
+        result.h_short[0, 0] = 20.0  # level 7 on two tiles (E of one, W of other)
+        report = congestion_report(result)
+        assert report.congested_fraction(threshold=4) == pytest.approx(2 / 16)
+
+    def test_ascii_map_dimensions(self, tiny_design):
+        report = congestion_report(route_design(tiny_design))
+        art = report.ascii_map()
+        lines = art.splitlines()
+        assert len(lines) == report.level_map.shape[1]
+        assert all(len(line) == report.level_map.shape[0] for line in lines)
+        assert set("".join(lines)) <= set("01234567")
+
+
+class TestDetailedRoutingModel:
+    def test_clean_routing_low_effort(self):
+        result = _manual_result()
+        report = congestion_report(result)
+        outcome = DetailedRoutingModel().evaluate(result, report)
+        assert 4 <= outcome.iterations <= 8
+        assert 0.15 <= outcome.hours <= 0.6
+
+    def test_congestion_raises_effort_monotonically(self):
+        clean = _manual_result()
+        clean_outcome = DetailedRoutingModel().evaluate(
+            clean, congestion_report(clean)
+        )
+        hot = _manual_result()
+        hot.h_short[:, :] = 25.0  # 2.5x everywhere
+        hot.iterations = 12
+        hot.converged = False
+        hot.overuse_history = [100.0, 80.0, 60.0]
+        hot_outcome = DetailedRoutingModel().evaluate(hot, congestion_report(hot))
+        assert hot_outcome.iterations > clean_outcome.iterations
+        assert hot_outcome.hours > clean_outcome.hours
+
+    def test_outputs_in_paper_range(self, tiny_design):
+        result = route_design(tiny_design)
+        outcome = DetailedRoutingModel().evaluate(result, congestion_report(result))
+        assert 4 <= outcome.iterations <= 20
+        assert 0.15 <= outcome.hours <= 2.5
+        assert outcome.s_dr == outcome.iterations
+
+
+class TestSummary:
+    def test_summary_structure(self, tiny_design):
+        report = congestion_report(route_design(tiny_design))
+        text = report.summary()
+        assert "Congestion Report" in text
+        assert "penalized (Eq. 1)" in text
+        assert "max short" in text and "max global" in text
+
+    def test_summary_percentages_sum_to_100(self, tiny_design):
+        report = congestion_report(route_design(tiny_design))
+        text = report.summary()
+        pcts = [
+            float(line.split("%")[0].split()[-1])
+            for line in text.splitlines()
+            if "%" in line and "level" not in line
+        ]
+        assert sum(pcts) == pytest.approx(100.0, abs=0.1)

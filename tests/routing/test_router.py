@@ -1,0 +1,139 @@
+"""Global router: decomposition, usage accounting, negotiation."""
+
+import numpy as np
+import pytest
+
+from repro.arch import ResourceType
+from repro.netlist import Design, Instance, Net
+from repro.routing import GlobalRouter, RouterConfig, route_design
+from repro.routing.router import GLOBAL_SPAN, _net_connections
+
+
+def _line_design(tiny_device, positions, nets):
+    instances = [
+        Instance(f"c{i}", ResourceType.LUT, {ResourceType.LUT: 1.0})
+        for i in range(len(positions))
+    ]
+    design = Design("line", tiny_device, instances, nets)
+    xs = np.array([p[0] for p in positions], dtype=float)
+    ys = np.array([p[1] for p in positions], dtype=float)
+    design.set_placement(xs, ys)
+    return design
+
+
+class TestConnectionDecomposition:
+    def test_two_pin_net(self, tiny_device):
+        design = _line_design(
+            tiny_device, [(0.5, 0.5), (10.5, 0.5)], [Net((0, 1))]
+        )
+        conns = _net_connections(design, 16, 16)
+        assert conns.shape == (1, 4)
+        assert abs(conns[0, 2] - conns[0, 0]) == 10
+
+    def test_coincident_pins_removed(self, tiny_device):
+        design = _line_design(
+            tiny_device, [(3.5, 3.5), (3.5, 3.5)], [Net((0, 1))]
+        )
+        conns = _net_connections(design, 16, 16)
+        assert conns.shape[0] == 0
+
+    def test_mst_connects_all_pins(self, tiny_device):
+        positions = [(1.5, 1.5), (8.5, 1.5), (8.5, 9.5), (1.5, 9.5)]
+        design = _line_design(tiny_device, positions, [Net((0, 1, 2, 3))])
+        conns = _net_connections(design, 16, 16)
+        # MST of k unique points has k-1 edges.
+        assert conns.shape[0] == 3
+        # Union-find check: all four tiles connected.
+        parent = list(range(4))
+
+        def find(i):
+            while parent[i] != i:
+                i = parent[i]
+            return i
+
+        pts = [tuple(p) for p in np.unique(
+            np.array([[int(x), int(y)] for x, y in positions]), axis=0
+        )]
+        index = {p: i for i, p in enumerate(pts)}
+        for x0, y0, x1, y1 in conns:
+            a, b = find(index[(x0, y0)]), find(index[(x1, y1)])
+            parent[a] = b
+        assert len({find(i) for i in range(4)}) == 1
+
+    def test_mst_prefers_short_edges(self, tiny_device):
+        # Three collinear points: MST must not use the long direct edge.
+        design = _line_design(
+            tiny_device, [(0.5, 0.5), (7.5, 0.5), (15.5, 0.5)],
+            [Net((0, 1, 2))],
+        )
+        conns = _net_connections(design, 16, 16)
+        lengths = np.abs(conns[:, 0] - conns[:, 2]) + np.abs(conns[:, 1] - conns[:, 3])
+        assert lengths.max() <= 8
+
+
+class TestRouting:
+    def test_usage_accounts_for_straight_route(self, tiny_device):
+        design = _line_design(
+            tiny_device, [(0.5, 3.5), (5.5, 3.5)], [Net((0, 1))]
+        )
+        result = route_design(design)
+        # One short connection crossing 5 boundaries in row 3.
+        assert result.h_short[:, 3].sum() == pytest.approx(5.0)
+        assert result.v_short.sum() == 0.0
+        assert result.converged
+
+    def test_long_connection_uses_global_wires(self, tiny_device):
+        design = _line_design(
+            tiny_device, [(0.5, 0.5), (15.5, 0.5)],
+            [Net((0, 1))],
+        )
+        result = route_design(design, RouterConfig(global_threshold=5))
+        assert result.h_global.sum() > 0
+        assert result.h_short.sum() == 0.0
+        # Global demand is crossings / GLOBAL_SPAN.
+        assert result.h_global[:, 0].sum() == pytest.approx(15.0 / GLOBAL_SPAN)
+
+    def test_wirelength_counts_crossings(self, tiny_device):
+        design = _line_design(
+            tiny_device, [(0.5, 0.5), (3.5, 2.5)], [Net((0, 1))]
+        )
+        result = route_design(design)
+        assert result.total_wirelength == pytest.approx(5.0)
+
+    def test_congestion_negotiation_spreads_routes(self, tiny_device):
+        """Many parallel 2-pin nets between the same rows must spread."""
+        positions = []
+        nets = []
+        for i in range(48):
+            positions.append((4.5, 7.5))
+            positions.append((9.5, 7.5))
+            nets.append(Net((2 * i, 2 * i + 1)))
+        design = _line_design(tiny_device, positions, nets)
+        result = route_design(design)
+        # 48 short nets on one row would be 48/32 > 1; negotiation must
+        # move some to other rows so no boundary is overused.
+        assert result.converged
+        assert result.h_short.max() <= design.device.short_capacity
+
+    def test_deterministic(self, tiny_design):
+        a = route_design(tiny_design)
+        b = route_design(tiny_design)
+        np.testing.assert_allclose(a.h_short, b.h_short)
+        assert a.iterations == b.iterations
+
+    def test_result_fields(self, tiny_design):
+        result = route_design(tiny_design)
+        assert result.num_connections > 0
+        assert result.total_wirelength > 0
+        assert 1 <= result.iterations <= RouterConfig().max_iterations
+        assert len(result.overuse_history) >= 1
+        assert result.max_utilization() >= 0
+
+    def test_empty_connection_class_ok(self, tiny_device):
+        # A design whose only net is extremely short: no global wires.
+        design = _line_design(
+            tiny_device, [(0.5, 0.5), (1.5, 0.5)], [Net((0, 1))]
+        )
+        result = route_design(design)
+        assert result.h_global.sum() == 0.0
+        assert result.converged

@@ -1,0 +1,142 @@
+"""Net decomposition topologies: MST vs single-trunk Steiner."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.routing import RouterConfig, route_design
+from repro.routing.topology import (
+    DECOMPOSITIONS,
+    connections_length,
+    decompose_net,
+    mst_connections,
+    trunk_steiner_connections,
+)
+
+
+def _connected(conns: np.ndarray, pts: np.ndarray) -> bool:
+    """All pin points reachable through the connection graph."""
+    pts = {tuple(p) for p in np.unique(pts, axis=0)}
+    if len(pts) < 2:
+        return True
+    nodes = {tuple(c[:2]) for c in conns} | {tuple(c[2:]) for c in conns}
+    parent = {n: n for n in nodes}
+
+    def find(n):
+        while parent[n] != n:
+            n = parent[n]
+        return n
+
+    for x0, y0, x1, y1 in conns:
+        parent[find((x0, y0))] = find((x1, y1))
+    roots = {find(p) for p in pts if p in parent}
+    return len(roots) == 1 and pts <= nodes
+
+
+class TestMST:
+    def test_two_points(self):
+        conns = mst_connections(np.array([[0, 0], [3, 4]]))
+        assert conns.shape == (1, 4)
+        assert connections_length(conns) == 7
+
+    def test_collinear_chain(self):
+        pts = np.array([[0, 0], [5, 0], [10, 0]])
+        conns = mst_connections(pts)
+        assert connections_length(conns) == 10  # not 10+15
+
+    def test_single_point(self):
+        assert mst_connections(np.array([[2, 2], [2, 2]])).shape == (0, 4)
+
+
+class TestTrunkSteiner:
+    def test_vertical_aligned_pins_share_trunk(self):
+        # Three pins in a column: trunk degenerates, only branches.
+        pts = np.array([[5, 0], [5, 4], [5, 8]])
+        conns = trunk_steiner_connections(pts)
+        assert _connected(conns, pts)
+        assert connections_length(conns) == 8
+
+    def test_beats_mst_on_t_shape(self):
+        """The classic 3-pin case: a T needs a Steiner point.
+
+        MST must spend two pin-to-pin edges (e.g. 10 + 10); the trunk
+        tree reaches all three pins with trunk 10 + branch 5 = 15.
+        """
+        pts = np.array([[0, 0], [10, 0], [5, 5]])
+        mst = mst_connections(pts)
+        stst = trunk_steiner_connections(pts)
+        assert connections_length(mst) == 20
+        assert connections_length(stst) == 15
+
+    def test_steiner_points_introduced(self):
+        pts = np.array([[0, 0], [4, 8], [8, 0]])
+        conns = trunk_steiner_connections(pts)
+        endpoints = {tuple(c[:2]) for c in conns} | {
+            tuple(c[2:]) for c in conns
+        }
+        originals = {tuple(p) for p in pts}
+        assert endpoints - originals  # at least one Steiner point
+
+
+class TestDecomposeNet:
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError, match="unknown decomposition"):
+            decompose_net(np.array([[0, 0], [1, 1]]), mode="flute")
+
+    def test_best_never_longer_than_either(self, rng):
+        for _ in range(20):
+            pts = rng.integers(0, 16, size=(rng.integers(2, 9), 2))
+            best = connections_length(decompose_net(pts, "best"))
+            mst = connections_length(decompose_net(pts, "mst"))
+            stst = connections_length(decompose_net(pts, "stst"))
+            assert best <= min(mst, stst) + 1e-9
+
+    @pytest.mark.parametrize("mode", DECOMPOSITIONS)
+    def test_always_connected(self, mode, rng):
+        for _ in range(20):
+            pts = rng.integers(0, 12, size=(rng.integers(2, 10), 2))
+            conns = decompose_net(pts, mode)
+            assert _connected(conns, pts), (mode, pts)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 15), st.integers(0, 15)),
+        min_size=2,
+        max_size=10,
+    )
+)
+def test_property_decompositions_connect_all_pins(points):
+    pts = np.array(points, dtype=np.int64)
+    for mode in DECOMPOSITIONS:
+        conns = decompose_net(pts, mode)
+        assert _connected(conns, pts)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 15), st.integers(0, 15)),
+        min_size=2,
+        max_size=8,
+    )
+)
+def test_property_mst_length_lower_bounds_star(points):
+    """MST is never longer than a star from the first pin."""
+    pts = np.unique(np.array(points, dtype=np.int64), axis=0)
+    if pts.shape[0] < 2:
+        return
+    mst = connections_length(mst_connections(pts))
+    star = float(
+        (np.abs(pts[1:, 0] - pts[0, 0]) + np.abs(pts[1:, 1] - pts[0, 1])).sum()
+    )
+    assert mst <= star + 1e-9
+
+
+class TestRouterIntegration:
+    def test_best_decomposition_no_longer_wirelength(self, placed_tiny_design):
+        mst = route_design(placed_tiny_design, RouterConfig(decomposition="mst"))
+        best = route_design(placed_tiny_design, RouterConfig(decomposition="best"))
+        assert best.total_wirelength <= mst.total_wirelength + 1e-9

@@ -1,0 +1,74 @@
+"""CLI: parser structure and command execution at tiny scale."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for command in ("stats", "place", "route", "score", "train", "table2"):
+            args = parser.parse_args([command])
+            assert args.command == command
+
+    def test_design_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["place", "--design", "NotADesign"])
+
+
+class TestCommands:
+    def test_stats(self, capsys):
+        rc = main(["stats", "--designs", "Design_116", "--scale", "256"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Design_116" in out
+        assert "370000" in out
+
+    def test_place(self, capsys):
+        rc = main(
+            ["place", "--design", "Design_120", "--scale", "256",
+             "--iters", "150"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "hpwl=" in out and "legal=True" in out
+
+    def test_score(self, capsys):
+        rc = main(["score", "--design", "Design_120", "--scale", "256"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "S_IR=" in out and "S_score=" in out
+
+    def test_train_writes_checkpoint(self, tmp_path, capsys):
+        out_path = tmp_path / "model.npz"
+        rc = main(
+            ["train", "--designs", "Design_120", "--scale", "256",
+             "--grid", "32", "--placements", "2", "--epochs", "1",
+             "--model", "unet", "--out", str(out_path)]
+        )
+        assert rc == 0
+        assert out_path.exists()
+        out = capsys.readouterr().out
+        assert "checkpoint" in out
+
+
+class TestMoreCommands:
+    def test_route_prints_map(self, capsys):
+        rc = main(["route", "--design", "Design_120", "--scale", "256"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "levels:" in out
+
+    def test_stats_multiple_designs(self, capsys):
+        rc = main(
+            ["stats", "--designs", "Design_116", "Design_120",
+             "--scale", "256"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Design_116" in out and "Design_120" in out

@@ -1,0 +1,149 @@
+"""Cross-module integration tests: the full pipeline end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.contest import contest_teams, evaluate_team_on_design
+from repro.features import FeatureExtractor
+from repro.models import ModelEstimator, build_model
+from repro.netlist import MLCAD2023_SPECS, generate_design
+from repro.placement import (
+    GPConfig,
+    PlacerConfig,
+    RudyEstimator,
+    place_design,
+)
+from repro.routing import congestion_report, route_design
+from repro.train import DatasetConfig, Trainer, TrainConfig, generate_samples
+
+_EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+_FAST_CONFIG = PlacerConfig(
+    gp=GPConfig(bins=16, max_iters=150),
+    inflation_rounds=1,
+    stage1_iters=120,
+    stage2_iters=40,
+)
+
+
+class TestPipeline:
+    def test_generate_place_route_score(self):
+        """The quickstart path, programmatically."""
+        design = generate_design(MLCAD2023_SPECS["Design_120"], scale=1 / 256)
+        outcome = place_design(design, config=_FAST_CONFIG)
+        assert outcome.legal
+        routing = route_design(design)
+        report = congestion_report(routing)
+        assert report.level_map.shape == (
+            design.device.tile_cols, design.device.tile_rows
+        )
+
+    def test_placement_improves_over_legal_random(self):
+        """The flow must beat a legalized random placement on wirelength
+        (the apples-to-apples comparison: both are legal placements)."""
+        from repro.placement import legalize
+
+        design = generate_design(MLCAD2023_SPECS["Design_120"], scale=1 / 256)
+        rng = np.random.default_rng(0)
+        n = design.num_instances
+        random_x = rng.uniform(0, design.device.width, n)
+        random_y = rng.uniform(0, design.device.height, n)
+        random_x[~design.movable_mask] = design.x[~design.movable_mask]
+        random_y[~design.movable_mask] = design.y[~design.movable_mask]
+        legal_random = legalize(design, random_x, random_y)
+        design.set_placement(legal_random.x, legal_random.y)
+        random_wl = design.hpwl()
+        random_routing = route_design(design)
+
+        place_design(design, config=_FAST_CONFIG)
+        placed_routing = route_design(design)
+        assert design.hpwl() < random_wl
+        assert placed_routing.total_wirelength < random_routing.total_wirelength
+
+    def test_model_in_the_loop(self):
+        """A (briefly) trained model can drive inflation end to end."""
+        config = DatasetConfig(
+            grid=32, placements_per_design=2, design_scale=1 / 256,
+            gp_iters=100, stage2_iters=25, seed=5,
+        )
+        samples = generate_samples(MLCAD2023_SPECS["Design_120"], config)
+        from repro.train import CongestionDataset
+
+        dataset = CongestionDataset()
+        dataset.train = samples
+        dataset.eval = samples[:1]
+        model = build_model("ours", "tiny", grid=32)
+        Trainer(TrainConfig(epochs=2, batch_size=2)).train(model, dataset)
+
+        design = generate_design(MLCAD2023_SPECS["Design_120"], scale=1 / 256)
+        estimator = ModelEstimator(
+            model, model_grid=32, out_grid=design.device.tile_cols
+        )
+        outcome = place_design(design, estimator=estimator, config=_FAST_CONFIG)
+        assert outcome.legal
+
+    def test_features_labels_aligned(self):
+        """Feature grid and router label grid cover the same geometry."""
+        design = generate_design(MLCAD2023_SPECS["Design_120"], scale=1 / 256)
+        place_design(design, config=_FAST_CONFIG)
+        g = design.device.tile_cols
+        features = FeatureExtractor(grid=g)(design)
+        report = congestion_report(route_design(design))
+        # Hot label tiles must overlap demand-bearing feature area: the
+        # congested region should carry above-average RUDY.
+        hot = report.level_map >= max(report.level_map.max() - 1, 1)
+        rudy = features[3][:, : report.level_map.shape[1]]
+        hot_small = hot[: rudy.shape[0], : rudy.shape[1]]
+        if hot_small.any():
+            assert rudy[hot_small].mean() >= rudy.mean() * 0.5
+
+    def test_team_evaluation_roundtrip(self):
+        team = contest_teams()[1]  # SEU, analytical
+        original = team.placer_config_factory
+
+        def fast():
+            config = original()
+            config.gp = GPConfig(bins=16, max_iters=120)
+            config.stage1_iters = 100
+            config.stage2_iters = 25
+            return config
+
+        team.placer_config_factory = fast
+        score = evaluate_team_on_design(team, "Design_120", scale=1 / 256)
+        assert score.s_score > 0
+
+
+@pytest.mark.parametrize(
+    "script,args",
+    [
+        ("quickstart.py", ["--scale", "256"]),
+        (
+            "congestion_map.py",
+            ["--design", "Design_120", "--scale", "256"],
+        ),
+        (
+            "feature_analysis.py",
+            ["--design", "Design_120", "--scale", "256", "--samples", "2",
+             "--grid", "16"],
+        ),
+        (
+            "placement_gallery.py",
+            ["--design", "Design_120", "--scale", "256", "--out-dir", "g"],
+        ),
+    ],
+)
+def test_examples_run(script, args, tmp_path):
+    """Example scripts execute cleanly at tiny scale."""
+    result = subprocess.run(
+        [sys.executable, str(_EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        cwd=tmp_path,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout

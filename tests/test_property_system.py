@@ -1,0 +1,114 @@
+"""Cross-module property-based tests (hypothesis).
+
+System-level invariants that must hold for arbitrary inputs: device
+capacity accounting, router wirelength optimality in the uncongested
+regime, legalization legality, and congestion-level monotonicity.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import FPGADevice, ResourceType, SiteType
+from repro.netlist import Design, Instance, Net
+from repro.routing import RouterConfig, route_design
+from repro.routing.topology import connections_length, mst_connections
+
+_SITE_CHOICES = [SiteType.CLB, SiteType.DSP, SiteType.BRAM, SiteType.URAM]
+
+
+@st.composite
+def small_devices(draw):
+    num_cols = draw(st.integers(4, 12)) * 2
+    num_rows = draw(st.integers(4, 12)) * 2
+    pattern = tuple(
+        draw(st.sampled_from(_SITE_CHOICES)) for _ in range(num_cols)
+    )
+    return FPGADevice(
+        num_cols=num_cols,
+        num_rows=num_rows,
+        column_types=pattern,
+        tile_cols=num_cols // 2,
+        tile_rows=num_rows // 2,
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(small_devices(), st.integers(2, 8))
+def test_capacity_map_conserves_total(device, bins):
+    for resource in (ResourceType.LUT, ResourceType.DSP, ResourceType.BRAM):
+        cap_map = device.capacity_map(resource, bins)
+        assert cap_map.shape == (bins, bins)
+        assert cap_map.sum() == pytest.approx(
+            device.resource_capacity(resource), rel=1e-9
+        )
+        assert (cap_map >= 0).all()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 15), st.integers(0, 15)),
+        min_size=2,
+        max_size=6,
+        unique=True,
+    )
+)
+def test_uncongested_routing_achieves_mst_length(points):
+    """With no congestion, routed wirelength equals the MST length.
+
+    Pattern candidates inside the bounding box are all monotone (same
+    manhattan length); detour bends cost strictly more than the jitter
+    can compensate, so an uncongested single net routes optimally.
+    """
+    device = FPGADevice(
+        num_cols=16, num_rows=16,
+        column_types=(SiteType.CLB,) * 16,
+        tile_cols=16, tile_rows=16,
+        short_capacity=1000.0, global_capacity=1000.0,
+    )
+    instances = [
+        Instance(f"c{i}", ResourceType.LUT, {ResourceType.LUT: 1.0})
+        for i in range(len(points))
+    ]
+    design = Design("p", device, instances, [Net(tuple(range(len(points))))])
+    design.set_placement(
+        np.array([p[0] + 0.5 for p in points]),
+        np.array([p[1] + 0.5 for p in points]),
+    )
+    result = route_design(design, RouterConfig(global_threshold=10**9))
+    pts = np.array(points, dtype=np.int64)
+    expected = connections_length(mst_connections(pts))
+    assert result.total_wirelength == pytest.approx(expected)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_legalization_always_legal_for_random_placements(seed):
+    """Any random placement of the tiny design legalizes cleanly."""
+    from repro.netlist import MLCAD2023_SPECS, generate_design
+    from repro.placement import legalize
+
+    design = generate_design(MLCAD2023_SPECS["Design_120"], scale=1 / 256)
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0, design.device.width, design.num_instances)
+    y = rng.uniform(0, design.device.height, design.num_instances)
+    result = legalize(design, x, y)
+    assert result.legal, result.failures
+    for cascade in design.cascades:
+        assert cascade.is_satisfied(result.x, result.y)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.floats(0, 5, allow_nan=False), min_size=1, max_size=20),
+    st.floats(0.01, 2.0),
+)
+def test_congestion_levels_monotone_in_demand(utils, scale):
+    from repro.routing import utilization_to_level
+
+    base = np.array(utils)
+    low = utilization_to_level(base)
+    high = utilization_to_level(base * (1.0 + scale))
+    assert (high >= low).all()

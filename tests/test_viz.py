@@ -1,0 +1,141 @@
+"""Rendering helpers: ASCII heatmaps and PGM/PPM writers."""
+
+import numpy as np
+import pytest
+
+from repro.viz import (
+    ascii_heatmap,
+    level_colormap,
+    to_grayscale,
+    write_pgm,
+    write_ppm,
+)
+
+
+class TestAsciiHeatmap:
+    def test_dimensions(self, rng):
+        art = ascii_heatmap(rng.uniform(0, 1, size=(5, 3)))
+        lines = art.splitlines()
+        assert len(lines) == 3
+        assert all(len(line) == 5 for line in lines)
+
+    def test_orientation_row0_at_bottom(self):
+        data = np.zeros((2, 2))
+        data[0, 1] = 1.0  # top-left of the plot
+        art = ascii_heatmap(data).splitlines()
+        assert art[0][0] == "@"
+        assert art[1][0] == " "
+
+    def test_rejects_non_2d(self, rng):
+        with pytest.raises(ValueError, match="2-D"):
+            ascii_heatmap(rng.uniform(size=(2, 2, 2)))
+
+    def test_zero_map_renders_blank(self):
+        art = ascii_heatmap(np.zeros((3, 3)))
+        assert set(art.replace("\n", "")) == {" "}
+
+
+class TestGrayscale:
+    def test_range(self, rng):
+        gray = to_grayscale(rng.uniform(0, 10, size=(4, 4)))
+        assert gray.dtype == np.uint8
+        assert gray.max() == 255
+
+    def test_explicit_vmax(self):
+        gray = to_grayscale(np.array([[5.0]]), vmax=10.0)
+        assert gray[0, 0] == 127  # half scale
+
+
+class TestLevelColormap:
+    def test_shape_and_dtype(self):
+        levels = np.arange(8).reshape(4, 2)
+        image = level_colormap(levels)
+        assert image.shape == (2, 4, 3)
+        assert image.dtype == np.uint8
+
+    def test_low_levels_lighter_than_high(self):
+        image = level_colormap(np.array([[0, 7]]))
+        light = image[:, :, :][image.shape[0] - 1, 0]
+        dark = image[0, 0]
+        assert int(light.sum()) != int(dark.sum())
+        assert level_colormap(np.array([[0]])).sum() > level_colormap(
+            np.array([[7]])
+        ).sum()
+
+    def test_out_of_range_clipped(self):
+        image = level_colormap(np.array([[99, -5]]))
+        assert image.shape == (2, 1, 3)
+
+
+class TestImageWriters:
+    def test_pgm_header_and_size(self, tmp_path, rng):
+        path = tmp_path / "map.pgm"
+        write_pgm(rng.uniform(size=(6, 4)), path)
+        blob = path.read_bytes()
+        assert blob.startswith(b"P5\n6 4\n255\n")
+        assert len(blob) == len(b"P5\n6 4\n255\n") + 6 * 4
+
+    def test_ppm_header_and_size(self, tmp_path, rng):
+        path = tmp_path / "map.ppm"
+        image = (rng.uniform(0, 255, size=(3, 5, 3))).astype(np.uint8)
+        write_ppm(image, path)
+        blob = path.read_bytes()
+        assert blob.startswith(b"P6\n5 3\n255\n")
+        assert len(blob) == len(b"P6\n5 3\n255\n") + 3 * 5 * 3
+
+    def test_ppm_rejects_grayscale(self, tmp_path, rng):
+        with pytest.raises(ValueError, match="RGB"):
+            write_ppm(rng.uniform(size=(3, 3)), tmp_path / "x.ppm")
+
+    def test_congestion_roundtrip(self, tmp_path, placed_tiny_design):
+        """End-to-end: routed levels -> Fig. 1-style PPM on disk."""
+        from repro.routing import congestion_report, route_design
+
+        report = congestion_report(route_design(placed_tiny_design))
+        path = write_ppm(
+            level_colormap(report.level_map), tmp_path / "fig1.ppm"
+        )
+        assert (tmp_path / "fig1.ppm").stat().st_size > 0
+        assert path.endswith("fig1.ppm")
+
+
+class TestFloorplan:
+    def test_ascii_glyphs(self, tiny_device):
+        from repro.viz import floorplan_ascii
+
+        art = floorplan_ascii(tiny_device, rows=2)
+        lines = art.splitlines()
+        assert len(lines) == 3  # 2 stripe rows + legend
+        assert len(lines[0]) == tiny_device.num_cols
+        assert "D" in lines[0] and "B" in lines[0] and "U" in lines[0]
+        assert "D=DSP" in lines[-1]
+
+    def test_image_shape_and_colors(self, tiny_device):
+        from repro.viz import floorplan_image
+
+        image = floorplan_image(tiny_device)
+        assert image.shape == (tiny_device.num_rows, tiny_device.num_cols, 3)
+        # DSP column (x=2) differs from CLB column (x=0).
+        assert not np.array_equal(image[0, 2], image[0, 0])
+
+    def test_placement_overlay_darkens(self, tiny_device):
+        from repro.viz import floorplan_image
+
+        base = floorplan_image(tiny_device)
+        overlaid = floorplan_image(
+            tiny_device, x=np.array([0.2]), y=np.array([0.4])
+        )
+        row = tiny_device.num_rows - 1  # y=0 -> bottom -> last image row
+        assert overlaid[row, 0].sum() < base[row, 0].sum()
+
+    def test_marker_mask(self, tiny_device):
+        from repro.viz import floorplan_image
+
+        x = np.array([0.0, 5.0])
+        y = np.array([0.0, 5.0])
+        only_second = floorplan_image(
+            tiny_device, x, y, marker=np.array([False, True])
+        )
+        base = floorplan_image(tiny_device)
+        bottom = tiny_device.num_rows - 1
+        np.testing.assert_array_equal(only_second[bottom, 0], base[bottom, 0])

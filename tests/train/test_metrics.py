@@ -1,0 +1,144 @@
+"""ACC / R² / NRMS metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.train import accuracy, evaluate_predictions, nrms, r_squared
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        target = np.array([[0, 1], [2, 3]])
+        assert accuracy(target, target) == 1.0
+
+    def test_half(self):
+        assert accuracy(np.array([0, 0]), np.array([0, 1])) == 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            accuracy(np.zeros(3), np.zeros(4))
+
+
+class TestR2:
+    def test_perfect_is_one(self):
+        t = np.array([1.0, 2.0, 3.0])
+        assert r_squared(t, t) == 1.0
+
+    def test_mean_predictor_is_zero(self):
+        target = np.array([1.0, 2.0, 3.0])
+        pred = np.full(3, 2.0)
+        assert r_squared(pred, target) == pytest.approx(0.0)
+
+    def test_constant_target_edge_case(self):
+        target = np.full(4, 5.0)
+        assert r_squared(target, target) == 1.0
+        assert r_squared(target + 1, target) == 0.0
+
+    def test_known_value(self):
+        target = np.array([0.0, 1.0, 2.0])
+        pred = np.array([0.0, 1.0, 1.0])
+        # ss_res = 1, ss_tot = 2
+        assert r_squared(pred, target) == pytest.approx(0.5)
+
+
+class TestNRMS:
+    def test_zero_for_perfect(self):
+        t = np.array([3.0, 4.0])
+        assert nrms(t, t) == 0.0
+
+    def test_normalized_by_level_range(self):
+        pred = np.array([7.0])
+        target = np.array([0.0])
+        assert nrms(pred, target) == pytest.approx(1.0)
+
+    def test_known_rmse(self):
+        pred = np.array([1.0, 3.0])
+        target = np.array([0.0, 0.0])
+        assert nrms(pred, target) == pytest.approx(np.sqrt(5.0) / 7.0)
+
+
+class TestEvaluatePredictions:
+    def test_keys(self):
+        out = evaluate_predictions(np.zeros(4), np.zeros(4))
+        assert set(out) == {"ACC", "R2", "NRMS"}
+        assert out["ACC"] == 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    arrays(np.int64, (20,), elements=st.integers(min_value=0, max_value=7)),
+    arrays(np.int64, (20,), elements=st.integers(min_value=0, max_value=7)),
+)
+def test_metric_invariants(pred, target):
+    acc = accuracy(pred, target)
+    err = nrms(pred, target)
+    assert 0.0 <= acc <= 1.0
+    assert 0.0 <= err <= 1.0
+    assert r_squared(pred, target) <= 1.0
+    if acc == 1.0:
+        assert err == 0.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(arrays(np.int64, (30,), elements=st.integers(min_value=0, max_value=7)))
+def test_perfect_prediction_maximizes_everything(levels):
+    out = evaluate_predictions(levels, levels)
+    assert out["ACC"] == 1.0
+    assert out["R2"] == 1.0
+    assert out["NRMS"] == 0.0
+
+
+class TestConfusionMatrix:
+    def test_known_matrix(self):
+        from repro.train import confusion_matrix
+
+        pred = np.array([0, 0, 1, 2])
+        target = np.array([0, 1, 1, 2])
+        m = confusion_matrix(pred, target, num_classes=3)
+        assert m[0, 0] == 1  # true 0 predicted 0
+        assert m[1, 0] == 1  # true 1 predicted 0
+        assert m[1, 1] == 1
+        assert m[2, 2] == 1
+        assert m.sum() == 4
+
+    def test_out_of_range_rejected(self):
+        from repro.train import confusion_matrix
+
+        with pytest.raises(ValueError, match="levels outside"):
+            confusion_matrix(np.array([9]), np.array([0]))
+
+    def test_shape_mismatch_rejected(self):
+        from repro.train import confusion_matrix
+
+        with pytest.raises(ValueError, match="shape"):
+            confusion_matrix(np.zeros(3, int), np.zeros(4, int))
+
+    def test_perfect_prediction_is_diagonal(self, ):
+        from repro.train import confusion_matrix
+
+        levels = np.array([0, 1, 2, 3, 4, 5, 6, 7])
+        m = confusion_matrix(levels, levels)
+        assert (m == np.eye(8, dtype=int)).all()
+
+
+class TestPerLevelRecall:
+    def test_values(self):
+        from repro.train import per_level_recall
+
+        target = np.array([0, 0, 1, 1])
+        pred = np.array([0, 1, 1, 1])
+        recall = per_level_recall(pred, target, num_classes=3)
+        assert recall[0] == pytest.approx(0.5)
+        assert recall[1] == pytest.approx(1.0)
+        assert np.isnan(recall[2])  # level absent from target
+
+    def test_all_levels_present_no_nan(self):
+        from repro.train import per_level_recall
+
+        levels = np.arange(8)
+        recall = per_level_recall(levels, levels)
+        assert not np.isnan(recall).any()
+        np.testing.assert_allclose(recall, 1.0)

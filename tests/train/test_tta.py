@@ -1,0 +1,65 @@
+"""Test-time augmentation."""
+
+import numpy as np
+import pytest
+
+from repro.models import build_model
+from repro.train import (
+    predict_expected_tta,
+    predict_levels_tta,
+    predict_proba_tta,
+)
+from repro.train.tta import _rotate_features
+
+
+class TestRotateFeatures:
+    def test_four_rotations_identity(self, rng):
+        feats = rng.normal(size=(2, 6, 8, 8))
+        out = feats
+        for _ in range(4):
+            out = _rotate_features(out, 1)
+        np.testing.assert_allclose(out, feats)
+
+    def test_hv_swap_on_odd(self, rng):
+        feats = rng.normal(size=(1, 6, 8, 8))
+        rotated = _rotate_features(feats, 1)
+        np.testing.assert_allclose(rotated[0, 1], np.rot90(feats[0, 2]))
+        np.testing.assert_allclose(rotated[0, 2], np.rot90(feats[0, 1]))
+
+
+class TestTTAPredictions:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return build_model("unet", "tiny", grid=32)
+
+    def test_proba_is_distribution(self, model, rng):
+        feats = rng.uniform(0, 1, size=(2, 6, 32, 32))
+        proba = predict_proba_tta(model, feats)
+        assert proba.shape == (2, 8, 32, 32)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-10)
+
+    def test_levels_and_expected_shapes(self, model, rng):
+        feats = rng.uniform(0, 1, size=(1, 6, 32, 32))
+        levels = predict_levels_tta(model, feats)
+        expected = predict_expected_tta(model, feats)
+        assert levels.shape == (1, 32, 32)
+        assert expected.shape == (1, 32, 32)
+        assert levels.max() <= 7 and expected.max() <= 7
+
+    def test_rotation_equivariance_of_tta(self, model, rng):
+        """TTA output rotates with the input (by construction)."""
+        feats = rng.uniform(0, 1, size=(1, 6, 32, 32))
+        base = predict_proba_tta(model, feats)
+        rotated_in = _rotate_features(feats, 1)
+        rotated_out = predict_proba_tta(model, rotated_in)
+        np.testing.assert_allclose(
+            rotated_out, np.rot90(base, 1, axes=(2, 3)), atol=1e-8
+        )
+
+    def test_rejects_non_square(self, model, rng):
+        with pytest.raises(ValueError, match="square"):
+            predict_proba_tta(model, rng.uniform(size=(1, 6, 16, 32)))
+
+    def test_rejects_wrong_ndim(self, model, rng):
+        with pytest.raises(ValueError, match="expected"):
+            predict_proba_tta(model, rng.uniform(size=(6, 32, 32)))

@@ -21,8 +21,6 @@ from __future__ import annotations
 import argparse
 from pathlib import Path
 
-import numpy as np
-
 from repro.features import FeatureExtractor
 from repro.netlist import MLCAD2023_SPECS, generate_design
 from repro.placement import GPConfig, PlacerConfig, place_design

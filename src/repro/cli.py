@@ -8,6 +8,7 @@ Subcommands mirror the library's main workflows:
 * ``score``  — place + route + contest scores (Eqs. 1-3) in one shot.
 * ``train``  — train a congestion model and save a checkpoint.
 * ``table2`` — run the four teams on selected designs (mini Table II).
+* ``lint``   — static autograd lint + ShapeTracer model validation.
 """
 
 from __future__ import annotations
@@ -68,6 +69,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     table2 = sub.add_parser("table2", help="mini Table II (4 teams)")
     add_common(table2, multi_design=True)
+
+    lint = sub.add_parser(
+        "lint", help="static autograd lint + shape checks (see repro.lint)"
+    )
+    lint.add_argument(
+        "lint_args", nargs=argparse.REMAINDER,
+        help="arguments forwarded to python -m repro.lint "
+        "(default: lint the repro package and validate the models)",
+    )
 
     return parser
 
@@ -174,6 +184,21 @@ def _cmd_table2(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from pathlib import Path
+
+    from .lint.cli import main as lint_main
+
+    argv = list(args.lint_args)
+    if argv and argv[0] == "--":
+        argv = argv[1:]
+    if not argv:
+        # Default gate: lint the installed repro package and statically
+        # validate the registry models at every paper grid.
+        argv = [str(Path(__file__).resolve().parent), "--models"]
+    return lint_main(argv)
+
+
 _COMMANDS = {
     "stats": _cmd_stats,
     "place": _cmd_place,
@@ -181,6 +206,7 @@ _COMMANDS = {
     "score": _cmd_score,
     "train": _cmd_train,
     "table2": _cmd_table2,
+    "lint": _cmd_lint,
 }
 
 

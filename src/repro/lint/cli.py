@@ -1,0 +1,118 @@
+"""Command-line entry point: ``python -m repro.lint``.
+
+Two independent gates, both usable from CI:
+
+* ``python -m repro.lint <paths...>`` — run the project AST lint rules
+  over files/directories; prints ``path:line:col: CODE message`` per
+  finding and exits 1 if any fire.
+* ``python -m repro.lint --models`` — statically validate the four
+  registry models with :class:`~repro.lint.shapes.ShapeTracer` at every
+  paper grid size (no numerics executed).
+
+The two can be combined; the exit code is non-zero if either gate
+fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .rules import RULES, lint_paths
+from .shapes import PAPER_GRIDS, ShapeError, validate_registry_models
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description="static autograd lint + shape checker for the repro codebase",
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="python files or directories to lint (recurses into *.py)",
+    )
+    parser.add_argument(
+        "--models", action="store_true",
+        help="statically validate the registry models with ShapeTracer",
+    )
+    parser.add_argument(
+        "--grids", default=",".join(str(g) for g in PAPER_GRIDS),
+        help="comma-separated grid sizes for --models (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--preset", default="paper", choices=("tiny", "fast", "paper"),
+        help="model capacity preset for --models (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="CODES",
+        help="comma-separated rule codes to enable (default: all); "
+        f"known: {', '.join(sorted(RULES))}",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress the summary line"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not args.paths and not args.models:
+        parser.print_usage(sys.stderr)
+        print("repro.lint: error: give paths to lint and/or --models", file=sys.stderr)
+        return 2
+
+    failures = 0
+
+    if args.paths:
+        rules = None
+        if args.select:
+            rules = {code.strip() for code in args.select.split(",") if code.strip()}
+            unknown = rules - set(RULES) - {"REPRO000"}
+            if unknown:
+                print(
+                    f"repro.lint: error: unknown rule(s) {sorted(unknown)}",
+                    file=sys.stderr,
+                )
+                return 2
+        try:
+            diagnostics = lint_paths(list(args.paths), rules)
+        except OSError as exc:
+            print(f"repro.lint: error: {exc}", file=sys.stderr)
+            return 2
+        for diagnostic in diagnostics:
+            print(diagnostic)
+        failures += len(diagnostics)
+
+    if args.models:
+        try:
+            grids = tuple(int(g) for g in args.grids.split(",") if g)
+        except ValueError:
+            grids = ()
+        if not grids:
+            print(
+                f"repro.lint: error: --grids expects comma-separated "
+                f"integers, got {args.grids!r}",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            rows = validate_registry_models(grids=grids, preset=args.preset)
+        except ShapeError as exc:
+            print(f"shape error: {exc}", file=sys.stderr)
+            failures += 1
+        else:
+            if not args.quiet:
+                for name, grid, out in rows:
+                    print(f"{name:>6} @ {grid:>4}: ok ({out})")
+
+    if not args.quiet:
+        noun = "finding" if failures == 1 else "findings"
+        print(f"repro.lint: {failures} {noun}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

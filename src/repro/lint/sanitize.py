@@ -1,0 +1,238 @@
+"""Runtime autograd sanitizers: anomaly mode, mutation and leak detectors.
+
+Opt-in debugging instrumentation for the :mod:`repro.nn` tape.  When no
+detector is active the hooks in :mod:`repro.nn.tensor` are a single
+``is None`` check per recorded op — zero cost for production training.
+
+Inside ``with detect_anomaly():``
+
+* every recorded op stores **provenance**: the op name (derived from its
+  backward closure) and the user-code call site;
+* the data of every operand is **fingerprinted** at record time and
+  re-checked just before the op's backward closure runs, so in-place
+  mutation between forward and backward raises
+  :class:`InplaceMutationError` naming the op instead of silently
+  corrupting gradients;
+* after each backward closure runs, freshly written parent gradients are
+  checked for NaN/Inf, so the **first** closure producing a non-finite
+  gradient raises :class:`NonFiniteGradientError` with its provenance;
+* ops whose graph was recorded but never consumed by a ``backward()``
+  call are reported by :meth:`AnomalyDetector.leaked_ops` — the
+  leaked-graph detector for training loops.
+
+:func:`unused_parameter_report` is the companion for dead branches: it
+lists parameters that received no gradient from the last backward pass.
+"""
+
+from __future__ import annotations
+
+import traceback
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..nn import module as _module
+from ..nn import tensor as _tensor
+
+__all__ = [
+    "AnomalyError",
+    "NonFiniteGradientError",
+    "InplaceMutationError",
+    "GraphLeakError",
+    "detect_anomaly",
+    "AnomalyDetector",
+    "unused_parameter_report",
+]
+
+_INTERNAL_DIRS = (
+    str(Path(_tensor.__file__).parent),  # repro/nn
+    str(Path(__file__).parent),  # repro/lint
+)
+
+
+class AnomalyError(RuntimeError):
+    """Base class for sanitizer findings."""
+
+
+class NonFiniteGradientError(AnomalyError):
+    """A backward closure produced a NaN/Inf gradient."""
+
+
+class InplaceMutationError(AnomalyError):
+    """Operand data was mutated between forward and backward."""
+
+
+class GraphLeakError(AnomalyError):
+    """Recorded graph nodes were never consumed by ``backward()``."""
+
+
+def _fingerprint(arr: np.ndarray):
+    """Cheap content fingerprint used to detect in-place mutation.
+
+    Full CRC for ordinarily-sized arrays; a strided byte sample for very
+    large ones (heuristic, but in-place bugs rarely touch single
+    elements).
+    """
+    if arr.size <= (1 << 20):
+        data = np.ascontiguousarray(arr)
+        return (arr.shape, zlib.crc32(data.tobytes()))
+    flat = np.ascontiguousarray(arr).reshape(-1)
+    sample = flat[:: max(1, flat.size // 4096)]
+    return (arr.shape, zlib.crc32(sample.tobytes()))
+
+
+def _op_name(backward) -> str:
+    """``Tensor.__mul__.<locals>.backward`` -> ``Tensor.__mul__``."""
+    qualname = getattr(backward, "__qualname__", "<op>")
+    return qualname.replace(".<locals>.backward", "")
+
+
+def _call_site() -> str:
+    """First stack frame outside repro.nn / repro.lint (user code)."""
+    for frame in reversed(traceback.extract_stack()):
+        directory = str(Path(frame.filename).parent)
+        if directory not in _INTERNAL_DIRS:
+            return f"{frame.filename}:{frame.lineno} in {frame.name}"
+    return "<unknown>"
+
+
+@dataclass
+class _OpRecord:
+    op: str
+    site: str
+    parent_fps: list
+    pre_bad: set[int] = field(default_factory=set)
+
+    def describe(self) -> str:
+        return f"{self.op} (created at {self.site})"
+
+
+class AnomalyDetector:
+    """Context manager installing the tape hook; see module docstring.
+
+    Parameters
+    ----------
+    check_forward:
+        Also raise when an op's *forward* output contains NaN (helps
+        locate the origin before backward even runs).
+    raise_on_leak:
+        Raise :class:`GraphLeakError` on exit if recorded graph nodes
+        were never freed by a ``backward()`` call.
+    """
+
+    def __init__(self, check_forward: bool = False, raise_on_leak: bool = False):
+        self.check_forward = check_forward
+        self.raise_on_leak = raise_on_leak
+        # id(tensor) -> (tensor, record); strong refs keep ids stable.
+        self._records: dict[int, tuple[_tensor.Tensor, _OpRecord]] = {}
+        self._leaked: list[_OpRecord] = []
+
+    # -- context protocol ------------------------------------------------------
+
+    def __enter__(self) -> "AnomalyDetector":
+        if _tensor._get_tape_hook() is not None:
+            raise AnomalyError("an anomaly detector is already active")
+        _tensor._set_tape_hook(self._hook)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        _tensor._set_tape_hook(None)
+        self._leaked = [
+            record
+            for tensor, record in self._records.values()
+            if tensor._backward is not None
+        ]
+        self._records.clear()
+        if self._leaked and self.raise_on_leak and exc_type is None:
+            raise GraphLeakError(self.describe_leaks())
+
+    # -- reporting -------------------------------------------------------------
+
+    def leaked_ops(self) -> list[str]:
+        """Ops recorded but never consumed by a backward pass."""
+        return [record.describe() for record in self._leaked]
+
+    def describe_leaks(self) -> str:
+        ops = self.leaked_ops()
+        listing = "\n  ".join(ops[:10])
+        more = f"\n  ... and {len(ops) - 10} more" if len(ops) > 10 else ""
+        return (
+            f"{len(ops)} graph node(s) recorded but never freed by "
+            f"backward(); wrap inference in no_grad() or call backward():"
+            f"\n  {listing}{more}"
+        )
+
+    # -- the tape hook ---------------------------------------------------------
+
+    def _hook(self, event: str, out, parents, backward) -> None:
+        if event == "record":
+            record = _OpRecord(
+                op=_op_name(backward),
+                site=_call_site(),
+                parent_fps=[_fingerprint(p.data) for p in parents],
+            )
+            self._records[id(out)] = (out, record)
+            if self.check_forward and not np.all(np.isfinite(out.data)):
+                raise NonFiniteGradientError(
+                    f"forward output of {record.describe()} contains "
+                    "NaN/Inf values"
+                )
+            return
+
+        entry = self._records.get(id(out))
+        record = entry[1] if entry is not None else None
+        if event == "pre":
+            if record is not None:
+                for i, (parent, fp) in enumerate(zip(parents, record.parent_fps)):
+                    if _fingerprint(parent.data) != fp:
+                        raise InplaceMutationError(
+                            f"operand {i} of {record.describe()} was mutated "
+                            "in place between forward and backward; the "
+                            "gradient would be computed from the wrong values"
+                        )
+                record.pre_bad = {
+                    i
+                    for i, parent in enumerate(parents)
+                    if parent.grad is not None
+                    and not np.all(np.isfinite(parent.grad))
+                }
+            return
+
+        if event == "post":
+            op = record.describe() if record is not None else "<op>"
+            pre_bad = record.pre_bad if record is not None else set()
+            for i, parent in enumerate(parents):
+                if not parent.requires_grad or parent.grad is None:
+                    continue
+                if i in pre_bad:
+                    continue  # was already non-finite before this closure
+                if not np.all(np.isfinite(parent.grad)):
+                    raise NonFiniteGradientError(
+                        f"backward of {op} produced a non-finite gradient "
+                        f"for operand {i} (shape {parent.grad.shape}); this "
+                        "is the first closure in the backward pass to do so"
+                    )
+            self._records.pop(id(out), None)
+
+
+def detect_anomaly(
+    check_forward: bool = False, raise_on_leak: bool = False
+) -> AnomalyDetector:
+    """``with detect_anomaly():`` — turn on all runtime sanitizers."""
+    return AnomalyDetector(check_forward=check_forward, raise_on_leak=raise_on_leak)
+
+
+def unused_parameter_report(module: _module.Module) -> list[str]:
+    """Names of parameters that received no gradient from backward.
+
+    Call right after ``loss.backward()``: a non-empty result means part
+    of the model is disconnected from the loss (dead branch, detached
+    tape, or an ablation switch you forgot about).
+    """
+    return [
+        name
+        for name, param in module.named_parameters()
+        if param.requires_grad and param.grad is None
+    ]

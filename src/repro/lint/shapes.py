@@ -1,0 +1,548 @@
+"""Static shape inference for :mod:`repro.nn` modules.
+
+:class:`ShapeTracer` is an abstract interpreter over *shapes*: it
+propagates a symbolic ``(N, C, H, W)`` spec through a module tree using
+per-layer transfer functions, validating every constraint the real
+forward pass would enforce (channel counts, pooling divisibility,
+encoder/decoder skip agreement, token counts) — without allocating
+activations or executing any numerics.  This is what lets
+``build_model`` reject a mismatched architecture at construction time
+instead of twenty minutes into a training run.
+
+Transfer rules for new module types register with
+:func:`register_shape_rule`; composite model rules (the four Table-I
+contenders) are installed lazily so importing :mod:`repro.lint` does not
+drag in :mod:`repro.models`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .. import nn
+
+__all__ = [
+    "ShapeSpec",
+    "ShapeError",
+    "ShapeTracer",
+    "register_shape_rule",
+    "trace_module",
+    "validate_model",
+    "validate_registry_models",
+    "PAPER_GRIDS",
+]
+
+PAPER_GRIDS = (64, 128, 256, 512)
+
+
+class ShapeError(ValueError):
+    """A statically detectable shape/architecture inconsistency."""
+
+
+@dataclass(frozen=True)
+class ShapeSpec:
+    """Abstract tensor value: a shape (and nothing else)."""
+
+    shape: tuple[int, ...]
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    def __str__(self) -> str:
+        return "x".join(str(d) for d in self.shape)
+
+
+_RULES: dict[type, Callable] = {}
+_MODEL_RULES_LOADED = False
+
+
+def register_shape_rule(module_type: type):
+    """Class decorator-style registration of a shape transfer function.
+
+    The rule receives ``(tracer, module, spec)`` and returns the output
+    :class:`ShapeSpec`, raising :class:`ShapeError` (via
+    ``tracer.fail``) on any violated constraint.
+    """
+
+    def decorator(fn: Callable) -> Callable:
+        _RULES[module_type] = fn
+        return fn
+
+    return decorator
+
+
+class ShapeTracer:
+    """Propagates :class:`ShapeSpec` values through a module tree."""
+
+    def __init__(self) -> None:
+        self._path: list[str] = []
+
+    # -- error reporting -------------------------------------------------------
+
+    @property
+    def path(self) -> str:
+        return ".".join(self._path) or "<root>"
+
+    def fail(self, message: str) -> None:
+        raise ShapeError(f"{self.path}: {message}")
+
+    def expect(self, condition: bool, message: str) -> None:
+        if not condition:
+            self.fail(message)
+
+    # -- dispatch --------------------------------------------------------------
+
+    def trace(self, module: nn.Module, spec: ShapeSpec, *extra: ShapeSpec) -> ShapeSpec:
+        """Apply ``module``'s transfer rule to ``spec``."""
+        _ensure_model_rules()
+        for klass in type(module).__mro__:
+            rule = _RULES.get(klass)
+            if rule is not None:
+                return rule(self, module, spec, *extra)
+        self.fail(
+            f"no shape rule registered for {type(module).__name__}; "
+            "add one with repro.lint.register_shape_rule"
+        )
+        raise AssertionError  # unreachable; fail() always raises
+
+    def child(
+        self, name: str, module: nn.Module, spec: ShapeSpec, *extra: ShapeSpec
+    ) -> ShapeSpec:
+        """Trace a named child, extending the diagnostic path."""
+        self._path.append(name)
+        try:
+            return self.trace(module, spec, *extra)
+        finally:
+            self._path.pop()
+
+    # -- shared helpers --------------------------------------------------------
+
+    def nchw(self, spec: ShapeSpec) -> tuple[int, int, int, int]:
+        self.expect(
+            spec.ndim == 4, f"expected an NCHW tensor, got {spec.ndim}-d {spec}"
+        )
+        return spec.shape  # type: ignore[return-value]
+
+    def concat(self, specs: list[ShapeSpec], axis: int = 1) -> ShapeSpec:
+        """Concatenate along ``axis``; all other dims must agree."""
+        first = specs[0]
+        for other in specs[1:]:
+            self.expect(
+                other.ndim == first.ndim,
+                f"concat rank mismatch: {first} vs {other}",
+            )
+            for dim in range(first.ndim):
+                if dim == axis % first.ndim:
+                    continue
+                self.expect(
+                    other.shape[dim] == first.shape[dim],
+                    f"concat shape mismatch on axis {dim}: {first} vs {other} "
+                    "(encoder/decoder skip shapes must agree)",
+                )
+        shape = list(first.shape)
+        shape[axis] = sum(s.shape[axis] for s in specs)
+        return ShapeSpec(tuple(shape))
+
+
+# -- leaf layer rules ----------------------------------------------------------
+
+
+@register_shape_rule(nn.Conv2d)
+def _conv2d(tracer: ShapeTracer, m: nn.Conv2d, spec: ShapeSpec) -> ShapeSpec:
+    n, c, h, w = tracer.nchw(spec)
+    tracer.expect(
+        c == m.in_channels,
+        f"Conv2d expects {m.in_channels} input channels, got {c}",
+    )
+    k, s, p = m.kernel_size, m.stride, m.padding
+    tracer.expect(
+        h + 2 * p >= k and w + 2 * p >= k,
+        f"spatial dims {(h, w)} smaller than kernel {k} (padding {p})",
+    )
+    out_h = (h + 2 * p - k) // s + 1
+    out_w = (w + 2 * p - k) // s + 1
+    return ShapeSpec((n, m.out_channels, out_h, out_w))
+
+
+@register_shape_rule(nn.ConvTranspose2d)
+def _conv_transpose2d(
+    tracer: ShapeTracer, m: nn.ConvTranspose2d, spec: ShapeSpec
+) -> ShapeSpec:
+    n, c, h, w = tracer.nchw(spec)
+    tracer.expect(
+        c == m.in_channels,
+        f"ConvTranspose2d expects {m.in_channels} input channels, got {c}",
+    )
+    out_h = (h - 1) * m.stride + m.kernel_size - 2 * m.padding
+    out_w = (w - 1) * m.stride + m.kernel_size - 2 * m.padding
+    tracer.expect(
+        out_h > 0 and out_w > 0,
+        f"non-positive output size {(out_h, out_w)}",
+    )
+    return ShapeSpec((n, m.out_channels, out_h, out_w))
+
+
+@register_shape_rule(nn.Linear)
+def _linear(tracer: ShapeTracer, m: nn.Linear, spec: ShapeSpec) -> ShapeSpec:
+    tracer.expect(spec.ndim >= 1, "Linear input must have at least 1 dim")
+    tracer.expect(
+        spec.shape[-1] == m.in_features,
+        f"Linear expects {m.in_features} input features, got {spec.shape[-1]}",
+    )
+    return ShapeSpec(spec.shape[:-1] + (m.out_features,))
+
+
+@register_shape_rule(nn.BatchNorm2d)
+def _batch_norm2d(tracer: ShapeTracer, m: nn.BatchNorm2d, spec: ShapeSpec) -> ShapeSpec:
+    _, c, _, _ = tracer.nchw(spec)
+    tracer.expect(
+        c == m.num_features,
+        f"BatchNorm2d expects {m.num_features} channels, got {c}",
+    )
+    return spec
+
+
+@register_shape_rule(nn.LayerNorm)
+def _layer_norm(tracer: ShapeTracer, m: nn.LayerNorm, spec: ShapeSpec) -> ShapeSpec:
+    tracer.expect(
+        spec.shape[-1] == m.dim,
+        f"LayerNorm expects trailing dim {m.dim}, got {spec.shape[-1]}",
+    )
+    return spec
+
+
+@register_shape_rule(nn.GroupNorm)
+def _group_norm(tracer: ShapeTracer, m: nn.GroupNorm, spec: ShapeSpec) -> ShapeSpec:
+    _, c, _, _ = tracer.nchw(spec)
+    tracer.expect(
+        c == m.num_channels,
+        f"GroupNorm expects {m.num_channels} channels, got {c}",
+    )
+    return spec
+
+
+def _identity_rule(tracer: ShapeTracer, m: nn.Module, spec: ShapeSpec) -> ShapeSpec:
+    return spec
+
+
+for _klass in (nn.ReLU, nn.GELU, nn.Sigmoid, nn.Softmax, nn.Dropout, nn.Identity):
+    register_shape_rule(_klass)(_identity_rule)
+
+
+@register_shape_rule(nn.MaxPool2d)
+@register_shape_rule(nn.AvgPool2d)
+def _pool2d(tracer: ShapeTracer, m, spec: ShapeSpec) -> ShapeSpec:
+    n, c, h, w = tracer.nchw(spec)
+    k = m.kernel_size
+    tracer.expect(
+        h % k == 0 and w % k == 0,
+        f"spatial dims {(h, w)} not divisible by pooling kernel {k}",
+    )
+    return ShapeSpec((n, c, h // k, w // k))
+
+
+@register_shape_rule(nn.UpsampleNearest)
+def _upsample(tracer: ShapeTracer, m: nn.UpsampleNearest, spec: ShapeSpec) -> ShapeSpec:
+    n, c, h, w = tracer.nchw(spec)
+    return ShapeSpec((n, c, h * m.scale, w * m.scale))
+
+
+@register_shape_rule(nn.Sequential)
+def _sequential(tracer: ShapeTracer, m: nn.Sequential, spec: ShapeSpec) -> ShapeSpec:
+    for i, layer in enumerate(m):
+        spec = tracer.child(str(i), layer, spec)
+    return spec
+
+
+@register_shape_rule(nn.ConvBNReLU)
+def _conv_bn_relu(tracer: ShapeTracer, m: nn.ConvBNReLU, spec: ShapeSpec) -> ShapeSpec:
+    spec = tracer.child("conv", m.conv, spec)
+    return tracer.child("bn", m.bn, spec)
+
+
+@register_shape_rule(nn.MultiHeadSelfAttention)
+def _mhsa(tracer: ShapeTracer, m: nn.MultiHeadSelfAttention, spec: ShapeSpec) -> ShapeSpec:
+    tracer.expect(
+        spec.ndim == 3, f"attention expects (batch, tokens, dim), got {spec}"
+    )
+    tracer.expect(
+        spec.shape[-1] == m.dim,
+        f"attention expects embedding dim {m.dim}, got {spec.shape[-1]}",
+    )
+    return spec
+
+
+@register_shape_rule(nn.TransformerLayer)
+def _transformer_layer(
+    tracer: ShapeTracer, m: nn.TransformerLayer, spec: ShapeSpec
+) -> ShapeSpec:
+    a = tracer.child("attn", m.attn, tracer.child("norm1", m.norm1, spec))
+    h = tracer.child("fc1", m.fc1, tracer.child("norm2", m.norm2, a))
+    h = tracer.child("fc2", m.fc2, h)
+    tracer.expect(h.shape == spec.shape, f"residual mismatch: {h} vs {spec}")
+    return spec
+
+
+@register_shape_rule(nn.TransformerStack)
+def _transformer_stack(
+    tracer: ShapeTracer, m: nn.TransformerStack, spec: ShapeSpec
+) -> ShapeSpec:
+    n, c, h, w = tracer.nchw(spec)
+    tracer.expect(
+        c == m.in_channels,
+        f"TransformerStack expects {m.in_channels} channels, got {c}",
+    )
+    tracer.expect(
+        h * w == m.tokens,
+        f"TransformerStack expects {m.tokens} tokens, got {h}x{w}={h * w}",
+    )
+    z = ShapeSpec((n, h * w, c))
+    z = tracer.child("embed", m.embed, z)
+    tracer.expect(
+        m.pos_embed.shape == (1, m.tokens, m.embed_dim),
+        f"position embedding {m.pos_embed.shape} does not cover "
+        f"(1, {m.tokens}, {m.embed_dim})",
+    )
+    for i, layer in enumerate(m.layers):
+        z = tracer.child(f"layers.{i}", layer, z)
+    z = tracer.child("norm", m.norm, z)
+    z = tracer.child("unembed", m.unembed, z)
+    tracer.expect(z.shape == (n, h * w, c), f"unembed produced {z}")
+    return spec
+
+
+# -- model composite rules (registered lazily) ---------------------------------
+
+
+def _ensure_model_rules() -> None:
+    """Install transfer rules for :mod:`repro.models` composites."""
+    global _MODEL_RULES_LOADED
+    if _MODEL_RULES_LOADED:
+        return
+    _MODEL_RULES_LOADED = True
+
+    from ..models.mfa import ChannelAttention, MFABlock, PositionAttention
+    from ..models.ours import MFATransformerNet, ResNetDown, UpBlock
+    from ..models.pgnn import GridGraphConv, PGNNNet
+    from ..models.pros import ProsNet, ResidualStage
+    from ..models.unet import DoubleConv, UNet
+
+    @register_shape_rule(PositionAttention)
+    def _pam(tracer: ShapeTracer, m: PositionAttention, spec: ShapeSpec) -> ShapeSpec:
+        n, c, h, w = tracer.nchw(spec)
+        tracer.expect(
+            c == m.channels, f"PAM expects {m.channels} channels, got {c}"
+        )
+        factor = m._pool_factor(h, w)
+        if factor > 1:
+            tracer.expect(
+                h % factor == 0 and w % factor == 0,
+                f"PAM token pooling factor {factor} does not divide "
+                f"spatial dims {(h, w)}",
+            )
+            pooled = ShapeSpec((n, c, h // factor, w // factor))
+        else:
+            pooled = spec
+        tracer.child("query_conv", m.query_conv, pooled)
+        tracer.child("key_conv", m.key_conv, pooled)
+        tracer.child("value_conv", m.value_conv, pooled)
+        return spec
+
+    @register_shape_rule(ChannelAttention)
+    def _cam(tracer: ShapeTracer, m: ChannelAttention, spec: ShapeSpec) -> ShapeSpec:
+        _, c, _, _ = tracer.nchw(spec)
+        tracer.expect(
+            c == m.channels, f"CAM expects {m.channels} channels, got {c}"
+        )
+        return spec
+
+    @register_shape_rule(MFABlock)
+    def _mfa_block(tracer: ShapeTracer, m: MFABlock, spec: ShapeSpec) -> ShapeSpec:
+        _, c, _, _ = tracer.nchw(spec)
+        tracer.expect(
+            c == m.channels, f"MFA block expects {m.channels} channels, got {c}"
+        )
+        p = tracer.child("pam", m.pam, tracer.child("pam_reduce", m.pam_reduce, spec))
+        q = tracer.child("cam", m.cam, tracer.child("cam_reduce", m.cam_reduce, spec))
+        tracer.expect(p.shape == q.shape, f"PAM/CAM branch mismatch: {p} vs {q}")
+        fused = tracer.child("restore", m.restore, p)
+        tracer.expect(
+            fused.shape == spec.shape,
+            f"MFA residual mismatch: restored {fused} vs input {spec}",
+        )
+        return spec
+
+    @register_shape_rule(ResNetDown)
+    def _resnet_down(tracer: ShapeTracer, m: ResNetDown, spec: ShapeSpec) -> ShapeSpec:
+        out = tracer.child("bn1", m.bn1, tracer.child("conv1", m.conv1, spec))
+        out = tracer.child("bn2", m.bn2, tracer.child("conv2", m.conv2, out))
+        res = tracer.child("bn_sc", m.bn_sc, tracer.child("shortcut", m.shortcut, spec))
+        tracer.expect(
+            out.shape == res.shape,
+            f"residual add mismatch: main {out} vs shortcut {res}",
+        )
+        return out
+
+    def _up_block(
+        tracer: ShapeTracer, m: UpBlock, spec: ShapeSpec, skip: ShapeSpec | None
+    ) -> ShapeSpec:
+        x = tracer.child("up", m.up, spec)
+        if skip is not None:
+            tracer.expect(
+                skip.shape[1] == m.skip_ch,
+                f"skip carries {skip.shape[1]} channels but UpBlock was "
+                f"built for {m.skip_ch}",
+            )
+            x = tracer.concat([x, skip], axis=1)
+        else:
+            tracer.expect(
+                m.skip_ch == 0,
+                f"UpBlock built for {m.skip_ch} skip channels called "
+                "without a skip",
+            )
+        return tracer.child("fuse", m.fuse, x)
+
+    register_shape_rule(UpBlock)(_up_block)
+
+    @register_shape_rule(DoubleConv)
+    def _double_conv(tracer: ShapeTracer, m: DoubleConv, spec: ShapeSpec) -> ShapeSpec:
+        return tracer.child("block", m.block, spec)
+
+    @register_shape_rule(ResidualStage)
+    def _residual_stage(
+        tracer: ShapeTracer, m: ResidualStage, spec: ShapeSpec
+    ) -> ShapeSpec:
+        x = tracer.child("down", m.down, spec)
+        out = tracer.child("bn1", m.bn1, tracer.child("conv1", m.conv1, x))
+        out = tracer.child("bn2", m.bn2, tracer.child("conv2", m.conv2, out))
+        tracer.expect(
+            out.shape == x.shape, f"residual add mismatch: {out} vs {x}"
+        )
+        return out
+
+    @register_shape_rule(GridGraphConv)
+    def _grid_graph_conv(
+        tracer: ShapeTracer, m: GridGraphConv, spec: ShapeSpec
+    ) -> ShapeSpec:
+        n, c, h, w = tracer.nchw(spec)
+        tracer.expect(
+            c == m.in_ch, f"GridGraphConv expects {m.in_ch} channels, got {c}"
+        )
+        s = tracer.child("w_self", m.w_self, spec)
+        g = tracer.child("w_neigh", m.w_neigh, spec)
+        tracer.expect(s.shape == g.shape, f"self/neigh mismatch: {s} vs {g}")
+        return s
+
+    @register_shape_rule(UNet)
+    def _unet(tracer: ShapeTracer, m: UNet, spec: ShapeSpec) -> ShapeSpec:
+        e1 = tracer.child("enc1", m.enc1, spec)
+        e2 = tracer.child("enc2", m.enc2, tracer.child("pool", m.pool, e1))
+        e3 = tracer.child("enc3", m.enc3, tracer.child("pool", m.pool, e2))
+        e4 = tracer.child("enc4", m.enc4, tracer.child("pool", m.pool, e3))
+        d3 = tracer.child(
+            "dec3", m.dec3, tracer.concat([tracer.child("up3", m.up3, e4), e3])
+        )
+        d2 = tracer.child(
+            "dec2", m.dec2, tracer.concat([tracer.child("up2", m.up2, d3), e2])
+        )
+        d1 = tracer.child(
+            "dec1", m.dec1, tracer.concat([tracer.child("up1", m.up1, d2), e1])
+        )
+        return tracer.child("head", m.head, d1)
+
+    @register_shape_rule(PGNNNet)
+    def _pgnn(tracer: ShapeTracer, m: PGNNNet, spec: ShapeSpec) -> ShapeSpec:
+        h = spec
+        for i, layer in enumerate(m.gnn):
+            h = tracer.child(f"gnn.{i}", layer, h)
+        return tracer.child("unet", m.unet, tracer.concat([spec, h]))
+
+    @register_shape_rule(ProsNet)
+    def _pros(tracer: ShapeTracer, m: ProsNet, spec: ShapeSpec) -> ShapeSpec:
+        s1 = tracer.child("stage1", m.stage1, spec)
+        s2 = tracer.child("stage2", m.stage2, s1)
+        s3 = tracer.child("stage3", m.stage3, s2)
+        s4 = tracer.child("stage4", m.stage4, s3)
+        u1 = tracer.child("up1", m.up1, s4, s3)
+        u2 = tracer.child("up2", m.up2, u1, s2)
+        u3 = tracer.child("up3", m.up3, u2, s1)
+        return tracer.child("up4", m.up4, u3, None)
+
+    @register_shape_rule(MFATransformerNet)
+    def _ours(tracer: ShapeTracer, m: MFATransformerNet, spec: ShapeSpec) -> ShapeSpec:
+        d1 = tracer.child("down1", m.down1, spec)
+        d2 = tracer.child("down2", m.down2, d1)
+        d3 = tracer.child("down3", m.down3, d2)
+        d4 = tracer.child("down4", m.down4, d3)
+        s1 = tracer.child("mfa1", m.mfa1, d1)
+        s2 = tracer.child("mfa2", m.mfa2, d2)
+        s3 = tracer.child("mfa3", m.mfa3, d3)
+        s4 = tracer.child("mfa4", m.mfa4, d4)
+        z = tracer.child("mfa_bottleneck", m.mfa_bottleneck, s4)
+        z = tracer.child("transformer", m.transformer, z)
+        u1 = tracer.child("up1", m.up1, z, s3)
+        u2 = tracer.child("up2", m.up2, u1, s2)
+        u3 = tracer.child("up3", m.up3, u2, s1)
+        return tracer.child("up4", m.up4, u3, None)
+
+
+# -- public entry points -------------------------------------------------------
+
+
+def trace_module(
+    module: nn.Module, in_shape: tuple[int, ...]
+) -> ShapeSpec:
+    """Infer the output shape of ``module`` for input ``in_shape``."""
+    return ShapeTracer().trace(module, ShapeSpec(tuple(in_shape)))
+
+
+def validate_model(model: nn.Module, in_shape: tuple[int, ...]) -> ShapeSpec:
+    """Statically validate ``model`` and check the logit-map contract.
+
+    For :class:`~repro.models.base.CongestionModel` subclasses the output
+    must be ``(N, num_classes, H, W)`` with the input's spatial dims.
+    Raises :class:`ShapeError` on any inconsistency.
+    """
+    out = trace_module(model, in_shape)
+    from ..models.base import CongestionModel
+
+    if isinstance(model, CongestionModel):
+        n, _, h, w = in_shape
+        expected = (n, model.num_classes, h, w)
+        if out.shape != expected:
+            raise ShapeError(
+                f"{type(model).__name__}: output {out} does not match the "
+                f"(N, {model.num_classes}, H, W) logit contract {expected}"
+            )
+    return out
+
+
+def validate_registry_models(
+    grids: tuple[int, ...] = PAPER_GRIDS,
+    preset: str = "paper",
+    in_channels: int = 6,
+) -> list[tuple[str, int, ShapeSpec]]:
+    """Statically validate every registry model at every grid size.
+
+    Builds each of the four Table-I models (cheap: parameters only, no
+    activations) and traces a ``(1, in_channels, grid, grid)`` spec
+    through it.  Returns ``(name, grid, out_spec)`` rows; raises
+    :class:`ShapeError` on the first failure.
+    """
+    from ..models.registry import MODEL_NAMES, build_model
+
+    rows = []
+    for name in MODEL_NAMES:
+        for grid in grids:
+            try:
+                model = build_model(name, preset, grid=grid, validate=False)
+            except ValueError as exc:
+                # Constructors may reject a grid outright (e.g. 'ours'
+                # requires a multiple of 16); report it as a shape
+                # failure rather than crashing the gate.
+                raise ShapeError(f"{name} @ {grid}: {exc}") from exc
+            out = validate_model(model, (1, in_channels, grid, grid))
+            rows.append((name, grid, out))
+    return rows

@@ -21,7 +21,12 @@ PRESETS = ("tiny", "fast", "paper")
 
 
 def build_model(
-    name: str, preset: str = "fast", grid: int = 64, seed: int = 0
+    name: str,
+    preset: str = "fast",
+    grid: int = 64,
+    seed: int = 0,
+    in_channels: int = 6,
+    validate: bool = True,
 ) -> CongestionModel:
     """Construct one of the Table-I models.
 
@@ -33,6 +38,15 @@ def build_model(
         ``tiny`` / ``fast`` / ``paper`` capacity preset.
     grid:
         Input resolution (``ours`` requires a multiple of 16).
+    in_channels:
+        Number of grid feature channels (6 in the paper).
+    validate:
+        Statically check every layer shape, channel count and
+        encoder/decoder skip connection with
+        :func:`repro.lint.validate_model` before returning — pure shape
+        arithmetic, no numerics.  Raises
+        :class:`~repro.lint.shapes.ShapeError` on an inconsistent
+        architecture instead of failing mid-training.
     """
     if name not in MODEL_NAMES:
         raise ValueError(f"unknown model {name!r}; expected one of {MODEL_NAMES}")
@@ -46,16 +60,30 @@ def build_model(
     }[preset]
 
     if name == "unet":
-        return UNet(base_channels=sizes["unet"], seed=seed)
-    if name == "pgnn":
-        return PGNNNet(
-            gnn_channels=sizes["gnn"], base_channels=sizes["pgnn"], seed=seed
+        model: CongestionModel = UNet(
+            in_channels=in_channels, base_channels=sizes["unet"], seed=seed
         )
-    if name == "pros2":
-        return ProsNet(base_channels=sizes["pros2"], seed=seed)
-    return MFATransformerNet(
-        base_channels=sizes["ours"],
-        num_transformer_layers=sizes["layers"],
-        grid=grid,
-        seed=seed,
-    )
+    elif name == "pgnn":
+        model = PGNNNet(
+            in_channels=in_channels,
+            gnn_channels=sizes["gnn"],
+            base_channels=sizes["pgnn"],
+            seed=seed,
+        )
+    elif name == "pros2":
+        model = ProsNet(
+            in_channels=in_channels, base_channels=sizes["pros2"], seed=seed
+        )
+    else:
+        model = MFATransformerNet(
+            in_channels=in_channels,
+            base_channels=sizes["ours"],
+            num_transformer_layers=sizes["layers"],
+            grid=grid,
+            seed=seed,
+        )
+    if validate:
+        from ..lint.shapes import validate_model
+
+        validate_model(model, (1, in_channels, grid, grid))
+    return model

@@ -37,6 +37,23 @@ __all__ = [
 _GRAD_ENABLED = True
 _DEFAULT_DTYPE = np.float64
 
+# Optional tape instrumentation (see repro.lint.sanitize).  The hook is a
+# callable ``hook(event, tensor, parents, backward)`` receiving "record"
+# when an op wires the graph and "pre"/"post" around each backward
+# closure.  When no sanitizer is active this is a single ``is None``
+# check per op — zero cost for production training.
+_TAPE_HOOK: Callable | None = None
+
+
+def _set_tape_hook(hook: Callable | None) -> None:
+    """Install (or clear) the tape instrumentation hook."""
+    global _TAPE_HOOK
+    _TAPE_HOOK = hook
+
+
+def _get_tape_hook() -> Callable | None:
+    return _TAPE_HOOK
+
 
 def set_default_dtype(dtype) -> None:
     """Set the dtype new tensors are coerced to (float32 or float64).
@@ -141,6 +158,8 @@ class Tensor:
         if needs and backward is not None:
             out._parents = tuple(parents)
             out._backward = lambda: backward(out)
+            if _TAPE_HOOK is not None:
+                _TAPE_HOOK("record", out, out._parents, backward)
         return out
 
     # -- basic introspection ---------------------------------------------------
@@ -209,9 +228,14 @@ class Tensor:
 
         order = self._topological_order()
         self._accumulate(grad)
+        hook = _TAPE_HOOK
         for node in reversed(order):
             if node._backward is not None and node.grad is not None:
+                if hook is not None:
+                    hook("pre", node, node._parents, None)
                 node._backward()
+                if hook is not None:
+                    hook("post", node, node._parents, None)
             # Free the tape reference so repeated backward calls fail loudly
             # and intermediate buffers become collectable.
             node._backward = None
@@ -373,6 +397,10 @@ class Tensor:
             axes = tuple(axes[0])
         if not axes:
             axes = tuple(reversed(range(self.ndim)))
+        # Normalize negative axes: argsort of a mixed-sign permutation is
+        # NOT its inverse, which silently corrupted gradients for square
+        # dims and crashed for rectangular ones.
+        axes = tuple(a % self.ndim for a in axes)
         inverse = np.argsort(axes)
 
         def backward(out: Tensor) -> None:

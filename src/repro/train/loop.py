@@ -9,6 +9,7 @@ collapses onto the majority level and Table I's differences vanish.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -42,6 +43,11 @@ class TrainConfig:
     patience_delta: float = 1e-3
     seed: int = 0
     log_every: int = 0  # epochs between progress prints; 0 silences
+    # Run the whole loop under ``repro.lint.detect_anomaly``: op
+    # provenance, NaN/Inf gradient origin, in-place mutation and leaked
+    # graph detection, plus an unused-parameter check after the first
+    # backward pass.  Debugging aid; off by default (zero overhead).
+    sanitize: bool = False
 
 
 @dataclass
@@ -51,6 +57,9 @@ class TrainResult:
     losses: list[float] = field(default_factory=list)
     epochs: int = 0
     seconds: float = 0.0
+    # Filled only when ``TrainConfig.sanitize`` is on.
+    unused_parameters: list[str] = field(default_factory=list)
+    leaked_ops: list[str] = field(default_factory=list)
 
 
 class Trainer:
@@ -89,33 +98,53 @@ class Trainer:
         model.train()
         best_loss = np.inf
         stall = 0
-        for epoch in range(cfg.epochs):
-            optimizer.lr = lr_at_epoch(
-                cfg.lr, epoch, cfg.epochs, schedule=cfg.lr_schedule
-            )
-            epoch_loss = 0.0
-            batches = 0
-            for feats, labels in dataset.batches(cfg.batch_size, rng):
-                optimizer.zero_grad()
-                logits = model(nn.Tensor(feats))
-                loss = loss_fn(logits, labels)
-                loss.backward()
-                nn.clip_grad_norm(model.parameters(), cfg.grad_clip)
-                optimizer.step()
-                epoch_loss += loss.item()
-                batches += 1
-            mean_loss = epoch_loss / max(batches, 1)
-            result.losses.append(mean_loss)
-            if cfg.log_every and (epoch + 1) % cfg.log_every == 0:
-                print(f"epoch {epoch + 1}/{cfg.epochs} loss={mean_loss:.4f}")
-            if cfg.patience:
-                if mean_loss < best_loss - cfg.patience_delta:
-                    best_loss = mean_loss
-                    stall = 0
-                else:
-                    stall += 1
-                    if stall >= cfg.patience:
-                        break
+        if cfg.sanitize:
+            from ..lint.sanitize import detect_anomaly, unused_parameter_report
+
+            anomaly = detect_anomaly()
+        else:
+            anomaly = nullcontext()
+        with anomaly:
+            checked_unused = False
+            for epoch in range(cfg.epochs):
+                optimizer.lr = lr_at_epoch(
+                    cfg.lr, epoch, cfg.epochs, schedule=cfg.lr_schedule
+                )
+                epoch_loss = 0.0
+                batches = 0
+                for feats, labels in dataset.batches(cfg.batch_size, rng):
+                    optimizer.zero_grad()
+                    logits = model(nn.Tensor(feats))
+                    loss = loss_fn(logits, labels)
+                    loss.backward()
+                    if cfg.sanitize and not checked_unused:
+                        checked_unused = True
+                        result.unused_parameters = unused_parameter_report(model)
+                        if result.unused_parameters:
+                            print(
+                                "sanitize: parameters with no gradient after "
+                                f"backward: {result.unused_parameters}"
+                            )
+                    nn.clip_grad_norm(model.parameters(), cfg.grad_clip)
+                    optimizer.step()
+                    epoch_loss += loss.item()
+                    batches += 1
+                mean_loss = epoch_loss / max(batches, 1)
+                result.losses.append(mean_loss)
+                if cfg.log_every and (epoch + 1) % cfg.log_every == 0:
+                    print(f"epoch {epoch + 1}/{cfg.epochs} loss={mean_loss:.4f}")
+                if cfg.patience:
+                    if mean_loss < best_loss - cfg.patience_delta:
+                        best_loss = mean_loss
+                        stall = 0
+                    else:
+                        stall += 1
+                        if stall >= cfg.patience:
+                            break
+        if cfg.sanitize:
+            result.leaked_ops = anomaly.leaked_ops()
+            if result.leaked_ops:
+                print(f"sanitize: {anomaly.describe_leaks()}")
         result.epochs = len(result.losses)
         result.seconds = time.perf_counter() - start
         model.eval()

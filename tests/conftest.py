@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.arch import FPGADevice, SiteType, xcvu3p_like
+from repro.arch import FPGADevice, SiteType
 from repro.netlist import MLCAD2023_SPECS, Design, Instance, Net, generate_design
 
 

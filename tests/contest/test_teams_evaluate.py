@@ -1,6 +1,5 @@
 """Teams and the Table-II harness (mini run at tiny scale)."""
 
-import numpy as np
 import pytest
 
 from repro.contest import (
@@ -13,7 +12,7 @@ from repro.contest import (
     run_table2,
 )
 from repro.models import ModelEstimator, build_model
-from repro.placement import GPConfig, PlacerConfig, RudyEstimator
+from repro.placement import GPConfig, RudyEstimator
 
 
 class TestTeamConstruction:

@@ -1,9 +1,7 @@
 """MFA block, PAM, CAM (Fig. 3)."""
 
 import numpy as np
-import pytest
 
-from repro import nn
 from repro.models import ChannelAttention, MFABlock, PositionAttention
 from repro.nn import Tensor
 

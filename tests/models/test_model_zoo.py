@@ -5,7 +5,6 @@ import pytest
 
 from repro.models import (
     MODEL_NAMES,
-    PRESETS,
     MFATransformerNet,
     ModelEstimator,
     PGNNNet,

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.models import MODEL_NAMES, build_model
-from repro.nn import Tensor, load_module, save_module
+from repro.nn import load_module, save_module
 
 
 @pytest.mark.parametrize("name", MODEL_NAMES)

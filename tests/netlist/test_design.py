@@ -6,9 +6,6 @@ import pytest
 from repro.arch import CascadeShape, RegionConstraint, ResourceType
 from repro.netlist import Design, Instance, Net
 
-from ..conftest import make_manual_design
-
-
 class TestNetValidation:
     def test_single_pin_net_rejected(self):
         with pytest.raises(ValueError, match="two pins"):

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.arch import ResourceType, SiteType
+from repro.arch import ResourceType
 from repro.netlist import (
     MLCAD2023_SPECS,
     TABLE1_DESIGNS,

@@ -1,7 +1,6 @@
 """Layer behaviour: shapes, parameter counts, semantic checks."""
 
 import numpy as np
-import pytest
 
 from repro import nn
 from repro.nn import Tensor

@@ -1,0 +1,83 @@
+"""Regression tests for bugs surfaced by the repro.lint tooling."""
+
+import numpy as np
+import pytest
+
+from repro.lint import detect_anomaly
+from repro.nn.attention import MultiHeadSelfAttention
+from repro.nn.tensor import Tensor
+
+
+class TestTransposeNegativeAxes:
+    """``Tensor.transpose`` used ``np.argsort(axes)`` to invert the
+    permutation, which is wrong for negative axes: argsort of
+    ``(0, -1, -2)`` is ``(1, 2, 0)``, not the inverse ``(0, 2, 1)``.
+    Rectangular tensors crashed in backward; square ones silently
+    routed gradients to the wrong axes."""
+
+    def test_rectangular_backward_no_crash(self):
+        x = Tensor(np.arange(24.0).reshape(2, 3, 4), requires_grad=True)
+        y = x.transpose((0, -1, -2))
+        assert y.shape == (2, 4, 3)
+        y.sum().backward()
+        assert x.grad.shape == (2, 3, 4)
+
+    def test_gradient_matches_positive_axes(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(2, 3, 3))
+        seed = rng.normal(size=(2, 3, 3))
+
+        def grad_for(axes):
+            x = Tensor(data.copy(), requires_grad=True)
+            x.transpose(axes).backward(seed)
+            return x.grad
+
+        np.testing.assert_allclose(grad_for((0, -1, -2)), grad_for((0, 2, 1)))
+
+    def test_numeric_gradcheck(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=(2, 3, 4))
+        weight = rng.normal(size=(2, 4, 3))
+
+        x = Tensor(data.copy(), requires_grad=True)
+        (x.transpose((0, -1, -2)) * Tensor(weight)).sum().backward()
+
+        eps = 1e-6
+        numeric = np.zeros_like(data)
+        for idx in np.ndindex(data.shape):
+            bumped = data.copy()
+            bumped[idx] += eps
+            hi = (bumped.transpose((0, 2, 1)) * weight).sum()
+            bumped[idx] -= 2 * eps
+            lo = (bumped.transpose((0, 2, 1)) * weight).sum()
+            numeric[idx] = (hi - lo) / (2 * eps)
+        np.testing.assert_allclose(x.grad, numeric, atol=1e-4)
+
+
+class TestAttentionMapNoLeak:
+    """``attention_map`` is a read-only diagnostic: it must not record
+    tape (which no backward pass would ever free)."""
+
+    @pytest.fixture
+    def attn(self):
+        return MultiHeadSelfAttention(8, num_heads=2, rng=np.random.default_rng(0))
+
+    def test_no_graph_recorded(self, attn):
+        x = Tensor(np.random.default_rng(1).normal(size=(2, 5, 8)))
+        with detect_anomaly() as det:
+            weights = attn.attention_map(x)
+        assert det.leaked_ops() == []
+        assert weights.shape == (2, 5, 5)
+        np.testing.assert_allclose(weights.sum(axis=-1), 1.0, atol=1e-6)
+
+    def test_matches_forward_attention(self, attn):
+        # The diagnostic must report the same distribution the forward
+        # pass actually uses (averaged over heads).
+        x = Tensor(np.random.default_rng(2).normal(size=(1, 4, 8)))
+        from repro.nn import functional as F
+
+        q = attn._split_heads(attn.q_proj(x), 1, 4)
+        k = attn._split_heads(attn.k_proj(x), 1, 4)
+        scores = (q @ k.transpose((0, 1, 3, 2))) * (1.0 / np.sqrt(attn.head_dim))
+        expected = F.softmax(scores, axis=-1).data.mean(axis=1)
+        np.testing.assert_allclose(attn.attention_map(x), expected, atol=1e-6)

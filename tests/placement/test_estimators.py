@@ -1,7 +1,6 @@
 """Analytical congestion estimators (RUDY and pin-density-aware)."""
 
 import numpy as np
-import pytest
 
 from repro.placement import PinDensityAwareEstimator, RudyEstimator
 

@@ -6,7 +6,6 @@ import pytest
 from repro.routing import (
     DIRECTIONS,
     NUM_LEVELS,
-    CongestionReport,
     DetailedRoutingModel,
     RoutingResult,
     congestion_report,

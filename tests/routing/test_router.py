@@ -5,7 +5,7 @@ import pytest
 
 from repro.arch import ResourceType
 from repro.netlist import Design, Instance, Net
-from repro.routing import GlobalRouter, RouterConfig, route_design
+from repro.routing import RouterConfig, route_design
 from repro.routing.router import GLOBAL_SPAN, _net_connections
 
 

@@ -9,8 +9,6 @@ import importlib
 import re
 from pathlib import Path
 
-import pytest
-
 _ROOT = Path(__file__).resolve().parent.parent
 
 

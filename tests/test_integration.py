@@ -1,5 +1,6 @@
 """Cross-module integration tests: the full pipeline end to end."""
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -14,7 +15,6 @@ from repro.netlist import MLCAD2023_SPECS, generate_design
 from repro.placement import (
     GPConfig,
     PlacerConfig,
-    RudyEstimator,
     place_design,
 )
 from repro.routing import congestion_report, route_design
@@ -138,12 +138,20 @@ class TestPipeline:
 )
 def test_examples_run(script, args, tmp_path):
     """Example scripts execute cleanly at tiny scale."""
+    # The examples import repro from a clean subprocess: make sure src/
+    # is importable there even when the package is not installed.
+    src = str(_EXAMPLES.parent / "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src, env.get("PYTHONPATH")) if p
+    )
     result = subprocess.run(
         [sys.executable, str(_EXAMPLES / script), *args],
         capture_output=True,
         text=True,
         timeout=600,
         cwd=tmp_path,
+        env=env,
     )
     assert result.returncode == 0, result.stderr[-2000:]
     assert result.stdout

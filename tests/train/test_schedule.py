@@ -1,6 +1,5 @@
 """Learning-rate schedules and early stopping."""
 
-import numpy as np
 import pytest
 
 from repro.models import build_model

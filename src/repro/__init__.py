@@ -30,6 +30,9 @@ Subpackages
 ``repro.contest``
     MLCAD 2023 scoring (Eqs. 1-3), the Table-II teams, and the
     evaluation harness.
+``repro.resilience``
+    Fault tolerance: atomic resumable checkpoints, divergence
+    recovery, estimator fallback, and deterministic fault injection.
 ``repro.analysis``
     Feature-congestion correlation analysis and report export.
 
@@ -54,6 +57,7 @@ from . import (
     netlist,
     nn,
     placement,
+    resilience,
     routing,
     train,
 )
@@ -67,6 +71,7 @@ __all__ = [
     "netlist",
     "nn",
     "placement",
+    "resilience",
     "routing",
     "train",
     "__version__",

@@ -66,6 +66,20 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--placements", type=int, default=4)
     train.add_argument("--grid", type=int, default=64)
     train.add_argument("--out", default="congestion_model.npz")
+    train.add_argument(
+        "--checkpoint-dir", default=None,
+        help="write atomic last/best checkpoint bundles here "
+        "(enables crash-safe training)",
+    )
+    train.add_argument(
+        "--checkpoint-every", type=int, default=1,
+        help="epochs between checkpoint bundles (default 1)",
+    )
+    train.add_argument(
+        "--resume", action="store_true",
+        help="resume from the last bundle in --checkpoint-dir "
+        "(refuses a mismatched config fingerprint)",
+    )
 
     table2 = sub.add_parser("table2", help="mini Table II (4 teams)")
     add_common(table2, multi_design=True)
@@ -146,6 +160,9 @@ def _cmd_train(args) -> int:
     from .nn import save_module
     from .train import CongestionDataset, DatasetConfig, TrainConfig, Trainer
 
+    if args.resume and not args.checkpoint_dir:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
     config = DatasetConfig(
         grid=args.grid,
         placements_per_design=args.placements,
@@ -158,10 +175,18 @@ def _cmd_train(args) -> int:
     trainer = Trainer(
         TrainConfig(epochs=args.epochs, batch_size=8, lr=2e-3,
                     max_class_weight=4.0,
-                    log_every=max(1, args.epochs // 10))
+                    log_every=max(1, args.epochs // 10),
+                    checkpoint_dir=args.checkpoint_dir,
+                    checkpoint_every=args.checkpoint_every,
+                    resume=args.resume)
     )
     result = trainer.train(model, dataset)
     metrics = Trainer.evaluate(model, dataset.eval)
+    if result.resumed_from_epoch:
+        print(f"resumed from epoch {result.resumed_from_epoch} "
+              f"({args.checkpoint_dir})")
+    if result.recoveries:
+        print(f"recovered from {len(result.recoveries)} divergence rollback(s)")
     print(f"trained {args.model} ({model.num_parameters():,} params) "
           f"{result.epochs} epochs in {result.seconds:.0f}s")
     print(f"eval: ACC={metrics['ACC']:.3f} R2={metrics['R2']:.3f} "

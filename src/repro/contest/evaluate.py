@@ -4,6 +4,14 @@ Runs each team's flow on each design, scores the result with the
 contest metrics (Eqs. 1–3), and formats the same rows Table II reports
 (S_score, S_R, T_P&R, S_IR, S_DR per design plus Average and Ratio
 rows, where Ratio normalizes every team's average to "Ours").
+
+A full Table-II sweep is hours of placement + routing; one crashing
+(team, design) pair must not discard the rest.  :func:`run_table2`
+therefore records per-design failures in an error manifest
+(:attr:`Table2Result.errors`) and keeps going — averages, ratios and
+the formatted table are computed over the designs that survived, and
+the manifest is appended so partial results are never mistaken for
+complete ones.
 """
 
 from __future__ import annotations
@@ -52,18 +60,42 @@ def evaluate_team_on_design(
 
 @dataclass
 class Table2Result:
-    """All scores of a Table-II run, indexed [team][design]."""
+    """All scores of a Table-II run, indexed [team][design].
+
+    ``errors`` is the failure manifest of a resilient run: one entry
+    per (team, design) pair whose flow raised, holding the error
+    string in place of a score.  ``complete`` is False whenever the
+    manifest is non-empty.
+    """
 
     scores: dict[str, dict[str, ContestScore]] = field(default_factory=dict)
+    errors: dict[str, dict[str, str]] = field(default_factory=dict)
 
     def add(self, score: ContestScore) -> None:
         self.scores.setdefault(score.team, {})[score.design] = score
+
+    def add_error(self, team: str, design: str, error: str) -> None:
+        self.errors.setdefault(team, {})[design] = error
+
+    @property
+    def complete(self) -> bool:
+        return not self.errors
+
+    def error_manifest(self) -> list[dict[str, str]]:
+        """Flat (team, design, error) rows of every recorded failure."""
+        return [
+            {"team": team, "design": design, "error": error}
+            for team, by_design in sorted(self.errors.items())
+            for design, error in sorted(by_design.items())
+        ]
 
     def averages(self) -> dict[str, dict[str, float]]:
         """Per-team average of every Table-II column."""
         result: dict[str, dict[str, float]] = {}
         for team, by_design in self.scores.items():
             rows = [s.row() for s in by_design.values()]
+            if not rows:
+                continue
             result[team] = {
                 col: float(np.mean([r[col] for r in rows])) for col in _COLUMNS
             }
@@ -111,12 +143,27 @@ def run_table2(
     design_names: tuple[str, ...] = TABLE2_DESIGNS,
     scale: float = 1.0 / 64.0,
     verbose: bool = False,
+    resilient: bool = True,
 ) -> Table2Result:
-    """Evaluate every team on every design."""
+    """Evaluate every team on every design.
+
+    With ``resilient`` (the default) a failing (team, design) pair is
+    recorded in the result's error manifest and the sweep continues,
+    yielding partial scores; ``resilient=False`` restores fail-fast
+    behaviour for debugging.
+    """
     result = Table2Result()
     for team in teams:
         for name in design_names:
-            score = evaluate_team_on_design(team, name, scale=scale)
+            try:
+                score = evaluate_team_on_design(team, name, scale=scale)
+            except Exception as exc:
+                if not resilient:
+                    raise
+                result.add_error(team.name, name, f"{type(exc).__name__}: {exc}")
+                if verbose:
+                    print(f"{team.name:<14} {name:<12} FAILED: {exc}")
+                continue
             result.add(score)
             if verbose:
                 print(f"{team.name:<14} {name:<12} {score.row()}")
@@ -149,12 +196,27 @@ def format_table2(result: Table2Result) -> str:
     avgs = result.averages()
     line = f"{'Average':<12}"
     for team in teams:
-        line += " | " + " ".join(f"{avgs[team][c]:>7.2f}" for c in _COLUMNS)
+        if team in avgs:
+            line += " | " + " ".join(f"{avgs[team][c]:>7.2f}" for c in _COLUMNS)
+        else:
+            line += " | " + " ".join(["     --"] * len(_COLUMNS))
     lines.append(line)
     if "Ours" in avgs:
         ratios = result.ratios("Ours")
         line = f"{'Ratio':<12}"
         for team in teams:
-            line += " | " + " ".join(f"{ratios[team][c]:>7.2f}" for c in _COLUMNS)
+            if team in ratios:
+                line += " | " + " ".join(
+                    f"{ratios[team][c]:>7.2f}" for c in _COLUMNS
+                )
+            else:
+                line += " | " + " ".join(["     --"] * len(_COLUMNS))
         lines.append(line)
+    if result.errors:
+        lines.append("")
+        lines.append(f"partial results — {len(result.error_manifest())} failure(s):")
+        for entry in result.error_manifest():
+            lines.append(
+                f"  {entry['team']:<14} {entry['design']:<12} {entry['error']}"
+            )
     return "\n".join(lines)

@@ -49,6 +49,35 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    # -- checkpointing ---------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """All mutable optimizer state, copied (see ``load_state_dict``).
+
+        Subclasses extend the dict with their slot arrays; values are
+        either scalars or lists of ndarrays aligned with ``parameters``.
+        """
+        return {"lr": float(self.lr)}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict` (resume support)."""
+        self.lr = float(state["lr"])
+
+    def _load_slots(self, state: dict, key: str, slots: list[np.ndarray]) -> None:
+        saved = state[key]
+        if len(saved) != len(slots):
+            raise ValueError(
+                f"optimizer state {key!r} has {len(saved)} arrays for "
+                f"{len(slots)} parameters"
+            )
+        for slot, arr in zip(slots, saved):
+            if slot.shape != arr.shape:
+                raise ValueError(
+                    f"optimizer state {key!r} shape mismatch: "
+                    f"{slot.shape} vs {arr.shape}"
+                )
+            slot[...] = arr
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum and weight decay."""
@@ -77,6 +106,15 @@ class SGD(Optimizer):
                 vel += grad
                 grad = vel
             param.data -= self.lr * grad
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["velocity"] = [v.copy() for v in self._velocity]
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self._load_slots(state, "velocity", self._velocity)
 
 
 class Adam(Optimizer):
@@ -115,3 +153,16 @@ class Adam(Optimizer):
             m_hat = m / bc1
             v_hat = v / bc2
             param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["step"] = self._step
+        state["m"] = [m.copy() for m in self._m]
+        state["v"] = [v.copy() for v in self._v]
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self._step = int(state["step"])
+        self._load_slots(state, "m", self._m)
+        self._load_slots(state, "v", self._v)

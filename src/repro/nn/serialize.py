@@ -8,6 +8,7 @@ reused by the placement flow without retraining.
 from __future__ import annotations
 
 import os
+from pathlib import Path
 
 import numpy as np
 
@@ -16,20 +17,39 @@ from .module import Module
 __all__ = ["save_state", "load_state", "save_module", "load_module"]
 
 
-def save_state(state: dict[str, np.ndarray], path: str | os.PathLike) -> None:
-    """Write a state dict to a compressed ``.npz`` archive."""
+def _npz_path(path: str | os.PathLike) -> Path:
+    """The path ``np.savez_compressed`` actually writes to.
+
+    numpy appends ``.npz`` when the suffix is missing, which used to
+    break ``load_state(path)`` on the same string; both functions now
+    normalize through here so either spelling round-trips.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    return path
+
+
+def save_state(state: dict[str, np.ndarray], path: str | os.PathLike) -> Path:
+    """Write a state dict to a compressed ``.npz`` archive.
+
+    Returns the path actually written (with the ``.npz`` suffix that
+    numpy appends when it is missing).
+    """
+    path = _npz_path(path)
     np.savez_compressed(path, **state)
+    return path
 
 
 def load_state(path: str | os.PathLike) -> dict[str, np.ndarray]:
     """Read a state dict previously written by :func:`save_state`."""
-    with np.load(path) as archive:
+    with np.load(_npz_path(path)) as archive:
         return {name: archive[name] for name in archive.files}
 
 
-def save_module(module: Module, path: str | os.PathLike) -> None:
-    """Checkpoint a module's parameters and buffers."""
-    save_state(module.state_dict(), path)
+def save_module(module: Module, path: str | os.PathLike) -> Path:
+    """Checkpoint a module's parameters and buffers; returns the path."""
+    return save_state(module.state_dict(), path)
 
 
 def load_module(module: Module, path: str | os.PathLike) -> Module:

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..netlist import Design
+from ..resilience import Incident, validate_level_map
 from .estimators import CongestionEstimator, RudyEstimator
 from .inflation import InflationConfig, inflate_all_fields
 from .legalize import LegalizationResult, legalize
@@ -45,6 +46,11 @@ class PlacerConfig:
     # Extension (off by default — the paper inflates only): also upweight
     # nets overlapping predicted-hot grids (repro.placement.netweight).
     net_weighting: bool = False
+    # Graceful degradation: when the configured estimator raises or
+    # returns an invalid level map (wrong rank, NaN, out of the 0-7
+    # range), fall back to the analytical RUDY estimate for that round
+    # and log an Incident instead of killing the whole flow.
+    estimator_fallback: bool = True
 
 
 @dataclass
@@ -60,10 +66,18 @@ class PlacementOutcome:
     stage1_overflow: dict[str, float]
     final_overflow: dict[str, float]
     inflation_stats: list[dict[str, dict[str, float]]]
+    # Faults survived during the run (estimator fallbacks etc.); empty
+    # means the flow ran clean.
+    incidents: list[Incident] = field(default_factory=list)
 
     @property
     def legal(self) -> bool:
         return self.legalization.legal
+
+    @property
+    def degraded(self) -> bool:
+        """Did any stage run on a fallback path?"""
+        return bool(self.incidents)
 
 
 class MacroPlacer:
@@ -82,9 +96,43 @@ class MacroPlacer:
         )
         self.placer = GlobalPlacer(design, self.config.gp)
 
+    def _predict_levels(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        round_index: int,
+        incidents: list[Incident],
+    ) -> np.ndarray:
+        """One validated congestion prediction, degrading to RUDY on fault.
+
+        A crashing or garbage-emitting estimator must not kill a
+        placement that is minutes or hours in: the analytical RUDY
+        estimate (the contest winners' approach) is always computable
+        from the current positions, so it is the universal fallback.
+        """
+        stage = f"estimate/round{round_index + 1}"
+        try:
+            raw = np.asarray(self.estimator(self.design, x, y))
+            return np.asarray(validate_level_map(raw), dtype=np.float64)
+        except Exception as exc:
+            if not self.config.estimator_fallback:
+                raise
+            incidents.append(
+                Incident(
+                    stage=stage,
+                    error=f"{type(exc).__name__}: {exc}",
+                    action="fallback:rudy",
+                )
+            )
+        fallback = RudyEstimator(grid=self.design.device.tile_cols)
+        return np.asarray(
+            validate_level_map(fallback(self.design, x, y)), dtype=np.float64
+        )
+
     def run(self) -> PlacementOutcome:
         cfg = self.config
         start = time.perf_counter()
+        incidents: list[Incident] = []
 
         # Stage 1: region-aware global placement until the gates are met.
         self.placer.run(max_iters=cfg.stage1_iters)
@@ -93,9 +141,9 @@ class MacroPlacer:
         # Congestion prediction + inflation rounds, each followed by
         # further spreading (stage 2).
         inflation_stats: list[dict[str, dict[str, float]]] = []
-        for _ in range(cfg.inflation_rounds):
+        for round_index in range(cfg.inflation_rounds):
             x, y = self.placer.positions()
-            level_map = np.asarray(self.estimator(self.design, x, y))
+            level_map = self._predict_levels(x, y, round_index, incidents)
             stats = inflate_all_fields(
                 self.placer.system, level_map, x, y, cfg.inflation
             )
@@ -131,6 +179,7 @@ class MacroPlacer:
             stage1_overflow=stage1_overflow,
             final_overflow=final_overflow,
             inflation_stats=inflation_stats,
+            incidents=incidents,
         )
 
 

@@ -1,0 +1,64 @@
+"""Fault tolerance for long-running training and placement jobs.
+
+The paper's pipeline spends hours in two loops — congestion-model
+training (Section V-A) and the Fig. 6 placement flow — and both used to
+die, unrecoverably, on the first NaN loss, corrupted checkpoint, or
+estimator crash.  This package makes those runs survivable:
+
+``repro.resilience.checkpoint``
+    Versioned, checksummed, *atomic* checkpoint bundles (model +
+    optimizer + RNG + loss curve + config fingerprint) with rolling
+    last/best retention — the substrate for ``repro train --resume``.
+``repro.resilience.recovery``
+    Divergence guard (rollback + lr backoff + bounded retries) for the
+    training loop, estimator-output validation and the incident log the
+    placer uses for graceful degradation.
+``repro.resilience.faults``
+    Deterministic fault injection so the test suite can provoke every
+    failure above and prove the recovery paths actually work.
+"""
+
+from .checkpoint import (
+    CHECKPOINT_VERSION,
+    Checkpoint,
+    CheckpointCorrupt,
+    CheckpointError,
+    CheckpointManager,
+    CheckpointMismatch,
+    fingerprint_of,
+    load_checkpoint,
+    save_checkpoint,
+)
+from .faults import CallRecord, FaultInjected, inject_fault, nan_poison
+from .recovery import (
+    LEVEL_MAX,
+    LEVEL_MIN,
+    DivergenceGuard,
+    EstimatorOutputError,
+    Incident,
+    TrainingDiverged,
+    validate_level_map,
+)
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "Checkpoint",
+    "CheckpointError",
+    "CheckpointCorrupt",
+    "CheckpointMismatch",
+    "CheckpointManager",
+    "fingerprint_of",
+    "save_checkpoint",
+    "load_checkpoint",
+    "FaultInjected",
+    "CallRecord",
+    "inject_fault",
+    "nan_poison",
+    "Incident",
+    "TrainingDiverged",
+    "EstimatorOutputError",
+    "DivergenceGuard",
+    "validate_level_map",
+    "LEVEL_MIN",
+    "LEVEL_MAX",
+]

@@ -1,0 +1,152 @@
+"""Deterministic fault injection for exercising recovery paths.
+
+The resilience layer's guarantees — rollback on divergence, estimator
+fallback, partial contest scores — are only trustworthy if the test
+suite can *provoke* each failure on demand.  :class:`inject_fault`
+patches one call site (a module-level function or a class method) so
+that its Nth invocation raises or corrupts its output, then restores
+the original on exit.  Faults are seeded and the injector keeps a call
+log, so every failure scenario is replayable bit-for-bit.
+
+    with inject_fault("repro.placement.estimators:RudyEstimator.__call__",
+                      nth=1, mode="raise"):
+        place_design(design)   # estimator blows up in round 1
+
+    with inject_fault("repro.nn:clip_grad_norm", nth=3, mode="corrupt",
+                      corrupt=poison) as fault:
+        trainer.train(model, dataset)
+    assert fault.fired
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["FaultInjected", "CallRecord", "inject_fault", "nan_poison"]
+
+
+class FaultInjected(RuntimeError):
+    """The exception raised by an injector in ``raise`` mode."""
+
+
+@dataclass
+class CallRecord:
+    """One observed invocation of the patched call site."""
+
+    index: int  # 1-based invocation count
+    fired: bool  # did the fault trigger on this call?
+
+
+def nan_poison(result, rng: np.random.Generator):
+    """Default corruption: overwrite a seeded subset of entries with NaN.
+
+    Handles plain ``ndarray`` results and anything exposing a mutable
+    ``.data`` ndarray (e.g. :class:`repro.nn.Tensor`).  Non-array
+    results are replaced by ``float('nan')``.
+    """
+    target = None
+    if isinstance(result, np.ndarray):
+        target = result
+    elif hasattr(result, "data") and isinstance(result.data, np.ndarray):
+        target = result.data
+    if target is None or target.size == 0:
+        return float("nan")
+    flat = target.reshape(-1)
+    count = max(1, flat.size // 8)
+    idx = rng.choice(flat.size, size=count, replace=False)
+    flat[idx] = np.nan
+    return result
+
+
+@dataclass
+class inject_fault:
+    """Context manager that sabotages one call site deterministically.
+
+    Parameters
+    ----------
+    target:
+        Dotted site spec ``"package.module:attr"`` or
+        ``"package.module:Class.method"``.  Alternatively pass ``owner``
+        (any object) together with ``attr``.
+    nth:
+        1-based invocation index on which the fault triggers.
+    mode:
+        ``"raise"`` — raise ``exception`` instead of calling through;
+        ``"corrupt"`` — call through, then run ``corrupt(result, rng)``
+        (default :func:`nan_poison`) and return its value.
+    repeat:
+        Keep triggering on every call from the Nth on (default: only
+        the Nth call is faulty).
+    seed:
+        Seeds the corruption RNG, making corrupt runs replayable.
+    """
+
+    target: str | None = None
+    owner: object | None = None
+    attr: str | None = None
+    nth: int = 1
+    mode: str = "raise"
+    exception: type[BaseException] = FaultInjected
+    message: str = ""
+    corrupt: object | None = None
+    seed: int = 0
+    repeat: bool = False
+    calls: int = field(default=0, init=False)
+    log: list[CallRecord] = field(default_factory=list, init=False)
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("raise", "corrupt"):
+            raise ValueError(f"unknown fault mode {self.mode!r}; use 'raise' or 'corrupt'")
+        if self.nth < 1:
+            raise ValueError(f"nth is a 1-based call index, got {self.nth}")
+        if self.target is not None:
+            module_path, _, attr_path = self.target.partition(":")
+            if not attr_path:
+                raise ValueError(
+                    f"target must look like 'package.module:attr', got {self.target!r}"
+                )
+            owner = importlib.import_module(module_path)
+            parts = attr_path.split(".")
+            for part in parts[:-1]:
+                owner = getattr(owner, part)
+            self.owner, self.attr = owner, parts[-1]
+        if self.owner is None or not self.attr:
+            raise ValueError("pass either target='mod:attr' or owner= and attr=")
+
+    @property
+    def fired(self) -> bool:
+        """True once the fault has triggered at least once."""
+        return any(record.fired for record in self.log)
+
+    def _should_fire(self, index: int) -> bool:
+        return index == self.nth or (self.repeat and index > self.nth)
+
+    def __enter__(self) -> "inject_fault":
+        self._original = getattr(self.owner, self.attr)
+        self._rng = np.random.default_rng(self.seed)
+        original = self._original
+        injector = self
+
+        def wrapper(*args, **kwargs):
+            injector.calls += 1
+            fire = injector._should_fire(injector.calls)
+            injector.log.append(CallRecord(index=injector.calls, fired=fire))
+            if fire and injector.mode == "raise":
+                raise injector.exception(
+                    injector.message
+                    or f"injected fault at {injector.attr} call #{injector.calls}"
+                )
+            result = original(*args, **kwargs)
+            if fire:
+                corrupt = injector.corrupt or nan_poison
+                result = corrupt(result, injector._rng)
+            return result
+
+        setattr(self.owner, self.attr, wrapper)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        setattr(self.owner, self.attr, self._original)

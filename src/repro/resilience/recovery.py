@@ -1,0 +1,135 @@
+"""Recovery policies: divergence detection and graceful degradation.
+
+Two consumers:
+
+* :class:`repro.train.Trainer` uses :class:`DivergenceGuard` to watch
+  the epoch loss — a NaN/Inf batch or an exploding epoch loss rolls the
+  run back to the last good snapshot with the learning rate backed off,
+  bounded by a retry budget before :class:`TrainingDiverged` is raised.
+* :class:`repro.placement.MacroPlacer` validates estimator output with
+  :func:`validate_level_map` and, on any failure, falls back to the
+  analytical RUDY estimate, recording an :class:`Incident` so the
+  degradation is visible in the :class:`PlacementOutcome`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "Incident",
+    "TrainingDiverged",
+    "EstimatorOutputError",
+    "DivergenceGuard",
+    "validate_level_map",
+    "LEVEL_MIN",
+    "LEVEL_MAX",
+]
+
+# The Fig. 1 congestion scale: integer levels 0 (free) .. 7 (saturated).
+LEVEL_MIN = 0.0
+LEVEL_MAX = 7.0
+
+
+@dataclass
+class Incident:
+    """One recorded fault + the recovery action taken."""
+
+    stage: str  # where it happened, e.g. "estimate/round1"
+    error: str  # repr of the failure
+    action: str  # what the flow did about it, e.g. "fallback:rudy"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.stage}] {self.error} -> {self.action}"
+
+
+class TrainingDiverged(RuntimeError):
+    """Training kept diverging after exhausting the retry budget."""
+
+    def __init__(self, epoch: int, loss: float, retries: int, lr: float) -> None:
+        self.epoch = epoch
+        self.loss = loss
+        self.retries = retries
+        self.lr = lr
+        super().__init__(
+            f"training diverged at epoch {epoch} (loss={loss!r}) and did not "
+            f"recover after {retries} rollback(s); last lr={lr:g}"
+        )
+
+
+class EstimatorOutputError(ValueError):
+    """A congestion estimator returned an unusable level map."""
+
+
+def validate_level_map(level_map: np.ndarray) -> np.ndarray:
+    """Check an estimator's output is a finite 2-D map in the level range.
+
+    Returns the validated array; raises :class:`EstimatorOutputError`
+    otherwise.  Inflation trusts these properties (Eq. 11 indexes grids
+    with level > 3), so garbage here would silently skew the whole
+    stage-2 placement rather than crash.
+    """
+    level_map = np.asarray(level_map)
+    if level_map.ndim != 2 or level_map.size == 0:
+        raise EstimatorOutputError(
+            f"level map must be a non-empty 2-D grid, got shape {level_map.shape}"
+        )
+    if not np.issubdtype(level_map.dtype, np.number):
+        raise EstimatorOutputError(f"level map has non-numeric dtype {level_map.dtype}")
+    if not np.all(np.isfinite(level_map)):
+        bad = int(np.count_nonzero(~np.isfinite(level_map)))
+        raise EstimatorOutputError(f"level map contains {bad} non-finite entries")
+    low, high = float(level_map.min()), float(level_map.max())
+    if low < LEVEL_MIN or high > LEVEL_MAX:
+        raise EstimatorOutputError(
+            f"level map range [{low:g}, {high:g}] outside "
+            f"[{LEVEL_MIN:g}, {LEVEL_MAX:g}]"
+        )
+    return level_map
+
+
+@dataclass
+class DivergenceGuard:
+    """Epoch-loss watchdog with a bounded rollback budget.
+
+    ``factor`` flags an epoch whose mean loss exceeds ``factor`` times
+    the best loss seen so far (NaN/Inf always counts as diverged);
+    ``max_retries`` bounds how many rollbacks the guard will grant
+    before the run must raise :class:`TrainingDiverged`.  ``backoff``
+    is the learning-rate multiplier applied per rollback.
+    """
+
+    factor: float = 10.0
+    backoff: float = 0.5
+    max_retries: int = 3
+    retries: int = field(default=0, init=False)
+    best_loss: float = field(default=float("inf"), init=False)
+    events: list[dict] = field(default_factory=list, init=False)
+
+    def is_divergent(self, loss: float) -> bool:
+        """Is this epoch loss unacceptable given the history so far?"""
+        if not np.isfinite(loss):
+            return True
+        if self.factor and np.isfinite(self.best_loss):
+            return loss > self.factor * max(self.best_loss, 1e-12)
+        return False
+
+    def observe(self, loss: float) -> None:
+        """Record a *good* epoch loss (updates the explosion baseline)."""
+        if np.isfinite(loss) and loss < self.best_loss:
+            self.best_loss = loss
+
+    def request_rollback(self, epoch: int, loss: float, lr: float) -> float:
+        """Grant one rollback and return the backed-off lr scale delta.
+
+        Raises :class:`TrainingDiverged` once the budget is spent.
+        """
+        if self.retries >= self.max_retries:
+            raise TrainingDiverged(epoch=epoch, loss=loss, retries=self.retries, lr=lr)
+        self.retries += 1
+        self.events.append(
+            {"epoch": epoch, "loss": float(loss), "retry": self.retries, "lr": lr}
+        )
+        return self.backoff

@@ -4,18 +4,27 @@ The paper trains with Adam at lr = 1e-3 (Section V-A).  Congestion
 level maps are dominated by low levels, so the cross-entropy loss uses
 inverse-sqrt-frequency class weights — without them every model
 collapses onto the majority level and Table I's differences vanish.
+
+Long runs are fault-tolerant (``repro.resilience``): with
+``checkpoint_dir`` set the trainer writes atomic, checksummed bundles
+(model + Adam moments + RNG + loss curve) every ``checkpoint_every``
+epochs and can resume bit-for-bit with ``resume=True``; a divergence
+guard rolls NaN/exploding epochs back to the last good snapshot with
+the learning rate backed off, bounded by ``divergence_retries`` before
+:class:`repro.resilience.TrainingDiverged` is raised.
 """
 
 from __future__ import annotations
 
 import time
 from contextlib import nullcontext
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
 from .. import nn
 from ..models.base import CongestionModel
+from ..resilience import Checkpoint, CheckpointManager, DivergenceGuard, fingerprint_of
 from .dataset import CongestionDataset, Sample
 from .metrics import evaluate_predictions
 from .schedule import lr_at_epoch
@@ -48,6 +57,20 @@ class TrainConfig:
     # graph detection, plus an unused-parameter check after the first
     # backward pass.  Debugging aid; off by default (zero overhead).
     sanitize: bool = False
+    # Fault tolerance (repro.resilience).  ``checkpoint_dir`` enables
+    # atomic last/best bundles every ``checkpoint_every`` epochs;
+    # ``resume`` restores the last bundle (refusing a mismatched
+    # config fingerprint) and continues bit-for-bit.
+    checkpoint_dir: str | None = None
+    checkpoint_every: int = 1
+    resume: bool = False
+    # Divergence guard: an epoch loss that is NaN/Inf or worse than
+    # ``divergence_factor`` × the best loss so far rolls back to the
+    # last good snapshot with lr × ``lr_backoff``, at most
+    # ``divergence_retries`` times (0 disables the guard).
+    divergence_factor: float = 10.0
+    lr_backoff: float = 0.5
+    divergence_retries: int = 3
 
 
 @dataclass
@@ -60,6 +83,10 @@ class TrainResult:
     # Filled only when ``TrainConfig.sanitize`` is on.
     unused_parameters: list[str] = field(default_factory=list)
     leaked_ops: list[str] = field(default_factory=list)
+    # Fault-tolerance bookkeeping: the epoch a resume restarted from
+    # (0 for fresh runs) and one dict per divergence rollback.
+    resumed_from_epoch: int = 0
+    recoveries: list[dict] = field(default_factory=list)
 
 
 class Trainer:
@@ -80,8 +107,51 @@ class Trainer:
         weights = np.clip(weights, 1.0 / self.config.max_class_weight, self.config.max_class_weight)
         return weights / weights.mean()
 
+    def _fingerprint(self, model: CongestionModel) -> dict:
+        """Config + architecture identity a resumed run must match."""
+        fingerprint = fingerprint_of(asdict(self.config))
+        fingerprint["model"] = model.__class__.__name__
+        fingerprint["model_params"] = int(model.num_parameters())
+        return fingerprint
+
+    @staticmethod
+    def _snapshot(
+        model: CongestionModel,
+        optimizer: nn.Optimizer,
+        rng: np.random.Generator,
+        epoch: int,
+        losses: list[float],
+        fingerprint: dict,
+        lr_scale: float,
+    ) -> Checkpoint:
+        """A resumable copy of the complete training state."""
+        return Checkpoint(
+            model_state=model.state_dict(),
+            optimizer_state=optimizer.state_dict(),
+            rng_state=rng.bit_generator.state,
+            epoch=epoch,
+            losses=list(losses),
+            fingerprint=fingerprint,
+            extra={"lr_scale": lr_scale},
+        )
+
+    @staticmethod
+    def _restore(
+        checkpoint: Checkpoint,
+        model: CongestionModel,
+        optimizer: nn.Optimizer,
+        rng: np.random.Generator,
+    ) -> None:
+        model.load_state_dict(checkpoint.model_state)
+        optimizer.load_state_dict(checkpoint.optimizer_state)
+        rng.bit_generator.state = checkpoint.rng_state
+
     def train(self, model: CongestionModel, dataset: CongestionDataset) -> TrainResult:
         cfg = self.config
+        if not dataset.train:
+            raise ValueError(
+                "empty dataset: no training samples (dataset.train is empty)"
+            )
         rng = np.random.default_rng(cfg.seed)
         if cfg.loss == "focal":
             loss_fn = nn.FocalLoss2d(model.num_classes, gamma=cfg.focal_gamma)
@@ -98,6 +168,33 @@ class Trainer:
         model.train()
         best_loss = np.inf
         stall = 0
+
+        # -- fault tolerance wiring (repro.resilience) --------------------
+        fingerprint = self._fingerprint(model)
+        manager = (
+            CheckpointManager(cfg.checkpoint_dir) if cfg.checkpoint_dir else None
+        )
+        guard = DivergenceGuard(
+            factor=cfg.divergence_factor,
+            backoff=cfg.lr_backoff,
+            max_retries=cfg.divergence_retries,
+        )
+        guard_on = cfg.divergence_retries > 0
+        lr_scale = 1.0
+        start_epoch = 0
+        if manager is not None and cfg.resume:
+            restored = manager.load_last(expected_fingerprint=fingerprint)
+            if restored is not None:
+                self._restore(restored, model, optimizer, rng)
+                result.losses = list(restored.losses)
+                start_epoch = restored.epoch
+                lr_scale = float(restored.extra.get("lr_scale", 1.0))
+                result.resumed_from_epoch = start_epoch
+                for loss in result.losses:
+                    guard.observe(loss)
+                if result.losses:
+                    best_loss = min(result.losses)
+
         if cfg.sanitize:
             from ..lint.sanitize import detect_anomaly, unused_parameter_report
 
@@ -106,16 +203,34 @@ class Trainer:
             anomaly = nullcontext()
         with anomaly:
             checked_unused = False
-            for epoch in range(cfg.epochs):
+            # Rollback point = complete state at the top of the epoch.
+            rollback = (
+                self._snapshot(
+                    model, optimizer, rng, start_epoch, result.losses,
+                    fingerprint, lr_scale,
+                )
+                if (guard_on or manager is not None)
+                else None
+            )
+            epoch = start_epoch
+            while epoch < cfg.epochs:
                 optimizer.lr = lr_at_epoch(
                     cfg.lr, epoch, cfg.epochs, schedule=cfg.lr_schedule
-                )
+                ) * lr_scale
                 epoch_loss = 0.0
                 batches = 0
+                batch_blew_up = False
                 for feats, labels in dataset.batches(cfg.batch_size, rng):
                     optimizer.zero_grad()
                     logits = model(nn.Tensor(feats))
                     loss = loss_fn(logits, labels)
+                    batch_loss = loss.item()
+                    if guard_on and not np.isfinite(batch_loss):
+                        # Don't even backprop a NaN/Inf loss — its
+                        # gradients are poison; bail out to the guard.
+                        epoch_loss = batch_loss
+                        batch_blew_up = True
+                        break
                     loss.backward()
                     if cfg.sanitize and not checked_unused:
                         checked_unused = True
@@ -127,12 +242,30 @@ class Trainer:
                             )
                     nn.clip_grad_norm(model.parameters(), cfg.grad_clip)
                     optimizer.step()
-                    epoch_loss += loss.item()
+                    epoch_loss += batch_loss
                     batches += 1
-                mean_loss = epoch_loss / max(batches, 1)
+                mean_loss = (
+                    epoch_loss if batch_blew_up else epoch_loss / max(batches, 1)
+                )
+                if guard_on and (batch_blew_up or guard.is_divergent(mean_loss)):
+                    # Roll back to the last good snapshot, back the lr off,
+                    # and retry the epoch; raises TrainingDiverged once the
+                    # retry budget is spent.
+                    lr_scale *= guard.request_rollback(
+                        epoch, mean_loss, optimizer.lr
+                    )
+                    self._restore(rollback, model, optimizer, rng)
+                    result.losses = list(rollback.losses)
+                    epoch = rollback.epoch
+                    result.recoveries = list(guard.events)
+                    rollback.extra["lr_scale"] = lr_scale
+                    continue
+                guard.observe(mean_loss)
                 result.losses.append(mean_loss)
                 if cfg.log_every and (epoch + 1) % cfg.log_every == 0:
                     print(f"epoch {epoch + 1}/{cfg.epochs} loss={mean_loss:.4f}")
+                epoch += 1
+                stop = False
                 if cfg.patience:
                     if mean_loss < best_loss - cfg.patience_delta:
                         best_loss = mean_loss
@@ -140,7 +273,20 @@ class Trainer:
                     else:
                         stall += 1
                         if stall >= cfg.patience:
-                            break
+                            stop = True
+                if guard_on or manager is not None:
+                    rollback = self._snapshot(
+                        model, optimizer, rng, epoch, result.losses,
+                        fingerprint, lr_scale,
+                    )
+                if manager is not None and (
+                    epoch % cfg.checkpoint_every == 0 or epoch == cfg.epochs or stop
+                ):
+                    manager.save(
+                        rollback, is_best=mean_loss <= min(result.losses)
+                    )
+                if stop:
+                    break
         if cfg.sanitize:
             result.leaked_ops = anomaly.leaked_ops()
             if result.leaked_ops:

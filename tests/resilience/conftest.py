@@ -1,0 +1,39 @@
+"""Fixtures for the fault-tolerance suite.
+
+The CI fault-injection job runs this suite with ``REPRO_SANITIZE=1``,
+which flips every trainer config built through :func:`train_config`
+to ``sanitize=True`` — recovery paths and the repro.lint runtime
+sanitizers are then exercised together.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.train import CongestionDataset, Sample, TrainConfig
+
+
+def train_config(**kwargs) -> TrainConfig:
+    """A TrainConfig honouring the CI suite's REPRO_SANITIZE switch."""
+    kwargs.setdefault("sanitize", os.environ.get("REPRO_SANITIZE") == "1")
+    return TrainConfig(**kwargs)
+
+
+def make_dataset(seed: int = 0, n_train: int = 8, grid: int = 16) -> CongestionDataset:
+    """Learnable toy task: label = quantized RUDY channel."""
+    rng = np.random.default_rng(seed)
+    dataset = CongestionDataset()
+    for _ in range(n_train):
+        features = rng.uniform(0, 1, size=(6, grid, grid))
+        labels = np.clip((features[3] * 8).astype(np.int64), 0, 7)
+        dataset.train.append(Sample(features, labels, "Design_T"))
+    dataset.eval = dataset.train[:2]
+    return dataset
+
+
+@pytest.fixture
+def tiny_dataset() -> CongestionDataset:
+    return make_dataset()

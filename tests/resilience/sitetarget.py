@@ -1,0 +1,15 @@
+"""A tiny patch target for exercising the fault-injection harness."""
+
+import numpy as np
+
+
+def produce(n: int) -> np.ndarray:
+    """Return a small deterministic array (the 'healthy' output)."""
+    return np.ones((n, n))
+
+
+class Producer:
+    """Method-injection target."""
+
+    def compute(self, n: int) -> np.ndarray:
+        return np.full((n, n), 2.0)

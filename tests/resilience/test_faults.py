@@ -1,0 +1,110 @@
+"""The fault-injection harness itself: deterministic, replayable, clean."""
+
+import numpy as np
+import pytest
+
+from repro.resilience import FaultInjected, inject_fault, nan_poison
+
+
+class TestInjectFault:
+    def test_raises_on_nth_call_only(self):
+        with inject_fault("tests.resilience.sitetarget:produce", nth=2) as fault:
+            from tests.resilience import sitetarget
+
+            assert sitetarget.produce(3).shape == (3, 3)
+            with pytest.raises(FaultInjected):
+                sitetarget.produce(3)
+            assert sitetarget.produce(3).shape == (3, 3)
+        assert [r.fired for r in fault.log] == [False, True, False]
+        assert fault.fired
+
+    def test_repeat_mode_keeps_firing(self):
+        from tests.resilience import sitetarget
+
+        with inject_fault(
+            "tests.resilience.sitetarget:produce", nth=2, repeat=True
+        ):
+            sitetarget.produce(2)
+            for _ in range(3):
+                with pytest.raises(FaultInjected):
+                    sitetarget.produce(2)
+
+    def test_original_restored_on_exit(self):
+        from tests.resilience import sitetarget
+
+        original = sitetarget.produce
+        with inject_fault("tests.resilience.sitetarget:produce", nth=1):
+            assert sitetarget.produce is not original
+        assert sitetarget.produce is original
+
+    def test_original_restored_after_exception(self):
+        from tests.resilience import sitetarget
+
+        original = sitetarget.produce
+        with pytest.raises(FaultInjected):
+            with inject_fault("tests.resilience.sitetarget:produce", nth=1):
+                sitetarget.produce(2)
+        assert sitetarget.produce is original
+
+    def test_corrupt_mode_is_seeded_and_replayable(self):
+        from tests.resilience import sitetarget
+
+        outputs = []
+        for _ in range(2):
+            with inject_fault(
+                "tests.resilience.sitetarget:produce",
+                nth=1,
+                mode="corrupt",
+                seed=7,
+            ):
+                outputs.append(sitetarget.produce(8).copy())
+        # Same seed -> identical NaN pattern on both replays.
+        assert np.array_equal(
+            np.isnan(outputs[0]), np.isnan(outputs[1])
+        )
+        assert np.isnan(outputs[0]).any()
+
+    def test_method_patching(self):
+        from tests.resilience import sitetarget
+
+        with inject_fault(
+            "tests.resilience.sitetarget:Producer.compute", nth=1
+        ):
+            with pytest.raises(FaultInjected):
+                sitetarget.Producer().compute(2)
+        assert sitetarget.Producer().compute(2).shape == (2, 2)
+
+    def test_custom_exception_and_message(self):
+        from tests.resilience import sitetarget
+
+        with inject_fault(
+            "tests.resilience.sitetarget:produce",
+            nth=1,
+            exception=TimeoutError,
+            message="simulated deadline",
+        ):
+            with pytest.raises(TimeoutError, match="simulated deadline"):
+                sitetarget.produce(2)
+
+    def test_rejects_bad_specs(self):
+        with pytest.raises(ValueError, match="mode"):
+            inject_fault("tests.resilience.sitetarget:produce", mode="explode")
+        with pytest.raises(ValueError, match="1-based"):
+            inject_fault("tests.resilience.sitetarget:produce", nth=0)
+        with pytest.raises(ValueError, match="package.module:attr"):
+            inject_fault("tests.resilience.sitetarget")
+
+
+class TestNanPoison:
+    def test_poisons_ndarray_in_seeded_positions(self):
+        rng1 = np.random.default_rng(3)
+        rng2 = np.random.default_rng(3)
+        a = np.zeros(64)
+        b = np.zeros(64)
+        nan_poison(a, rng1)
+        nan_poison(b, rng2)
+        assert np.array_equal(np.isnan(a), np.isnan(b))
+        assert np.isnan(a).sum() == 8  # size // 8
+
+    def test_non_array_becomes_nan(self):
+        assert np.isnan(nan_poison(3.0, np.random.default_rng(0)))

@@ -56,6 +56,31 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "checkpoint" in out
 
+    def test_train_resume_from_checkpoint_dir(self, tmp_path, capsys):
+        """Kill-and-resume e2e at CLI level: the second invocation picks
+        up from the bundles the first one left behind."""
+        ckpt_dir = tmp_path / "ckpts"
+        base = ["train", "--designs", "Design_120", "--scale", "256",
+                "--grid", "32", "--placements", "2", "--model", "unet",
+                "--out", str(tmp_path / "model.npz"),
+                "--checkpoint-dir", str(ckpt_dir)]
+        assert main(base + ["--epochs", "1"]) == 0
+        assert (ckpt_dir / "last.ckpt.npz").exists()
+        capsys.readouterr()
+        assert main(base + ["--epochs", "2", "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "resumed from epoch 1" in out
+
+    def test_train_resume_requires_checkpoint_dir(self, tmp_path, capsys):
+        rc = main(
+            ["train", "--designs", "Design_120", "--scale", "256",
+             "--grid", "32", "--placements", "2", "--epochs", "1",
+             "--model", "unet", "--out", str(tmp_path / "m.npz"),
+             "--resume"]
+        )
+        assert rc == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
 
 class TestMoreCommands:
     def test_route_prints_map(self, capsys):

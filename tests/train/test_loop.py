@@ -71,6 +71,12 @@ class TestTrainer:
         with pytest.raises(ValueError, match="empty"):
             Trainer.evaluate(model, [])
 
+    def test_train_empty_dataset_raises(self):
+        """An empty dataset must raise, not silently report 0.0 loss."""
+        model = build_model("unet", "tiny")
+        with pytest.raises(ValueError, match="empty dataset"):
+            Trainer(TrainConfig(epochs=1)).train(model, CongestionDataset())
+
     def test_evaluate_by_design_includes_average(self, rng):
         dataset = _synthetic_dataset(rng, n_train=4, n_eval=2)
         dataset.eval[1].design_name = "Design_U"

@@ -9,6 +9,8 @@ Subcommands mirror the library's main workflows:
 * ``train``  — train a congestion model and save a checkpoint.
 * ``table2`` — run the four teams on selected designs (mini Table II).
 * ``lint``   — static autograd lint + ShapeTracer model validation.
+* ``analyze`` — symbolic-IR static analysis: memory plan, FLOP cost,
+  stability + determinism audit (see repro.ir).
 """
 
 from __future__ import annotations
@@ -91,6 +93,38 @@ def build_parser() -> argparse.ArgumentParser:
         "lint_args", nargs=argparse.REMAINDER,
         help="arguments forwarded to python -m repro.lint "
         "(default: lint the repro package and validate the models)",
+    )
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="symbolic-IR static analysis (memory/FLOPs/stability/determinism)",
+    )
+    analyze.add_argument(
+        "model", choices=("unet", "pgnn", "pros2", "ours", "all"),
+        help="registry model to trace, or 'all' for the whole registry",
+    )
+    analyze.add_argument("--preset", default="fast",
+                         choices=("tiny", "fast", "paper"))
+    analyze.add_argument(
+        "--grid", dest="grids", type=int, action="append", metavar="N",
+        help="input grid size; repeatable (default: 64)",
+    )
+    analyze.add_argument("--json", action="store_true",
+                         help="print the full repro.ir/v1 report bundle")
+    analyze.add_argument("--top", type=int, default=5,
+                         help="rows in the layer/live-range tables (default 5)")
+    analyze.add_argument(
+        "--no-determinism", action="store_true",
+        help="skip the source-level RNG/iteration-order audit",
+    )
+    analyze.add_argument(
+        "--check-baseline", metavar="PATH", default=None,
+        help="diff FLOPs/peak-memory/node counts against a baseline JSON "
+        "and fail on any drift",
+    )
+    analyze.add_argument(
+        "--update-baseline", metavar="PATH", default=None,
+        help="write the invariant slice of this run to a baseline JSON",
     )
 
     return parser
@@ -224,6 +258,90 @@ def _cmd_lint(args) -> int:
     return lint_main(argv)
 
 
+def _mb(nbytes: int) -> str:
+    return f"{nbytes / 1e6:,.2f} MB"
+
+
+def _print_report(report: dict, top: int) -> None:
+    cost = report["cost"]
+    mem = report["memory"]
+    print(f"{report['model']} (preset={report['preset']}, "
+          f"grid={report['grid']}, batch={report['batch']})")
+    print(f"  graph: {report['graph']['nodes']} nodes, "
+          f"params={cost['param_count']:,} ({_mb(cost['param_bytes'])})")
+    print(f"  flops: {cost['total_flops']:,} "
+          f"({cost['flops_per_output_pixel']:,}/output px)")
+    print(f"  memory: peak activations {_mb(mem['peak_bytes'])} "
+          f"(+{_mb(mem['persistent_bytes'])} persistent, "
+          f"{mem['activation_buffers']} buffers)")
+    print("  hottest layers:")
+    for layer in cost["by_layer"][:top]:
+        print(f"    {layer['flops']:>15,}  {layer['name']} "
+              f"({layer['nodes']} nodes)")
+    print("  fattest live ranges:")
+    for rng in mem["top_liveranges"][:top]:
+        dies = "end" if rng["dies"] is None else f"%{rng['dies']}"
+        print(f"    {_mb(rng['bytes']):>12}  %{rng['node']} {rng['op']} "
+              f"in {rng['scope'] or '<toplevel>'} (dies {dies})")
+    opp = report["opportunities"]
+    print(f"  opportunities: {opp['dead']['dead_nodes']} dead nodes "
+          f"({opp['dead']['dead_flops']:,} flops), "
+          f"{opp['duplicates']['duplicate_groups']} duplicate groups "
+          f"({opp['duplicates']['wasted_flops']:,} wasted flops, "
+          f"{_mb(opp['duplicates']['wasted_bytes'])} wasted)")
+    for finding in opp["findings"]:
+        print(f"    note: {finding['path']}:{finding['line']}: "
+              f"{finding['code']} {finding['message']}")
+    for failure in report["failures"]:
+        print(f"  FAIL: {failure}")
+
+
+def _cmd_analyze(args) -> int:
+    import json
+
+    from .ir import analyze_registry, baseline_from_reports, check_baseline
+    from .models.registry import MODEL_NAMES
+
+    models = MODEL_NAMES if args.model == "all" else (args.model,)
+    grids = tuple(args.grids or [64])
+    bundle = analyze_registry(
+        models, preset=args.preset, grids=grids,
+        determinism=not args.no_determinism,
+    )
+
+    if args.json:
+        print(json.dumps(bundle, indent=2))
+    else:
+        for report in bundle["reports"]:
+            _print_report(report, args.top)
+            print()
+
+    status = 0
+    failures = [f for report in bundle["reports"] for f in report["failures"]]
+    if failures:
+        if args.json:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+        print(f"error: {len(failures)} blocking finding(s)", file=sys.stderr)
+        status = 1
+
+    if args.update_baseline:
+        with open(args.update_baseline, "w") as fh:
+            json.dump(baseline_from_reports(bundle), fh, indent=2)
+            fh.write("\n")
+        print(f"baseline written: {args.update_baseline}")
+    if args.check_baseline:
+        with open(args.check_baseline) as fh:
+            problems = check_baseline(bundle, json.load(fh))
+        if problems:
+            for problem in problems:
+                print(f"baseline drift: {problem}", file=sys.stderr)
+            status = 1
+        else:
+            print(f"baseline OK ({args.check_baseline})")
+    return status
+
+
 _COMMANDS = {
     "stats": _cmd_stats,
     "place": _cmd_place,
@@ -232,6 +350,7 @@ _COMMANDS = {
     "train": _cmd_train,
     "table2": _cmd_table2,
     "lint": _cmd_lint,
+    "analyze": _cmd_analyze,
 }
 
 

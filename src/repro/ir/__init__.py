@@ -1,0 +1,77 @@
+"""Symbolic tensor IR and static analysis passes for :mod:`repro.nn`.
+
+The third leg of the correctness tooling (after :mod:`repro.lint`'s AST
+rules and runtime sanitizers): run any model's *own* ``forward`` over
+data-free symbolic tensors to obtain a typed SSA graph
+(:mod:`repro.ir.graph`), then analyze it statically —
+
+* :mod:`repro.ir.memory` — liveness/peak activation-memory planner;
+* :mod:`repro.ir.cost` — FLOP/byte cost model with stage/layer rollups;
+* :mod:`repro.ir.stability` — interval-domain numerical-stability
+  checks (REPRO101–103);
+* :mod:`repro.ir.determinism` — unseeded-RNG / iteration-order audit of
+  the training+placement call-graph (REPRO104–105);
+* :mod:`repro.ir.dedup` — dead and duplicate subgraph detection
+  (REPRO106–107, reported as optimization opportunities).
+
+Entry points: ``repro analyze <model|all> --grid N --json`` on the
+command line, ``build_model(name, analyze=True)`` in code, and
+:func:`analyze_model` / :func:`analyze_registry` for programmatic use.
+Findings share the diagnostic format, rule-code namespace and ``# noqa``
+suppression of :mod:`repro.lint`.
+"""
+
+from .determinism import audit_determinism
+from .graph import Graph, Node
+from .memory import plan_memory
+from .cost import cost_model
+from .dedup import find_dead, find_duplicates
+from .passes import (
+    IR_RULES,
+    OPPORTUNITY_RULES,
+    collect_findings,
+    register_pass,
+    registered_passes,
+    run_passes,
+)
+from .report import (
+    SCHEMA,
+    AnalysisError,
+    analyze_graph,
+    analyze_model,
+    analyze_registry,
+    baseline_from_reports,
+    check_baseline,
+)
+from .stability import check_stability
+from .symbolic import SymbolicArray, TraceError
+from .trace import TraceSession, trace, trace_model
+
+__all__ = [
+    "Graph",
+    "Node",
+    "SymbolicArray",
+    "TraceError",
+    "TraceSession",
+    "trace",
+    "trace_model",
+    "IR_RULES",
+    "OPPORTUNITY_RULES",
+    "register_pass",
+    "registered_passes",
+    "run_passes",
+    "collect_findings",
+    "plan_memory",
+    "cost_model",
+    "check_stability",
+    "audit_determinism",
+    "find_dead",
+    "find_duplicates",
+    "SCHEMA",
+    "AnalysisError",
+    "analyze_graph",
+    "analyze_model",
+    "analyze_registry",
+    "baseline_from_reports",
+    "check_baseline",
+]

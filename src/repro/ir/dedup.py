@@ -1,0 +1,131 @@
+"""Dead-code and duplicate-subgraph (CSE) detection.
+
+Both analyses feed the *optimization-opportunity* section of the
+report — they describe wasted work, not bugs, so their findings
+(``REPRO106``/``REPRO107``) never fail a build or the CI gate.
+
+* **Dead subgraphs**: op nodes from which no graph output is reachable.
+  The canonical source in this codebase is work done purely for the
+  training backward (e.g. ``probs = np.exp(out_data)`` inside
+  ``log_softmax``), which is wasted in inference.
+* **Duplicate subgraphs**: structurally identical op trees (same op,
+  attributes, dtype, shape, and recursively identical operands rooted
+  at the same leaves) computed more than once.  Each extra copy is a
+  common-subexpression-elimination opportunity worth its FLOPs/bytes.
+"""
+
+from __future__ import annotations
+
+from .graph import Graph
+from .passes import node_finding, register_pass
+
+__all__ = ["find_dead", "find_duplicates"]
+
+_MAX_REPORTED = 10
+
+
+def find_dead(graph: Graph) -> dict:
+    users = graph.users()
+    reachable: set[int] = set()
+    stack = [graph.buffer_of(i) for i in graph.outputs] + list(graph.outputs)
+    while stack:
+        nid = stack.pop()
+        if nid in reachable:
+            continue
+        reachable.add(nid)
+        node = graph[nid]
+        stack.extend(node.inputs)
+        if node.alias_of is not None:
+            stack.append(node.alias_of)
+
+    dead = [n for n in graph if n.kind == "op" and n.id not in reachable]
+    # Tips: dead nodes nothing consumes — each is the root of one wasted
+    # computation chain and gets one finding.
+    tips = [n for n in dead if not users[n.id]]
+    findings = [
+        node_finding(
+            tip,
+            "REPRO106",
+            f"result is never used by any output ({tip.flops} flops, "
+            f"{tip.bytes} bytes); if it only feeds the training backward, "
+            "compute it lazily there",
+        )
+        for tip in tips[:_MAX_REPORTED]
+    ]
+    return {
+        "dead_nodes": len(dead),
+        "dead_flops": sum(n.flops for n in dead),
+        "dead_bytes": sum(n.bytes for n in dead),
+        "chains": len(tips),
+        "findings": findings,
+    }
+
+
+def find_duplicates(graph: Graph) -> dict:
+    # Structural hashing with interning: every distinct subtree gets a
+    # small integer id, so keys stay shallow (op + operand ids) instead
+    # of recursively embedding whole subtrees.  Leaves are identified by
+    # node id — two params are never "the same value".
+    interned: dict[tuple, int] = {}
+    keys: dict[int, int] = {}
+    groups: dict[int, list[int]] = {}
+    for node in graph:
+        if node.kind != "op":
+            keys[node.id] = -node.id - 1  # distinct from interned ids
+            continue
+        key = (
+            node.op,
+            node.attrs,
+            node.dtype.str,
+            node.shape,
+            tuple(keys[i] for i in node.inputs),
+        )
+        gid = interned.setdefault(key, len(interned))
+        keys[node.id] = gid
+        groups.setdefault(gid, []).append(node.id)
+
+    duplicate_groups = [
+        ids
+        for key, ids in groups.items()
+        if len(ids) > 1
+        and (graph[ids[0]].flops > 0 or graph[ids[0]].bytes > 0)
+    ]
+    duplicate_groups.sort(
+        key=lambda ids: -(len(ids) - 1) * (graph[ids[0]].flops + graph[ids[0]].bytes)
+    )
+
+    findings = []
+    wasted_flops = 0
+    wasted_bytes = 0
+    for ids in duplicate_groups:
+        first = graph[ids[0]]
+        wasted_flops += (len(ids) - 1) * first.flops
+        wasted_bytes += (len(ids) - 1) * first.bytes
+        if len(findings) < _MAX_REPORTED:
+            where = ", ".join(graph[i].scope or "<toplevel>" for i in ids[1:4])
+            findings.append(
+                node_finding(
+                    graph[ids[-1]],
+                    "REPRO107",
+                    f"identical {first.op} computed {len(ids)}x (first at "
+                    f"%{first.id} in {first.scope or '<toplevel>'}; repeats "
+                    f"in {where}); cache the first result",
+                )
+            )
+
+    return {
+        "duplicate_groups": len(duplicate_groups),
+        "wasted_flops": wasted_flops,
+        "wasted_bytes": wasted_bytes,
+        "findings": findings,
+    }
+
+
+@register_pass("dead")
+def _dead_pass(graph: Graph) -> dict:
+    return find_dead(graph)
+
+
+@register_pass("cse")
+def _cse_pass(graph: Graph) -> dict:
+    return find_duplicates(graph)

@@ -1,0 +1,131 @@
+"""Liveness analysis and activation-memory planning.
+
+Computes, from the traced graph alone, how many bytes of activation
+memory a forward pass needs: each materialized op node allocates its
+buffer at definition and frees it after its last use.  Aliases (views)
+are resolved onto the buffer they borrow, extending its live range
+instead of allocating.
+
+Two refinements make the estimate match the numpy runtime closely:
+
+* **Scope-extended lifetimes.**  The substrate's functional ops bind
+  intermediates (padded inputs, im2col columns) to Python locals that
+  only die when the enclosing layer call returns, not at their last
+  use.  A buffer born inside a (non-root) module call therefore lives
+  at least until the last node of that same call.  Root-level buffers
+  use plain last-use liveness — the model's ``forward`` rebinds its
+  locals as it goes.
+* **Outputs live to the end**, as do graph inputs (the caller holds
+  them).
+
+Parameter/buffer/const bytes are reported separately as persistent
+memory — they exist before and after the forward.
+"""
+
+from __future__ import annotations
+
+from .graph import Graph
+from .passes import register_pass
+
+__all__ = ["plan_memory"]
+
+
+def plan_memory(graph: Graph, top_k: int = 5) -> dict:
+    """Simulate allocation over the trace; return peak and live ranges."""
+    n = len(graph)
+    end = n  # sentinel "after the last node"
+
+    # Last node of each module-call instance (for scope-extended frees).
+    scope_end: dict[int, int] = {}
+    for node in graph:
+        sid = node.meta.get("scope_id", 0)
+        scope_end[sid] = node.id
+
+    born: dict[int, int] = {}
+    size: dict[int, int] = {}
+    dies: dict[int, int] = {}
+    for node in graph:
+        if node.kind == "op" and node.bytes > 0:
+            born[node.id] = node.id
+            size[node.id] = node.bytes
+            dies[node.id] = node.id  # provisional: free after definition
+        # Any use of a value — view or not — keeps its underlying buffer
+        # alive; nodes are visited in order so this is monotone.  A use
+        # inside a (non-root) module call additionally pins the buffer
+        # until that call returns: forward methods hold their argument
+        # and local references to the end, they do not free at last use.
+        extend = (
+            scope_end.get(node.meta.get("scope_id", 0), node.id)
+            if node.meta.get("scope_depth", 0) >= 2
+            else node.id
+        )
+        for input_id in node.inputs:
+            buf = graph.buffer_of(input_id)
+            if buf in dies:
+                dies[buf] = max(dies[buf], extend)
+
+    # The same holds for where a buffer is born: the creating call keeps
+    # its locals alive until it returns.
+    for buf in born:
+        node = graph[buf]
+        if node.meta.get("scope_depth", 0) >= 2:
+            dies[buf] = max(dies[buf], scope_end.get(node.meta["scope_id"], dies[buf]))
+
+    # Outputs (and anything they alias) survive the whole program.
+    for out in graph.live_through_end():
+        if out in dies:
+            dies[out] = end
+
+    input_bytes = sum(graph[i].bytes for i in graph.inputs)
+    persistent = sum(
+        node.bytes for node in graph if node.kind in ("param", "buffer", "const")
+    )
+
+    frees: dict[int, list[int]] = {}
+    for buf, at in dies.items():
+        frees.setdefault(at, []).append(buf)
+
+    live = 0
+    peak = 0
+    peak_at = None
+    for node in graph:
+        if node.id in born:
+            live += size[node.id]
+        # Transient scratch (e.g. the GEMM-layout copies inside an
+        # optimized einsum) exists only while this node executes.
+        transient = node.meta.get("workspace_bytes", 0)
+        if node.id in born and live + transient > peak:
+            peak, peak_at = live + transient, node.id
+        for buf in frees.get(node.id, ()):
+            live -= size[buf]
+
+    ranges = sorted(
+        (
+            {
+                "node": buf,
+                "op": graph[buf].op,
+                "scope": graph[buf].scope,
+                "src": graph[buf].src,
+                "bytes": size[buf],
+                "born": born[buf],
+                "dies": dies[buf] if dies[buf] != end else None,
+            }
+            for buf in born
+        ),
+        key=lambda r: -r["bytes"],
+    )
+
+    return {
+        "peak_bytes": peak,
+        "peak_node": peak_at,
+        "activation_bytes_total": sum(size.values()),
+        "activation_buffers": len(born),
+        "input_bytes": input_bytes,
+        "persistent_bytes": persistent,
+        "top_liveranges": ranges[:top_k],
+    }
+
+
+@register_pass("memory")
+def _memory_pass(graph: Graph) -> dict:
+    return plan_memory(graph)

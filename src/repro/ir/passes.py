@@ -1,0 +1,150 @@
+"""Analysis-pass framework over the tensor IR.
+
+A pass is a function ``pass_fn(graph) -> dict`` (a JSON-ready result)
+registered under a short name with :func:`register_pass`.  Passes that
+detect problems put a list of :class:`repro.lint.rules.LintDiagnostic`
+under the ``"findings"`` key of their result; the framework reuses the
+lint diagnostic format (``path:line:col: CODE message``) and the shared
+``REPROxxx`` code namespace, and honours the same ``# noqa`` comment
+suppression — a finding whose source line carries ``# noqa: REPRO101``
+(or a bare ``# noqa``) is dropped.
+
+Rule codes 1xx belong to the IR analyses (the AST lint rules own 0xx):
+
+* ``REPRO101`` — ``exp`` reachable with an unbounded (or too large)
+  positive input: overflow to ``inf``; the canonical fix is a
+  max-shift, which the tracer recognizes structurally.
+* ``REPRO102`` — ``log`` / division / negative power whose operand
+  interval contains zero: ``-inf``/``nan`` reachable.
+* ``REPRO103`` — implicit mixed-float promotion: a float array operand
+  is silently widened by the op's result dtype.
+* ``REPRO104`` — random numbers drawn from an unseeded or global
+  generator (AST audit of the training/placement call-graph).
+* ``REPRO105`` — iteration order of an unordered collection (set,
+  ``os.listdir``) can leak into numeric results (AST audit).
+* ``REPRO106`` — dead subgraph: computed during the forward but
+  unreachable from any output (optimization opportunity, not an error).
+* ``REPRO107`` — duplicate subgraph: structurally identical computation
+  performed more than once (CSE opportunity, not an error).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable
+
+from repro.lint.rules import LintDiagnostic, _noqa_lines
+
+from .graph import Graph, Node
+
+__all__ = [
+    "IR_RULES",
+    "OPPORTUNITY_RULES",
+    "register_pass",
+    "run_passes",
+    "registered_passes",
+    "node_finding",
+    "filter_noqa",
+    "collect_findings",
+]
+
+IR_RULES = {
+    "REPRO101": "exp() reachable with unbounded positive input (overflow)",
+    "REPRO102": "log/division/negative power reachable with zero in range",
+    "REPRO103": "implicit mixed-float promotion widens an array operand",
+    "REPRO104": "random numbers drawn without an explicit seed",
+    "REPRO105": "unordered iteration can leak into numeric results",
+    "REPRO106": "dead subgraph (computed but unused in inference)",
+    "REPRO107": "duplicate subgraph (CSE opportunity)",
+}
+
+# Codes that report *opportunities*: they appear in the report but are
+# never treated as failures by ``repro analyze`` or ``build_model``.
+OPPORTUNITY_RULES = ("REPRO106", "REPRO107")
+
+_PASSES: dict[str, Callable[[Graph], dict]] = {}
+
+
+def register_pass(name: str):
+    """Register an analysis pass under ``name`` (decorator)."""
+
+    def decorator(fn: Callable[[Graph], dict]):
+        if name in _PASSES:
+            raise ValueError(f"pass {name!r} already registered")
+        _PASSES[name] = fn
+        return fn
+
+    return decorator
+
+
+def registered_passes() -> tuple[str, ...]:
+    return tuple(_PASSES)
+
+
+def run_passes(graph: Graph, names: tuple[str, ...] | None = None) -> dict[str, dict]:
+    """Run the named passes (default: all registered) over ``graph``."""
+    selected = names if names is not None else tuple(_PASSES)
+    results: dict[str, dict] = {}
+    for name in selected:
+        if name not in _PASSES:
+            raise KeyError(
+                f"unknown pass {name!r}; registered: {', '.join(_PASSES)}"
+            )
+        result = _PASSES[name](graph)
+        if "findings" in result:
+            result["findings"] = filter_noqa(result["findings"])
+        results[name] = result
+    return results
+
+
+def node_finding(node: Node, code: str, message: str) -> LintDiagnostic:
+    """Build a lint-format diagnostic anchored at a graph node's call site."""
+    path, line = "<traced>", 0
+    if node.src:
+        path, _, lineno = node.src.rpartition(":")
+        if lineno.isdigit():
+            line = int(lineno)
+        else:
+            path = node.src
+    where = f" [%{node.id} {node.op} in {node.scope or '<toplevel>'}]"
+    return LintDiagnostic(path, line, 0, code, message + where)
+
+
+_NOQA_CACHE: dict[str, dict[int, set[str] | None]] = {}
+
+
+def _suppressions(path: str) -> dict[int, set[str] | None]:
+    if path not in _NOQA_CACHE:
+        try:
+            source = Path(path).read_text(encoding="utf-8")
+        except OSError:
+            _NOQA_CACHE[path] = {}
+        else:
+            _NOQA_CACHE[path] = _noqa_lines(source)
+    return _NOQA_CACHE[path]
+
+
+def filter_noqa(findings: list[LintDiagnostic]) -> list[LintDiagnostic]:
+    """Drop findings whose source line suppresses their code via # noqa."""
+    kept = []
+    for f in findings:
+        codes = _suppressions(f.path).get(f.line, ())
+        if codes is None or (codes and f.code in codes):
+            continue
+        kept.append(f)
+    return kept
+
+
+def collect_findings(
+    results: dict[str, dict], *, include_opportunities: bool = False
+) -> list[LintDiagnostic]:
+    """All findings across pass results, most severe (non-opportunity) first."""
+    findings: list[LintDiagnostic] = []
+    for result in results.values():
+        findings.extend(result.get("findings", ()))
+    if not include_opportunities:
+        findings = [f for f in findings if f.code not in OPPORTUNITY_RULES]
+    return sorted(
+        findings,
+        key=lambda f: (f.code in OPPORTUNITY_RULES, f.code, f.path, f.line),
+    )

@@ -27,6 +27,7 @@ def build_model(
     seed: int = 0,
     in_channels: int = 6,
     validate: bool = True,
+    analyze: bool = False,
 ) -> CongestionModel:
     """Construct one of the Table-I models.
 
@@ -47,6 +48,13 @@ def build_model(
         arithmetic, no numerics.  Raises
         :class:`~repro.lint.shapes.ShapeError` on an inconsistent
         architecture instead of failing mid-training.
+    analyze:
+        Trace the constructed model through the symbolic IR
+        (:mod:`repro.ir`) and run the numerical-stability and
+        determinism passes on it.  Raises
+        :class:`~repro.ir.AnalysisError` if any blocking finding
+        (``REPRO101``–``105``) survives ``# noqa`` suppression.
+        Costs one data-free symbolic forward; off by default.
     """
     if name not in MODEL_NAMES:
         raise ValueError(f"unknown model {name!r}; expected one of {MODEL_NAMES}")
@@ -86,4 +94,19 @@ def build_model(
         from ..lint.shapes import validate_model
 
         validate_model(model, (1, in_channels, grid, grid))
+    if analyze:
+        from ..ir import AnalysisError, analyze_graph, trace
+        from ..lint.rules import LintDiagnostic
+
+        graph = trace(model, (1, in_channels, grid, grid),
+                      input_vrange=(0.0, 1.0), name=name)
+        graph.meta.update(model=name, preset=preset, grid=grid, batch=1)
+        report = analyze_graph(graph, determinism=True)
+        if report["failures"]:
+            findings = [
+                LintDiagnostic(f["path"], f["line"], f["col"], f["code"], f["message"])
+                for f in report["stability"]["findings"]
+                + report["determinism"]["findings"]
+            ]
+            raise AnalysisError(findings)
     return model

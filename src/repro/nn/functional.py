@@ -58,6 +58,12 @@ def im2col(
     Returns ``(cols, out_h, out_w)`` where ``cols`` has shape
     ``(N, C * kernel * kernel, out_h * out_w)``.
     """
+    # Symbolic tracing hook: as_strided does not speak the
+    # __array_function__ protocol, so abstract arrays provide their own
+    # shape-only implementation (see repro.ir.symbolic).
+    symbolic = getattr(data, "__symbolic_im2col__", None)
+    if symbolic is not None:
+        return symbolic(kernel, stride)
     n, c, h, w = data.shape
     out_h = (h - kernel) // stride + 1
     out_w = (w - kernel) // stride + 1
@@ -79,6 +85,9 @@ def col2im(
     stride: int,
 ) -> np.ndarray:
     """Adjoint of :func:`im2col`: scatter-add columns back to NCHW."""
+    symbolic = getattr(cols, "__symbolic_col2im__", None)
+    if symbolic is not None:
+        return symbolic(shape, kernel, stride)
     n, c, h, w = shape
     out_h = (h - kernel) // stride + 1
     out_w = (w - kernel) // stride + 1

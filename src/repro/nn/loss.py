@@ -63,7 +63,11 @@ class CrossEntropyLoss2d(Module):
         if self.weight is not None:
             class_w = self.weight.reshape(1, k, 1, 1)
             target_onehot = target_onehot * class_w
-            norm = target_onehot.sum()
+            # A batch whose targets all land on zero-weight classes would
+            # otherwise divide by zero and poison every gradient with NaN
+            # (REPRO102); such a batch carries no signal, so clamp the
+            # normalizer and let the loss collapse to 0 instead.
+            norm = max(float(target_onehot.sum()), np.finfo(np.float64).tiny)
         else:
             norm = n * h * w
         picked = log_probs * Tensor(target_onehot)

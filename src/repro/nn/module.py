@@ -18,6 +18,22 @@ from .tensor import Tensor
 
 __all__ = ["Parameter", "Module", "Sequential", "ModuleList"]
 
+# Optional instrumentation around every Module.__call__ (see
+# repro.ir.trace).  The hook is ``hook(event, module)`` with event
+# "enter" before forward and "exit" after (also on exception); when no
+# tracer is active this is a single ``is None`` check per call.
+_CALL_HOOK = None
+
+
+def _set_call_hook(hook) -> None:
+    """Install (or clear) the module-call instrumentation hook."""
+    global _CALL_HOOK
+    _CALL_HOOK = hook
+
+
+def _get_call_hook():
+    return _CALL_HOOK
+
 
 class Parameter(Tensor):
     """A tensor that is always trainable and enumerated by ``parameters()``."""
@@ -126,7 +142,14 @@ class Module:
         raise NotImplementedError
 
     def __call__(self, *args, **kwargs):
-        return self.forward(*args, **kwargs)
+        hook = _CALL_HOOK
+        if hook is None:
+            return self.forward(*args, **kwargs)
+        hook("enter", self)
+        try:
+            return self.forward(*args, **kwargs)
+        finally:
+            hook("exit", self)
 
 
 class Sequential(Module):

@@ -37,6 +37,19 @@ __all__ = [
 _GRAD_ENABLED = True
 _DEFAULT_DTYPE = np.float64
 
+# Abstract array types (see repro.ir.symbolic) that Tensor must carry
+# through untouched instead of coercing with np.asarray.  Registered by
+# the IR tracer so that a symbolic forward pass can flow through the
+# exact same Tensor/Module code paths as a real one.
+_ABSTRACT_ARRAY_TYPES: tuple[type, ...] = ()
+
+
+def _register_abstract_array_type(cls: type) -> None:
+    """Let ``Tensor`` wrap ``cls`` instances without numpy coercion."""
+    global _ABSTRACT_ARRAY_TYPES
+    if cls not in _ABSTRACT_ARRAY_TYPES:
+        _ABSTRACT_ARRAY_TYPES = _ABSTRACT_ARRAY_TYPES + (cls,)
+
 # Optional tape instrumentation (see repro.lint.sanitize).  The hook is a
 # callable ``hook(event, tensor, parents, backward)`` receiving "record"
 # when an op wires the graph and "pre"/"post" around each backward
@@ -137,7 +150,13 @@ class Tensor:
     def __init__(self, data, requires_grad: bool = False) -> None:
         if isinstance(data, Tensor):
             data = data.data
-        arr = np.asarray(data, dtype=_DEFAULT_DTYPE)
+        if _ABSTRACT_ARRAY_TYPES and isinstance(data, _ABSTRACT_ARRAY_TYPES):
+            # Symbolic tracing: keep the abstract array as the payload
+            # (an explicit cast keeps dtype semantics observable to the
+            # IR's mixed-precision pass).
+            arr = data if data.dtype == np.dtype(_DEFAULT_DTYPE) else data.astype(_DEFAULT_DTYPE)
+        else:
+            arr = np.asarray(data, dtype=_DEFAULT_DTYPE)
         self.data: np.ndarray = arr
         self.grad: np.ndarray | None = None
         self.requires_grad: bool = bool(requires_grad) and _GRAD_ENABLED
@@ -449,7 +468,10 @@ class Tensor:
         return Tensor._make(out_data, (self,), backward)
 
     def sigmoid(self) -> "Tensor":
-        out_data = 1.0 / (1.0 + np.exp(-self.data))
+        # exp(-|x|) is bounded in (0, 1], so neither branch can overflow;
+        # the naive 1/(1+exp(-x)) form overflows for x << 0 (REPRO101).
+        z = np.exp(-np.abs(self.data))
+        out_data = np.where(self.data >= 0, 1.0 / (1.0 + z), z / (1.0 + z))
 
         def backward(out: Tensor) -> None:
             self._accumulate(out.grad * out_data * (1.0 - out_data))

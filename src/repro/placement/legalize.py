@@ -87,8 +87,10 @@ def legalize_macros(design: Design, x: np.ndarray, y: np.ndarray) -> Legalizatio
     failures: list[str] = []
 
     # Column occupancy per macro site type.
+    # Sorted so the occupancy dict has a run-independent key order
+    # (REPRO105: set iteration order is not deterministic).
     occupancy: dict[SiteType, dict[int, np.ndarray]] = {}
-    for site_type in set(_MACRO_SITES.values()):
+    for site_type in sorted(set(_MACRO_SITES.values()), key=lambda s: s.value):
         occupancy[site_type] = {
             int(col): np.zeros(device.num_rows, dtype=bool)
             for col in device.columns_of_type(site_type)

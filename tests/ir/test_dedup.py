@@ -1,0 +1,85 @@
+"""Dead-subgraph and CSE detection on synthetic graphs."""
+
+import numpy as np
+
+from repro.ir import find_dead, find_duplicates
+from repro.ir.graph import Graph
+
+F64 = np.float64
+
+
+def _base():
+    g = Graph()
+    a = g.add("input", (), (8,), F64, bytes=64, kind="input")
+    return g, a
+
+
+class TestDead:
+    def test_unused_chain_detected(self):
+        g, a = _base()
+        live = g.add("exp", (a.id,), (8,), F64, flops=8, bytes=64)
+        waste1 = g.add("log", (live.id,), (8,), F64, flops=8, bytes=64)
+        g.add("negative", (waste1.id,), (8,), F64, flops=8, bytes=64)
+        g.outputs.append(live.id)
+
+        result = find_dead(g)
+        assert result["dead_nodes"] == 2
+        assert result["dead_flops"] == 16
+        assert result["chains"] == 1
+        assert [f.code for f in result["findings"]] == ["REPRO106"]
+
+    def test_view_of_output_is_live(self):
+        g, a = _base()
+        b = g.add("exp", (a.id,), (8,), F64, flops=8, bytes=64)
+        view = g.add("transpose", (b.id,), (8,), F64, alias_of=b.id)
+        g.outputs.append(view.id)
+        result = find_dead(g)
+        assert result["dead_nodes"] == 0
+        assert result["findings"] == []
+
+
+class TestDuplicates:
+    def test_identical_subtrees_grouped(self):
+        g, a = _base()
+        b1 = g.add("exp", (a.id,), (8,), F64, flops=8, bytes=64)
+        b2 = g.add("exp", (a.id,), (8,), F64, flops=8, bytes=64)
+        out = g.add("add", (b1.id, b2.id), (8,), F64, flops=8, bytes=64)
+        g.outputs.append(out.id)
+
+        result = find_duplicates(g)
+        assert result["duplicate_groups"] == 1
+        assert result["wasted_flops"] == 8
+        assert result["wasted_bytes"] == 64
+        assert [f.code for f in result["findings"]] == ["REPRO107"]
+
+    def test_structural_identity_is_recursive(self):
+        # exp(log(a)) twice: the *roots* match only because the whole
+        # subtree under each matches.
+        g, a = _base()
+        l1 = g.add("log", (a.id,), (8,), F64, flops=8, bytes=64)
+        l2 = g.add("log", (a.id,), (8,), F64, flops=8, bytes=64)
+        e1 = g.add("exp", (l1.id,), (8,), F64, flops=8, bytes=64)
+        e2 = g.add("exp", (l2.id,), (8,), F64, flops=8, bytes=64)
+        out = g.add("add", (e1.id, e2.id), (8,), F64, flops=8, bytes=64)
+        g.outputs.append(out.id)
+        assert find_duplicates(g)["duplicate_groups"] == 2
+
+    def test_different_attrs_not_duplicates(self):
+        g, a = _base()
+        s1 = g.add("sum", (a.id,), (), F64, flops=8, bytes=8,
+                   attrs=(("axis", 0),))
+        s2 = g.add("sum", (a.id,), (), F64, flops=8, bytes=8,
+                   attrs=(("axis", 1),))
+        out = g.add("add", (s1.id, s2.id), (), F64, flops=1, bytes=8)
+        g.outputs.append(out.id)
+        assert find_duplicates(g)["duplicate_groups"] == 0
+
+    def test_distinct_params_never_merge(self):
+        g = Graph()
+        w1 = g.add("param", (), (8,), F64, bytes=64, kind="param")
+        w2 = g.add("param", (), (8,), F64, bytes=64, kind="param")
+        e1 = g.add("exp", (w1.id,), (8,), F64, flops=8, bytes=64)
+        e2 = g.add("exp", (w2.id,), (8,), F64, flops=8, bytes=64)
+        out = g.add("add", (e1.id, e2.id), (8,), F64, flops=8, bytes=64)
+        g.outputs.append(out.id)
+        assert find_duplicates(g)["duplicate_groups"] == 0

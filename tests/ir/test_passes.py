@@ -1,0 +1,58 @@
+"""Pass framework: registration, rule table, shared # noqa suppression."""
+
+import numpy as np
+import pytest
+
+from repro.ir import IR_RULES, OPPORTUNITY_RULES, register_pass, registered_passes
+from repro.ir.graph import Graph
+from repro.ir.passes import filter_noqa, node_finding
+from repro.lint.rules import RULES as LINT_RULES
+
+
+class TestRuleTable:
+    def test_ir_codes_complete(self):
+        assert set(IR_RULES) == {
+            "REPRO101", "REPRO102", "REPRO103", "REPRO104",
+            "REPRO105", "REPRO106", "REPRO107",
+        }
+
+    def test_namespace_disjoint_from_lint(self):
+        # 0xx belongs to the AST lint rules, 1xx to the IR analyses.
+        assert not set(IR_RULES) & set(LINT_RULES)
+
+    def test_opportunity_rules_subset(self):
+        assert set(OPPORTUNITY_RULES) <= set(IR_RULES)
+
+    def test_builtin_passes_registered(self):
+        assert {"memory", "cost", "stability", "dead", "cse"} <= set(
+            registered_passes()
+        )
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_pass("memory")(lambda g: {})
+
+
+class TestNoqa:
+    def _finding(self, path, line):
+        g = Graph()
+        node = g.add("exp", (), (4,), np.float64, bytes=32,
+                     src=f"{path}:{line}")
+        return node_finding(node, "REPRO101", "exp overflows")
+
+    def test_noqa_drops_graph_finding(self, tmp_path):
+        path = tmp_path / "layer.py"
+        path.write_text("x = 1\ny = exp(x)  # noqa: REPRO101\n")
+        assert filter_noqa([self._finding(str(path), 2)]) == []
+
+    def test_other_code_kept(self, tmp_path):
+        path = tmp_path / "layer.py"
+        path.write_text("x = 1\ny = exp(x)  # noqa: REPRO102\n")
+        kept = filter_noqa([self._finding(str(path), 2)])
+        assert [f.code for f in kept] == ["REPRO101"]
+
+    def test_finding_format_matches_lint(self, tmp_path):
+        path = tmp_path / "layer.py"
+        path.write_text("y = exp(x)\n")
+        finding = self._finding(str(path), 1)
+        assert str(finding).startswith(f"{path}:1:0: REPRO101 ")

@@ -1,0 +1,121 @@
+"""End-to-end report, baseline diffing, registry and CLI integration."""
+
+import copy
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.ir import (
+    SCHEMA,
+    AnalysisError,
+    analyze_model,
+    analyze_registry,
+    baseline_from_reports,
+    check_baseline,
+)
+from repro.lint.rules import LintDiagnostic
+from repro.models import build_model
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return analyze_registry(("unet", "pros2"), preset="tiny", grids=(64,))
+
+
+class TestReport:
+    def test_schema_and_shape(self, bundle):
+        assert bundle["schema"] == SCHEMA
+        report = bundle["reports"][0]
+        for key in ("graph", "memory", "cost", "stability", "determinism",
+                    "opportunities", "failures"):
+            assert key in report
+        assert report["model"] == "unet"
+        assert report["grid"] == 64
+
+    def test_json_serializable(self, bundle):
+        json.dumps(bundle)
+
+    def test_registry_models_have_no_failures(self, bundle):
+        for report in bundle["reports"]:
+            assert report["failures"] == [], report["failures"]
+
+    def test_determinism_audit_runs_once(self, bundle):
+        audited = [r["determinism"]["audited_files"] for r in bundle["reports"]]
+        assert audited[0] > 0
+        assert all(a == 0 for a in audited[1:])
+
+    def test_analyze_model_single(self):
+        report = analyze_model("unet", preset="tiny", grid=64,
+                               determinism=False)
+        assert report["cost"]["total_flops"] > 0
+        assert report["memory"]["peak_bytes"] > 0
+
+
+class TestBaseline:
+    def test_round_trip_clean(self, bundle):
+        baseline = baseline_from_reports(bundle)
+        assert check_baseline(bundle, baseline) == []
+
+    def test_flop_drift_detected(self, bundle):
+        baseline = copy.deepcopy(baseline_from_reports(bundle))
+        baseline["entries"][0]["total_flops"] += 1000
+        problems = check_baseline(bundle, baseline)
+        assert len(problems) == 1
+        assert "total_flops" in problems[0]
+
+    def test_missing_entry_detected(self, bundle):
+        baseline = copy.deepcopy(baseline_from_reports(bundle))
+        dropped = baseline["entries"].pop()
+        problems = check_baseline(bundle, baseline)
+        assert any(dropped["model"] in p for p in problems)
+
+    def test_checked_in_baseline_matches_head(self):
+        """benchmarks/ir_baseline.json must describe the current code."""
+        from pathlib import Path
+
+        path = Path(__file__).resolve().parents[2] / "benchmarks" / "ir_baseline.json"
+        baseline = json.loads(path.read_text())
+        grids = sorted({e["grid"] for e in baseline["entries"]})
+        models = tuple(dict.fromkeys(e["model"] for e in baseline["entries"]))
+        current = analyze_registry(models, preset="fast", grids=tuple(grids),
+                                   determinism=False)
+        assert check_baseline(current, baseline) == []
+
+
+class TestIntegration:
+    def test_build_model_analyze_true(self):
+        model = build_model("unet", "tiny", grid=64, analyze=True)
+        assert model.num_parameters() > 0
+
+    def test_analysis_error_formatting(self):
+        err = AnalysisError(
+            [LintDiagnostic("f.py", 3, 0, "REPRO101", "exp overflows")]
+        )
+        assert "1 blocking finding" in str(err)
+        assert "f.py:3:0: REPRO101" in str(err)
+
+    def test_cli_analyze(self, capsys):
+        rc = cli_main(["analyze", "unet", "--preset", "tiny", "--grid", "64"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "flops:" in out and "memory:" in out
+
+    def test_cli_analyze_json(self, capsys):
+        rc = cli_main(["analyze", "unet", "--preset", "tiny", "--grid", "64",
+                       "--json", "--no-determinism"])
+        assert rc == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert parsed["schema"] == SCHEMA
+
+    def test_cli_baseline_cycle(self, tmp_path, capsys):
+        path = tmp_path / "base.json"
+        assert cli_main(["analyze", "unet", "--preset", "tiny", "--grid", "64",
+                         "--no-determinism", "--update-baseline", str(path)]) == 0
+        capsys.readouterr()
+        assert cli_main(["analyze", "unet", "--preset", "tiny", "--grid", "64",
+                         "--no-determinism", "--check-baseline", str(path)]) == 0
+        # A different grid must be reported as drift.
+        assert cli_main(["analyze", "unet", "--preset", "tiny", "--grid", "128",
+                         "--no-determinism", "--check-baseline", str(path)]) == 1
+        assert "baseline drift" in capsys.readouterr().err

@@ -1,0 +1,109 @@
+"""Tracer fidelity: the symbolic graph must mirror the real forward.
+
+The tracer executes each model's *own* ``forward`` over shape-only
+payloads, so the strongest possible check is direct: traced output
+shapes must equal the shapes a real forward produces, for every registry
+model at more than one grid size — and the trace must never touch real
+data.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ir import SymbolicArray, TraceError, trace, trace_model
+from repro.ir.trace import TraceSession
+from repro.models import build_model
+from repro.models.registry import MODEL_NAMES
+from repro.nn import BatchNorm2d, Conv2d, Linear, Sequential
+from repro.nn.tensor import Tensor, no_grad
+
+
+@pytest.mark.parametrize("grid", [64, 128])
+@pytest.mark.parametrize("name", MODEL_NAMES)
+class TestShapeFidelity:
+    def test_traced_shapes_match_runtime(self, name, grid):
+        graph = trace_model(name, preset="tiny", grid=grid, seed=0)
+        model = build_model(name, "tiny", grid=grid, seed=0)
+        model.eval()
+        with no_grad():
+            out = model(Tensor(np.zeros((1, 6, grid, grid))))
+        traced = [graph[i].shape for i in graph.outputs]
+        assert traced == [out.data.shape]
+        assert graph[graph.outputs[0]].dtype == out.data.dtype
+
+
+class TestGraphStructure:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return trace_model("ours", preset="tiny", grid=64)
+
+    def test_params_registered(self, graph):
+        counts = graph.counts()
+        assert counts["param"] > 0
+        assert counts["input"] == 1
+        assert counts["op"] > 100
+
+    def test_param_count_matches_model(self, graph):
+        model = build_model("ours", "tiny", grid=64)
+        traced = sum(n.size for n in graph if n.kind == "param")
+        assert traced == model.num_parameters()
+
+    def test_scope_attribution(self, graph):
+        scopes = {n.scope for n in graph if n.kind == "op"}
+        # Nested module paths, not just the root.
+        assert any(s.count(".") >= 2 for s in scopes)
+        assert all(s.startswith("MFATransformerNet") for s in scopes if s)
+
+    def test_src_attribution_points_at_substrate(self, graph):
+        srcs = [n.src for n in graph if n.kind == "op" and n.src]
+        assert srcs, "op nodes must carry call-site attribution"
+        assert any("functional.py" in s for s in srcs)
+
+    def test_ssa_order(self, graph):
+        for node in graph:
+            assert all(i < node.id for i in node.inputs)
+
+    def test_views_carry_no_bytes(self, graph):
+        views = [n for n in graph if n.alias_of is not None]
+        assert views, "conv/attention reshapes should produce views"
+        assert all(n.bytes == 0 for n in views)
+
+
+class TestNoRealCompute:
+    def test_symbolic_array_refuses_materialization(self):
+        sess = TraceSession()
+        node = sess.graph.add(
+            "input", (), (2, 3), np.float64, kind="input", meta={"vrange": (0, 1)}
+        )
+        arr = SymbolicArray(sess, node.id, (2, 3), np.dtype(np.float64))
+        with pytest.raises(TraceError):
+            np.asarray(arr)
+        with pytest.raises(TraceError):
+            bool(arr)
+        with pytest.raises(TraceError):
+            float(arr)
+
+    def test_large_grid_traces_instantly(self):
+        # 512x512 through the full paper-preset model: pure shape
+        # arithmetic, so this must not allocate gigabyte activations.
+        graph = trace_model("ours", preset="paper", grid=512)
+        assert graph[graph.outputs[0]].shape == (1, 8, 512, 512)
+
+
+class TestTraceHygiene:
+    def test_training_mode_restored(self):
+        model = Sequential(Conv2d(3, 4, 3, padding=1), BatchNorm2d(4))
+        model.train()
+        trace(model, (1, 3, 8, 8))
+        assert all(m.training for m in model.modules())
+
+    def test_linear_graph_minimal(self):
+        graph = trace(Linear(5, 7, rng=np.random.default_rng(0)), (4, 5))
+        ops = [n.op for n in graph if n.kind == "op"]
+        assert "matmul" in ops
+        assert graph[graph.outputs[0]].shape == (4, 7)
+
+    def test_const_scalars_deduplicated(self):
+        graph = trace(Linear(5, 7, rng=np.random.default_rng(0)), (4, 5))
+        names = [n.name for n in graph if n.kind == "const"]
+        assert len(names) == len(set(names))

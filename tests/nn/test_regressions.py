@@ -1,10 +1,11 @@
-"""Regression tests for bugs surfaced by the repro.lint tooling."""
+"""Regression tests for bugs surfaced by the repro.lint/repro.ir tooling."""
 
 import numpy as np
 import pytest
 
 from repro.lint import detect_anomaly
 from repro.nn.attention import MultiHeadSelfAttention
+from repro.nn.loss import CrossEntropyLoss2d
 from repro.nn.tensor import Tensor
 
 
@@ -81,3 +82,74 @@ class TestAttentionMapNoLeak:
         scores = (q @ k.transpose((0, 1, 3, 2))) * (1.0 / np.sqrt(attn.head_dim))
         expected = F.softmax(scores, axis=-1).data.mean(axis=1)
         np.testing.assert_allclose(attn.attention_map(x), expected, atol=1e-6)
+
+
+class TestSigmoidStability:
+    """The naive ``1/(1+exp(-x))`` sigmoid overflows for x << 0
+    (REPRO101, found by the repro.ir interval pass); the shipped
+    branch-free form uses ``exp(-|x|)`` which is bounded in (0, 1]."""
+
+    def test_extreme_inputs_no_overflow(self):
+        x = Tensor(np.array([-1e4, -745.0, 0.0, 745.0, 1e4]))
+        with np.errstate(over="raise", invalid="raise"):
+            y = x.sigmoid()
+        np.testing.assert_allclose(y.data, [0.0, 0.0, 0.5, 1.0, 1.0], atol=1e-12)
+
+    def test_gradient_finite_everywhere(self):
+        x = Tensor(np.array([-1e4, -50.0, 0.0, 50.0, 1e4]), requires_grad=True)
+        with np.errstate(over="raise", invalid="raise"):
+            x.sigmoid().sum().backward()
+        assert np.all(np.isfinite(x.grad))
+        # d/dx sigmoid(0) = 1/4 exactly.
+        assert x.grad[2] == pytest.approx(0.25)
+
+    def test_gradient_matches_finite_difference(self):
+        data = np.array([-30.0, -2.0, 0.3, 4.0, 25.0])
+        x = Tensor(data.copy(), requires_grad=True)
+        x.sigmoid().sum().backward()
+        eps = 1e-6
+
+        def s(v):
+            return 1.0 / (1.0 + np.exp(-v))
+
+        numeric = (s(data + eps) - s(data - eps)) / (2 * eps)
+        np.testing.assert_allclose(x.grad, numeric, atol=1e-6)
+
+
+class TestWeightedCrossEntropyZeroNorm:
+    """A batch whose targets all fall on zero-weight classes used to
+    divide by a zero normalizer and poison every gradient with NaN
+    (REPRO102, found by the repro.ir interval pass); the normalizer is
+    now clamped so the loss collapses to 0 instead."""
+
+    @pytest.fixture
+    def logits(self):
+        rng = np.random.default_rng(0)
+        return Tensor(rng.normal(size=(2, 3, 4, 4)), requires_grad=True)
+
+    def test_all_zero_weight_batch_finite(self, logits):
+        loss_fn = CrossEntropyLoss2d(3, weight=np.array([0.0, 1.0, 1.0]))
+        targets = np.zeros((2, 4, 4), dtype=np.int64)  # all class 0, weight 0
+        with np.errstate(invalid="raise", divide="raise"):
+            loss = loss_fn(logits, targets)
+            loss.backward()
+        assert loss.data == pytest.approx(0.0)
+        assert np.all(np.isfinite(logits.grad))
+
+    def test_normal_batch_unaffected(self, logits):
+        weight = np.array([0.5, 1.0, 2.0])
+        loss_fn = CrossEntropyLoss2d(3, weight=weight)
+        rng = np.random.default_rng(1)
+        targets = rng.integers(0, 3, size=(2, 4, 4))
+        loss = loss_fn(logits, targets)
+        loss.backward()
+        assert np.isfinite(loss.data) and loss.data > 0
+        # Finite-difference check of the clamped-normalizer path.
+        eps = 1e-6
+        idx = (0, 1, 2, 3)
+        bumped = logits.data.copy()
+        bumped[idx] += eps
+        hi = CrossEntropyLoss2d(3, weight=weight)(Tensor(bumped), targets).data
+        bumped[idx] -= 2 * eps
+        lo = CrossEntropyLoss2d(3, weight=weight)(Tensor(bumped), targets).data
+        assert logits.grad[idx] == pytest.approx((hi - lo) / (2 * eps), abs=1e-5)

@@ -1,0 +1,134 @@
+"""Concrete tape capture: observe a real forward+backward end to end.
+
+:class:`capture_tape` installs the two zero-cost instrumentation hooks
+of :mod:`repro.nn.tensor` — the tape hook (op recording + pre/post
+around each backward closure) and the accumulation hook (every raw
+adjoint handed to ``_accumulate`` before it is summed) — and attributes
+each accumulation to the closure that produced it.  The result is the
+ground truth the REPRO201–203 gradient contract checks audit: for every
+recorded op, which parents actually received gradients, how many times,
+and with what shape/dtype.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.tensor import (
+    Tensor,
+    _get_tape_hook,
+    _set_accum_hook,
+    _set_tape_hook,
+)
+
+__all__ = ["AccumEvent", "OpRecord", "capture_tape"]
+
+
+@dataclass(frozen=True)
+class AccumEvent:
+    """One raw adjoint observed on its way into ``tensor.grad``."""
+
+    target: int  # id() of the receiving tensor
+    shape: tuple[int, ...]
+    dtype: np.dtype
+
+
+@dataclass
+class OpRecord:
+    """One recorded op and everything its backward closure accumulated."""
+
+    index: int
+    op: str
+    src: str  # path:line of the def backward
+    out_shape: tuple[int, ...]
+    out_dtype: np.dtype
+    parents: tuple[Tensor, ...]  # strong refs keep id() stable
+    ran: bool = False  # whether the closure executed during backward
+    events: list[AccumEvent] = field(default_factory=list)
+
+    def expected_counts(self) -> dict[int, int]:
+        """id(parent) -> number of accumulations the contract requires."""
+        counts: dict[int, int] = {}
+        for p in self.parents:
+            if p.requires_grad:
+                counts[id(p)] = counts.get(id(p), 0) + 1
+        return counts
+
+    def observed_counts(self) -> dict[int, int]:
+        counts: dict[int, int] = {}
+        for e in self.events:
+            counts[e.target] = counts.get(e.target, 0) + 1
+        return counts
+
+
+class capture_tape:
+    """Context manager recording ops and their backward accumulations.
+
+    Usage::
+
+        with capture_tape() as cap:
+            loss = model(x).sum()
+            loss.backward()
+        check_contracts(cap.records)
+
+    Records hold strong references to the participating tensors so
+    ``id()`` identities cannot be recycled mid-capture.  Accumulations
+    that occur outside any closure (the seed gradient ``backward()``
+    itself plants) are ignored — they are runtime machinery, not a vjp.
+    """
+
+    def __init__(self) -> None:
+        self.records: list[OpRecord] = []
+        self._by_out: dict[int, OpRecord] = {}
+        self._outs: list[Tensor] = []  # pin id() of recorded outputs
+        self._current: OpRecord | None = None
+
+    def __enter__(self) -> "capture_tape":
+        self._prev_tape = _get_tape_hook()
+        _set_tape_hook(self._tape_hook)
+        _set_accum_hook(self._accum_hook)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        _set_tape_hook(self._prev_tape)
+        _set_accum_hook(None)
+
+    # -- hooks -----------------------------------------------------------------
+
+    def _tape_hook(self, event, out, parents, backward) -> None:
+        if self._prev_tape is not None:
+            self._prev_tape(event, out, parents, backward)
+        if event == "record":
+            code = backward.__code__
+            qual = backward.__qualname__.split(".<locals>")[0]
+            record = OpRecord(
+                index=len(self.records),
+                op=qual.split(".")[-1],
+                src=f"{code.co_filename}:{code.co_firstlineno}",
+                out_shape=out.shape,
+                out_dtype=out.data.dtype,
+                parents=tuple(parents),
+            )
+            self.records.append(record)
+            self._by_out[id(out)] = record
+            self._outs.append(out)
+        elif event == "pre":
+            self._current = self._by_out.get(id(out))
+            if self._current is not None:
+                self._current.ran = True
+        elif event == "post":
+            self._current = None
+
+    def _accum_hook(self, tensor, grad) -> None:
+        if self._current is not None:
+            self._current.events.append(
+                AccumEvent(id(tensor), np.shape(grad), np.asarray(grad).dtype)
+            )
+
+    # -- convenience -----------------------------------------------------------
+
+    def ops_used(self) -> tuple[str, ...]:
+        """Distinct op kinds recorded, in first-appearance order."""
+        return tuple(dict.fromkeys(r.op for r in self.records))

@@ -1,0 +1,266 @@
+"""Gradient-flow interval analysis over the adjoint graph (REPRO205–207).
+
+Propagates a *magnitude interval* ``(lo, hi)`` — sound bounds on the
+elementwise absolute value of each adjoint — from the loss seed
+``(1, 1)`` backwards through the adjoint SSA graph.  Each ``vjp`` edge
+multiplies by a local-gain interval derived from the primal value
+ranges the tracer already computed (``|d out / d in|`` over the
+operand's interval); ``add`` nodes take ``(0, hi_a + hi_b)`` because
+contributions can cancel.
+
+The analysis is deliberately conservative: contraction ops
+(``__matmul__``, ``conv2d``, …) with unbounded parameter ranges yield
+``(0, inf)``, so on a healthy model nothing fires.  Findings are
+*provable* pathologies only:
+
+* **REPRO205** — a trainable parameter's final adjoint has an upper
+  bound below ``1e-24`` (provably vanishing — e.g. everything behind a
+  saturated activation with bounded input) or a lower bound above
+  ``1e24`` (provably exploding — only reachable through elementwise
+  chains with bounded-away-from-zero gains).
+* **REPRO206** — an activation that provably blocks flow: a ReLU whose
+  input interval is entirely ``<= 0`` (dead: zero gradient for every
+  input in range), or a sigmoid/tanh whose derivative upper bound over
+  its input interval is below ``1e-12`` (saturated).
+* **REPRO207** — a trainable parameter with *no* path to any output in
+  the adjoint graph at all: a ``detach()``/``no_grad`` region (or a
+  plain unused module) provably disconnects it from the loss.
+
+Findings anchor at model source lines (via the primal node's call
+site), so ``# noqa`` works exactly as for the forward IR passes.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.ir.graph import Graph
+from repro.ir.passes import filter_noqa, node_finding
+from repro.ir.trace import TapeEntry
+from repro.lint.rules import LintDiagnostic
+
+from .graph import AdjointGraph, build_adjoint_graph
+
+__all__ = ["flow_analysis", "VANISH_BOUND", "EXPLODE_BOUND", "SATURATION_BOUND"]
+
+INF = math.inf
+VANISH_BOUND = 1e-24
+EXPLODE_BOUND = 1e24
+SATURATION_BOUND = 1e-12
+
+# Ops whose per-element gain is exactly 1 (routing/identity); broadcast
+# fan-in scaling is applied separately via the size ratio.
+_UNIT_GAIN = {
+    "__add__", "__sub__", "__neg__", "pad2d", "reshape", "transpose",
+    "__getitem__", "concatenate", "stack", "upsample_nearest", "sum",
+}
+# Ops with gain in [0, 1] (selection or convex averaging).
+_SUB_UNIT_GAIN = {"max", "max_pool2d", "avg_pool2d", "softmax", "dropout"}
+
+
+def _vrange(graph: Graph, node_id: int) -> tuple[float, float]:
+    v = graph.nodes[node_id].vrange
+    return (-INF, INF) if v is None else (float(v[0]), float(v[1]))
+
+
+def _abs_interval(lo: float, hi: float) -> tuple[float, float]:
+    if lo <= 0.0 <= hi:
+        return 0.0, max(-lo, hi)
+    return min(abs(lo), abs(hi)), max(abs(lo), abs(hi))
+
+
+def _mul(a: float, b: float) -> float:
+    """Interval-safe product: 0 * inf == 0 (a zero gain kills the path)."""
+    if a == 0.0 or b == 0.0:
+        return 0.0
+    return a * b
+
+
+def _inv(x: float) -> float:
+    if x == 0.0:
+        return INF
+    if math.isinf(x):
+        return 0.0
+    return 1.0 / x
+
+
+def _sigmoid_deriv(ax: float) -> float:
+    """sigma'(x) evaluated at |x| = ax (monotone decreasing in |x|)."""
+    if math.isinf(ax):
+        return 0.0
+    s = 1.0 / (1.0 + math.exp(-min(ax, 700.0)))
+    return s * (1.0 - s)
+
+
+def _tanh_deriv(ax: float) -> float:
+    if math.isinf(ax):
+        return 0.0
+    t = math.tanh(ax)
+    return 1.0 - t * t
+
+
+def _local_gain(
+    graph: Graph, entry: TapeEntry, parent_id: int
+) -> tuple[float, float]:
+    """Bounds on the elementwise |d entry.out / d parent| over the trace."""
+    op = entry.op
+    out_node = graph.nodes[entry.out]
+    parent = graph.nodes[parent_id]
+
+    if op in _UNIT_GAIN:
+        lo, hi = 1.0, 1.0
+    elif op in _SUB_UNIT_GAIN:
+        lo, hi = 0.0, 1.0
+    elif op == "log_softmax":
+        lo, hi = 0.0, 2.0
+    elif op == "relu":
+        plo, phi = _vrange(graph, parent_id)
+        if phi <= 0.0:
+            lo, hi = 0.0, 0.0  # provably dead
+        elif plo >= 0.0:
+            lo, hi = 1.0, 1.0
+        else:
+            lo, hi = 0.0, 1.0
+    elif op == "gelu":
+        lo, hi = 0.0, 1.2
+    elif op == "tanh":
+        alo, ahi = _abs_interval(*_vrange(graph, parent_id))
+        lo, hi = _tanh_deriv(ahi), _tanh_deriv(alo)
+    elif op == "sigmoid":
+        alo, ahi = _abs_interval(*_vrange(graph, parent_id))
+        lo, hi = _sigmoid_deriv(ahi), _sigmoid_deriv(alo)
+    elif op == "exp":
+        plo, phi = _vrange(graph, parent_id)
+        lo = 0.0 if math.isinf(plo) else math.exp(max(min(plo, 700.0), -745.0))
+        hi = INF if phi > 700.0 else math.exp(phi)
+    elif op == "log":
+        alo, ahi = _abs_interval(*_vrange(graph, parent_id))
+        lo, hi = _inv(ahi), _inv(alo)
+    elif op == "__mul__":
+        # Gain for one operand is |other operand|; hull over slots when
+        # the same tensor appears in both (x * x).
+        lo, hi = INF, 0.0
+        for pid in entry.parents:
+            if pid == parent_id and len(entry.parents) == 2:
+                other = entry.parents[0] if entry.parents[1] == pid else entry.parents[1]
+                olo, ohi = _abs_interval(*_vrange(graph, other))
+                lo, hi = min(lo, olo), max(hi, ohi)
+        if hi < lo:  # no slot matched (defensive)
+            lo, hi = 0.0, INF
+        if entry.parents[0] == entry.parents[1]:
+            hi = _mul(2.0, hi)  # d(x*x)/dx = 2|x|
+    elif op == "__truediv__":
+        num, den = entry.parents
+        nlo, nhi = _abs_interval(*_vrange(graph, num))
+        dlo, dhi = _abs_interval(*_vrange(graph, den))
+        if parent_id == num:
+            lo, hi = _inv(dhi), _inv(dlo)
+        else:
+            lo = _mul(nlo, _inv(_mul(dhi, dhi)))
+            hi = _mul(nhi, _inv(_mul(dlo, dlo)))
+    else:
+        # Contractions (__matmul__, conv2d, conv_transpose2d, batch_norm,
+        # layer_norm with unbounded gamma, __pow__ with unknown exponent,
+        # unknown ops): no sound elementwise bound without weight norms.
+        lo, hi = 0.0, INF
+
+    # Broadcast/reduction fan-in: an operand smaller than the output
+    # receives a *sum* of up to r contributions (r = size ratio).
+    out_size = max(1, int(math.prod(out_node.shape)) if out_node.shape else 1)
+    parent_size = max(1, int(math.prod(parent.shape)) if parent.shape else 1)
+    if parent_size < out_size:
+        hi = _mul(hi, out_size / parent_size)
+        lo = 0.0  # summed contributions can cancel
+    return lo, hi
+
+
+def flow_analysis(
+    graph: Graph, tape: list[TapeEntry], adjoint: AdjointGraph | None = None
+) -> dict:
+    """Run the interval propagation; returns findings + connectivity."""
+    adj = adjoint if adjoint is not None else build_adjoint_graph(graph, tape)
+    findings: dict[tuple, LintDiagnostic] = {}
+
+    def report(node_id: int, code: str, message: str) -> None:
+        f = node_finding(graph.nodes[node_id], code, message)
+        findings.setdefault((f.code, f.path, f.line, f.message), f)
+
+    # REPRO206: activations that provably block gradient flow.
+    for entry in tape:
+        if entry.op == "relu":
+            (pid,) = entry.parents
+            _, phi = _vrange(graph, pid)
+            if phi <= 0.0:
+                report(
+                    entry.out,
+                    "REPRO206",
+                    f"dead ReLU: input interval ({_vrange(graph, pid)[0]:.3g}, "
+                    f"{phi:.3g}) is never positive, so no gradient can flow",
+                )
+        elif entry.op in ("sigmoid", "tanh"):
+            (pid,) = entry.parents
+            alo, ahi = _abs_interval(*_vrange(graph, pid))
+            deriv = _sigmoid_deriv if entry.op == "sigmoid" else _tanh_deriv
+            if deriv(alo) < SATURATION_BOUND:
+                report(
+                    entry.out,
+                    "REPRO206",
+                    f"saturated {entry.op}: |input| >= {alo:.3g} everywhere, "
+                    f"derivative <= {deriv(alo):.3g} blocks gradient flow",
+                )
+
+    # Magnitude propagation through the adjoint SSA graph.
+    mag: dict[int, tuple[float, float]] = {}
+    for node in adj.nodes:
+        if node.kind == "seed":
+            mag[node.id] = (1.0, 1.0)
+        elif node.kind == "vjp":
+            ulo, uhi = mag[node.inputs[0]]
+            glo, ghi = _local_gain(graph, adj.tape[node.entry], node.primal)
+            mag[node.id] = (_mul(ulo, glo), _mul(uhi, ghi))
+        else:  # add
+            los_his = [mag[i] for i in node.inputs]
+            mag[node.id] = (0.0, sum(hi for _, hi in los_his))
+
+    # REPRO205/207 per trainable parameter.
+    params = [n for n in graph if n.kind == "param"]
+    connected = 0
+    for pnode in params:
+        adj_id = adj.grad_of.get(pnode.id)
+        if adj_id is None:
+            # Anchor at the op consuming the parameter if any entry does
+            # (a detach()ed use still shows up in closures' parents);
+            # otherwise the parameter node itself.
+            report(
+                pnode.id,
+                "REPRO207",
+                f"trainable parameter {pnode.name!r} has no path to any "
+                "output in the adjoint graph: provably disconnected from "
+                "the loss (detach()/no_grad region or unused module)",
+            )
+            continue
+        connected += 1
+        lo, hi = mag[adj_id]
+        if hi < VANISH_BOUND:
+            report(
+                pnode.id,
+                "REPRO205",
+                f"gradient of {pnode.name!r} provably vanishes: "
+                f"|grad| <= {hi:.3g} along every path",
+            )
+        elif lo > EXPLODE_BOUND:
+            report(
+                pnode.id,
+                "REPRO205",
+                f"gradient of {pnode.name!r} provably explodes: "
+                f"|grad| >= {lo:.3g}",
+            )
+
+    ordered = sorted(findings.values(), key=lambda f: (f.code, f.path, f.line))
+    return {
+        "findings": filter_noqa(ordered),
+        "params_total": len(params),
+        "params_connected": connected,
+        "adjoint_nodes": len(adj.nodes),
+        "adjoint_counts": adj.counts(),
+    }

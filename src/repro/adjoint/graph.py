@@ -1,0 +1,134 @@
+"""The adjoint SSA graph: backward-pass structure derived from the tape.
+
+:func:`build_adjoint_graph` replays a recorded tape (from
+:func:`repro.ir.trace.trace_tape`) in reverse and emits one SSA value
+per gradient the runtime will materialize:
+
+* a ``seed`` node for each primal output (the ``backward(grad)`` seed),
+* a ``vjp`` node per (tape entry, requires-grad parent) pair — the
+  contribution that entry's backward closure accumulates into that
+  parent, attributed to the closure's op and source line,
+* an ``add`` node wherever a primal value has several consumers and the
+  runtime sums their contributions.
+
+Every adjoint node records the primal node whose gradient it is
+(``primal``), giving the primal↔adjoint link both directions:
+``AdjointGraph.grad_of[primal_id]`` is the final accumulated adjoint.
+The graph is the substrate for the gradient-flow interval analysis
+(:mod:`repro.adjoint.flow`) and the forward+backward memory model
+(:mod:`repro.adjoint.memory`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ir.graph import Graph
+from repro.ir.trace import TapeEntry
+
+__all__ = ["AdjointNode", "AdjointGraph", "build_adjoint_graph"]
+
+
+@dataclass(frozen=True)
+class AdjointNode:
+    """One SSA gradient value of the backward pass."""
+
+    id: int
+    kind: str  # "seed" | "vjp" | "add"
+    op: str  # primal op whose vjp produced this ("" for seed/add)
+    primal: int  # primal node id this value is the gradient of
+    entry: int  # tape entry index (-1 for seed/add)
+    inputs: tuple[int, ...]  # adjoint node ids consumed
+    shape: tuple[int, ...]
+    dtype: np.dtype
+    src: str = ""  # vjp closure definition site (path:line)
+
+
+@dataclass
+class AdjointGraph:
+    """Adjoint nodes in emission (= reverse-execution topological) order."""
+
+    primal: Graph
+    tape: list[TapeEntry]
+    nodes: list[AdjointNode] = field(default_factory=list)
+    # primal node id -> adjoint node id of its *final* accumulated gradient.
+    grad_of: dict[int, int] = field(default_factory=dict)
+
+    def node(self, adjoint_id: int) -> AdjointNode:
+        return self.nodes[adjoint_id]
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for n in self.nodes:
+            out[n.kind] = out.get(n.kind, 0) + 1
+        return out
+
+    def pretty(self, limit: int = 40) -> str:
+        lines = []
+        for n in self.nodes[:limit]:
+            ins = ", ".join(f"^{i}" for i in n.inputs)
+            op = f" {n.op}" if n.op else ""
+            lines.append(
+                f"^{n.id} = {n.kind}{op}(%{n.primal}{'; ' + ins if ins else ''})"
+                f" : {n.shape} {np.dtype(n.dtype).name}"
+            )
+        if len(self.nodes) > limit:
+            lines.append(f"... {len(self.nodes) - limit} more")
+        return "\n".join(lines)
+
+
+def build_adjoint_graph(graph: Graph, tape: list[TapeEntry]) -> AdjointGraph:
+    """Reverse the tape into adjoint SSA form.
+
+    Mirrors the runtime exactly: entries whose output never receives a
+    gradient (dead branches) produce no adjoint nodes, multiple
+    contributions to one primal value are folded through ``add`` nodes,
+    and non-requires-grad parents (e.g. the network input) receive
+    nothing.
+    """
+    adj = AdjointGraph(primal=graph, tape=list(tape))
+
+    def emit(kind, op, primal_id, entry, inputs, src="") -> AdjointNode:
+        pnode = graph.nodes[primal_id]
+        node = AdjointNode(
+            id=len(adj.nodes),
+            kind=kind,
+            op=op,
+            primal=primal_id,
+            entry=entry,
+            inputs=tuple(inputs),
+            shape=pnode.shape,
+            dtype=pnode.dtype,
+            src=src,
+        )
+        adj.nodes.append(node)
+        return node
+
+    def accumulate(primal_id: int, contribution: AdjointNode) -> None:
+        prev = adj.grad_of.get(primal_id)
+        if prev is None:
+            adj.grad_of[primal_id] = contribution.id
+        else:
+            combined = emit(
+                "add", "", primal_id, -1, (prev, contribution.id)
+            )
+            adj.grad_of[primal_id] = combined.id
+
+    for out_id in graph.outputs:
+        seed = emit("seed", "", out_id, -1, ())
+        adj.grad_of[out_id] = seed.id
+
+    for entry in reversed(tape):
+        upstream = adj.grad_of.get(entry.out)
+        if upstream is None:
+            continue  # dead branch: the runtime never runs this closure
+        for pid, requires in zip(entry.parents, entry.parent_requires_grad):
+            if not requires or pid is None:
+                continue
+            vjp = emit(
+                "vjp", entry.op, pid, entry.index, (upstream,), src=entry.src
+            )
+            accumulate(pid, vjp)
+    return adj

@@ -1,0 +1,227 @@
+"""Forward+backward peak-memory planning from the tape.
+
+Extends the forward activation planner (:func:`repro.ir.memory.plan_memory`)
+with what training actually retains:
+
+* **Tape retention.**  ``backward()`` walks a topologically-ordered list
+  of every tensor reachable from the loss and holds it until the walk
+  finishes, so every op output on the tape survives to the end of the
+  backward pass — last-use liveness only applies to tensors *off* the
+  tape.  Closure-captured intermediates (im2col columns, padded inputs,
+  normalized activations) are freed earlier: the runtime drops each
+  node's ``_backward`` right after running it, so a captured buffer dies
+  at the latest backward step that still needs it.
+* **Gradient buffers.**  Each requires-grad tensor's ``.grad`` is born
+  at the first closure that accumulates into it (the seed at the start
+  of backward for the loss itself) and survives to the end.
+* **Backward transients.**  While a closure runs, the adjoint it is
+  about to hand to ``_accumulate`` is a fresh temporary; convolutions
+  additionally materialize gradient copies of their column/padded
+  workspaces.
+
+The timeline is ``0 .. n-1`` forward node positions followed by one
+position per tape entry in reverse-execution order; dead branches (ops
+whose output never receives a gradient) get no backward position, and
+their captured buffers are retained to the end — exactly the leak the
+runtime exhibits, since their closures are never run and so never freed.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.ir.graph import Graph
+from repro.ir.trace import TapeEntry
+
+__all__ = ["plan_training_memory"]
+
+# Backward closures of these ops materialize gradient images of their
+# captured workspaces (grad_cols/grad_padded) alongside the captures.
+_WORKSPACE_GRAD_OPS = {"conv2d", "conv_transpose2d"}
+
+
+def _nbytes(graph: Graph, node_id: int) -> int:
+    node = graph.nodes[node_id]
+    count = int(math.prod(node.shape)) if node.shape else 1
+    return count * np.dtype(node.dtype).itemsize
+
+
+def plan_training_memory(graph: Graph, tape: list[TapeEntry], top_k: int = 5) -> dict:
+    """Simulate one forward+backward step; return peak and retention."""
+    n = len(graph)
+    t = len(tape)
+    end = n + t  # sentinel "after the backward pass"
+
+    def backward_pos(entry: TapeEntry) -> int:
+        return n + (t - 1 - entry.index)
+
+    # -- forward liveness (mirrors plan_memory) --------------------------------
+    scope_end: dict[int, int] = {}
+    for node in graph:
+        scope_end[node.meta.get("scope_id", 0)] = node.id
+
+    born: dict[int, int] = {}
+    size: dict[int, int] = {}
+    dies: dict[int, int] = {}
+    for node in graph:
+        if node.kind == "op" and node.bytes > 0:
+            born[node.id] = node.id
+            size[node.id] = node.bytes
+            dies[node.id] = node.id
+        extend = (
+            scope_end.get(node.meta.get("scope_id", 0), node.id)
+            if node.meta.get("scope_depth", 0) >= 2
+            else node.id
+        )
+        for input_id in node.inputs:
+            buf = graph.buffer_of(input_id)
+            if buf in dies:
+                dies[buf] = max(dies[buf], extend)
+    for buf in born:
+        node = graph[buf]
+        if node.meta.get("scope_depth", 0) >= 2:
+            dies[buf] = max(dies[buf], scope_end.get(node.meta["scope_id"], dies[buf]))
+    for out in graph.live_through_end():
+        if out in dies:
+            dies[out] = end
+
+    # -- backward reachability: which closures actually run --------------------
+    by_out = {entry.out: entry for entry in tape}
+    reachable: set[int] = set()
+    stack = [by_out[o] for o in graph.outputs if o in by_out]
+    while stack:
+        entry = stack.pop()
+        if entry.index in reachable:
+            continue
+        reachable.add(entry.index)
+        for pid, requires in zip(entry.parents, entry.parent_requires_grad):
+            if requires and pid in by_out:
+                stack.append(by_out[pid])
+
+    # -- tape retention --------------------------------------------------------
+    for entry in tape:
+        # The topological walk holds every tape tensor (and so its data
+        # buffer) until backward() returns.
+        out_buf = graph.buffer_of(entry.out)
+        if out_buf in dies:
+            dies[out_buf] = end
+        # Closure captures are freed when the closure runs (the runtime
+        # drops node._backward after invoking it); dead-branch closures
+        # are never run, so their captures leak to the end of the step.
+        pos = backward_pos(entry) if entry.index in reachable else end
+        for group in (entry.parents, entry.captured):
+            for nid in group:
+                if nid is None:
+                    continue
+                buf = graph.buffer_of(nid)
+                if buf in dies:
+                    dies[buf] = max(dies[buf], pos)
+
+    # -- gradient buffers ------------------------------------------------------
+    # First accumulation into each requires-grad tensor: the seed for
+    # outputs, else the earliest-running consumer closure.
+    grad_born: dict[int, int] = {o: n for o in graph.outputs}
+    for entry in tape:
+        if entry.index not in reachable:
+            continue
+        pos = backward_pos(entry)
+        for pid, requires in zip(entry.parents, entry.parent_requires_grad):
+            if requires and pid is not None:
+                grad_born[pid] = min(grad_born.get(pid, end), pos)
+    grad_size = {nid: _nbytes(graph, nid) for nid in grad_born}
+    grad_bytes_total = sum(grad_size.values())
+
+    # -- backward transients ---------------------------------------------------
+    transient_at: dict[int, int] = {}
+    for entry in tape:
+        if entry.index not in reachable:
+            continue
+        parent_grads = [
+            _nbytes(graph, pid)
+            for pid, req in zip(entry.parents, entry.parent_requires_grad)
+            if req and pid is not None
+        ]
+        transient = max(parent_grads, default=0)
+        if entry.op in _WORKSPACE_GRAD_OPS:
+            transient += sum(
+                graph[graph.buffer_of(nid)].bytes
+                for nid in entry.captured
+                if graph[graph.buffer_of(nid)].kind == "op"
+            )
+        transient_at[backward_pos(entry)] = transient
+
+    # -- simulate the timeline -------------------------------------------------
+    persistent = sum(
+        node.bytes for node in graph if node.kind in ("param", "buffer", "const")
+    )
+    input_bytes = sum(graph[i].bytes for i in graph.inputs)
+
+    frees: dict[int, list[int]] = {}
+    for buf, at in dies.items():
+        frees.setdefault(at, []).append(size[buf])
+
+    entry_at = {backward_pos(e): e for e in tape if e.index in reachable}
+    grads_at: dict[int, list[int]] = {}
+    for nid, at in grad_born.items():
+        grads_at.setdefault(at, []).append(grad_size[nid])
+
+    live = 0
+    peak = 0
+    peak_pos = "forward@0"
+    retained_at_backward = 0
+    for pos in range(n + t):
+        if pos < n:
+            if pos in born:
+                live += size[pos]
+            label = f"forward@{pos}"
+        else:
+            if pos == n:
+                retained_at_backward = live
+            live += sum(grads_at.get(pos, ()))
+            entry = entry_at.get(pos)
+            label = f"backward@{entry.out}:{entry.op}" if entry else f"backward@{pos}"
+        transient = (
+            graph[pos].meta.get("workspace_bytes", 0)
+            if pos < n
+            else transient_at.get(pos, 0)
+        )
+        if live + transient > peak:
+            peak, peak_pos = live + transient, label
+        for freed in frees.get(pos, ()):
+            live -= freed
+
+    live += sum(grads_at.get(end, ()))  # defensive: nothing should land here
+    if pos == n - 1 and t == 0:
+        retained_at_backward = live
+
+    retained = sorted(
+        (
+            {
+                "node": buf,
+                "op": graph[buf].op,
+                "scope": graph[buf].scope,
+                "src": graph[buf].src,
+                "bytes": size[buf],
+                "dies": dies[buf] if dies[buf] != end else None,
+            }
+            for buf in born
+            if dies[buf] >= n
+        ),
+        key=lambda r: -r["bytes"],
+    )
+
+    return {
+        "train_peak_bytes": peak,
+        "peak_pos": peak_pos,
+        "retained_at_backward_bytes": retained_at_backward,
+        "grad_bytes_total": grad_bytes_total,
+        "grad_buffers": len(grad_born),
+        "activation_bytes_total": sum(size.values()),
+        "input_bytes": input_bytes,
+        "persistent_bytes": persistent,
+        "tape_entries": t,
+        "reachable_entries": len(reachable),
+        "top_retained": retained[:top_k],
+    }

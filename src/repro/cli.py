@@ -10,7 +10,11 @@ Subcommands mirror the library's main workflows:
 * ``table2`` — run the four teams on selected designs (mini Table II).
 * ``lint``   — static autograd lint + ShapeTracer model validation.
 * ``analyze`` — symbolic-IR static analysis: memory plan, FLOP cost,
-  stability + determinism audit (see repro.ir).
+  stability + determinism audit (see repro.ir); ``--backward`` adds the
+  adjoint-graph/gradient-flow/training-memory section (repro.adjoint).
+* ``gradcheck`` — gradient audit: vjp contract capture, randomized
+  central-difference derivative checks, gradient-flow analysis
+  (see repro.adjoint).
 """
 
 from __future__ import annotations
@@ -126,6 +130,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--update-baseline", metavar="PATH", default=None,
         help="write the invariant slice of this run to a baseline JSON",
     )
+    analyze.add_argument(
+        "--backward", action="store_true",
+        help="also trace the backward tape: adjoint-graph stats, "
+        "gradient-flow findings (REPRO205-207) and the forward+backward "
+        "training-memory plan (see repro.adjoint)",
+    )
+
+    gradcheck = sub.add_parser(
+        "gradcheck",
+        help="gradient audit: vjp contracts + finite differences "
+        "(see repro.adjoint)",
+    )
+    gradcheck.add_argument(
+        "model", choices=("unet", "pgnn", "pros2", "ours", "all", "ops"),
+        help="registry model to audit, 'all' for the whole registry, or "
+        "'ops' for the full primitive-op case sweep without a model",
+    )
+    gradcheck.add_argument("--preset", default="fast",
+                           choices=("tiny", "fast", "paper"))
+    gradcheck.add_argument("--grid", type=int, default=64)
+    gradcheck.add_argument("--seed", type=int, default=0)
+    gradcheck.add_argument("--json", action="store_true",
+                           help="print the full repro.adjoint/v1 report bundle")
 
     return parser
 
@@ -292,6 +319,22 @@ def _print_report(report: dict, top: int) -> None:
     for finding in opp["findings"]:
         print(f"    note: {finding['path']}:{finding['line']}: "
               f"{finding['code']} {finding['message']}")
+    if "backward" in report:
+        back = report["backward"]
+        mem = back["memory"]
+        counts = back["adjoint_counts"]
+        print(f"  backward: {back['tape_entries']} tape entries -> "
+              f"{back['adjoint_nodes']} adjoint nodes "
+              f"(vjp={counts.get('vjp', 0)}, add={counts.get('add', 0)}), "
+              f"{back['params_connected']}/{back['params_total']} params "
+              "connected")
+        print(f"  training memory: peak {_mb(mem['train_peak_bytes'])} at "
+              f"{mem['peak_pos']} (retained at backward "
+              f"{_mb(mem['retained_at_backward_bytes'])}, gradients "
+              f"{_mb(mem['grad_bytes_total'])})")
+        for finding in back["findings"]:
+            print(f"    note: {finding['path']}:{finding['line']}: "
+                  f"{finding['code']} {finding['message']}")
     for failure in report["failures"]:
         print(f"  FAIL: {failure}")
 
@@ -307,6 +350,7 @@ def _cmd_analyze(args) -> int:
     bundle = analyze_registry(
         models, preset=args.preset, grids=grids,
         determinism=not args.no_determinism,
+        backward=args.backward,
     )
 
     if args.json:
@@ -342,6 +386,65 @@ def _cmd_analyze(args) -> int:
     return status
 
 
+def _cmd_gradcheck(args) -> int:
+    import json
+
+    from .adjoint import audit_registry, run_gradcheck
+    from .models.registry import MODEL_NAMES
+
+    if args.model == "ops":
+        # Model-free: sweep every registered primitive-op case.
+        result = run_gradcheck(seed=args.seed)
+        failed = [c for c in result["cases"] if not c["passed"]]
+        if args.json:
+            print(json.dumps(result, indent=2))
+        else:
+            print(f"gradcheck: {len(result['cases'])} cases over "
+                  f"{len(result['checked_ops'])} op kinds, "
+                  f"{len(failed)} failed")
+            for finding in result["findings"]:
+                print(f"  {finding}")
+            if not result["findings"]:
+                print("gradcheck OK")
+        return 1 if result["findings"] else 0
+
+    models = MODEL_NAMES if args.model == "all" else (args.model,)
+    bundle = audit_registry(
+        models, preset=args.preset, grid=args.grid, seed=args.seed
+    )
+    if args.json:
+        print(json.dumps(bundle, indent=2))
+    failures = []
+    for report in bundle["reports"]:
+        failures.extend(report["failures"])
+        if args.json:
+            continue
+        back = report["backward"]
+        mem = back["memory"]
+        print(f"{report['model']} (preset={report['preset']}, "
+              f"grid={report['grid']})")
+        print(f"  contracts: {report['contracts']['ran']}/"
+              f"{report['contracts']['records']} closures ran over "
+              f"{len(report['contracts']['ops'])} op kinds, "
+              f"{len(report['contracts']['findings'])} finding(s)")
+        print(f"  gradcheck: {report['gradcheck']['cases']} cases, "
+              f"{report['gradcheck']['failed']} failed")
+        print(f"  flow: {back['params_connected']}/{back['params_total']} "
+              f"params connected, {len(back['findings'])} finding(s)")
+        print(f"  training memory: peak {_mb(mem['train_peak_bytes'])} at "
+              f"{mem['peak_pos']}")
+        for section in (report["contracts"], report["gradcheck"], back):
+            for finding in section["findings"]:
+                print(f"    {finding['path']}:{finding['line']}: "
+                      f"{finding['code']} {finding['message']}")
+    if failures:
+        print(f"error: {len(failures)} blocking finding(s)", file=sys.stderr)
+        return 1
+    if not args.json:
+        print("gradcheck OK")
+    return 0
+
+
 _COMMANDS = {
     "stats": _cmd_stats,
     "place": _cmd_place,
@@ -351,6 +454,7 @@ _COMMANDS = {
     "table2": _cmd_table2,
     "lint": _cmd_lint,
     "analyze": _cmd_analyze,
+    "gradcheck": _cmd_gradcheck,
 }
 
 

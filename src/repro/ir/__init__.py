@@ -45,16 +45,18 @@ from .report import (
 )
 from .stability import check_stability
 from .symbolic import SymbolicArray, TraceError
-from .trace import TraceSession, trace, trace_model
+from .trace import TapeEntry, TraceSession, trace, trace_model, trace_tape
 
 __all__ = [
     "Graph",
     "Node",
     "SymbolicArray",
+    "TapeEntry",
     "TraceError",
     "TraceSession",
     "trace",
     "trace_model",
+    "trace_tape",
     "IR_RULES",
     "OPPORTUNITY_RULES",
     "register_pass",

@@ -26,6 +26,10 @@ Rule codes 1xx belong to the IR analyses (the AST lint rules own 0xx):
   unreachable from any output (optimization opportunity, not an error).
 * ``REPRO107`` — duplicate subgraph: structurally identical computation
   performed more than once (CSE opportunity, not an error).
+
+Codes and messages are allocated centrally in :mod:`repro.diagnostics`;
+``IR_RULES`` is the ir-component view and ``OPPORTUNITY_RULES`` the
+non-blocking subset.
 """
 
 from __future__ import annotations
@@ -33,6 +37,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Callable
 
+from repro.diagnostics import all_codes, codes_for
 from repro.lint.rules import LintDiagnostic, _noqa_lines
 
 from .graph import Graph, Node
@@ -48,19 +53,15 @@ __all__ = [
     "collect_findings",
 ]
 
-IR_RULES = {
-    "REPRO101": "exp() reachable with unbounded positive input (overflow)",
-    "REPRO102": "log/division/negative power reachable with zero in range",
-    "REPRO103": "implicit mixed-float promotion widens an array operand",
-    "REPRO104": "random numbers drawn without an explicit seed",
-    "REPRO105": "unordered iteration can leak into numeric results",
-    "REPRO106": "dead subgraph (computed but unused in inference)",
-    "REPRO107": "duplicate subgraph (CSE opportunity)",
-}
+IR_RULES = codes_for("ir")
 
 # Codes that report *opportunities*: they appear in the report but are
 # never treated as failures by ``repro analyze`` or ``build_model``.
-OPPORTUNITY_RULES = ("REPRO106", "REPRO107")
+OPPORTUNITY_RULES = tuple(
+    code
+    for code, spec in all_codes().items()
+    if spec.component == "ir" and not spec.blocking
+)
 
 _PASSES: dict[str, Callable[[Graph], dict]] = {}
 

@@ -34,6 +34,7 @@ __all__ = [
     "analyze_registry",
     "baseline_from_reports",
     "check_baseline",
+    "serialize_finding",
 ]
 
 SCHEMA = "repro.ir/v1"
@@ -59,7 +60,7 @@ def _rel(path: str) -> str:
         return path
 
 
-def _serialize(finding: LintDiagnostic) -> dict:
+def serialize_finding(finding: LintDiagnostic) -> dict:
     return {
         "path": _rel(finding.path),
         "line": finding.line,
@@ -98,15 +99,15 @@ def analyze_graph(graph: Graph, *, determinism: bool = True) -> dict:
         },
         "memory": results["memory"],
         "cost": results["cost"],
-        "stability": {"findings": [_serialize(f) for f in results["stability"]["findings"]]},
+        "stability": {"findings": [serialize_finding(f) for f in results["stability"]["findings"]]},
         "determinism": {
             "audited_files": audit["audited_files"],
-            "findings": [_serialize(f) for f in audit["findings"]],
+            "findings": [serialize_finding(f) for f in audit["findings"]],
         },
         "opportunities": {
             "dead": {k: v for k, v in results["dead"].items() if k != "findings"},
             "duplicates": {k: v for k, v in results["cse"].items() if k != "findings"},
-            "findings": [_serialize(f) for f in opportunities],
+            "findings": [serialize_finding(f) for f in opportunities],
         },
         "failures": [str(f) for f in failures],
     }
@@ -119,10 +120,26 @@ def analyze_model(
     grid: int = 64,
     batch: int = 1,
     determinism: bool = True,
+    backward: bool = False,
 ) -> dict:
-    """Trace + analyze one registry model; returns a ``repro.ir/v1`` report."""
+    """Trace + analyze one registry model; returns a ``repro.ir/v1`` report.
+
+    With ``backward=True`` the report grows a ``"backward"`` section from
+    :mod:`repro.adjoint`: tape/adjoint-graph statistics, gradient-flow
+    findings (REPRO205–207, blocking ones join ``"failures"``) and the
+    forward+backward training-memory plan.
+    """
     graph = trace_model(model_name, preset=preset, grid=grid, batch=batch)
-    return analyze_graph(graph, determinism=determinism)
+    report = analyze_graph(graph, determinism=determinism)
+    if backward:
+        # Function-level import: repro.adjoint builds on repro.ir.
+        from repro.adjoint.report import backward_section
+
+        report["backward"] = backward_section(
+            model_name, preset=preset, grid=grid, batch=batch
+        )
+        report["failures"].extend(report["backward"]["failures"])
+    return report
 
 
 def analyze_registry(
@@ -131,6 +148,7 @@ def analyze_registry(
     preset: str = "fast",
     grids: tuple[int, ...] = (64,),
     determinism: bool = True,
+    backward: bool = False,
 ) -> dict:
     """Sweep models × grids.  The source audit runs once (it is per-repo)."""
     from repro.models.registry import MODEL_NAMES
@@ -145,6 +163,7 @@ def analyze_registry(
                     preset=preset,
                     grid=grid,
                     determinism=determinism and i == 0 and j == 0,
+                    backward=backward,
                 )
             )
     return {"schema": SCHEMA, "reports": reports}
@@ -152,29 +171,47 @@ def analyze_registry(
 
 # -- baseline diffing ----------------------------------------------------------
 
-_BASELINE_KEYS = ("total_flops", "param_count", "peak_bytes", "nodes")
-
 
 def baseline_from_reports(bundle: dict) -> dict:
-    """Reduce a report bundle to the invariant slice CI checks."""
+    """Reduce a report bundle to the invariant slice CI checks.
+
+    Reports carrying a ``"backward"`` section (``analyze --backward``)
+    contribute the backward invariants too — tape length, adjoint node
+    count and the planned training peak.
+    """
     entries = []
     for report in bundle["reports"]:
-        entries.append(
-            {
-                "model": report["model"],
-                "preset": report["preset"],
-                "grid": report["grid"],
-                "total_flops": report["cost"]["total_flops"],
-                "param_count": report["cost"]["param_count"],
-                "peak_bytes": report["memory"]["peak_bytes"],
-                "nodes": report["graph"]["nodes"],
-            }
-        )
+        entry = {
+            "model": report["model"],
+            "preset": report["preset"],
+            "grid": report["grid"],
+            "total_flops": report["cost"]["total_flops"],
+            "param_count": report["cost"]["param_count"],
+            "peak_bytes": report["memory"]["peak_bytes"],
+            "nodes": report["graph"]["nodes"],
+        }
+        if "backward" in report:
+            back = report["backward"]
+            entry.update(
+                {
+                    "tape_entries": back["tape_entries"],
+                    "adjoint_nodes": back["adjoint_nodes"],
+                    "train_peak_bytes": back["memory"]["train_peak_bytes"],
+                    "grad_bytes_total": back["memory"]["grad_bytes_total"],
+                }
+            )
+        entries.append(entry)
     return {"schema": SCHEMA, "entries": entries}
 
 
 def check_baseline(bundle: dict, baseline: dict) -> list[str]:
-    """Exact-match diff of the invariant slice; returns mismatch messages."""
+    """Exact-match diff of the invariant slice; returns mismatch messages.
+
+    The comparison is driven by the *baseline's* fields, so one checker
+    serves both the forward slice (``benchmarks/ir_baseline.json``) and
+    the forward+backward slice (``benchmarks/adjoint_baseline.json``) —
+    a baseline only pins the numbers it records.
+    """
     current = {
         (e["model"], e["preset"], e["grid"]): e
         for e in baseline_from_reports(bundle)["entries"]
@@ -192,7 +229,15 @@ def check_baseline(bundle: dict, baseline: dict) -> list[str]:
             problems.append(f"{name}: analyzed but missing from baseline "
                             "(run with --update-baseline)")
             continue
-        for field in _BASELINE_KEYS:
+        for field in expected[key]:
+            if field in ("model", "preset", "grid"):
+                continue
+            if field not in current[key]:
+                problems.append(
+                    f"{name}: baseline pins {field!r} but the report has no "
+                    "such field (re-run with --backward?)"
+                )
+                continue
             got, want = current[key][field], expected[key][field]
             if got != want:
                 delta = got - want

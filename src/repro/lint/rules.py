@@ -24,9 +24,16 @@ correct:
   consecutive layers constructed inside an ``nn.Sequential(...)`` call
   with literal channel counts.
 * ``REPRO007`` — module-level imports that are never used.
+* ``REPRO008`` — a backward closure reads a loop variable of its
+  enclosing function (stale-closure: every recorded op sees the loop's
+  final value) or mutates its own output gradient (``out.grad``) in
+  place, corrupting accumulation for sibling consumers.
 
 Diagnostics on a line containing ``# noqa: REPROxxx`` (or a bare
 ``# noqa``) are suppressed.
+
+Rule codes and messages are allocated centrally in
+:mod:`repro.diagnostics`; ``RULES`` here is the lint-component view.
 """
 
 from __future__ import annotations
@@ -35,21 +42,15 @@ import ast
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.diagnostics import codes_for
+
 __all__ = ["LintDiagnostic", "RULES", "lint_source", "lint_file", "lint_paths"]
 
 # Layer constructors whose first two positional arguments are
 # (in_channels/features, out_channels/features); used by REPRO006.
 _CHANNEL_LAYERS = {"Conv2d", "ConvTranspose2d", "Linear", "ConvBNReLU"}
 
-RULES = {
-    "REPRO001": "gradient accumulated without _unbroadcast in broadcastable op",
-    "REPRO002": "tape detached inside Module.forward",
-    "REPRO003": "graph node wired without consulting is_grad_enabled()",
-    "REPRO004": "mutable default argument",
-    "REPRO005": "in-place mutation of Tensor data in forward/backward",
-    "REPRO006": "channel mismatch between consecutive Sequential layers",
-    "REPRO007": "unused module-level import",
-}
+RULES = codes_for("lint")
 
 
 @dataclass(frozen=True)
@@ -415,6 +416,120 @@ def _check_unused_imports(tree: ast.Module, ctx: _Context, path: str) -> None:
             ctx.report(node, "REPRO007", f"imported name {name!r} is never used")
 
 
+# -- REPRO008: stale-closure capture / out.grad aliasing in backward -----------
+
+
+def _binding_names(target: ast.AST) -> set[str]:
+    """Names bound by an assignment/loop target (handles tuple unpacking)."""
+    names: set[str] = set()
+    for node in ast.walk(target):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, (ast.Store, ast.Del)):
+            names.add(node.id)
+    return names
+
+
+def _locals_of(func: ast.FunctionDef) -> set[str]:
+    """Every name the function itself binds (params, assigns, loops, withs)."""
+    bound = {a.arg for a in func.args.args + func.args.kwonlyargs}
+    bound |= {a.arg for a in (func.args.vararg, func.args.kwarg) if a is not None}
+    for node in ast.walk(func):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                bound |= _binding_names(target)
+        elif isinstance(node, ast.For):
+            bound |= _binding_names(node.target)
+        elif isinstance(node, ast.withitem) and node.optional_vars is not None:
+            bound |= _binding_names(node.optional_vars)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node is not func:
+            bound.add(node.name)
+    return bound
+
+
+def _check_backward_closure_hazards(tree: ast.AST, ctx: _Context) -> None:
+    for func in _iter_functions(tree):
+        if func.name == "backward":
+            continue
+        for backward in _nested_backward_defs(func):
+            # (a) stale-closure capture: the backward body reads a name
+            # that is a for-loop target of the *enclosing* function.  By
+            # the time any backward runs the loop has finished, so every
+            # closure sees the final iteration's value.
+            inner = {id(n) for n in ast.walk(backward)}
+            outer_loop_vars: set[str] = set()
+            for node in ast.walk(func):
+                if isinstance(node, ast.For) and id(node) not in inner:
+                    outer_loop_vars |= _binding_names(node.target)
+            backward_locals = _locals_of(backward)
+            captured = outer_loop_vars - backward_locals
+            if captured:
+                for node in ast.walk(backward):
+                    if (
+                        isinstance(node, ast.Name)
+                        and isinstance(node.ctx, ast.Load)
+                        and node.id in captured
+                    ):
+                        ctx.report(
+                            node,
+                            "REPRO008",
+                            f"backward closure captures loop variable "
+                            f"{node.id!r} of {func.name}(); all recorded "
+                            "ops will see the loop's final value — bind it "
+                            "via a default argument or a per-iteration "
+                            "helper instead",
+                        )
+            # (b) in-place mutation of the closure's own output gradient:
+            # sibling consumers accumulate into the same array, so writing
+            # through out.grad corrupts their contributions.
+            if not backward.args.args:
+                continue
+            holder = {backward.args.args[0].arg}
+            for node in ast.walk(backward):
+                if isinstance(node, (ast.Assign, ast.AugAssign)):
+                    targets = (
+                        node.targets if isinstance(node, ast.Assign) else [node.target]
+                    )
+                    for target in targets:
+                        base = target.value if isinstance(target, ast.Subscript) else target
+                        if (
+                            isinstance(base, ast.Attribute)
+                            and base.attr == "grad"
+                            and isinstance(base.value, ast.Name)
+                            and base.value.id in holder
+                        ):
+                            ctx.report(
+                                node,
+                                "REPRO008",
+                                "backward closure mutates out.grad in place; "
+                                "the output gradient is shared with every "
+                                "other consumer's accumulation — derive a "
+                                "fresh array instead",
+                            )
+                elif isinstance(node, ast.Call):
+                    mutating = isinstance(node.func, ast.Attribute) and node.func.attr in (
+                        "at",  # np.<ufunc>.at(out.grad, ...)
+                        "copyto",  # np.copyto(out.grad, ...)
+                    )
+                    hits = [
+                        a for a in node.args[:1] if _references_grad_of(a, holder)
+                    ] + [
+                        k.value
+                        for k in node.keywords
+                        if k.arg == "out" and _references_grad_of(k.value, holder)
+                    ]
+                    if (mutating and hits) or (not mutating and any(
+                        k.arg == "out" and _references_grad_of(k.value, holder)
+                        for k in node.keywords
+                    )):
+                        ctx.report(
+                            node,
+                            "REPRO008",
+                            "backward closure writes into out.grad via an "
+                            "out=/in-place numpy call; the output gradient "
+                            "is shared with every other consumer",
+                        )
+
+
 _CHECKS = (
     _check_unbroadcast,
     _check_forward_detach,
@@ -422,6 +537,7 @@ _CHECKS = (
     _check_mutable_defaults,
     _check_inplace_data,
     _check_sequential_channels,
+    _check_backward_closure_hazards,
 )
 
 

@@ -68,6 +68,25 @@ def _get_tape_hook() -> Callable | None:
     return _TAPE_HOOK
 
 
+# Gradient-accumulation instrumentation (see repro.adjoint.capture).  The
+# hook is ``hook(tensor, grad)`` and fires on every ``_accumulate`` into a
+# requires-grad tensor, *before* the addition — it observes the raw
+# adjoint each vjp closure hands over, which is what the REPRO201-203
+# gradient contract checks audit.  Same zero-cost ``is None`` pattern as
+# the tape hook.
+_ACCUM_HOOK: Callable | None = None
+
+
+def _set_accum_hook(hook: Callable | None) -> None:
+    """Install (or clear) the gradient-accumulation hook."""
+    global _ACCUM_HOOK
+    _ACCUM_HOOK = hook
+
+
+def _get_accum_hook() -> Callable | None:
+    return _ACCUM_HOOK
+
+
 def set_default_dtype(dtype) -> None:
     """Set the dtype new tensors are coerced to (float32 or float64).
 
@@ -218,6 +237,8 @@ class Tensor:
     def _accumulate(self, grad: np.ndarray) -> None:
         if not self.requires_grad:
             return
+        if _ACCUM_HOOK is not None:
+            _ACCUM_HOOK(self, grad)
         if self.grad is None:
             self.grad = np.zeros_like(self.data)
         self.grad += grad
@@ -339,6 +360,11 @@ class Tensor:
             raise TypeError("only scalar exponents are supported")
 
         def backward(out: Tensor) -> None:
+            if exponent == 0:
+                # d/dx x**0 = 0 everywhere; the generic formula below
+                # evaluates 0 * x**-1 which is 0*inf = nan at x = 0.
+                self._accumulate(np.zeros_like(self.data))
+                return
             self._accumulate(out.grad * exponent * self.data ** (exponent - 1))
 
         return Tensor._make(self.data**exponent, (self,), backward)
@@ -392,7 +418,10 @@ class Tensor:
                 grad = np.expand_dims(grad, axis)
             mask = self.data == out_data
             # Split gradient evenly among ties to keep the op well-defined.
-            counts = mask.sum(axis=axis, keepdims=True)
+            # The tie count is cast to the gradient dtype: dividing a
+            # float32 gradient by an int64 count would silently promote
+            # the adjoint to float64 (REPRO201 dtype contract).
+            counts = mask.sum(axis=axis, keepdims=True).astype(grad.dtype)
             self._accumulate(mask * grad / counts)
 
         result = out_data if keepdims else np.squeeze(out_data, axis=axis)

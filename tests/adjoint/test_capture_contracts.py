@@ -1,0 +1,174 @@
+"""Concrete tape capture and the REPRO201/203 vjp contract checks.
+
+Real ops must capture cleanly and pass the contract; synthetic
+OpRecords with planted violations must produce exactly the right
+finding, anchored at the closure's source line so ``# noqa`` works.
+"""
+
+import numpy as np
+import pytest
+
+from repro.adjoint import AccumEvent, OpRecord, capture_tape, check_contracts
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+class TestCapture:
+    def test_records_ops_in_execution_order(self):
+        x = Tensor(np.ones((2, 3)), requires_grad=True)
+        with capture_tape() as cap:
+            ((x * 2.0).relu().sum()).backward()
+        assert [r.op for r in cap.records] == ["__mul__", "relu", "sum"]
+        assert cap.ops_used() == ("__mul__", "relu", "sum")
+
+    def test_accumulations_attributed_to_their_closure(self):
+        x = Tensor(np.ones((2, 3)), requires_grad=True)
+        with capture_tape() as cap:
+            (x * 3.0).sum().backward()
+        mul = next(r for r in cap.records if r.op == "__mul__")
+        assert mul.ran
+        assert mul.observed_counts() == {id(x): 1}
+        assert mul.events[0].shape == (2, 3)
+
+    def test_seed_accumulation_not_attributed(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with capture_tape() as cap:
+            y = x * 1.0
+            y.backward(np.ones(3))  # plants the seed outside any closure
+        total = sum(len(r.events) for r in cap.records)
+        assert total == 1  # only the __mul__ vjp into x
+
+    def test_dead_branch_closure_not_ran(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with capture_tape() as cap:
+            (x * 2.0).exp()  # dropped
+            x.relu().sum().backward()
+        exp = next(r for r in cap.records if r.op == "exp")
+        assert not exp.ran and exp.events == []
+
+    def test_hooks_restored_on_exit(self):
+        from repro.nn.tensor import _get_tape_hook
+
+        before = _get_tape_hook()
+        with capture_tape():
+            pass
+        assert _get_tape_hook() is before
+
+    def test_expected_counts_count_duplicate_parent_slots(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with capture_tape() as cap:
+            (x * x).sum().backward()
+        mul = next(r for r in cap.records if r.op == "__mul__")
+        assert mul.expected_counts() == {id(x): 2}
+        assert mul.observed_counts() == {id(x): 2}
+
+
+class TestContractsOnRealOps:
+    @pytest.mark.parametrize(
+        "fn",
+        [
+            lambda x: (x * x).sum(),
+            lambda x: x.reshape(6).max(),
+            lambda x: F.softmax(x, axis=1).sum(),
+            lambda x: (x + np.ones((1, 3))).mean(),  # broadcast accumulate
+        ],
+        ids=["square", "reshape-max", "softmax", "broadcast-add"],
+    )
+    def test_clean_ops_have_no_findings(self, fn):
+        x = Tensor(np.arange(6.0).reshape(2, 3) + 1.0, requires_grad=True)
+        with capture_tape() as cap:
+            fn(x).backward()
+        assert check_contracts(cap.records) == []
+
+    def test_conv_backward_contract_clean(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.random((1, 2, 6, 6)), requires_grad=True)
+        w = Tensor(rng.random((3, 2, 3, 3)), requires_grad=True)
+        b = Tensor(rng.random(3), requires_grad=True)
+        with capture_tape() as cap:
+            F.conv2d(x, w, b, stride=2, padding=1).sum().backward()
+        assert check_contracts(cap.records) == []
+
+
+def _record(parents, events, *, ran=True, op="fake", src="") -> OpRecord:
+    return OpRecord(
+        index=0,
+        op=op,
+        src=src or f"{__file__}:1",
+        out_shape=(2, 3),
+        out_dtype=np.dtype(np.float64),
+        parents=tuple(parents),
+        ran=ran,
+        events=list(events),
+    )
+
+
+class TestPlantedViolations:
+    def test_shape_mismatch_is_repro201(self):
+        p = Tensor(np.ones((2, 3)), requires_grad=True)
+        findings = check_contracts(
+            [_record([p], [AccumEvent(id(p), (3,), np.dtype(np.float64))])]
+        )
+        assert [f.code for f in findings] == ["REPRO201"]
+        assert "shape (3,)" in findings[0].message
+
+    def test_dtype_mismatch_is_repro201(self):
+        p = Tensor(np.ones((2, 3)), requires_grad=True)
+        p.data = p.data.astype(np.float32)  # bypass default-dtype coercion
+        findings = check_contracts(
+            [_record([p], [AccumEvent(id(p), (2, 3), np.dtype(np.float64))])]
+        )
+        codes = [f.code for f in findings]
+        assert "REPRO201" in codes
+        assert any("silently cast" in f.message for f in findings)
+
+    def test_dropped_gradient_is_repro203(self):
+        p = Tensor(np.ones((2, 3)), requires_grad=True)
+        findings = check_contracts([_record([p], [])])
+        assert [f.code for f in findings] == ["REPRO203"]
+        assert "dropped" in findings[0].message
+
+    def test_double_count_is_repro203(self):
+        p = Tensor(np.ones((2, 3)), requires_grad=True)
+        event = AccumEvent(id(p), (2, 3), np.dtype(np.float64))
+        findings = check_contracts([_record([p], [event, event])])
+        assert [f.code for f in findings] == ["REPRO203"]
+        assert "double-counted" in findings[0].message
+
+    def test_non_parent_accumulation_is_repro203(self):
+        p = Tensor(np.ones((2, 3)), requires_grad=True)
+        stranger = Tensor(np.ones((2, 3)), requires_grad=True)
+        event = AccumEvent(id(stranger), (2, 3), np.dtype(np.float64))
+        good = AccumEvent(id(p), (2, 3), np.dtype(np.float64))
+        findings = check_contracts([_record([p], [good, event])])
+        assert [f.code for f in findings] == ["REPRO203"]
+        assert "not a recorded parent" in findings[0].message
+
+    def test_not_ran_records_are_skipped(self):
+        p = Tensor(np.ones((2, 3)), requires_grad=True)
+        findings = check_contracts([_record([p], [], ran=False)])
+        assert findings == []
+
+    def test_non_requires_grad_parent_expects_nothing(self):
+        p = Tensor(np.ones((2, 3)), requires_grad=False)
+        findings = check_contracts([_record([p], [])])
+        assert findings == []
+
+    def test_findings_anchor_at_closure_src(self):
+        p = Tensor(np.ones((2, 3)), requires_grad=True)
+        findings = check_contracts([_record([p], [], src="/some/file.py:42")])
+        assert findings[0].path == "/some/file.py"
+        assert findings[0].line == 42
+
+    def test_noqa_suppresses(self, tmp_path):
+        mod = tmp_path / "vjp.py"
+        mod.write_text("def backward(out):  # noqa: REPRO203\n    pass\n")
+        p = Tensor(np.ones((2, 3)), requires_grad=True)
+        findings = check_contracts([_record([p], [], src=f"{mod}:1")])
+        assert findings == []
+
+    def test_duplicate_defects_deduplicated(self):
+        p = Tensor(np.ones((2, 3)), requires_grad=True)
+        bad = _record([p], [AccumEvent(id(p), (3,), np.dtype(np.float64))])
+        findings = check_contracts([bad, bad])
+        assert len([f for f in findings if f.code == "REPRO201"]) == 1

@@ -1,0 +1,187 @@
+"""Gradient-flow interval analysis (REPRO205–207).
+
+Each pathology is a hand-built module where the defect is *provable*
+from the traced value intervals; healthy registry models must produce
+zero findings (the analysis is conservative: unbounded parameters keep
+contraction gains at (0, inf), so nothing fires spuriously).
+"""
+
+import numpy as np
+import pytest
+
+from repro.adjoint import (
+    EXPLODE_BOUND,
+    VANISH_BOUND,
+    build_adjoint_graph,
+    flow_analysis,
+)
+from repro.ir.trace import trace_tape
+from repro.models import build_model
+from repro.models.registry import MODEL_NAMES
+from repro.nn import Conv2d, Linear
+from repro.nn.module import Module, Parameter
+
+
+class DeadReLU(Module):
+    def __init__(self):
+        super().__init__()
+        self.conv = Conv2d(2, 2, 3, padding=1)
+
+    def forward(self, x):
+        return self.conv((x - 10.0).relu())  # input in (0,1): never positive
+
+
+class SaturatedSigmoid(Module):
+    def __init__(self):
+        super().__init__()
+        self.conv = Conv2d(2, 2, 3, padding=1)
+
+    def forward(self, x):
+        return self.conv((x + 100.0).sigmoid())
+
+
+class SaturatedTanh(Module):
+    def forward(self, x):
+        return (x + 50.0).tanh()
+
+
+class VanishingParams(Module):
+    def __init__(self):
+        super().__init__()
+        self.conv = Conv2d(2, 2, 3, padding=1)
+
+    def forward(self, x):
+        return self.conv(x) * 0.0  # every path to conv params is killed
+
+
+class ExplodingParam(Module):
+    def __init__(self):
+        super().__init__()
+        self.gain = Parameter(np.ones((1, 2, 4, 4)))
+
+    def forward(self, x):
+        return (x * self.gain) * 1e30
+
+
+class OrphanModule(Module):
+    def __init__(self):
+        super().__init__()
+        self.used = Conv2d(2, 2, 3, padding=1)
+        self.orphan = Linear(4, 4)  # never called
+
+    def forward(self, x):
+        return self.used(x)
+
+
+class DetachedBranch(Module):
+    def __init__(self):
+        super().__init__()
+        self.pre = Conv2d(2, 2, 3, padding=1)
+        self.post = Conv2d(2, 2, 3, padding=1)
+
+    def forward(self, x):
+        return self.post(self.pre(x).detach())  # pre's grads cannot flow
+
+
+def _flow(module, vrange=(0.0, 1.0), requires_grad=True):
+    graph, tape = trace_tape(
+        module,
+        (1, 2, 4, 4),
+        input_vrange=vrange,
+        input_requires_grad=requires_grad,
+    )
+    return flow_analysis(graph, tape)
+
+
+class TestPathologies:
+    def test_dead_relu_is_repro206(self):
+        findings = _flow(DeadReLU())["findings"]
+        assert [f.code for f in findings] == ["REPRO206"]
+        assert "dead ReLU" in findings[0].message
+        assert "(-10, -9)" in findings[0].message
+
+    def test_saturated_sigmoid_is_repro206(self):
+        findings = _flow(SaturatedSigmoid())["findings"]
+        assert [f.code for f in findings] == ["REPRO206"]
+        assert "saturated sigmoid" in findings[0].message
+
+    def test_saturated_tanh_is_repro206(self):
+        findings = _flow(SaturatedTanh())["findings"]
+        assert [f.code for f in findings] == ["REPRO206"]
+        assert "saturated tanh" in findings[0].message
+
+    def test_multiplication_by_zero_vanishes_params(self):
+        result = _flow(VanishingParams(), requires_grad=False)
+        codes = [f.code for f in result["findings"]]
+        assert codes == ["REPRO205", "REPRO205"]  # weight and bias
+        assert all("vanishes" in f.message for f in result["findings"])
+
+    def test_elementwise_blowup_explodes_param(self):
+        result = _flow(ExplodingParam(), vrange=(2.0, 3.0))
+        findings = [f for f in result["findings"] if f.code == "REPRO205"]
+        assert len(findings) == 1
+        assert "explodes" in findings[0].message
+
+    def test_orphan_module_is_repro207(self):
+        result = _flow(OrphanModule(), requires_grad=False)
+        codes = [f.code for f in result["findings"]]
+        assert codes == ["REPRO207", "REPRO207"]
+        assert result["params_connected"] == result["params_total"] - 2
+
+    def test_detached_branch_is_repro207(self):
+        result = _flow(DetachedBranch(), requires_grad=False)
+        disconnected = {
+            f.message.split("'")[1]
+            for f in result["findings"]
+            if f.code == "REPRO207"
+        }
+        assert disconnected == {
+            "DetachedBranch.pre.weight",
+            "DetachedBranch.pre.bias",
+        }
+
+    def test_findings_name_the_parameter(self):
+        findings = _flow(VanishingParams(), requires_grad=False)["findings"]
+        assert any("conv.weight" in f.message for f in findings)
+
+
+class TestSoundness:
+    """The conservative analysis must stay silent on healthy graphs."""
+
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_registry_models_clean(self, name):
+        grid = 32
+        model = build_model(name, "tiny", grid=grid, seed=0)
+        graph, tape = trace_tape(
+            model, (1, 6, grid, grid), input_vrange=(0.0, 1.0), name=name
+        )
+        result = flow_analysis(graph, tape)
+        assert result["findings"] == []
+        assert result["params_connected"] == result["params_total"]
+
+    def test_healthy_relu_chain_clean(self):
+        class Healthy(Module):
+            def __init__(self):
+                super().__init__()
+                self.c1 = Conv2d(2, 4, 3, padding=1)
+                self.c2 = Conv2d(4, 2, 3, padding=1)
+
+            def forward(self, x):
+                return self.c2(self.c1(x).relu())
+
+        assert _flow(Healthy())["findings"] == []
+
+    def test_bounds_are_extreme_by_design(self):
+        # The thresholds only catch *provable* pathologies, not merely
+        # small/large gradients.
+        assert VANISH_BOUND <= 1e-20
+        assert EXPLODE_BOUND >= 1e20
+
+    def test_precomputed_adjoint_graph_accepted(self):
+        model = build_model("unet", "tiny", grid=32, seed=0)
+        graph, tape = trace_tape(
+            model, (1, 6, 32, 32), input_vrange=(0.0, 1.0)
+        )
+        adjoint = build_adjoint_graph(graph, tape)
+        result = flow_analysis(graph, tape, adjoint)
+        assert result["adjoint_nodes"] == len(adjoint.nodes)

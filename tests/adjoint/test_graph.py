@@ -1,0 +1,123 @@
+"""Adjoint SSA graph construction: reversal must mirror the runtime.
+
+Checked against hand-built modules whose backward structure is known
+exactly (fan-out needs an ``add``, dead branches produce nothing) and
+against the registry models, where the adjoint graph must account for
+every vjp the real backward executes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.adjoint import build_adjoint_graph, capture_tape
+from repro.ir.trace import trace_tape
+from repro.models import build_model
+from repro.models.registry import MODEL_NAMES
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+
+class FanOut(Module):
+    """One value consumed twice: the runtime sums two contributions."""
+
+    def forward(self, x):
+        y = x.relu()
+        return y * y
+
+
+class DeadBranch(Module):
+    """An op whose output is discarded: its closure never runs."""
+
+    def forward(self, x):
+        (x * 3.0).exp()  # recorded on the tape, but unused
+        return x.relu()
+
+
+def _trace(module, shape=(2, 3)):
+    return trace_tape(
+        module, shape, input_vrange=(-1.0, 1.0), input_requires_grad=True
+    )
+
+
+class TestStructure:
+    def test_seed_per_output(self):
+        graph, tape = _trace(FanOut())
+        adj = build_adjoint_graph(graph, tape)
+        assert adj.counts()["seed"] == len(graph.outputs)
+
+    def test_fan_out_produces_add(self):
+        graph, tape = _trace(FanOut())
+        adj = build_adjoint_graph(graph, tape)
+        # y feeds both __mul__ slots -> two vjps folded by one add.
+        assert adj.counts()["add"] == 1
+        add = next(n for n in adj.nodes if n.kind == "add")
+        assert len(add.inputs) == 2
+        vjp_primals = [adj.node(i).primal for i in add.inputs]
+        assert vjp_primals[0] == vjp_primals[1] == add.primal
+
+    def test_dead_branch_emits_nothing(self):
+        graph, tape = _trace(DeadBranch())
+        adj = build_adjoint_graph(graph, tape)
+        dead_ops = {e.op for e in tape} - {n.op for n in adj.nodes if n.op}
+        assert "exp" in dead_ops and "__mul__" in dead_ops
+        # The relu path still flows back to the input.
+        (input_id,) = graph.inputs
+        assert input_id in adj.grad_of
+
+    def test_grad_of_points_at_final_accumulation(self):
+        graph, tape = _trace(FanOut())
+        adj = build_adjoint_graph(graph, tape)
+        relu_out = next(e.out for e in tape if e.op == "relu")
+        final = adj.node(adj.grad_of[relu_out])
+        assert final.kind == "add"
+
+    def test_adjoint_shape_dtype_match_primal(self):
+        graph, tape = _trace(FanOut())
+        adj = build_adjoint_graph(graph, tape)
+        for node in adj.nodes:
+            primal = graph.nodes[node.primal]
+            assert node.shape == primal.shape
+            assert np.dtype(node.dtype) == np.dtype(primal.dtype)
+
+    def test_vjp_nodes_carry_closure_src(self):
+        graph, tape = _trace(FanOut())
+        adj = build_adjoint_graph(graph, tape)
+        for node in adj.nodes:
+            if node.kind == "vjp":
+                assert node.src and ":" in node.src
+
+    def test_pretty_renders(self):
+        graph, tape = _trace(FanOut())
+        adj = build_adjoint_graph(graph, tape)
+        text = adj.pretty()
+        assert "seed" in text and "vjp" in text
+
+
+@pytest.mark.parametrize("name", MODEL_NAMES)
+class TestAgainstRuntime:
+    def test_vjp_count_matches_executed_accumulations(self, name):
+        """Each vjp node = one accumulation the real backward performs."""
+        grid = 32
+        model = build_model(name, "tiny", grid=grid, seed=0)
+        model.eval()
+        graph, tape = trace_tape(
+            model, (1, 6, grid, grid), input_vrange=(0.0, 1.0), name=name
+        )
+        adj = build_adjoint_graph(graph, tape)
+
+        with capture_tape() as cap:
+            out = model(Tensor(np.random.default_rng(0).random((1, 6, grid, grid))))
+            out.backward(np.ones(out.shape))
+        executed = sum(len(r.events) for r in cap.records)
+        assert adj.counts().get("vjp", 0) == executed
+
+    def test_every_param_grad_resolves(self, name):
+        grid = 32
+        model = build_model(name, "tiny", grid=grid, seed=0)
+        graph, tape = trace_tape(
+            model, (1, 6, grid, grid), input_vrange=(0.0, 1.0), name=name
+        )
+        adj = build_adjoint_graph(graph, tape)
+        for node in graph:
+            if node.kind == "param":
+                assert node.id in adj.grad_of, node.name

@@ -1,0 +1,138 @@
+"""Audit reports, ``analyze --backward`` integration, baseline diffing."""
+
+import copy
+import json
+
+import pytest
+
+from repro.adjoint import SCHEMA, audit_model, audit_registry
+from repro.ir import (
+    analyze_model,
+    baseline_from_reports,
+    check_baseline,
+)
+
+
+@pytest.fixture(scope="module")
+def audit():
+    return audit_model("unet", preset="tiny", grid=32)
+
+
+class TestAuditModel:
+    def test_schema_and_shape(self, audit):
+        assert audit["schema"] == SCHEMA
+        for key in ("contracts", "gradcheck", "backward", "failures"):
+            assert key in audit
+        assert audit["model"] == "unet"
+
+    def test_json_serializable(self, audit):
+        json.dumps(audit)
+
+    def test_contracts_covered_every_closure(self, audit):
+        assert audit["contracts"]["records"] > 0
+        assert audit["contracts"]["ran"] == audit["contracts"]["records"]
+        assert audit["contracts"]["findings"] == []
+
+    def test_gradcheck_scoped_to_recorded_ops(self, audit):
+        gc = audit["gradcheck"]
+        assert gc["cases"] > 0 and gc["failed"] == 0
+        assert set(gc["checked_ops"]) <= set(audit["contracts"]["ops"])
+
+    def test_backward_section_embedded(self, audit):
+        bwd = audit["backward"]
+        assert bwd["tape_entries"] > 0
+        assert bwd["adjoint_nodes"] > bwd["tape_entries"]
+        assert bwd["params_connected"] == bwd["params_total"]
+        assert bwd["memory"]["train_peak_bytes"] > 0
+        assert bwd["findings"] == []
+
+    def test_registry_model_audit_is_clean(self, audit):
+        assert audit["failures"] == []
+
+    def test_audit_registry_subset(self):
+        bundle = audit_registry(("pgnn",), preset="tiny", grid=32)
+        assert bundle["schema"] == SCHEMA
+        assert [r["model"] for r in bundle["reports"]] == ["pgnn"]
+
+
+class TestAnalyzeBackward:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return analyze_model(
+            "unet", preset="tiny", grid=64, determinism=False, backward=True
+        )
+
+    def test_backward_section_present(self, report):
+        assert "backward" in report
+        assert report["backward"]["tape_entries"] > 0
+        json.dumps(report)
+
+    def test_forward_only_report_has_no_backward(self):
+        report = analyze_model("unet", preset="tiny", grid=64, determinism=False)
+        assert "backward" not in report
+
+    def test_baseline_pins_backward_fields(self, report):
+        baseline = baseline_from_reports({"reports": [report]})
+        entry = baseline["entries"][0]
+        for field in ("tape_entries", "adjoint_nodes", "train_peak_bytes",
+                      "grad_bytes_total"):
+            assert field in entry
+
+    def test_baseline_roundtrip_clean(self, report):
+        bundle = {"reports": [report]}
+        baseline = baseline_from_reports(bundle)
+        assert check_baseline(bundle, baseline) == []
+
+    def test_baseline_flags_backward_drift(self, report):
+        bundle = {"reports": [report]}
+        baseline = copy.deepcopy(baseline_from_reports(bundle))
+        baseline["entries"][0]["train_peak_bytes"] += 1
+        problems = check_baseline(bundle, baseline)
+        assert len(problems) == 1
+        assert "train_peak_bytes" in problems[0]
+
+    def test_baseline_flags_missing_backward_section(self, report):
+        baseline = baseline_from_reports({"reports": [report]})
+        forward_only = analyze_model(
+            "unet", preset="tiny", grid=64, determinism=False
+        )
+        problems = check_baseline({"reports": [forward_only]}, baseline)
+        assert any("--backward" in p for p in problems)
+
+
+class TestCLI:
+    def test_gradcheck_model(self, capsys):
+        from repro.cli import main as cli_main
+
+        rc = cli_main(["gradcheck", "unet", "--preset", "tiny", "--grid", "32"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "gradcheck OK" in out
+        assert "params connected" in out
+
+    def test_gradcheck_ops_mode(self, capsys):
+        from repro.cli import main as cli_main
+
+        rc = cli_main(["gradcheck", "ops"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "gradcheck OK" in out
+
+    def test_gradcheck_json(self, capsys):
+        from repro.cli import main as cli_main
+
+        rc = cli_main(["gradcheck", "unet", "--preset", "tiny", "--grid", "32",
+                       "--json"])
+        assert rc == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert parsed["schema"] == SCHEMA
+
+    def test_analyze_backward_flag(self, capsys):
+        from repro.cli import main as cli_main
+
+        rc = cli_main(["analyze", "unet", "--preset", "tiny", "--grid", "64",
+                       "--no-determinism", "--backward"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "backward:" in out
+        assert "training memory:" in out

@@ -25,8 +25,13 @@ class TestRepoClean:
     def test_rule_table_complete(self):
         assert set(RULES) == {
             "REPRO001", "REPRO002", "REPRO003", "REPRO004",
-            "REPRO005", "REPRO006", "REPRO007",
+            "REPRO005", "REPRO006", "REPRO007", "REPRO008",
         }
+
+    def test_rule_table_sourced_from_central_registry(self):
+        from repro.diagnostics import codes_for
+
+        assert RULES == codes_for("lint")
 
 
 class TestUnbroadcast:
@@ -221,6 +226,110 @@ class TestUnusedImports:
 
     def test_dunder_all_counts_as_use(self):
         source = "from .tensor import Tensor\n\n__all__ = ['Tensor']\n"
+        assert _codes(source) == []
+
+
+class TestBackwardClosureHazards:
+    """REPRO008: stale loop-variable capture / out.grad aliasing."""
+
+    STALE = """
+        def stack(tensors):
+            for i, tensor in enumerate(tensors):
+                pass
+
+            def backward(out):
+                tensor._accumulate(out.grad[i])
+            return backward
+    """
+
+    def test_loop_capture_fires(self):
+        codes = _codes(self.STALE)
+        # Both `tensor` and `i` are captured loop variables.
+        assert codes == ["REPRO008", "REPRO008"]
+
+    def test_loop_inside_backward_clean(self):
+        # concatenate-style backward: the loop lives *inside* the
+        # closure, so every run re-binds its own iteration variables.
+        source = """
+            def concatenate(tensors, offsets):
+                def backward(out):
+                    for tensor, start in zip(tensors, offsets):
+                        tensor._accumulate(out.grad[start:])
+                return backward
+        """
+        assert _codes(source) == []
+
+    def test_default_arg_binding_clean(self):
+        # The canonical fix: freeze the loop value via a default arg.
+        source = """
+            def stack(tensors):
+                for i, tensor in enumerate(tensors):
+                    def backward(out, i=i, tensor=tensor):
+                        tensor._accumulate(out.grad[i])
+        """
+        assert _codes(source) == []
+
+    def test_out_grad_augassign_fires(self):
+        source = """
+            def relu(x):
+                def backward(out):
+                    out.grad *= 0.5
+                    x._accumulate(out.grad)
+        """
+        assert _codes(source) == ["REPRO008"]
+
+    def test_out_grad_subscript_assign_fires(self):
+        source = """
+            def clamp(x):
+                def backward(out):
+                    out.grad[mask] = 0.0
+                    x._accumulate(out.grad)
+        """
+        assert _codes(source) == ["REPRO008"]
+
+    def test_out_grad_ufunc_at_fires(self):
+        source = """
+            def gather(x, index):
+                def backward(out):
+                    np.add.at(out.grad, index, 1.0)
+        """
+        assert _codes(source) == ["REPRO008"]
+
+    def test_out_grad_out_kwarg_fires(self):
+        source = """
+            def scale(x):
+                def backward(out):
+                    np.multiply(out.grad, 2.0, out=out.grad)
+        """
+        assert _codes(source) == ["REPRO008"]
+
+    def test_reading_out_grad_clean(self):
+        source = """
+            def mul(self, other):
+                def backward(out):
+                    grad = out.grad * other.data
+                    self._accumulate(grad)
+        """
+        assert _codes(source) == []
+
+    def test_fresh_local_grad_mutation_clean(self):
+        # __getitem__-style: np.add.at into a *fresh* zeros buffer.
+        source = """
+            def getitem(self, index):
+                def backward(out):
+                    grad = np.zeros(self.shape)
+                    np.add.at(grad, index, out.grad)
+                    self._accumulate(grad)
+        """
+        assert _codes(source) == []
+
+    def test_noqa_suppresses(self):
+        source = """
+            def scale(x):
+                def backward(out):
+                    out.grad *= 0.5  # noqa: REPRO008
+                    x._accumulate(out.grad)
+        """
         assert _codes(source) == []
 
 

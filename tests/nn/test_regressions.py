@@ -153,3 +153,55 @@ class TestWeightedCrossEntropyZeroNorm:
         bumped[idx] -= 2 * eps
         lo = CrossEntropyLoss2d(3, weight=weight)(Tensor(bumped), targets).data
         assert logits.grad[idx] == pytest.approx((hi - lo) / (2 * eps), abs=1e-5)
+
+
+class TestPowZeroExponent:
+    """``x ** 0`` evaluated its gradient with the generic formula
+    ``0 * x**-1``, which is ``0 * inf = nan`` wherever ``x == 0``
+    (REPRO204, found by the repro.adjoint gradcheck harness); the
+    exponent-zero case now short-circuits to an exact zero gradient."""
+
+    def test_zero_input_gradient_is_zero_not_nan(self):
+        x = Tensor(np.array([0.0, 1.0, -2.0]), requires_grad=True)
+        with np.errstate(invalid="raise", divide="raise"):
+            (x**0).sum().backward()
+        np.testing.assert_array_equal(x.grad, np.zeros(3))
+
+    def test_composite_loss_stays_finite(self):
+        x = Tensor(np.zeros((2, 2)), requires_grad=True)
+        ((x**0) * 3.0 + x).sum().backward()
+        assert np.all(np.isfinite(x.grad))
+        np.testing.assert_array_equal(x.grad, np.ones((2, 2)))
+
+    def test_nonzero_exponents_unchanged(self):
+        x = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True)
+        (x**3).sum().backward()
+        eps = 1e-6
+        numeric = (((x.data + eps) ** 3) - ((x.data - eps) ** 3)) / (2 * eps)
+        np.testing.assert_allclose(x.grad, numeric, atol=1e-5)
+
+
+class TestMaxGradDtypePromotion:
+    """``Tensor.max`` divided the incoming gradient by an int64 tie
+    count, silently promoting a float32 adjoint to float64 (REPRO201,
+    found by the vjp dtype contract check); the count is now cast to
+    the gradient dtype first."""
+
+    def _float32(self, data):
+        t = Tensor(np.asarray(data), requires_grad=True)
+        t.data = t.data.astype(np.float32)
+        return t
+
+    def test_float32_gradient_stays_float32(self):
+        x = self._float32([[1.0, 2.0], [2.0, 0.0]])
+        out = x.max(axis=1)
+        out.backward(np.ones(2, dtype=np.float32))
+        assert x.grad.dtype == np.float32
+
+    def test_tie_splitting_values_unchanged(self):
+        x = Tensor(np.array([[1.0, 3.0, 3.0], [4.0, 2.0, 4.0]]),
+                   requires_grad=True)
+        x.max(axis=1).sum().backward()
+        np.testing.assert_allclose(
+            x.grad, [[0.0, 0.5, 0.5], [0.5, 0.0, 0.5]]
+        )

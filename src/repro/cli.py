@@ -15,6 +15,11 @@ Subcommands mirror the library's main workflows:
 * ``gradcheck`` — gradient audit: vjp contract capture, randomized
   central-difference derivative checks, gradient-flow analysis
   (see repro.adjoint).
+* ``perfcheck`` — static performance analysis: dtype-flow / copy-alias /
+  fusion passes over the traced graphs plus AST audits of the flow
+  code, with measured-vs-predicted validation (see repro.perf).
+* ``check``  — the unified gate: lint + analyze + gradcheck + perfcheck
+  in one command with one combined JSON report (``repro.check/v1``).
 """
 
 from __future__ import annotations
@@ -153,6 +158,51 @@ def build_parser() -> argparse.ArgumentParser:
     gradcheck.add_argument("--seed", type=int, default=0)
     gradcheck.add_argument("--json", action="store_true",
                            help="print the full repro.adjoint/v1 report bundle")
+
+    perfcheck = sub.add_parser(
+        "perfcheck",
+        help="static performance analysis: dtype/copy/fusion passes + "
+        "measured validation (see repro.perf)",
+    )
+    perfcheck.add_argument(
+        "target", choices=("unet", "pgnn", "pros2", "ours", "flow", "all"),
+        help="registry model to trace, 'flow' for the AST audit of the "
+        "pipeline code, or 'all' for models + flow",
+    )
+    perfcheck.add_argument("--preset", default="fast",
+                           choices=("tiny", "fast", "paper"))
+    perfcheck.add_argument("--grid", type=int, default=64)
+    perfcheck.add_argument("--json", action="store_true",
+                           help="print the full repro.perf/v1 report bundle")
+    perfcheck.add_argument("--top", type=int, default=5,
+                           help="findings shown per report (default 5)")
+    perfcheck.add_argument(
+        "--no-validate", action="store_true",
+        help="skip the measured-vs-predicted validation harness",
+    )
+    perfcheck.add_argument(
+        "--check-baseline", metavar="PATH", default=None,
+        help="diff the deterministic finding counts/bytes against a "
+        "baseline JSON and fail on any drift",
+    )
+    perfcheck.add_argument(
+        "--update-baseline", metavar="PATH", default=None,
+        help="write the deterministic slice of this run to a baseline JSON",
+    )
+
+    check = sub.add_parser(
+        "check",
+        help="unified gate: lint + analyze + gradcheck + perfcheck",
+    )
+    check.add_argument("--preset", default="fast",
+                       choices=("tiny", "fast", "paper"))
+    check.add_argument("--grid", type=int, default=64)
+    check.add_argument("--json", action="store_true",
+                       help="print one combined repro.check/v1 report")
+    check.add_argument(
+        "--no-validate", action="store_true",
+        help="skip perfcheck's measured validation harness",
+    )
 
     return parser
 
@@ -445,6 +495,197 @@ def _cmd_gradcheck(args) -> int:
     return 0
 
 
+def _print_perf_report(report: dict, top: int) -> None:
+    if report["target"] == "flow":
+        print(f"flow ({report['audited_files']} files audited)")
+    else:
+        dflow = report["dtype_flow"]
+        alias = report["aliasing"]
+        fus = report["fusion"]
+        print(f"{report['model']} (preset={report['preset']}, "
+              f"grid={report['grid']}, batch={report['batch']}, "
+              f"dtype={report['dtype']})")
+        print(f"  dtype flow: {dflow['widened_ops']} widened ops "
+              f"({_mb(dflow['widened_bytes'])}), "
+              f"{dflow['cast_churn']} cast churn")
+        print(f"  aliasing: {alias['redundant_copies']}/"
+              f"{alias['redundant_copies'] + alias['required_copies']} "
+              f"copies redundant ({_mb(alias['redundant_copy_bytes'])}), "
+              f"{alias['broadcast_blowups']} broadcast blowups")
+        print(f"  fusion: {fus['unfused_chains']} unfused chains "
+              f"({_mb(fus['transient_bytes'])} transient, "
+              f"save ~{_mb(fus['predicted_saving_bytes'])}), "
+              f"{_mb(fus['workspace_bytes'])} contraction workspace")
+    validation = report["validation"]
+    if validation["validated"]:
+        for result in validation["results"]:
+            status = "ok" if result["ok"] else "FAILED"
+            claim = (
+                f"{_mb(result['predicted_bytes'])} predicted vs "
+                f"{_mb(result['measured_bytes'])} measured "
+                f"(err {result['rel_err']:.1%})"
+                if result["predicted_bytes"]
+                else f"speedup {result['speedup']:.1f}x"
+            )
+            print(f"  validated {result['kind']}: {claim} [{status}]")
+    counts = ", ".join(f"{c}x{n}" for c, n in report["by_code"].items())
+    print(f"  findings: {counts or 'none'}")
+    for finding in report["findings"][:top]:
+        print(f"    {finding['path']}:{finding['line']}: "
+              f"{finding['code']} {finding['message']}")
+    shown = min(top, len(report["findings"]))
+    if len(report["findings"]) > shown:
+        print(f"    ... {len(report['findings']) - shown} more "
+              "(--json for all)")
+    for failure in report["failures"]:
+        print(f"  FAIL: {failure}")
+
+
+def _cmd_perfcheck(args) -> int:
+    import json
+
+    from .perf import (
+        SCHEMA as PERF_SCHEMA,
+        baseline_from_bundle,
+        check_perf_baseline,
+        perfcheck_all,
+        perfcheck_flow,
+        perfcheck_model,
+    )
+
+    validate = not args.no_validate
+    if args.target == "all":
+        bundle = perfcheck_all(
+            preset=args.preset, grid=args.grid, validate=validate
+        )
+    elif args.target == "flow":
+        flow = perfcheck_flow(validate=validate)
+        bundle = {
+            "schema": PERF_SCHEMA,
+            "reports": [],
+            "flow": flow,
+            "distinct_codes": sorted(flow["by_code"]),
+            "failures": list(flow["failures"]),
+        }
+    else:
+        report = perfcheck_model(
+            args.target, preset=args.preset, grid=args.grid, validate=validate
+        )
+        bundle = {
+            "schema": PERF_SCHEMA,
+            "reports": [report],
+            "flow": None,
+            "distinct_codes": sorted(report["by_code"]),
+            "failures": list(report["failures"]),
+        }
+
+    if args.json:
+        print(json.dumps(bundle, indent=2))
+    else:
+        for report in bundle["reports"]:
+            _print_perf_report(report, args.top)
+            print()
+        if bundle["flow"] is not None:
+            _print_perf_report(bundle["flow"], args.top)
+
+    status = 0
+    if bundle["failures"]:
+        print(f"error: {len(bundle['failures'])} blocking finding(s)",
+              file=sys.stderr)
+        status = 1
+
+    if args.update_baseline:
+        with open(args.update_baseline, "w") as fh:
+            json.dump(baseline_from_bundle(bundle), fh, indent=2)
+            fh.write("\n")
+        print(f"baseline written: {args.update_baseline}")
+    if args.check_baseline:
+        with open(args.check_baseline) as fh:
+            problems = check_perf_baseline(bundle, json.load(fh))
+        if problems:
+            for problem in problems:
+                print(f"baseline drift: {problem}", file=sys.stderr)
+            status = 1
+        else:
+            print(f"baseline OK ({args.check_baseline})")
+    return status
+
+
+def _cmd_check(args) -> int:
+    """The unified gate: lint + analyze + gradcheck + perfcheck."""
+    import json
+    from pathlib import Path
+
+    from .adjoint import audit_registry
+    from .ir import analyze_registry
+    from .ir.report import serialize_finding
+    from .lint.rules import lint_paths
+    from .lint.shapes import ShapeError, validate_registry_models
+    from .perf import perfcheck_all
+
+    failures: list[str] = []
+
+    # 1. AST lint + static shape validation of the registry models.
+    lint_findings = lint_paths([Path(__file__).resolve().parent])
+    failures.extend(str(f) for f in lint_findings)
+    shape_error = None
+    try:
+        validate_registry_models(grids=(args.grid,), preset=args.preset)
+    except ShapeError as exc:
+        shape_error = str(exc)
+        failures.append(f"shape validation: {exc}")
+
+    # 2. Forward-IR analysis, 3. gradient audit, 4. perf analysis.
+    analyze_bundle = analyze_registry(preset=args.preset, grids=(args.grid,))
+    failures.extend(
+        f for r in analyze_bundle["reports"] for f in r["failures"]
+    )
+    gradcheck_bundle = audit_registry(preset=args.preset, grid=args.grid)
+    failures.extend(
+        f for r in gradcheck_bundle["reports"] for f in r["failures"]
+    )
+    perf_bundle = perfcheck_all(
+        preset=args.preset, grid=args.grid, validate=not args.no_validate
+    )
+    failures.extend(perf_bundle["failures"])
+
+    combined = {
+        "schema": "repro.check/v1",
+        "preset": args.preset,
+        "grid": args.grid,
+        "lint": {
+            "findings": [serialize_finding(f) for f in lint_findings],
+            "shape_error": shape_error,
+        },
+        "analyze": analyze_bundle,
+        "gradcheck": gradcheck_bundle,
+        "perfcheck": perf_bundle,
+        "failures": failures,
+    }
+    if args.json:
+        print(json.dumps(combined, indent=2))
+    else:
+        sections = (
+            ("lint", len(lint_findings) + (1 if shape_error else 0)),
+            ("analyze", sum(len(r["failures"])
+                            for r in analyze_bundle["reports"])),
+            ("gradcheck", sum(len(r["failures"])
+                              for r in gradcheck_bundle["reports"])),
+            ("perfcheck", len(perf_bundle["failures"])),
+        )
+        for name, count in sections:
+            print(f"{name}: {'OK' if not count else f'{count} failure(s)'}")
+        for failure in failures:
+            print(f"  FAIL: {failure}")
+    if failures:
+        print(f"error: {len(failures)} blocking finding(s) across the gate",
+              file=sys.stderr)
+        return 1
+    if not args.json:
+        print("check OK")
+    return 0
+
+
 _COMMANDS = {
     "stats": _cmd_stats,
     "place": _cmd_place,
@@ -455,6 +696,8 @@ _COMMANDS = {
     "lint": _cmd_lint,
     "analyze": _cmd_analyze,
     "gradcheck": _cmd_gradcheck,
+    "perfcheck": _cmd_perfcheck,
+    "check": _cmd_check,
 }
 
 

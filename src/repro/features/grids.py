@@ -47,6 +47,20 @@ FEATURE_NAMES = (
 )
 
 
+def _scatter_add(grid: int, x: np.ndarray, y: np.ndarray, values) -> np.ndarray:
+    """Vectorized add-scatter onto a ``grid × grid`` map, float32 output.
+
+    ``np.bincount`` over flattened bin indices replaces ``np.add.at``:
+    the buffered one-pass accumulation is several times faster than the
+    unbuffered per-element ``ufunc.at`` path (REPRO312; measured in
+    repro.perf.validate).  bincount accumulates in float64 — welcome
+    extra headroom — and the result is narrowed once at the end.
+    """
+    flat = np.bincount(x * grid + y, weights=values, minlength=grid * grid)
+    # ``weights=None`` counts occurrences (ints); both paths narrow here.
+    return flat.reshape(grid, grid).astype(np.float32)
+
+
 def _rect_accumulate(
     grid: int,
     x0: np.ndarray,
@@ -56,14 +70,19 @@ def _rect_accumulate(
     values: np.ndarray,
 ) -> np.ndarray:
     """Add ``values[k]`` to every bin of rectangle ``[x0..x1] × [y0..y1]``."""
-    diff = np.zeros((grid + 1, grid + 1))
-    np.add.at(diff, (x0, y0), values)
-    np.add.at(diff, (x1 + 1, y0), -values)
-    np.add.at(diff, (x0, y1 + 1), -values)
-    np.add.at(diff, (x1 + 1, y1 + 1), values)
+    size = grid + 1
+    corners_x = np.concatenate([x0, x1 + 1, x0, x1 + 1])
+    corners_y = np.concatenate([y0, y0, y1 + 1, y1 + 1])
+    signed = np.concatenate([values, -values, -values, values])
+    # bincount accumulates in float64 — the headroom keeps the cumsum
+    # cancellation exact; only the returned map narrows to float32.
+    flat = np.bincount(
+        corners_x * size + corners_y, weights=signed, minlength=size * size
+    )
+    diff = flat.reshape(size, size)
     out = diff.cumsum(axis=0).cumsum(axis=1)[:grid, :grid]
     # Cumulative-sum cancellation can leave ~1e-16 negatives; clamp them.
-    return np.maximum(out, 0.0)
+    return np.maximum(out, 0.0).astype(np.float32)
 
 
 def resize_map(data: np.ndarray, out_w: int, out_h: int) -> np.ndarray:
@@ -71,14 +90,17 @@ def resize_map(data: np.ndarray, out_w: int, out_h: int) -> np.ndarray:
     in_w, in_h = data.shape
     if (in_w, in_h) == (out_w, out_h):
         return data.copy()
+    # Interpolation weights follow the map's dtype: float64 weights on a
+    # float32 map would silently widen every product below (REPRO301).
+    dt = data.dtype if data.dtype.kind == "f" else np.dtype(np.float32)
     x = (np.arange(out_w) + 0.5) * in_w / out_w - 0.5
     y = (np.arange(out_h) + 0.5) * in_h / out_h - 0.5
     x = np.clip(x, 0, in_w - 1)
     y = np.clip(y, 0, in_h - 1)
     x0 = np.clip(x.astype(np.int64), 0, in_w - 2) if in_w > 1 else np.zeros(out_w, np.int64)
     y0 = np.clip(y.astype(np.int64), 0, in_h - 2) if in_h > 1 else np.zeros(out_h, np.int64)
-    fx = (x - x0) if in_w > 1 else np.zeros(out_w)
-    fy = (y - y0) if in_h > 1 else np.zeros(out_h)
+    fx = (x - x0).astype(dt) if in_w > 1 else np.zeros(out_w, dtype=dt)
+    fy = (y - y0).astype(dt) if in_h > 1 else np.zeros(out_h, dtype=dt)
     x1 = np.minimum(x0 + 1, in_w - 1)
     y1 = np.minimum(y0 + 1, in_h - 1)
     a = data[np.ix_(x0, y0)] * (1 - fx)[:, None] * (1 - fy)[None, :]
@@ -115,9 +137,8 @@ class FeatureExtractor:
         by = np.clip((y / device.height * g).astype(np.int64), 0, g - 1)
 
         # -- macro map -----------------------------------------------------
-        macro_map = np.zeros((g, g))
         macros = design.macro_indices()
-        np.add.at(macro_map, (bx[macros], by[macros]), 1.0)
+        macro_map = _scatter_add(g, bx[macros], by[macros], None)
         sites_per_bin = (device.num_cols / g) * (device.num_rows / g)
         macro_map = np.minimum(macro_map / max(sites_per_bin, 1.0), 1.0)
 
@@ -133,8 +154,8 @@ class FeatureExtractor:
         np.maximum.at(nx1, design.pin_net, px)
         np.minimum.at(ny0, design.pin_net, py)
         np.maximum.at(ny1, design.pin_net, py)
-        w_bins = (nx1 - nx0 + 1).astype(np.float64)
-        h_bins = (ny1 - ny0 + 1).astype(np.float64)
+        w_bins = (nx1 - nx0 + 1).astype(np.float32)
+        h_bins = (ny1 - ny0 + 1).astype(np.float32)
 
         # Horizontal demand: each net needs ~1 horizontal track across its
         # box height; spread uniformly -> 1/h per bin (and v: 1/w).
@@ -143,7 +164,7 @@ class FeatureExtractor:
         rudy = h_density + v_density
 
         # -- pin RUDY ---------------------------------------------------------
-        pins_per_net = design.net_degrees.astype(np.float64)
+        pins_per_net = design.net_degrees.astype(np.float32)
         pin_rudy = _rect_accumulate(
             g, nx0, nx1, ny0, ny1, pins_per_net / (w_bins * h_bins)
         )
@@ -151,8 +172,7 @@ class FeatureExtractor:
         # -- cell density -------------------------------------------------------
         lut_col = list(ResourceType).index(ResourceType.LUT)
         lut_demand = design.demand_matrix[:, lut_col]
-        cell_density = np.zeros((g, g))
-        np.add.at(cell_density, (bx, by), lut_demand)
+        cell_density = _scatter_add(g, bx, by, lut_demand)
         clb_cols = device.columns_of_type(SiteType.CLB).size
         lut_capacity_per_bin = (
             device.resource_capacity(ResourceType.LUT) / (g * g)

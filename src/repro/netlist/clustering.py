@@ -193,4 +193,6 @@ def expand_placement(
     clustered: Design, mapping: np.ndarray
 ) -> tuple[np.ndarray, np.ndarray]:
     """Original-design coordinates from a placed clustered design."""
-    return clustered.x[mapping].copy(), clustered.y[mapping].copy()
+    # Advanced indexing already materializes fresh arrays; a trailing
+    # .copy() would double the allocation for nothing (REPRO303).
+    return clustered.x[mapping], clustered.y[mapping]

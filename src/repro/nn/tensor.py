@@ -21,6 +21,7 @@ pooling and other structured image ops live in
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
@@ -517,7 +518,11 @@ class Tensor:
 
     def gelu(self) -> "Tensor":
         """Gaussian error linear unit (tanh approximation)."""
-        c = np.sqrt(2.0 / np.pi)
+        # math.sqrt yields a *weak* python float: under NEP 50 it adopts
+        # the stream's dtype.  np.sqrt here would produce a strong
+        # np.float64 scalar that silently widens every float32
+        # activation (and its backward) to float64 (REPRO301).
+        c = math.sqrt(2.0 / math.pi)
         x = self.data
         inner = c * (x + 0.044715 * x**3)
         t = np.tanh(inner)

@@ -1,0 +1,75 @@
+"""repro.perf — static performance analysis over the tensor IR.
+
+Where :mod:`repro.ir` proves *correctness* properties of a traced model
+(stability, determinism) and :mod:`repro.adjoint` proves them for the
+backward pass, this package proves *performance* properties: every
+diagnostic is either derived from the IR's exact shape/dtype/alias
+information or checked against a tracemalloc/wall-clock measurement
+(:mod:`repro.perf.validate`), never guessed.
+
+Pass families
+-------------
+- :mod:`repro.perf.dtypeflow` — float64 creep in the float32 deployment
+  (``REPRO301``/``302``) and cast churn (``REPRO307``);
+- :mod:`repro.perf.aliasing` — redundant defensive copies (``REPRO303``),
+  broadcast materialization blowups (``REPRO304``), chained same-dtype
+  casts (``REPRO309``);
+- :mod:`repro.perf.fusion` — unfused elementwise chains (``REPRO305``)
+  and hidden contraction workspace copies (``REPRO311``);
+- :mod:`repro.perf.loops` — AST-level Python loops over ndarrays
+  (``REPRO306``), per-iteration allocations (``REPRO308``) and
+  ``ufunc.at`` scatters (``REPRO312``);
+- :mod:`repro.perf.validate` — the measured-vs-predicted harness behind
+  ``REPRO310``.
+
+Entry points: ``repro perfcheck <model|flow|all>`` on the CLI, or
+:func:`perfcheck_all` / :func:`perfcheck_model` / :func:`perfcheck_flow`
+from code.  These passes are deliberately *not* registered with the
+:mod:`repro.ir.passes` registry — a perf advisory must never fail the
+correctness gates run by ``repro analyze`` / ``build_model(analyze=True)``.
+"""
+
+from repro.diagnostics import codes_for
+
+from .aliasing import alias_analysis, audit_copies
+from .dtypeflow import audit_dtypes, dtype_flow
+from .fusion import fusion_advisories
+from .loops import audit_loops
+from .report import (
+    DEPLOY_DTYPE,
+    SCHEMA,
+    baseline_from_bundle,
+    check_perf_baseline,
+    default_dtype,
+    perfcheck_all,
+    perfcheck_flow,
+    perfcheck_model,
+    trace_model_at,
+)
+from .validate import DEFAULT_BOUND, ValidationResult, validate_bundle, validate_claim
+
+#: ``{code: message}`` for every REPRO3xx rule (view of repro.diagnostics).
+PERF_RULES = codes_for("perf")
+
+__all__ = [
+    "PERF_RULES",
+    "SCHEMA",
+    "DEFAULT_BOUND",
+    "DEPLOY_DTYPE",
+    "ValidationResult",
+    "alias_analysis",
+    "audit_copies",
+    "audit_dtypes",
+    "audit_loops",
+    "baseline_from_bundle",
+    "check_perf_baseline",
+    "default_dtype",
+    "dtype_flow",
+    "fusion_advisories",
+    "perfcheck_all",
+    "perfcheck_flow",
+    "perfcheck_model",
+    "trace_model_at",
+    "validate_bundle",
+    "validate_claim",
+]

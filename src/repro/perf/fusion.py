@@ -1,0 +1,146 @@
+"""Fusion advisories: transient buffers a fused executor would never touch.
+
+numpy executes one primitive at a time, so a chain like
+``sigmoid(w * x + b)`` writes three full-size intermediates to memory
+that a fused kernel (numexpr, a JIT, or simple in-place ``out=`` reuse)
+would keep in registers or a single scratch buffer.  On a memory-bound
+substrate the transient traffic *is* the cost, and the PR 3 cost model
+already knows every node's byte count — so the advisory can quote real
+numbers instead of folklore.
+
+Two analyses:
+
+* ``REPRO305`` — maximal single-consumer chains of ≥ ``min_chain``
+  materialized elementwise ops.  All interior buffers of such a chain
+  are transient: each is produced, read once by the next link, and dead.
+  The finding reports the chain, its total transient bytes, and the
+  predicted saving (all but one scratch buffer).
+* ``REPRO311`` — contractions whose operands are not in GEMM layout:
+  the traced ``einsum`` records ``meta["workspace_bytes"]`` for the
+  layout copies the optimized path performs (:mod:`repro.ir.symbolic`).
+  Those bytes never appear in the op's own output cost, which makes
+  them exactly the kind of hidden traffic a static report should
+  surface.
+"""
+
+from __future__ import annotations
+
+from repro.ir.graph import Graph, Node
+from repro.ir.passes import node_finding
+from repro.lint.rules import LintDiagnostic
+
+__all__ = ["fusion_advisories", "ELEMENTWISE_OPS"]
+
+# Materialized elementwise primitives eligible for fusion.  Views and
+# zero-byte nodes never join a chain (they are already free).
+ELEMENTWISE_OPS = {
+    "add", "subtract", "multiply", "divide", "negative", "exp", "log",
+    "sqrt", "tanh", "abs", "power", "maximum", "minimum", "where",
+    "clip", "square",
+}
+
+
+def _is_chain_op(node: Node) -> bool:
+    return node.kind == "op" and node.op in ELEMENTWISE_OPS and node.bytes > 0
+
+
+def fusion_advisories(
+    graph: Graph, *, min_chain: int = 3, top_k: int = 8
+) -> dict:
+    """Find unfused elementwise chains and hidden contraction workspaces."""
+    users = graph.users()
+    findings: list[LintDiagnostic] = []
+
+    # -- REPRO305: maximal single-consumer elementwise chains ------------------
+    # next link: the unique user, itself elementwise, same element count
+    # (so the chain is a pointwise pipeline, not a broadcast tree).
+    next_link: dict[int, int] = {}
+    for node in graph:
+        if not _is_chain_op(node):
+            continue
+        consumers = users.get(node.id, [])
+        if len(consumers) != 1:
+            continue
+        succ = graph[consumers[0]]
+        if _is_chain_op(succ) and succ.size == node.size:
+            next_link[node.id] = succ.id
+    has_pred = set(next_link.values())
+
+    chains = []
+    for node in graph:
+        if node.id in has_pred or node.id not in next_link:
+            continue  # not a chain head
+        ids = [node.id]
+        while ids[-1] in next_link:
+            ids.append(next_link[ids[-1]])
+        if len(ids) < min_chain:
+            continue
+        members = [graph[i] for i in ids]
+        # Interior buffers (all but the last) are transient; a fused
+        # execution needs at most one scratch of the element size.
+        transient = sum(n.bytes for n in members[:-1])
+        saving = transient - members[0].bytes  # keep one scratch buffer
+        chains.append(
+            {
+                "ops": [n.op for n in members],
+                "nodes": ids,
+                "length": len(ids),
+                "transient_bytes": transient,
+                "predicted_saving_bytes": max(saving, 0),
+                "scope": members[0].scope,
+                "src": members[0].src,
+            }
+        )
+    chains.sort(key=lambda c: -c["transient_bytes"])
+    for chain in chains[:top_k]:
+        head = graph[chain["nodes"][0]]
+        findings.append(
+            node_finding(
+                head,
+                "REPRO305",
+                f"unfused elementwise chain {'->'.join(chain['ops'])} "
+                f"materializes {chain['transient_bytes']:,} transient bytes; "
+                f"in-place/fused evaluation saves "
+                f"~{chain['predicted_saving_bytes']:,} bytes per call",
+            )
+        )
+
+    # -- REPRO311: contraction workspace copies --------------------------------
+    workspaces = []
+    for node in graph:
+        ws = int(node.meta.get("workspace_bytes", 0)) if node.kind == "op" else 0
+        if ws <= 0:
+            continue
+        workspaces.append(
+            {
+                "node": node.id,
+                "op": node.op,
+                "workspace_bytes": ws,
+                "scope": node.scope,
+                "src": node.src,
+            }
+        )
+    workspaces.sort(key=lambda w: -w["workspace_bytes"])
+    for ws in workspaces[:top_k]:
+        node = graph[ws["node"]]
+        findings.append(
+            node_finding(
+                node,
+                "REPRO311",
+                f"{node.op} operands are not in GEMM layout: the optimized "
+                f"path copies {ws['workspace_bytes']:,} workspace bytes per "
+                "call (pre-transpose or reshape the operands once instead)",
+            )
+        )
+
+    return {
+        "chains": chains,
+        "unfused_chains": len(chains),
+        "transient_bytes": sum(c["transient_bytes"] for c in chains),
+        "predicted_saving_bytes": sum(
+            c["predicted_saving_bytes"] for c in chains
+        ),
+        "workspaces": workspaces,
+        "workspace_bytes": sum(w["workspace_bytes"] for w in workspaces),
+        "findings": findings,
+    }

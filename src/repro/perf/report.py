@@ -1,0 +1,349 @@
+"""Perf-analysis driver and machine-readable report (``repro.perf/v1``).
+
+``perfcheck_model`` traces one registry model at deployment dtype
+(float32) and runs the graph-side passes — dtype flow, copy/alias
+classification, fusion advisories.  ``perfcheck_flow`` runs the AST
+audits over the untraced pipeline code (features, train, placement,
+routing, netlist, eval).  ``perfcheck_all`` is both, plus the
+measured-vs-predicted validation harness so each byte claim in the
+report has been checked against a tracemalloc measurement.
+
+Severity: blocking perf codes (``REPRO301``/``302`` float64 creep,
+``REPRO310`` failed validation) populate ``"failures"`` and make
+``repro perfcheck`` exit non-zero; advisory codes are reported and
+ranked but never fail the gate.  ``check_perf_baseline`` diffs the
+deterministic slice (finding counts, modelled byte totals — never
+wall-clock) against ``benchmarks/perf_baseline.json`` so CI catches a
+reintroduced copy or dtype regression as a one-line diff.
+
+Unlike the forward-IR passes these are *not* registered with
+:func:`repro.ir.passes.register_pass` — ``repro analyze`` and
+``build_model(analyze=True)`` run every registered pass and treat
+blocking findings as build failures, and a perf advisory must never
+fail a correctness gate.  The perf suite is its own entry point.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+import numpy as np
+
+from repro.diagnostics import is_blocking
+from repro.ir.passes import filter_noqa
+from repro.ir.report import serialize_finding
+from repro.ir.trace import trace
+from repro.lint.rules import LintDiagnostic
+from repro.nn.tensor import get_default_dtype, set_default_dtype
+
+from .aliasing import alias_analysis, audit_copies
+from .dtypeflow import audit_dtypes, dtype_flow
+from .fusion import fusion_advisories
+from .loops import audit_loops
+from .validate import DEFAULT_BOUND, validate_bundle
+
+__all__ = [
+    "SCHEMA",
+    "DEPLOY_DTYPE",
+    "default_dtype",
+    "trace_model_at",
+    "perfcheck_model",
+    "perfcheck_flow",
+    "perfcheck_all",
+    "baseline_from_bundle",
+    "check_perf_baseline",
+]
+
+SCHEMA = "repro.perf/v1"
+
+# The benchmark harness deploys at float32 (see nn.tensor.set_default_dtype);
+# perf analysis therefore asks "is this graph float32-clean?".
+DEPLOY_DTYPE = np.float32
+
+
+@contextmanager
+def default_dtype(dtype):
+    """Temporarily switch the substrate default dtype."""
+    previous = get_default_dtype()
+    set_default_dtype(dtype)
+    try:
+        yield
+    finally:
+        set_default_dtype(previous)
+
+
+def trace_model_at(
+    model_name: str,
+    *,
+    preset: str = "fast",
+    grid: int = 64,
+    batch: int = 1,
+    dtype=DEPLOY_DTYPE,
+):
+    """Build + trace a registry model entirely at ``dtype``.
+
+    Both steps run under the dtype context: parameters and buffers
+    materialize at ``dtype`` exactly as in a real float32 deployment,
+    so any float64 node left in the graph is genuine creep, not an
+    artifact of float64 model construction.
+    """
+    from repro.models.registry import build_model
+
+    with default_dtype(dtype):
+        model = build_model(model_name, preset=preset, grid=grid, seed=0)
+        graph = trace(
+            model,
+            (batch, 6, grid, grid),
+            input_vrange=(0.0, 1.0),
+            name=model_name,
+        )
+    graph.meta.update(preset=preset, grid=grid, batch=batch)
+    return graph
+
+
+def _serialized(findings: list[LintDiagnostic]) -> list[dict]:
+    return [serialize_finding(f) for f in findings]
+
+
+def _strip(result: dict) -> dict:
+    """Pass result minus its findings (serialized separately)."""
+    return {k: v for k, v in result.items() if k != "findings"}
+
+
+def perfcheck_model(
+    model_name: str,
+    *,
+    preset: str = "fast",
+    grid: int = 64,
+    batch: int = 1,
+    validate: bool = True,
+    bound: float = DEFAULT_BOUND,
+) -> dict:
+    """Run the graph-side perf passes on one registry model."""
+    graph = trace_model_at(model_name, preset=preset, grid=grid, batch=batch)
+    dflow = dtype_flow(graph, expected=DEPLOY_DTYPE)
+    alias = alias_analysis(graph)
+    fus = fusion_advisories(graph)
+
+    findings = filter_noqa(
+        dflow["findings"] + alias["findings"] + fus["findings"]
+    )
+
+    claims = [
+        {
+            "kind": "float64_creep",
+            "bytes": origin["predicted_saving_bytes"],
+            "src": origin["src"],
+        }
+        for origin in dflow["origins"]
+    ]
+    claims += [
+        {"kind": "redundant_copy", "bytes": copy["bytes"], "src": copy["src"]}
+        for copy in alias["copies"]
+        if copy["classification"] == "redundant"
+    ]
+    claims += [
+        {
+            "kind": "unfused_chain",
+            "bytes": chain["transient_bytes"],
+            "length": chain["length"],
+            "src": chain["src"],
+        }
+        for chain in fus["chains"]
+    ]
+
+    validation = (
+        validate_bundle(claims, bound=bound)
+        if validate
+        else {"bound": bound, "results": [], "validated": 0, "failed": 0,
+              "findings": []}
+    )
+    findings += validation["findings"]
+
+    by_code: dict[str, int] = {}
+    for f in findings:
+        by_code[f.code] = by_code.get(f.code, 0) + 1
+
+    return {
+        "schema": SCHEMA,
+        "target": "model",
+        "model": model_name,
+        "preset": preset,
+        "grid": grid,
+        "batch": batch,
+        "dtype": np.dtype(DEPLOY_DTYPE).name,
+        "graph_nodes": len(graph),
+        "dtype_flow": _strip(dflow),
+        "aliasing": _strip(alias),
+        "fusion": _strip(fus),
+        "validation": {k: v for k, v in validation.items() if k != "findings"},
+        "by_code": dict(sorted(by_code.items())),
+        "findings": _serialized(findings),
+        "failures": [str(f) for f in findings if is_blocking(f.code)],
+    }
+
+
+def perfcheck_flow(
+    *, validate: bool = True, bound: float = DEFAULT_BOUND
+) -> dict:
+    """Run the AST perf audits over the untraced pipeline/flow code."""
+    dtypes = audit_dtypes()
+    copies = audit_copies()
+    loops = audit_loops()
+
+    findings = dtypes["findings"] + copies["findings"] + loops["findings"]
+    findings.sort(key=lambda f: (f.path, f.line, f.col))
+
+    # The AST audits know call sites, not byte counts, so the only claim
+    # to validate here is the REPRO312 speed claim ("bincount-style
+    # accumulation is far faster") — checked by measurement.
+    claims = (
+        [{"kind": "scatter_at", "bytes": 0}]
+        if any(f.code == "REPRO312" for f in findings)
+        else []
+    )
+    validation = (
+        validate_bundle(claims, bound=bound)
+        if validate
+        else {"bound": bound, "results": [], "validated": 0, "failed": 0,
+              "findings": []}
+    )
+    findings = findings + validation["findings"]
+
+    by_code: dict[str, int] = {}
+    for f in findings:
+        by_code[f.code] = by_code.get(f.code, 0) + 1
+
+    return {
+        "schema": SCHEMA,
+        "target": "flow",
+        "audited_files": dtypes["audited_files"]
+        + copies["audited_files"]
+        + loops["audited_files"],
+        "validation": {k: v for k, v in validation.items() if k != "findings"},
+        "by_code": dict(sorted(by_code.items())),
+        "findings": _serialized(findings),
+        "failures": [str(f) for f in findings if is_blocking(f.code)],
+    }
+
+
+def perfcheck_all(
+    models: tuple[str, ...] | None = None,
+    *,
+    preset: str = "fast",
+    grid: int = 64,
+    validate: bool = True,
+    bound: float = DEFAULT_BOUND,
+) -> dict:
+    """Models × graph passes plus the flow audit, as one bundle."""
+    from repro.models.registry import MODEL_NAMES
+
+    models = models or MODEL_NAMES
+    reports = []
+    for i, name in enumerate(models):
+        reports.append(
+            perfcheck_model(
+                name,
+                preset=preset,
+                grid=grid,
+                # The validation scenarios check the cost *model*, which
+                # is shared by every report — measuring once is enough.
+                validate=validate and i == 0,
+                bound=bound,
+            )
+        )
+    flow = perfcheck_flow(validate=validate, bound=bound)
+    kinds = sorted(
+        {code for r in reports + [flow] for code in r["by_code"]}
+    )
+    return {
+        "schema": SCHEMA,
+        "reports": reports,
+        "flow": flow,
+        "distinct_codes": kinds,
+        "failures": [f for r in reports + [flow] for f in r["failures"]],
+    }
+
+
+# -- baseline diffing ----------------------------------------------------------
+
+
+def baseline_from_bundle(bundle: dict) -> dict:
+    """Reduce a perfcheck bundle to its deterministic slice.
+
+    Static counts and modelled byte totals only — wall-clock numbers
+    and tracemalloc measurements vary per machine and never enter the
+    baseline.  A ``"fixes"`` section (before/after measurements recorded
+    when a finding is fixed) may ride along in the baseline file; the
+    checker ignores it.
+    """
+    entries = []
+    for report in bundle["reports"]:
+        entries.append(
+            {
+                "model": report["model"],
+                "preset": report["preset"],
+                "grid": report["grid"],
+                "graph_nodes": report["graph_nodes"],
+                "widened_ops": report["dtype_flow"]["widened_ops"],
+                "cast_churn": report["dtype_flow"]["cast_churn"],
+                "redundant_copies": report["aliasing"]["redundant_copies"],
+                "redundant_copy_bytes": report["aliasing"][
+                    "redundant_copy_bytes"
+                ],
+                "broadcast_blowups": report["aliasing"]["broadcast_blowups"],
+                "unfused_chains": report["fusion"]["unfused_chains"],
+                "transient_bytes": report["fusion"]["transient_bytes"],
+                "workspace_bytes": report["fusion"]["workspace_bytes"],
+            }
+        )
+    flow = bundle.get("flow") or {"by_code": {}}
+    flow_codes = {
+        code: count
+        for code, count in flow["by_code"].items()
+        if code != "REPRO310"  # measurement outcome, not a static count
+    }
+    return {"schema": SCHEMA, "entries": entries, "flow_codes": flow_codes}
+
+
+def check_perf_baseline(bundle: dict, baseline: dict) -> list[str]:
+    """Exact-match diff of the deterministic slice; returns mismatches."""
+    reduced = baseline_from_bundle(bundle)
+    current = {
+        (e["model"], e["preset"], e["grid"]): e for e in reduced["entries"]
+    }
+    expected = {
+        (e["model"], e["preset"], e["grid"]): e
+        for e in baseline.get("entries", [])
+    }
+    problems = []
+    for key in sorted(set(expected) | set(current)):
+        name = f"{key[0]}/{key[1]}/grid{key[2]}"
+        if key not in current:
+            problems.append(f"{name}: in baseline but not checked")
+            continue
+        if key not in expected:
+            problems.append(
+                f"{name}: checked but missing from baseline "
+                "(run with --update-baseline)"
+            )
+            continue
+        for field in expected[key]:
+            if field in ("model", "preset", "grid"):
+                continue
+            got = current[key].get(field)
+            want = expected[key][field]
+            if got != want:
+                problems.append(
+                    f"{name}: {field} changed {want} -> {got} "
+                    f"({got - want:+d})"
+                )
+    want_codes = baseline.get("flow_codes", {})
+    got_codes = reduced["flow_codes"]
+    for code in sorted(set(want_codes) | set(got_codes)):
+        got, want = got_codes.get(code, 0), want_codes.get(code, 0)
+        if got != want:
+            problems.append(
+                f"flow: {code} count changed {want} -> {got} ({got - want:+d})"
+            )
+    return problems

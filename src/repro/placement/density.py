@@ -109,7 +109,9 @@ class ElectrostaticSystem:
             self.fields[name] = DensityField(
                 name=name,
                 members=members,
-                areas=areas[members].copy(),
+                # Fancy indexing already yields a fresh private array;
+                # inflation may later mutate it without aliasing `areas`.
+                areas=areas[members],
                 capacity=capacity,
                 bins=bins,
             )

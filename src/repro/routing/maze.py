@@ -163,14 +163,17 @@ class MazeRefiner:
         Returns updated ``(h_use, v_use, paths, num_rerouted)``; inputs
         are not mutated.
         """
-        h_use = h_use.copy()
-        v_use = v_use.copy()
-        paths = list(paths)
-
         over_h = h_use > self.capacity
         over_v = v_use > self.capacity
         if not over_h.any() and not over_v.any():
-            return h_use, v_use, paths, 0
+            # Nothing to reroute: the inputs pass through untouched, so
+            # the no-op path allocates nothing (defensive copies happen
+            # only below, once mutation is certain).
+            return h_use, v_use, list(paths), 0
+
+        h_use = h_use.copy()
+        v_use = v_use.copy()
+        paths = list(paths)
 
         offenders = []
         for idx, path in enumerate(paths):

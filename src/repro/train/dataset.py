@@ -115,7 +115,7 @@ def generate_samples(
         routing = route_design(design)
         report = congestion_report(routing)
         labels = resize_map(
-            report.level_map.astype(np.float64), config.grid, config.grid
+            report.level_map.astype(np.float32), config.grid, config.grid
         )
         labels = np.clip(np.rint(labels), 0, 7).astype(np.int64)
         samples.append(Sample(features, labels, design.name))
@@ -163,7 +163,7 @@ class CongestionDataset:
 
     def class_frequencies(self, num_classes: int = 8) -> np.ndarray:
         """Level histogram of the training labels (for loss weighting)."""
-        counts = np.zeros(num_classes)
+        counts = np.zeros(num_classes, dtype=np.float32)
         for sample in self.train:
             counts += np.bincount(sample.labels.ravel(), minlength=num_classes)
         return counts

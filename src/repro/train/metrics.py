@@ -37,8 +37,10 @@ def accuracy(pred: np.ndarray, target: np.ndarray) -> float:
 
 def r_squared(pred: np.ndarray, target: np.ndarray) -> float:
     """Coefficient of determination (1 − SS_res / SS_tot)."""
-    pred = np.asarray(pred, dtype=np.float64)
-    target = np.asarray(target, dtype=np.float64)
+    # Metric reductions stay float64 on purpose: squared-error sums over
+    # full maps need the headroom, and metrics are off the hot path.
+    pred = np.asarray(pred, dtype=np.float64)  # noqa: REPRO301
+    target = np.asarray(target, dtype=np.float64)  # noqa: REPRO301
     ss_res = float(((target - pred) ** 2).sum())
     ss_tot = float(((target - target.mean()) ** 2).sum())
     if ss_tot == 0.0:
@@ -48,8 +50,8 @@ def r_squared(pred: np.ndarray, target: np.ndarray) -> float:
 
 def nrms(pred: np.ndarray, target: np.ndarray) -> float:
     """RMSE normalized by the congestion level range (7)."""
-    pred = np.asarray(pred, dtype=np.float64)
-    target = np.asarray(target, dtype=np.float64)
+    pred = np.asarray(pred, dtype=np.float64)  # noqa: REPRO301
+    target = np.asarray(target, dtype=np.float64)  # noqa: REPRO301
     return float(np.sqrt(((pred - target) ** 2).mean()) / _LEVEL_RANGE)
 
 

@@ -21,7 +21,10 @@ class TestRectAccumulate:
         naive = np.zeros((g, g))
         for k in range(n):
             naive[x0[k] : x1[k] + 1, y0[k] : y1[k] + 1] += values[k]
-        np.testing.assert_allclose(fast, naive, atol=1e-12)
+        # Maps are float32 (the float64 pipeline doubled memory traffic
+        # for no modelling benefit); compare at float32 precision.
+        assert fast.dtype == np.float32
+        np.testing.assert_allclose(fast, naive, rtol=1e-6, atol=1e-6)
 
     def test_single_cell(self):
         out = _rect_accumulate(
@@ -77,8 +80,9 @@ class TestFeatureExtraction:
     def test_rudy_is_h_plus_v_density(self, tiny_design):
         stack = FeatureExtractor(grid=16)(tiny_design)
         h, v, rudy = stack[1], stack[2], stack[3]
-        # rudy normalization halves the sum of the separately normalized maps
-        np.testing.assert_allclose(rudy, (h + v) / 2.0, atol=1e-12)
+        # rudy normalization halves the sum of the separately normalized
+        # maps (float32 maps: compare at float32 precision)
+        np.testing.assert_allclose(rudy, (h + v) / 2.0, rtol=1e-5, atol=1e-6)
 
     def test_cell_density_tracks_cells(self, tiny_design):
         stack = FeatureExtractor(grid=16)(tiny_design)

@@ -1,0 +1,125 @@
+"""Copy/alias classification on synthetic graphs + AST defensive-copy audit."""
+
+import numpy as np
+
+from repro.ir.graph import Graph
+from repro.perf.aliasing import alias_analysis, audit_copy_file, audit_copies
+
+
+class TestAliasAnalysis:
+    def test_last_read_copy_of_intermediate_is_redundant(self):
+        g = Graph()
+        x = g.add("x", (), (64,), np.float32, kind="input")
+        m = g.add("multiply", (x.id, x.id), (64,), np.float32, bytes=256,
+                  src="f.py:2")
+        cp = g.add("copy", (m.id,), (64,), np.float32, bytes=256,
+                   src="f.py:3")
+        g.outputs = [cp.id]
+        result = alias_analysis(g)
+        assert result["redundant_copies"] == 1
+        assert result["redundant_copy_bytes"] == 256
+        assert [f.code for f in result["findings"]] == ["REPRO303"]
+        (copy,) = result["copies"]
+        assert copy["classification"] == "redundant"
+        assert copy["source_node"] == m.id
+
+    def test_copy_of_caller_visible_input_is_required(self):
+        # Copying an input is the one copy that *protects* caller state.
+        g = Graph()
+        x = g.add("x", (), (64,), np.float32, kind="input")
+        cp = g.add("copy", (x.id,), (64,), np.float32, bytes=256,
+                   src="f.py:2")
+        g.outputs = [cp.id]
+        result = alias_analysis(g)
+        assert result["redundant_copies"] == 0
+        assert result["required_copies"] == 1
+
+    def test_copy_with_later_read_of_source_is_required(self):
+        g = Graph()
+        x = g.add("x", (), (64,), np.float32, kind="input")
+        m = g.add("multiply", (x.id, x.id), (64,), np.float32, bytes=256)
+        cp = g.add("copy", (m.id,), (64,), np.float32, bytes=256)
+        a = g.add("add", (m.id, cp.id), (64,), np.float32, bytes=256)
+        g.outputs = [a.id]
+        result = alias_analysis(g)
+        # m is read again (by the add) after the copy.
+        assert result["redundant_copies"] == 0
+
+    def test_broadcast_blowup_flagged(self):
+        g = Graph()
+        b = g.add("b", (), (4,), np.float32, kind="const")  # 16 bytes
+        out = g.add("add", (b.id, b.id), (64, 4), np.float32,
+                    bytes=64 * 4 * 4, src="f.py:9")
+        g.outputs = [out.id]
+        result = alias_analysis(g)
+        assert result["broadcast_blowups"] == 1
+        (blowup,) = result["blowups"]
+        assert blowup["largest_input_bytes"] == 16
+        assert blowup["wasted_bytes"] == 64 * 4 * 4 - 16
+        assert any(f.code == "REPRO304" for f in result["findings"])
+
+    def test_same_size_elementwise_not_a_blowup(self):
+        g = Graph()
+        x = g.add("x", (), (64,), np.float32, kind="input")
+        out = g.add("add", (x.id, x.id), (64,), np.float32, bytes=256)
+        g.outputs = [out.id]
+        assert alias_analysis(g)["broadcast_blowups"] == 0
+
+
+class TestAuditCopies:
+    def _audit(self, tmp_path, source):
+        path = tmp_path / "flow.py"
+        path.write_text(source)
+        return audit_copy_file(path)
+
+    def test_fancy_index_copy_flagged(self, tmp_path):
+        findings = self._audit(tmp_path, "y = arr[idx].copy()\n")
+        assert [f.code for f in findings] == ["REPRO303"]
+
+    def test_slice_copy_not_flagged(self, tmp_path):
+        # A slice is a view, so the copy is doing real work.
+        findings = self._audit(tmp_path, "y = arr[1:5].copy()\n")
+        assert findings == []
+
+    def test_copy_before_early_return_flagged(self, tmp_path):
+        findings = self._audit(
+            tmp_path,
+            "def refine(x, done):\n"
+            "    x = x.copy()\n"
+            "    if done:\n"
+            "        return x\n"
+            "    x[0] = 1.0\n"
+            "    return x\n",
+        )
+        assert [f.code for f in findings] == ["REPRO303"]
+
+    def test_copy_mutated_before_return_not_flagged(self, tmp_path):
+        findings = self._audit(
+            tmp_path,
+            "def refine(x):\n"
+            "    x = x.copy()\n"
+            "    x[0] = 1.0\n"
+            "    return x\n",
+        )
+        assert findings == []
+
+    def test_chained_astype_flagged(self, tmp_path):
+        findings = self._audit(
+            tmp_path,
+            "import numpy as np\n"
+            "y = x.astype(np.float64).astype(np.float32)\n",
+        )
+        assert "REPRO309" in [f.code for f in findings]
+
+    def test_noqa_suppresses(self, tmp_path):
+        findings = self._audit(
+            tmp_path, "y = arr[idx].copy()  # noqa: REPRO303\n"
+        )
+        assert findings == []
+
+    def test_repo_flow_has_no_redundant_copies(self):
+        # The confirmed findings (maze.refine, expand_placement,
+        # density) are fixed in this PR; the audit must stay clean.
+        result = audit_copies()
+        assert result["audited_files"] > 0
+        assert [str(f) for f in result["findings"]] == []

@@ -1,0 +1,136 @@
+"""Dtype dataflow: float64 creep detection on synthetic graphs + AST audit."""
+
+import numpy as np
+
+from repro.ir.graph import Graph
+from repro.perf.dtypeflow import audit_dtype_file, audit_dtypes, dtype_flow
+
+
+def _widened_graph():
+    """float32 input * strong float64 const -> two widened ops -> cast back."""
+    g = Graph()
+    x = g.add("x", (), (64,), np.float32, kind="input", name="x")
+    c = g.add("c", (), (), np.float64, kind="const", name="c",
+              src="model.py:3")
+    m = g.add("multiply", (x.id, c.id), (64,), np.float64, bytes=64 * 8,
+              src="model.py:4")
+    a = g.add("add", (m.id, x.id), (64,), np.float64, bytes=64 * 8,
+              src="model.py:5")
+    cast = g.add("cast", (a.id,), (64,), np.float32, bytes=64 * 4,
+                 src="model.py:6")
+    g.outputs = [cast.id]
+    return g, c, m
+
+
+class TestDtypeFlow:
+    def test_widened_ops_counted(self):
+        g, _, _ = _widened_graph()
+        result = dtype_flow(g, expected=np.float32)
+        assert result["widened_ops"] == 2
+        assert result["widened_bytes"] == 2 * 64 * 8
+
+    def test_origin_attributed_to_strong_const(self):
+        g, c, m = _widened_graph()
+        result = dtype_flow(g, expected=np.float32)
+        (origin,) = result["origins"]
+        assert origin["origin"] == c.id
+        assert origin["origin_kind"] == "const"
+        assert origin["tainted_ops"] == 2
+        # float64 -> float32 halves the tainted traffic.
+        assert origin["predicted_saving_bytes"] == origin["tainted_bytes"] // 2
+        # The finding anchors at the first widened op (the const has no
+        # useful call-site of its own in synthetic graphs).
+        codes = [f.code for f in result["findings"]]
+        assert "REPRO301" in codes
+
+    def test_cast_back_is_churn(self):
+        g, _, _ = _widened_graph()
+        result = dtype_flow(g, expected=np.float32)
+        assert result["cast_churn"] == 1
+        assert any(f.code == "REPRO307" for f in result["findings"])
+
+    def test_weak_scalar_never_a_widener(self):
+        # NEP 50: an exact python scalar promotes weakly; the trace marks
+        # it meta["weak"] and the chain stays float32 -> nothing to flag.
+        g = Graph()
+        x = g.add("x", (), (64,), np.float32, kind="input")
+        w = g.add("w", (), (), np.float64, kind="const",
+                  meta={"weak": True})
+        g.add("multiply", (x.id, w.id), (64,), np.float32, bytes=64 * 4,
+              src="model.py:9")
+        result = dtype_flow(g, expected=np.float32)
+        assert result["widened_ops"] == 0
+        assert result["origins"] == []
+        assert result["findings"] == []
+
+    def test_same_dtype_cast_is_churn(self):
+        g = Graph()
+        x = g.add("x", (), (64,), np.float32, kind="input")
+        g.add("cast", (x.id,), (64,), np.float32, bytes=64 * 4,
+              src="model.py:2")
+        result = dtype_flow(g, expected=np.float32)
+        assert result["cast_churn"] == 1
+
+    def test_clean_float32_graph_is_silent(self):
+        g = Graph()
+        x = g.add("x", (), (64,), np.float32, kind="input")
+        g.add("add", (x.id, x.id), (64,), np.float32, bytes=64 * 4)
+        result = dtype_flow(g, expected=np.float32)
+        assert result["findings"] == []
+        assert result["predicted_saving_bytes"] == 0
+
+
+class TestAuditDtypes:
+    def _audit(self, tmp_path, source):
+        path = tmp_path / "pipe.py"
+        path.write_text(source)
+        return audit_dtype_file(path)
+
+    def test_astype_float64_flagged(self, tmp_path):
+        findings = self._audit(
+            tmp_path, "import numpy as np\ny = x.astype(np.float64)\n"
+        )
+        assert [f.code for f in findings] == ["REPRO301"]
+
+    def test_explicit_dtype_float64_flagged(self, tmp_path):
+        findings = self._audit(
+            tmp_path,
+            "import numpy as np\na = np.zeros(8, dtype=np.float64)\n",
+        )
+        assert [f.code for f in findings] == ["REPRO301"]
+
+    def test_default_allocator_flagged(self, tmp_path):
+        findings = self._audit(
+            tmp_path, "import numpy as np\na = np.zeros(8)\n"
+        )
+        assert [f.code for f in findings] == ["REPRO302"]
+
+    def test_positional_dtype_not_flagged(self, tmp_path):
+        # np.zeros(n, np.int64): the second positional argument *is* the
+        # dtype, so the default-float64 rule must stay quiet.
+        findings = self._audit(
+            tmp_path, "import numpy as np\na = np.zeros(8, np.int64)\n"
+        )
+        assert findings == []
+
+    def test_float32_allocation_not_flagged(self, tmp_path):
+        findings = self._audit(
+            tmp_path,
+            "import numpy as np\na = np.zeros(8, dtype=np.float32)\n",
+        )
+        assert findings == []
+
+    def test_noqa_suppresses(self, tmp_path):
+        findings = self._audit(
+            tmp_path,
+            "import numpy as np\n"
+            "a = x.astype(np.float64)  # noqa: REPRO301\n",
+        )
+        assert findings == []
+
+    def test_repo_pipeline_is_float32_clean(self):
+        # The fixed feature/train pipeline must stay clean (modulo
+        # explicitly # noqa-justified call sites, which the audit drops).
+        result = audit_dtypes()
+        assert result["audited_files"] > 0
+        assert [str(f) for f in result["findings"]] == []

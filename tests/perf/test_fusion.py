@@ -1,0 +1,83 @@
+"""Fusion advisories: chain detection and hidden contraction workspaces."""
+
+import numpy as np
+
+from repro.ir.graph import Graph
+from repro.perf.fusion import fusion_advisories
+
+
+def _chain_graph(length=4, elems=64):
+    g = Graph()
+    x = g.add("x", (), (elems,), np.float32, kind="input")
+    prev = x.id
+    ops = ["add", "multiply", "sqrt", "tanh", "square"]
+    for i in range(length):
+        node = g.add(ops[i % len(ops)], (prev,), (elems,), np.float32,
+                     bytes=elems * 4, src=f"f.py:{i + 2}")
+        prev = node.id
+    g.outputs = [prev]
+    return g, elems * 4
+
+
+class TestChains:
+    def test_four_op_chain_found(self):
+        g, link_bytes = _chain_graph(length=4)
+        result = fusion_advisories(g, min_chain=3)
+        assert result["unfused_chains"] == 1
+        (chain,) = result["chains"]
+        assert chain["length"] == 4
+        # Interior buffers (all but the last link) are transient; fused
+        # execution keeps one scratch.
+        assert chain["transient_bytes"] == 3 * link_bytes
+        assert chain["predicted_saving_bytes"] == 2 * link_bytes
+        assert [f.code for f in result["findings"]] == ["REPRO305"]
+
+    def test_short_chain_below_threshold(self):
+        g, _ = _chain_graph(length=2)
+        assert fusion_advisories(g, min_chain=3)["unfused_chains"] == 0
+
+    def test_fanout_breaks_the_chain(self):
+        # A node with two consumers cannot be fused into a single
+        # pointwise pipeline: its value must be materialized anyway.
+        g = Graph()
+        x = g.add("x", (), (64,), np.float32, kind="input")
+        a = g.add("add", (x.id,), (64,), np.float32, bytes=256)
+        b = g.add("multiply", (a.id,), (64,), np.float32, bytes=256)
+        c = g.add("sqrt", (b.id,), (64,), np.float32, bytes=256)
+        d = g.add("tanh", (b.id,), (64,), np.float32, bytes=256)  # 2nd user
+        g.outputs = [c.id, d.id]
+        assert fusion_advisories(g, min_chain=3)["unfused_chains"] == 0
+
+    def test_non_elementwise_op_breaks_the_chain(self):
+        g = Graph()
+        x = g.add("x", (), (64,), np.float32, kind="input")
+        a = g.add("add", (x.id,), (64,), np.float32, bytes=256)
+        m = g.add("matmul", (a.id,), (64,), np.float32, bytes=256)
+        b = g.add("sqrt", (m.id,), (64,), np.float32, bytes=256)
+        g.outputs = [b.id]
+        assert fusion_advisories(g, min_chain=3)["unfused_chains"] == 0
+
+
+class TestWorkspaces:
+    def test_workspace_bytes_reported(self):
+        g = Graph()
+        x = g.add("x", (), (8, 8), np.float32, kind="input")
+        e = g.add("einsum", (x.id,), (8, 8), np.float32, bytes=256,
+                  src="f.py:4", meta={"workspace_bytes": 4096})
+        g.outputs = [e.id]
+        result = fusion_advisories(g)
+        assert result["workspace_bytes"] == 4096
+        (ws,) = result["workspaces"]
+        assert ws["node"] == e.id
+        assert any(f.code == "REPRO311" for f in result["findings"])
+
+    def test_top_k_caps_findings_not_totals(self):
+        g = Graph()
+        x = g.add("x", (), (8,), np.float32, kind="input")
+        for i in range(5):
+            g.add("einsum", (x.id,), (8,), np.float32, bytes=32,
+                  src=f"f.py:{i + 2}", meta={"workspace_bytes": 1000 + i})
+        result = fusion_advisories(g, top_k=2)
+        assert len([f for f in result["findings"] if f.code == "REPRO311"]) == 2
+        # The byte total still covers every workspace.
+        assert result["workspace_bytes"] == sum(1000 + i for i in range(5))

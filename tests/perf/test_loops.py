@@ -1,0 +1,108 @@
+"""AST loop audit: per-element loops, in-loop allocation, ufunc.at scatters."""
+
+from repro.perf.loops import audit_loop_file, audit_loops
+
+
+def _audit(tmp_path, source):
+    path = tmp_path / "flow.py"
+    path.write_text(source)
+    return audit_loop_file(path)
+
+
+class TestLoopAudit:
+    def test_loop_var_subscript_flagged_once_per_loop(self, tmp_path):
+        findings = _audit(
+            tmp_path,
+            "def f(grid, w, n):\n"
+            "    acc = 0.0\n"
+            "    for i in range(n):\n"
+            "        acc += grid[i] * w[i]\n"
+            "    return acc\n",
+        )
+        # Two subscripts, one loop -> one finding.
+        assert [f.code for f in findings] == ["REPRO306"]
+        assert "2 subscript(s)" in findings[0].message
+
+    def test_loop_without_element_indexing_silent(self, tmp_path):
+        findings = _audit(
+            tmp_path,
+            "def f(rows):\n"
+            "    total = 0.0\n"
+            "    for row in rows:\n"
+            "        total += row.sum()\n"
+            "    return total\n",
+        )
+        assert findings == []
+
+    def test_allocation_inside_loop_flagged(self, tmp_path):
+        findings = _audit(
+            tmp_path,
+            "import numpy as np\n"
+            "def f(n):\n"
+            "    out = []\n"
+            "    for _ in range(n):\n"
+            "        out.append(np.zeros(4, dtype=np.float32))\n"
+            "    return out\n",
+        )
+        assert [f.code for f in findings] == ["REPRO308"]
+
+    def test_allocation_outside_loop_silent(self, tmp_path):
+        findings = _audit(
+            tmp_path,
+            "import numpy as np\n"
+            "def f(n):\n"
+            "    buf = np.zeros(4, dtype=np.float32)\n"
+            "    for _ in range(n):\n"
+            "        buf += 1.0\n"
+            "    return buf\n",
+        )
+        assert findings == []
+
+    def test_method_copy_in_loop_flagged(self, tmp_path):
+        findings = _audit(
+            tmp_path,
+            "def f(xs):\n"
+            "    return [x.copy() for x in xs] or None\n"
+            "def g(xs, n):\n"
+            "    out = []\n"
+            "    while n:\n"
+            "        out.append(xs.copy())\n"
+            "        n -= 1\n"
+            "    return out\n",
+        )
+        assert [f.code for f in findings] == ["REPRO308"]
+
+    def test_ufunc_at_flagged_with_bincount_hint(self, tmp_path):
+        findings = _audit(
+            tmp_path,
+            "import numpy as np\n"
+            "def f(out, idx, vals):\n"
+            "    np.add.at(out, idx, vals)\n",
+        )
+        assert [f.code for f in findings] == ["REPRO312"]
+        assert "bincount" in findings[0].message
+
+    def test_non_add_ufunc_at_hints_matching_dtypes(self, tmp_path):
+        findings = _audit(
+            tmp_path,
+            "import numpy as np\n"
+            "def f(out, idx, vals):\n"
+            "    np.minimum.at(out, idx, vals)\n",
+        )
+        assert [f.code for f in findings] == ["REPRO312"]
+        assert "dtypes equal" in findings[0].message
+
+    def test_noqa_suppresses(self, tmp_path):
+        findings = _audit(
+            tmp_path,
+            "import numpy as np\n"
+            "def f(out, idx, vals):\n"
+            "    np.add.at(out, idx, vals)  # noqa: REPRO312\n",
+        )
+        assert findings == []
+
+    def test_repo_audit_runs_and_sorts(self):
+        result = audit_loops()
+        assert result["audited_files"] > 0
+        keys = [(f.path, f.line, f.col) for f in result["findings"]]
+        assert keys == sorted(keys)

@@ -1,0 +1,92 @@
+"""Measured-vs-predicted validation: each cost claim holds within its bound."""
+
+import pytest
+
+from repro.perf.validate import (
+    DEFAULT_BOUND,
+    validate_bundle,
+    validate_claim,
+)
+
+CLAIM = 2 * 1024 * 1024  # small scenarios keep the suite fast
+
+
+class TestScenarios:
+    def test_float64_creep_halves_traffic(self):
+        result = validate_claim("float64_creep", CLAIM)
+        assert result.ok
+        assert result.rel_err <= DEFAULT_BOUND
+        assert result.predicted_bytes > 0
+
+    def test_redundant_copy_costs_its_bytes(self):
+        result = validate_claim("redundant_copy", CLAIM)
+        assert result.ok
+        assert result.rel_err <= DEFAULT_BOUND
+
+    def test_unfused_chain_transients_measured(self):
+        result = validate_claim("unfused_chain", CLAIM, length=4)
+        assert result.ok
+        assert result.rel_err <= DEFAULT_BOUND
+        assert result.detail["length"] == 4
+
+    def test_scatter_at_fallback_is_slower(self):
+        # Timing-only claim: the mixed-dtype ufunc.at fallback must
+        # really lose to bincount accumulation.
+        result = validate_claim("scatter_at")
+        assert result.ok
+        assert result.speedup > 1.0
+        assert result.predicted_bytes == 0
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown claim kind"):
+            validate_claim("warp_drive", CLAIM)
+
+    def test_result_serializes(self):
+        d = validate_claim("redundant_copy", CLAIM).to_dict()
+        assert d["kind"] == "redundant_copy"
+        assert set(d) >= {
+            "predicted_bytes", "measured_bytes", "rel_err",
+            "time_before_s", "time_after_s", "speedup", "ok",
+        }
+
+
+class TestBundle:
+    def test_same_kind_validated_once_at_largest(self):
+        out = validate_bundle(
+            [
+                {"kind": "redundant_copy", "bytes": CLAIM, "src": "a.py:1"},
+                {"kind": "redundant_copy", "bytes": CLAIM // 2,
+                 "src": "b.py:2"},
+            ]
+        )
+        assert out["validated"] == 1
+        assert out["failed"] == 0
+        assert out["findings"] == []
+
+    def test_unknown_kinds_skipped(self):
+        out = validate_bundle([{"kind": "not_a_scenario", "bytes": CLAIM}])
+        assert out["validated"] == 0
+        assert out["findings"] == []
+
+    def test_failure_becomes_blocking_repro310(self, monkeypatch):
+        # Force a failed measurement to check the reporting path without
+        # depending on a machine where a real claim is wrong.
+        import repro.perf.validate as mod
+
+        real = mod.validate_claim
+
+        def rigged(kind, claim_bytes=0, *, bound=DEFAULT_BOUND, **kw):
+            result = real(kind, claim_bytes, bound=bound, **kw)
+            result.ok = False
+            result.rel_err = 0.5
+            return result
+
+        monkeypatch.setattr(mod, "validate_claim", rigged)
+        out = mod.validate_bundle(
+            [{"kind": "redundant_copy", "bytes": CLAIM, "src": "maze.py:166"}]
+        )
+        assert out["failed"] == 1
+        (finding,) = out["findings"]
+        assert finding.code == "REPRO310"
+        assert finding.path == "maze.py"
+        assert finding.line == 166

@@ -82,6 +82,105 @@ class TestCommands:
         assert "--checkpoint-dir" in capsys.readouterr().err
 
 
+class TestAnalysisJSONSchemas:
+    """Schema snapshots for the machine-readable analysis reports.
+
+    These lock the top-level contract CI and external tooling consume;
+    adding keys is fine, renaming or dropping them must fail here.
+    """
+
+    def _json(self, capsys, argv, expect_rc=0):
+        import json
+
+        rc = main(argv)
+        assert rc == expect_rc
+        return json.loads(capsys.readouterr().out)
+
+    def test_analyze_json_schema(self, capsys):
+        bundle = self._json(
+            capsys,
+            ["analyze", "unet", "--preset", "tiny", "--grid", "32",
+             "--json", "--no-determinism"],
+        )
+        assert bundle["schema"] == "repro.ir/v1"
+        (report,) = bundle["reports"]
+        assert set(report) >= {
+            "schema", "model", "preset", "grid", "graph", "memory",
+            "cost", "stability", "determinism", "opportunities", "failures",
+        }
+        assert report["model"] == "unet"
+        assert report["graph"]["nodes"] > 0
+
+    def test_gradcheck_json_schema(self, capsys):
+        bundle = self._json(
+            capsys,
+            ["gradcheck", "unet", "--preset", "tiny", "--grid", "32",
+             "--json"],
+        )
+        assert bundle["schema"] == "repro.adjoint/v1"
+        (report,) = bundle["reports"]
+        assert set(report) >= {
+            "schema", "model", "preset", "grid", "contracts",
+            "gradcheck", "backward", "failures",
+        }
+        assert report["contracts"]["records"] > 0
+
+    def test_perfcheck_json_schema(self, capsys):
+        bundle = self._json(
+            capsys,
+            ["perfcheck", "unet", "--preset", "tiny", "--grid", "32",
+             "--json", "--no-validate"],
+        )
+        assert bundle["schema"] == "repro.perf/v1"
+        assert set(bundle) >= {
+            "schema", "reports", "flow", "distinct_codes", "failures",
+        }
+        (report,) = bundle["reports"]
+        assert set(report) >= {
+            "schema", "target", "model", "dtype", "graph_nodes",
+            "dtype_flow", "aliasing", "fusion", "validation", "by_code",
+            "findings", "failures",
+        }
+        assert report["dtype"] == "float32"
+        assert bundle["failures"] == []
+
+    def test_perfcheck_flow_json(self, capsys):
+        bundle = self._json(
+            capsys,
+            ["perfcheck", "flow", "--json", "--no-validate"],
+        )
+        assert bundle["reports"] == []
+        assert bundle["flow"]["target"] == "flow"
+        assert bundle["flow"]["audited_files"] > 0
+
+    def test_perfcheck_baseline_round_trip(self, tmp_path, capsys):
+        baseline = tmp_path / "perf_baseline.json"
+        argv = ["perfcheck", "unet", "--preset", "tiny", "--grid", "32",
+                "--no-validate"]
+        assert main(argv + ["--update-baseline", str(baseline)]) == 0
+        assert baseline.exists()
+        capsys.readouterr()
+        assert main(argv + ["--check-baseline", str(baseline)]) == 0
+        assert "baseline OK" in capsys.readouterr().out
+
+    def test_check_combined_json(self, capsys):
+        combined = self._json(
+            capsys,
+            ["check", "--preset", "tiny", "--grid", "32", "--json",
+             "--no-validate"],
+        )
+        assert combined["schema"] == "repro.check/v1"
+        assert set(combined) >= {
+            "schema", "preset", "grid", "lint", "analyze", "gradcheck",
+            "perfcheck", "failures",
+        }
+        # Each section carries its own full bundle under its own schema.
+        assert combined["analyze"]["schema"] == "repro.ir/v1"
+        assert combined["gradcheck"]["schema"] == "repro.adjoint/v1"
+        assert combined["perfcheck"]["schema"] == "repro.perf/v1"
+        assert combined["failures"] == []
+
+
 class TestMoreCommands:
     def test_route_prints_map(self, capsys):
         rc = main(["route", "--design", "Design_120", "--scale", "256"])

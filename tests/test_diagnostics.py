@@ -21,17 +21,19 @@ class TestRegistry:
     def test_namespace_bands(self):
         for code, spec in all_codes().items():
             band = int(code.removeprefix("REPRO")) // 100
-            expected = {0: "lint", 1: "ir", 2: "adjoint"}[band]
+            expected = {0: "lint", 1: "ir", 2: "adjoint", 3: "perf"}[band]
             assert spec.component == expected, code
 
     def test_component_views_match_consumers(self):
         from repro.adjoint import ADJOINT_RULES
         from repro.ir.passes import IR_RULES, OPPORTUNITY_RULES
         from repro.lint.rules import RULES
+        from repro.perf import PERF_RULES
 
         assert RULES == codes_for("lint")
         assert IR_RULES == codes_for("ir")
         assert ADJOINT_RULES == codes_for("adjoint")
+        assert PERF_RULES == codes_for("perf")
         assert set(OPPORTUNITY_RULES) == {
             c for c, s in all_codes().items()
             if s.component == "ir" and not s.blocking
@@ -40,6 +42,15 @@ class TestRegistry:
     def test_adjoint_codes_present(self):
         assert set(codes_for("adjoint")) == {
             f"REPRO20{i}" for i in range(1, 8)
+        }
+
+    def test_perf_codes_present(self):
+        assert set(codes_for("perf")) == {
+            f"REPRO3{i:02d}" for i in range(1, 13)
+        }
+        # Blocking: measured/provable waste; the rest are advisories.
+        assert {c for c in codes_for("perf") if is_blocking(c)} == {
+            "REPRO301", "REPRO302", "REPRO310"
         }
 
     def test_blocking_metadata(self):

@@ -77,6 +77,34 @@ class TestExperimentsDoc:
         assert "36.57" in text  # paper UTDA S_score
 
 
+class TestDiagnosticsDoc:
+    def test_every_registered_code_documented(self):
+        """DIAGNOSTICS.md must list every REPROxxx code with the right
+        severity, and must not document codes that don't exist."""
+        from repro.diagnostics import all_codes
+
+        text = _read("docs/DIAGNOSTICS.md")
+        registered = all_codes()
+        documented = set(re.findall(r"\bREPRO\d{3}\b", text))
+        # REPRO000 (syntax-error sentinel) is not a registered rule.
+        assert documented - {"REPRO000"} == set(registered)
+        for code, spec in registered.items():
+            row = next(
+                (line for line in text.splitlines()
+                 if line.startswith(f"| {code} ")), None
+            )
+            assert row is not None, f"{code} has no table row"
+            severity = "blocking" if spec.blocking else "advisory"
+            assert row.rstrip("| ").endswith(severity), (
+                f"{code} documented with wrong severity (want {severity})"
+            )
+
+    def test_linked_from_readme_and_api(self):
+        assert "docs/DIAGNOSTICS.md" in _read("README.md")
+        assert "DIAGNOSTICS.md" in _read("docs/API.md")
+        assert (_ROOT / "docs" / "DIAGNOSTICS.md").exists()
+
+
 class TestApiDoc:
     def test_every_backticked_symbol_importable(self):
         """Symbols written as `name` in a module section must exist there."""

@@ -18,8 +18,18 @@ Subcommands mirror the library's main workflows:
 * ``perfcheck`` — static performance analysis: dtype-flow / copy-alias /
   fusion passes over the traced graphs plus AST audits of the flow
   code, with measured-vs-predicted validation (see repro.perf).
+* ``plancheck`` — compile each model's traced graph into a verified
+  ``repro.schedule/v1`` execution plan (fusion groups, arena buffer
+  assignment, copy-elision certificates) and re-check it with the
+  independent plan verifier (see repro.schedule).
 * ``check``  — the unified gate: lint + analyze + gradcheck + perfcheck
-  in one command with one combined JSON report (``repro.check/v1``).
+  + plancheck in one command with one combined JSON report
+  (``repro.check/v1``).
+
+Every analysis command reports through one exit-code contract (the
+table lives in ``docs/API.md``): 0 = clean, 1 = blocking findings,
+2 = usage error, 3 = baseline drift only, 4 = internal error.  Blocking
+findings take precedence over drift when both occur.
 """
 
 from __future__ import annotations
@@ -29,7 +39,23 @@ import sys
 
 import numpy as np
 
-__all__ = ["main", "build_parser"]
+__all__ = [
+    "main",
+    "build_parser",
+    "EXIT_OK",
+    "EXIT_BLOCKING",
+    "EXIT_USAGE",
+    "EXIT_DRIFT",
+    "EXIT_INTERNAL",
+]
+
+# The shared exit-code contract for the analysis commands (analyze,
+# gradcheck, perfcheck, plancheck, check).  argparse owns 2 (usage).
+EXIT_OK = 0
+EXIT_BLOCKING = 1
+EXIT_USAGE = 2
+EXIT_DRIFT = 3
+EXIT_INTERNAL = 4
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -190,9 +216,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the deterministic slice of this run to a baseline JSON",
     )
 
+    plancheck = sub.add_parser(
+        "plancheck",
+        help="compile + independently verify execution plans "
+        "(see repro.schedule)",
+    )
+    plancheck.add_argument(
+        "model", choices=("unet", "pgnn", "pros2", "ours", "all"),
+        help="registry model to plan, or 'all' for the whole registry",
+    )
+    plancheck.add_argument("--preset", default="fast",
+                          choices=("tiny", "fast", "paper"))
+    plancheck.add_argument(
+        "--grid", dest="grids", type=int, action="append", metavar="N",
+        help="input grid size; repeatable (default: 64)",
+    )
+    plancheck.add_argument(
+        "--backward", action="store_true",
+        help="also compile + verify the training plan over the autograd "
+        "tape (gradient arena slots, tape retention)",
+    )
+    plancheck.add_argument("--json", action="store_true",
+                          help="print the full repro.schedule/v1 bundle "
+                          "(including the sealed plans)")
+    plancheck.add_argument(
+        "--check-baseline", metavar="PATH", default=None,
+        help="diff plan skeletons + fingerprints against a baseline JSON "
+        "and fail on any drift",
+    )
+    plancheck.add_argument(
+        "--update-baseline", metavar="PATH", default=None,
+        help="write the deterministic plan slice of this run to a "
+        "baseline JSON",
+    )
+
     check = sub.add_parser(
         "check",
-        help="unified gate: lint + analyze + gradcheck + perfcheck",
+        help="unified gate: lint + analyze + gradcheck + perfcheck "
+        "+ plancheck",
     )
     check.add_argument("--preset", default="fast",
                        choices=("tiny", "fast", "paper"))
@@ -202,6 +263,11 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument(
         "--no-validate", action="store_true",
         help="skip perfcheck's measured validation harness",
+    )
+    check.add_argument(
+        "--fail-on", default="blocking", choices=("advisory", "blocking"),
+        help="failure threshold: 'blocking' (default, current behavior) "
+        "or 'advisory' to also fail when non-blocking findings appear",
     )
 
     return parser
@@ -410,14 +476,14 @@ def _cmd_analyze(args) -> int:
             _print_report(report, args.top)
             print()
 
-    status = 0
+    status = EXIT_OK
     failures = [f for report in bundle["reports"] for f in report["failures"]]
     if failures:
         if args.json:
             for failure in failures:
                 print(f"FAIL: {failure}", file=sys.stderr)
         print(f"error: {len(failures)} blocking finding(s)", file=sys.stderr)
-        status = 1
+        status = EXIT_BLOCKING
 
     if args.update_baseline:
         with open(args.update_baseline, "w") as fh:
@@ -430,7 +496,8 @@ def _cmd_analyze(args) -> int:
         if problems:
             for problem in problems:
                 print(f"baseline drift: {problem}", file=sys.stderr)
-            status = 1
+            if status == EXIT_OK:
+                status = EXIT_DRIFT
         else:
             print(f"baseline OK ({args.check_baseline})")
     return status
@@ -588,11 +655,11 @@ def _cmd_perfcheck(args) -> int:
         if bundle["flow"] is not None:
             _print_perf_report(bundle["flow"], args.top)
 
-    status = 0
+    status = EXIT_OK
     if bundle["failures"]:
         print(f"error: {len(bundle['failures'])} blocking finding(s)",
               file=sys.stderr)
-        status = 1
+        status = EXIT_BLOCKING
 
     if args.update_baseline:
         with open(args.update_baseline, "w") as fh:
@@ -605,14 +672,103 @@ def _cmd_perfcheck(args) -> int:
         if problems:
             for problem in problems:
                 print(f"baseline drift: {problem}", file=sys.stderr)
-            status = 1
+            if status == EXIT_OK:
+                status = EXIT_DRIFT
         else:
             print(f"baseline OK ({args.check_baseline})")
     return status
 
 
+def _print_plan_section(label: str, section: dict) -> None:
+    s = section["summary"]
+    print(f"  {label}: {s['planned_nodes']} nodes planned "
+          f"(dead {s['dead_eliminated']}, cse {s['cse_shared']}), "
+          f"{s['fusion_groups']} fusion groups ({s['fused_nodes']} nodes), "
+          f"{s['copy_elisions']} copies elided")
+    extra = (
+        f", grads {s['grad_slots']} slots, tape {s['tape_entries']}"
+        if s["tape_entries"]
+        else ""
+    )
+    print(f"    arena: {_mb(s['arena_bytes'])} in {s['arena_slots']} slots "
+          f"<= {s['bound_kind']} bound {_mb(s['bound_bytes'])}{extra}")
+    print(f"    plan {s['fingerprint'][:23]}… over graph "
+          f"{s['graph_fingerprint'][:23]}…")
+    for finding in section["findings"]:
+        print(f"    {finding['path']}:{finding['line']}: "
+              f"{finding['code']} {finding['message']}")
+
+
+def _cmd_plancheck(args) -> int:
+    import json
+
+    from .models.registry import MODEL_NAMES
+    from .schedule import (
+        baseline_from_plan_bundle,
+        check_schedule_baseline,
+        plan_registry,
+    )
+
+    models = MODEL_NAMES if args.model == "all" else (args.model,)
+    grids = tuple(args.grids or [64])
+    bundle = plan_registry(
+        models, preset=args.preset, grids=grids, backward=args.backward
+    )
+
+    if args.json:
+        print(json.dumps(bundle, indent=2))
+    else:
+        for report in bundle["reports"]:
+            print(f"{report['model']} (preset={report['preset']}, "
+                  f"grid={report['grid']}, batch={report['batch']})")
+            _print_plan_section("forward", report["forward"])
+            if "training" in report:
+                _print_plan_section("training", report["training"])
+            print()
+
+    status = EXIT_OK
+    if bundle["failures"]:
+        if args.json:
+            for failure in bundle["failures"]:
+                print(f"FAIL: {failure}", file=sys.stderr)
+        print(f"error: {len(bundle['failures'])} blocking finding(s)",
+              file=sys.stderr)
+        status = EXIT_BLOCKING
+    elif not args.json:
+        print("all plans verified (0 REPRO401-408 findings)")
+
+    if args.update_baseline:
+        with open(args.update_baseline, "w") as fh:
+            json.dump(baseline_from_plan_bundle(bundle), fh, indent=2)
+            fh.write("\n")
+        print(f"baseline written: {args.update_baseline}")
+    if args.check_baseline:
+        with open(args.check_baseline) as fh:
+            problems = check_schedule_baseline(bundle, json.load(fh))
+        if problems:
+            for problem in problems:
+                print(f"baseline drift: {problem}", file=sys.stderr)
+            if status == EXIT_OK:
+                status = EXIT_DRIFT
+        else:
+            print(f"baseline OK ({args.check_baseline})")
+    return status
+
+
+def _iter_finding_codes(obj):
+    """Every diagnostic code in a combined report (recursive walk)."""
+    if isinstance(obj, dict):
+        if "code" in obj and "message" in obj and isinstance(obj["code"], str):
+            yield obj["code"]
+        for value in obj.values():
+            yield from _iter_finding_codes(value)
+    elif isinstance(obj, (list, tuple)):
+        for value in obj:
+            yield from _iter_finding_codes(value)
+
+
 def _cmd_check(args) -> int:
-    """The unified gate: lint + analyze + gradcheck + perfcheck."""
+    """The unified gate: lint + analyze + gradcheck + perfcheck + plancheck."""
     import json
     from pathlib import Path
 
@@ -622,6 +778,7 @@ def _cmd_check(args) -> int:
     from .lint.rules import lint_paths
     from .lint.shapes import ShapeError, validate_registry_models
     from .perf import perfcheck_all
+    from .schedule import plan_registry
 
     failures: list[str] = []
 
@@ -649,6 +806,12 @@ def _cmd_check(args) -> int:
     )
     failures.extend(perf_bundle["failures"])
 
+    # 5. Execution-plan compilation + independent verification.
+    plan_bundle = plan_registry(
+        preset=args.preset, grids=(args.grid,), backward=True
+    )
+    failures.extend(plan_bundle["failures"])
+
     combined = {
         "schema": "repro.check/v1",
         "preset": args.preset,
@@ -660,8 +823,19 @@ def _cmd_check(args) -> int:
         "analyze": analyze_bundle,
         "gradcheck": gradcheck_bundle,
         "perfcheck": perf_bundle,
+        "plancheck": plan_bundle,
         "failures": failures,
     }
+    advisories: list[str] = []
+    if args.fail_on == "advisory":
+        from .diagnostics import all_codes
+
+        registered = all_codes()
+        advisories = sorted(
+            code
+            for code in set(_iter_finding_codes(combined))
+            if code in registered and not registered[code].blocking
+        )
     if args.json:
         print(json.dumps(combined, indent=2))
     else:
@@ -672,6 +846,7 @@ def _cmd_check(args) -> int:
             ("gradcheck", sum(len(r["failures"])
                               for r in gradcheck_bundle["reports"])),
             ("perfcheck", len(perf_bundle["failures"])),
+            ("plancheck", len(plan_bundle["failures"])),
         )
         for name, count in sections:
             print(f"{name}: {'OK' if not count else f'{count} failure(s)'}")
@@ -680,10 +855,17 @@ def _cmd_check(args) -> int:
     if failures:
         print(f"error: {len(failures)} blocking finding(s) across the gate",
               file=sys.stderr)
-        return 1
+        return EXIT_BLOCKING
+    if advisories:
+        print(
+            f"error: --fail-on advisory: {len(advisories)} advisory "
+            f"code(s) present ({', '.join(advisories)})",
+            file=sys.stderr,
+        )
+        return EXIT_BLOCKING
     if not args.json:
         print("check OK")
-    return 0
+    return EXIT_OK
 
 
 _COMMANDS = {
@@ -697,13 +879,23 @@ _COMMANDS = {
     "analyze": _cmd_analyze,
     "gradcheck": _cmd_gradcheck,
     "perfcheck": _cmd_perfcheck,
+    "plancheck": _cmd_plancheck,
     "check": _cmd_check,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except (KeyboardInterrupt, SystemExit):
+        raise
+    except Exception:  # the contract: unexpected crashes exit 4, not 1
+        import traceback
+
+        traceback.print_exc()
+        print("error: internal error (see traceback above)", file=sys.stderr)
+        return EXIT_INTERNAL
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,10 +1,11 @@
 """Single allocation point for every ``REPROxxx`` diagnostic code.
 
-Four analysis components share one code namespace — the AST lint rules
+Five analysis components share one code namespace — the AST lint rules
 (:mod:`repro.lint`, ``REPRO0xx``), the forward-IR passes
 (:mod:`repro.ir`, ``REPRO1xx``), the adjoint/backward passes
-(:mod:`repro.adjoint`, ``REPRO2xx``) and the static performance
-analyzer (:mod:`repro.perf`, ``REPRO3xx``).  Before this registry each
+(:mod:`repro.adjoint`, ``REPRO2xx``), the static performance
+analyzer (:mod:`repro.perf`, ``REPRO3xx``) and the execution-plan
+verifier (:mod:`repro.schedule`, ``REPRO4xx``).  Before this registry each
 component kept its own table, which is exactly how two PRs end up
 assigning the same code to different rules.  Now every code is declared
 here, :func:`register_code` raises on a duplicate assignment, and the
@@ -39,7 +40,7 @@ class DiagnosticSpec:
 
     code: str
     message: str
-    component: str  # "lint" | "ir" | "adjoint"
+    component: str  # "lint" | "ir" | "adjoint" | "perf" | "schedule"
     blocking: bool = True
 
 
@@ -263,4 +264,51 @@ register_code(
     "(mixed dtypes); keep operand dtypes equal or use bincount",
     component="perf",
     blocking=False,
+)
+
+# Execution-plan verifier (repro.schedule.verify) — 4xx.  Every code is
+# blocking: a plan that trips any of these is unsafe to replay and the
+# executor must fall back to eager evaluation.  The verifier re-derives
+# each property from the traced graph alone — it shares no legality
+# reasoning with the compiler, so a compiler bug cannot also blind the
+# check that would have caught it.
+register_code(
+    "REPRO401",
+    "overlapping live ranges assigned overlapping arena addresses",
+    component="schedule",
+)
+register_code(
+    "REPRO402",
+    "fusion group crosses an aliasing or multi-consumer edge",
+    component="schedule",
+)
+register_code(
+    "REPRO403",
+    "elided copy whose source is read or retained after the copy",
+    component="schedule",
+)
+register_code(
+    "REPRO404",
+    "plan/graph topology mismatch (missing, dead, unknown or misclaimed node)",
+    component="schedule",
+)
+register_code(
+    "REPRO405",
+    "plan ordering is not the canonical deterministic schedule",
+    component="schedule",
+)
+register_code(
+    "REPRO406",
+    "arena size exceeds the memory planner's peak bound",
+    component="schedule",
+)
+register_code(
+    "REPRO407",
+    "dtype pin contradicts the traced dtype lattice",
+    component="schedule",
+)
+register_code(
+    "REPRO408",
+    "stale plan: fingerprint does not match the graph or plan content",
+    component="schedule",
 )

@@ -1,0 +1,58 @@
+"""Verified execution-plan compilation over the tensor IR.
+
+The static half of the IR-compiled execution engine (see ROADMAP):
+
+* :mod:`repro.schedule.plan` — the ``repro.schedule/v1``
+  :class:`ExecutionPlan` artifact: canonical order, fusion groups with
+  legality proofs, arena buffer assignment, copy-elision certificates,
+  dtype pins, content + graph fingerprints.
+* :mod:`repro.schedule.compiler` — :func:`compile_plan`: turns a traced
+  :class:`repro.ir.Graph` (and optionally its autograd tape) into a
+  sealed plan, folding in the REPRO106/107/303/305 analyses as
+  *decisions* instead of advisories.
+* :mod:`repro.schedule.verify` — :func:`verify_plan`: an independent
+  translation-validation pass that re-derives every safety claim from
+  the graph alone and emits blocking REPRO401–408 findings.
+* :mod:`repro.schedule.report` — the ``repro plancheck`` drivers and
+  the ``benchmarks/schedule_baseline.json`` slice.
+
+The compiler and verifier intentionally share no legality reasoning;
+``SCHEDULE_RULES`` is the registry view of the 4xx codes.
+"""
+
+from repro.diagnostics import codes_for
+
+from .compiler import compile_plan
+from .plan import (
+    SCHEMA,
+    ArenaSlot,
+    CopyElision,
+    ExecutionPlan,
+    FusionGroup,
+    graph_fingerprint,
+)
+from .report import (
+    baseline_from_plan_bundle,
+    check_schedule_baseline,
+    plan_model,
+    plan_registry,
+)
+from .verify import verify_plan
+
+__all__ = [
+    "SCHEMA",
+    "SCHEDULE_RULES",
+    "ExecutionPlan",
+    "FusionGroup",
+    "ArenaSlot",
+    "CopyElision",
+    "graph_fingerprint",
+    "compile_plan",
+    "verify_plan",
+    "plan_model",
+    "plan_registry",
+    "baseline_from_plan_bundle",
+    "check_schedule_baseline",
+]
+
+SCHEDULE_RULES = codes_for("schedule")

@@ -1,0 +1,397 @@
+"""The plan compiler: traced graph (+ optional tape) -> :class:`ExecutionPlan`.
+
+``compile_plan`` cashes in the analysis stack built by PRs 3–5.  The
+advisory passes (REPRO106/107 dead/CSE, REPRO303 redundant copies,
+REPRO305 fusion chains) describe *opportunities*; this module turns the
+same reasoning into *decisions* recorded in a serializable artifact:
+
+1. **Dead elimination** — op nodes unreachable from any output are
+   excluded from the execution order entirely.
+2. **CSE sharing** — structurally identical materialized subgraphs are
+   computed once: every duplicate maps to its representative and the
+   two share one arena slot (the representative's).
+3. **Fusion groups** — maximal single-consumer elementwise chains, each
+   with an explicit legality proof (single consumer per interior link,
+   uniform dtype and element count, no view of an interior escaping).
+4. **Arena coloring** — every materialized SSA value gets an offset in
+   one preallocated arena, assigned by address-ordered best-fit over
+   scope-extended liveness intervals (the same lifetime rules the PR 3/4
+   planners use, so the arena is comparable to — and checked against —
+   their peak-memory bound).
+5. **Copy elision** — ``copy`` nodes whose source is a private
+   intermediate with no later reader become zero-cost aliases, each
+   carrying a :class:`~repro.schedule.plan.CopyElision` certificate.
+6. **Dtype pinning** — every planned node is pinned to the dtype the
+   trace derived, and the whole plan to the traced default dtype.
+
+With a ``tape`` (from :func:`repro.ir.trace.trace_tape`) the plan covers
+a full training step: liveness honours tape retention (every tape output
+survives to the end of the backward walk; closure captures survive until
+their closure runs; dead-branch captures leak to the end, exactly as the
+runtime behaves), gradient buffers join the arena, and the arena is
+checked against ``plan_training_memory`` instead of ``plan_memory``.
+
+The compiler is deliberately *not* trusted: :mod:`repro.schedule.verify`
+re-derives every safety property above from the graph alone, with no
+shared legality code, and rejects the plan (REPRO401–408) if anything
+here is wrong.
+"""
+
+from __future__ import annotations
+
+from repro.ir.graph import Graph
+from repro.ir.memory import plan_memory
+from repro.ir.trace import TapeEntry
+
+from .plan import ArenaSlot, CopyElision, ExecutionPlan, FusionGroup, graph_fingerprint
+
+__all__ = ["compile_plan", "FUSABLE_OPS"]
+
+# Materialized elementwise primitives a fused kernel can chain.  This is
+# the same op universe the REPRO305 advisory prices; the verifier keeps
+# its own independent copy (repro.schedule.verify._POINTWISE).
+FUSABLE_OPS = frozenset(
+    {
+        "add", "subtract", "multiply", "divide", "negative", "exp", "log",
+        "sqrt", "tanh", "abs", "power", "maximum", "minimum", "where",
+        "clip", "square",
+    }
+)
+
+_END = "end"  # symbolic "after the last timeline position"
+
+
+def _reachable_ops(graph: Graph) -> set[int]:
+    """Op nodes from which some graph output is reachable (backwards)."""
+    seen: set[int] = set()
+    stack = list(graph.outputs) + [graph.buffer_of(o) for o in graph.outputs]
+    while stack:
+        nid = stack.pop()
+        if nid in seen:
+            continue
+        seen.add(nid)
+        node = graph[nid]
+        stack.extend(node.inputs)
+        if node.alias_of is not None:
+            stack.append(node.alias_of)
+    return {nid for nid in seen if graph[nid].kind == "op"}
+
+
+def _intern_cse(graph: Graph, reachable: set[int]) -> dict[int, int]:
+    """Map each duplicate materialized op node to its representative.
+
+    Structural interning mirrors the REPRO107 analysis: two op nodes are
+    one value when op, attrs, dtype, shape and (recursively interned)
+    operands agree; leaves are identified by node id.  Only reachable,
+    materialized (bytes > 0) duplicates are eliminated — a duplicate
+    view costs nothing, and eliminating an unreachable node is the dead
+    pass's job.
+    """
+    interned: dict[tuple, int] = {}
+    keys: dict[int, int] = {}
+    first_of: dict[int, int] = {}
+    mapping: dict[int, int] = {}
+    for node in graph:
+        if node.kind != "op":
+            keys[node.id] = -node.id - 1
+            continue
+        key = (
+            node.op,
+            node.attrs,
+            node.dtype.str,
+            node.shape,
+            tuple(keys[i] for i in node.inputs),
+        )
+        gid = interned.setdefault(key, len(interned))
+        keys[node.id] = gid
+        if node.id not in reachable:
+            continue
+        rep = first_of.setdefault(gid, node.id)
+        if rep != node.id and node.bytes > 0:
+            mapping[node.id] = rep
+    return mapping
+
+
+def compile_plan(
+    graph: Graph,
+    tape: list[TapeEntry] | None = None,
+    *,
+    min_fuse: int = 2,
+) -> ExecutionPlan:
+    """Compile a verified-replay plan for ``graph`` (and optional tape)."""
+    n = len(graph)
+    t = len(tape) if tape else 0
+    end = n + t  # one timeline: forward node positions, then tape reversed
+
+    def backward_pos(index: int) -> int:
+        return n + (t - 1 - index)
+
+    reachable = _reachable_ops(graph)
+    cse = _intern_cse(graph, reachable)
+
+    def canon(nid: int) -> int:
+        """Buffer a value's reads actually land on: views resolved onto
+        their buffer, duplicates onto their representative."""
+        buf = graph.buffer_of(nid)
+        return cse.get(buf, buf)
+
+    order = tuple(
+        node.id
+        for node in graph
+        if node.kind == "op" and node.id in reachable and node.id not in cse
+    )
+    order_set = set(order)
+    dead = tuple(
+        node.id
+        for node in graph
+        if node.kind == "op" and node.id not in reachable
+    )
+
+    # -- liveness intervals --------------------------------------------------
+    # Replay lifetimes are *minimal*: a value lives from its defining
+    # step to its last read (plus output / tape retention).  The eager
+    # planners additionally model Python locals pinning buffers to scope
+    # exit; a plan replay has no locals, which is part of why the arena
+    # fits under their peak even with fragmentation.
+    born: dict[int, int] = {}
+    dies: dict[int, int] = {}
+    for nid in order:
+        node = graph[nid]
+        if node.bytes > 0:
+            born[nid] = nid
+            dies[nid] = nid
+    for nid in order:
+        for input_id in graph[nid].inputs:
+            buf = canon(input_id)
+            if buf in dies:
+                dies[buf] = max(dies[buf], nid)
+    live_out = {canon(o) for o in graph.outputs}
+    for buf in live_out:
+        if buf in dies:
+            dies[buf] = end
+
+    # -- training: tape retention + gradient buffers ---------------------------
+    tape_pinned: set[int] = set()
+    grad_born: dict[int, int] = {}
+    backward_order: tuple[int, ...] = ()
+    if tape:
+        by_out = {entry.out: entry for entry in tape}
+        reachable_entries: set[int] = set()
+        stack = [by_out[o] for o in graph.outputs if o in by_out]
+        while stack:
+            entry = stack.pop()
+            if entry.index in reachable_entries:
+                continue
+            reachable_entries.add(entry.index)
+            for pid, requires in zip(entry.parents, entry.parent_requires_grad):
+                if requires and pid in by_out:
+                    stack.append(by_out[pid])
+        backward_order = tuple(
+            entry.index
+            for entry in reversed(tape)
+            if entry.index in reachable_entries
+        )
+        for entry in tape:
+            # backward() holds every tape tensor until the walk finishes.
+            out_buf = canon(entry.out)
+            tape_pinned.add(out_buf)
+            if out_buf in dies:
+                dies[out_buf] = end
+            # Captures die when their closure runs; dead-branch closures
+            # never run, so their captures survive the whole step.
+            pos = (
+                backward_pos(entry.index)
+                if entry.index in reachable_entries
+                else end
+            )
+            for group in (entry.parents, entry.captured):
+                for nid in group:
+                    if nid is None:
+                        continue
+                    buf = canon(nid)
+                    tape_pinned.add(buf)
+                    if buf in dies:
+                        dies[buf] = max(dies[buf], pos)
+        grad_born = {o: n for o in graph.outputs}
+        for entry in tape:
+            if entry.index not in reachable_entries:
+                continue
+            pos = backward_pos(entry.index)
+            for pid, requires in zip(entry.parents, entry.parent_requires_grad):
+                if requires and pid is not None:
+                    grad_born[pid] = min(grad_born.get(pid, end), pos)
+
+    # -- copy elision ----------------------------------------------------------
+    # A `copy` may become an alias when its source is a private op
+    # intermediate nobody reads afterwards (and, in a training plan, no
+    # backward closure retains).  `copy_reshape` is excluded: it
+    # materializes precisely because the source is non-contiguous, so an
+    # alias would not be layout-equivalent.
+    last_read: dict[int, int] = {}
+    for nid in order:
+        for input_id in graph[nid].inputs:
+            buf = canon(input_id)
+            last_read[buf] = max(last_read.get(buf, buf), nid)
+
+    elisions: list[CopyElision] = []
+    elided_to: dict[int, int] = {}  # copy node -> source buffer it aliases
+    for nid in order:
+        node = graph[nid]
+        if node.op != "copy" or node.bytes <= 0:
+            continue
+        src_buf = canon(node.inputs[0])
+        src = graph[src_buf]
+        if (
+            src.kind == "op"
+            and src.bytes > 0
+            and src_buf in born
+            and src.dtype == node.dtype
+            and src.size == node.size
+            and src_buf not in live_out
+            and src_buf not in tape_pinned
+            and last_read.get(src_buf, nid) == nid
+        ):
+            elisions.append(CopyElision(copy=nid, source=src_buf))
+            elided_to[nid] = src_buf
+            # The alias extends the source's residency over every use of
+            # the (former) copy; the two share one arena slot.
+            dies[src_buf] = max(dies[src_buf], dies.pop(nid, nid))
+            born.pop(nid, None)
+
+    # -- fusion groups ---------------------------------------------------------
+    # Direct value -> consumer map with CSE applied: a read of a
+    # duplicate is a read of its representative.
+    consumers: dict[int, list[int]] = {nid: [] for nid in order}
+    for nid in order:
+        for input_id in graph[nid].inputs:
+            target = cse.get(input_id, input_id)
+            if target in consumers:
+                consumers[target].append(nid)
+
+    def fusable(nid: int) -> bool:
+        node = graph[nid]
+        return node.op in FUSABLE_OPS and node.bytes > 0 and nid not in elided_to
+
+    next_link: dict[int, int] = {}
+    for nid in order:
+        if not fusable(nid):
+            continue
+        # Linking *from* nid makes it a fused interior (a kernel
+        # temporary): it must be a pure transient — not a graph output
+        # and not retained by any backward closure.
+        if nid in live_out or nid in tape_pinned:
+            continue
+        users = consumers[nid]
+        if len(users) != 1:
+            continue
+        succ = graph[users[0]]
+        if (
+            fusable(succ.id)
+            and succ.size == graph[nid].size
+            and succ.dtype == graph[nid].dtype
+        ):
+            next_link[nid] = succ.id
+    has_pred = set(next_link.values())
+
+    groups: list[FusionGroup] = []
+    for nid in order:
+        if nid in has_pred or nid not in next_link:
+            continue
+        chain = [nid]
+        while chain[-1] in next_link:
+            chain.append(next_link[chain[-1]])
+        if len(chain) < min_fuse:
+            continue
+        head = graph[chain[0]]
+        groups.append(
+            FusionGroup(
+                nodes=tuple(chain),
+                ops=tuple(graph[c].op for c in chain),
+                proof={
+                    "single_consumer": True,
+                    "uniform_dtype": head.dtype.name,
+                    "uniform_size": head.size,
+                    "no_view_escape": not any(
+                        node.alias_of in chain[:-1] for node in graph
+                    ),
+                    "no_alias_consumer": True,
+                    "transient_bytes": sum(
+                        graph[c].bytes for c in chain[:-1]
+                    ),
+                },
+            )
+        )
+
+    # -- arena coloring --------------------------------------------------------
+    # Greedy-by-size dynamic storage allocation (the TFLite/TVM arena
+    # heuristic): place the fattest intervals first at the lowest offset
+    # that collides with no already-placed, lifetime-overlapping slot.
+    # Deterministic tie-break by (size desc, born, key).
+    slot_intervals = [
+        (graph[buf].bytes, born[buf], dies[buf], buf) for buf in born
+    ]
+    for pid, at in sorted(grad_born.items()):
+        node = graph[pid]
+        nbytes = node.size * node.dtype.itemsize
+        slot_intervals.append((nbytes, at, end, -pid - 1))  # grads keyed <0
+
+    arena_slots: dict[int, ArenaSlot] = {}
+    grad_slots: dict[int, ArenaSlot] = {}
+    placed: list[tuple[int, int, int, int]] = []  # (offset, size, born, dies)
+    arena_bytes = 0
+    for nbytes, b, d, key in sorted(
+        slot_intervals, key=lambda s: (-s[0], s[1], s[3])
+    ):
+        conflicts = sorted(
+            (off, sz)
+            for off, sz, b2, d2 in placed
+            if b <= d2 and b2 <= d  # lifetimes overlap: must not touch
+        )
+        offset = 0
+        for off, sz in conflicts:
+            if off - offset >= nbytes:
+                break  # first gap low enough and wide enough
+            offset = max(offset, off + sz)
+        placed.append((offset, nbytes, b, d))
+        arena_bytes = max(arena_bytes, offset + nbytes)
+        slot = ArenaSlot(offset=offset, bytes=nbytes)
+        if key >= 0:
+            arena_slots[key] = slot
+        else:
+            grad_slots[-key - 1] = slot
+
+    # -- memory-planner bound --------------------------------------------------
+    if tape:
+        from repro.adjoint.memory import plan_training_memory
+
+        bound = plan_training_memory(graph, tape)["train_peak_bytes"]
+        bound_kind = "plan_training_memory"
+    else:
+        bound = plan_memory(graph)["peak_bytes"]
+        bound_kind = "plan_memory"
+
+    dtype_pin = graph.meta.get("dtype", "")
+    plan = ExecutionPlan(
+        model=graph.meta.get("model", ""),
+        preset=graph.meta.get("preset", ""),
+        grid=int(graph.meta.get("grid", 0)),
+        batch=int(graph.meta.get("batch", 1)),
+        direction="training" if tape else "forward",
+        graph_fingerprint=graph_fingerprint(graph),
+        dtype_pin=dtype_pin,
+        node_pins={nid: graph[nid].dtype.name for nid in order},
+        order=order,
+        dead=dead,
+        cse=dict(sorted(cse.items())),
+        fusion_groups=tuple(groups),
+        arena_slots=arena_slots,
+        arena_bytes=arena_bytes,
+        bound_bytes=int(bound),
+        bound_kind=bound_kind,
+        copy_elisions=tuple(elisions),
+        tape_entries=t,
+        backward_order=backward_order,
+        grad_slots=grad_slots,
+    )
+    assert len(order_set) == len(order)
+    return plan.seal()

@@ -1,0 +1,294 @@
+"""The :class:`ExecutionPlan` artifact (schema ``repro.schedule/v1``).
+
+A plan is the *static half* of an IR-compiled execution engine: a
+deterministic, JSON-serializable description of how a traced
+:class:`repro.ir.Graph` should be replayed — which nodes run (and in
+what canonical order), which elementwise chains fuse into one kernel,
+where every SSA value lives inside one preallocated arena, which
+``copy`` nodes are elided into aliases, and the dtype every step is
+pinned to.  Nothing in the plan is advisory: every claim carries enough
+structure for :mod:`repro.schedule.verify` to re-derive its safety from
+the graph alone and reject the plan if anything fails (REPRO401–408).
+
+Two fingerprints tie the artifact down:
+
+* ``graph_fingerprint`` — a SHA-256 over the canonical structure of the
+  traced graph (op, inputs, shape, dtype, aliasing, attrs; *not* source
+  paths, so the hash is machine-portable).  A plan replayed against a
+  graph with a different fingerprint is stale (REPRO408).
+* ``fingerprint`` — a SHA-256 over the canonical JSON of the plan's own
+  content.  Any post-compile tampering breaks it (also REPRO408).
+
+Serialization is canonical: ``to_json`` emits sorted keys and int-keyed
+maps as decimal strings, so two independent compilations of the same
+graph produce byte-identical artifacts (the determinism regression in
+``tests/schedule`` pins this).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from repro.ir.graph import Graph
+
+__all__ = [
+    "SCHEMA",
+    "ExecutionPlan",
+    "FusionGroup",
+    "ArenaSlot",
+    "CopyElision",
+    "graph_fingerprint",
+]
+
+SCHEMA = "repro.schedule/v1"
+
+
+def graph_fingerprint(graph: Graph) -> str:
+    """Machine-portable structural hash of a traced graph.
+
+    Covers everything the executor semantics depend on — op identity,
+    operand wiring, shapes, dtypes, aliasing, structural attributes,
+    node kinds and the output list — and deliberately excludes source
+    paths and scopes (attribution metadata that varies across checkouts
+    but never changes what the graph computes).
+    """
+    h = hashlib.sha256()
+    for node in graph:
+        h.update(
+            repr(
+                (
+                    node.id,
+                    node.op,
+                    node.inputs,
+                    node.shape,
+                    node.dtype.str,
+                    node.alias_of,
+                    node.kind,
+                    node.attrs,
+                )
+            ).encode()
+        )
+    h.update(repr(tuple(graph.outputs)).encode())
+    return f"sha256:{h.hexdigest()}"
+
+
+@dataclass(frozen=True)
+class FusionGroup:
+    """One fused elementwise chain with its explicit legality proof.
+
+    ``nodes`` lists the chain members in execution order.  ``proof``
+    records the properties the compiler established (single consumer
+    per interior link, uniform dtype/element count, no view of an
+    interior escaping the group).  The verifier does not *trust* the
+    proof — it re-derives every property — but the proof makes the
+    compiler's claim explicit and auditable in the artifact.
+    """
+
+    nodes: tuple[int, ...]
+    ops: tuple[str, ...]
+    proof: dict
+
+    def to_dict(self) -> dict:
+        return {
+            "nodes": list(self.nodes),
+            "ops": list(self.ops),
+            "proof": dict(self.proof),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FusionGroup":
+        return cls(
+            nodes=tuple(int(n) for n in d["nodes"]),
+            ops=tuple(d["ops"]),
+            proof=dict(d["proof"]),
+        )
+
+
+@dataclass(frozen=True)
+class ArenaSlot:
+    """One SSA value's home inside the preallocated arena."""
+
+    offset: int
+    bytes: int
+
+    def to_dict(self) -> dict:
+        return {"offset": self.offset, "bytes": self.bytes}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ArenaSlot":
+        return cls(offset=int(d["offset"]), bytes=int(d["bytes"]))
+
+
+@dataclass(frozen=True)
+class CopyElision:
+    """Certificate that one ``copy`` node may become a zero-cost alias.
+
+    ``copy`` is the copy node, ``source`` the buffer it would have
+    duplicated.  The certificate asserts the conditions under which
+    aliasing is observationally equivalent to copying: the source is a
+    private intermediate (never caller-visible), nothing reads it after
+    the copy, and — for training plans — no backward closure retains it.
+    """
+
+    copy: int
+    source: int
+
+    def to_dict(self) -> dict:
+        return {"copy": self.copy, "source": self.source}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "CopyElision":
+        return cls(copy=int(d["copy"]), source=int(d["source"]))
+
+
+@dataclass
+class ExecutionPlan:
+    """A compiled, verifiable replay recipe for one traced graph."""
+
+    model: str
+    preset: str
+    grid: int
+    batch: int
+    direction: str  # "forward" | "training"
+    graph_fingerprint: str
+    dtype_pin: str  # plan-wide execution dtype (the traced default)
+    node_pins: dict[int, str]  # node id -> pinned result dtype
+    order: tuple[int, ...]  # canonical execution order (op nodes)
+    dead: tuple[int, ...]  # op nodes excluded as dead (REPRO106)
+    cse: dict[int, int]  # duplicate op node -> representative (REPRO107)
+    fusion_groups: tuple[FusionGroup, ...]
+    arena_slots: dict[int, ArenaSlot]  # buffer node -> arena placement
+    arena_bytes: int
+    bound_bytes: int  # the PR 3/4 memory-planner bound checked against
+    bound_kind: str  # "plan_memory" | "plan_training_memory"
+    copy_elisions: tuple[CopyElision, ...]
+    tape_entries: int = 0  # training plans: tape length
+    backward_order: tuple[int, ...] = ()  # reachable tape indices, reversed
+    grad_slots: dict[int, ArenaSlot] = field(default_factory=dict)
+    fingerprint: str = ""  # content hash; filled by seal()
+
+    # -- serialization ---------------------------------------------------------
+
+    def _content_dict(self) -> dict:
+        """Everything except the self-hash, in canonical form."""
+        return {
+            "schema": SCHEMA,
+            "model": self.model,
+            "preset": self.preset,
+            "grid": self.grid,
+            "batch": self.batch,
+            "direction": self.direction,
+            "graph_fingerprint": self.graph_fingerprint,
+            "dtype_pin": self.dtype_pin,
+            "node_pins": {str(k): v for k, v in sorted(self.node_pins.items())},
+            "order": list(self.order),
+            "eliminated": {
+                "dead": list(self.dead),
+                "cse": {str(k): v for k, v in sorted(self.cse.items())},
+            },
+            "fusion_groups": [g.to_dict() for g in self.fusion_groups],
+            "arena": {
+                "bytes": self.arena_bytes,
+                "bound_bytes": self.bound_bytes,
+                "bound_kind": self.bound_kind,
+                "slots": {
+                    str(k): v.to_dict()
+                    for k, v in sorted(self.arena_slots.items())
+                },
+            },
+            "copy_elisions": [e.to_dict() for e in self.copy_elisions],
+            "tape_entries": self.tape_entries,
+            "backward_order": list(self.backward_order),
+            "grad_slots": {
+                str(k): v.to_dict() for k, v in sorted(self.grad_slots.items())
+            },
+        }
+
+    def seal(self) -> "ExecutionPlan":
+        """Stamp the content fingerprint; returns self for chaining."""
+        payload = json.dumps(
+            self._content_dict(), sort_keys=True, separators=(",", ":")
+        )
+        self.fingerprint = f"sha256:{hashlib.sha256(payload.encode()).hexdigest()}"
+        return self
+
+    def to_dict(self) -> dict:
+        d = self._content_dict()
+        d["fingerprint"] = self.fingerprint
+        return d
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ExecutionPlan":
+        if d.get("schema") != SCHEMA:
+            raise ValueError(
+                f"not a {SCHEMA} plan (schema={d.get('schema')!r})"
+            )
+        arena = d["arena"]
+        eliminated = d["eliminated"]
+        return cls(
+            model=d["model"],
+            preset=d["preset"],
+            grid=int(d["grid"]),
+            batch=int(d["batch"]),
+            direction=d["direction"],
+            graph_fingerprint=d["graph_fingerprint"],
+            dtype_pin=d["dtype_pin"],
+            node_pins={int(k): v for k, v in d["node_pins"].items()},
+            order=tuple(int(n) for n in d["order"]),
+            dead=tuple(int(n) for n in eliminated["dead"]),
+            cse={int(k): int(v) for k, v in eliminated["cse"].items()},
+            fusion_groups=tuple(
+                FusionGroup.from_dict(g) for g in d["fusion_groups"]
+            ),
+            arena_slots={
+                int(k): ArenaSlot.from_dict(v)
+                for k, v in arena["slots"].items()
+            },
+            arena_bytes=int(arena["bytes"]),
+            bound_bytes=int(arena["bound_bytes"]),
+            bound_kind=arena["bound_kind"],
+            copy_elisions=tuple(
+                CopyElision.from_dict(e) for e in d["copy_elisions"]
+            ),
+            tape_entries=int(d.get("tape_entries", 0)),
+            backward_order=tuple(int(i) for i in d.get("backward_order", ())),
+            grad_slots={
+                int(k): ArenaSlot.from_dict(v)
+                for k, v in d.get("grad_slots", {}).items()
+            },
+            fingerprint=d.get("fingerprint", ""),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExecutionPlan":
+        return cls.from_dict(json.loads(text))
+
+    # -- summaries -------------------------------------------------------------
+
+    def fused_nodes(self) -> int:
+        return sum(len(g.nodes) for g in self.fusion_groups)
+
+    def summary(self) -> dict:
+        """The small stat block reports and baselines are built from."""
+        return {
+            "direction": self.direction,
+            "planned_nodes": len(self.order),
+            "dead_eliminated": len(self.dead),
+            "cse_shared": len(self.cse),
+            "fusion_groups": len(self.fusion_groups),
+            "fused_nodes": self.fused_nodes(),
+            "copy_elisions": len(self.copy_elisions),
+            "arena_bytes": self.arena_bytes,
+            "bound_bytes": self.bound_bytes,
+            "bound_kind": self.bound_kind,
+            "arena_slots": len(self.arena_slots),
+            "grad_slots": len(self.grad_slots),
+            "tape_entries": self.tape_entries,
+            "fingerprint": self.fingerprint,
+            "graph_fingerprint": self.graph_fingerprint,
+        }

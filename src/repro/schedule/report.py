@@ -1,0 +1,215 @@
+"""``repro plancheck`` drivers: compile + verify plans, report, baseline.
+
+One report per registry model per grid: the forward plan (and, with
+``backward=True``, the training plan over the autograd tape), each
+compiled by :func:`repro.schedule.compiler.compile_plan` and immediately
+re-checked by the independent :func:`repro.schedule.verify.verify_plan`.
+Any REPRO401–408 finding is a *failure* — a verified-plan contract
+violation, not an advisory.
+
+The baseline slice (``benchmarks/schedule_baseline.json``) pins the
+deterministic skeleton of every plan — node/fusion/elision counts,
+arena and bound bytes, and the full plan fingerprint — so CI catches
+both semantic drift (a pass got more or less aggressive) and
+nondeterminism (same graph, different artifact) in one exact diff.
+"""
+
+from __future__ import annotations
+
+from repro.diagnostics import is_blocking
+from repro.ir.report import serialize_finding
+
+from .compiler import compile_plan
+from .plan import SCHEMA, ExecutionPlan
+from .verify import verify_plan
+
+__all__ = [
+    "SCHEMA",
+    "plan_model",
+    "plan_registry",
+    "baseline_from_plan_bundle",
+    "check_schedule_baseline",
+]
+
+
+def _traced(model_name: str, *, preset: str, grid: int, batch: int,
+            backward: bool):
+    """Trace once; return (graph, tape-or-None) with plan metadata set."""
+    from repro.models.registry import build_model
+
+    model = build_model(model_name, preset=preset, grid=grid)
+    shape = (batch, 6, grid, grid)
+    if backward:
+        from repro.ir.trace import trace_tape
+
+        graph, tape = trace_tape(
+            model, shape, input_vrange=(0.0, 1.0), name=model_name
+        )
+    else:
+        from repro.ir.trace import trace
+
+        graph = trace(
+            model, shape, input_vrange=(0.0, 1.0), name=model_name
+        )
+        tape = None
+    graph.meta.update({"preset": preset, "grid": grid, "batch": batch})
+    return graph, tape
+
+
+def _section(plan: ExecutionPlan, findings) -> dict:
+    return {
+        "summary": plan.summary(),
+        "plan": plan.to_dict(),
+        "findings": [serialize_finding(f) for f in findings],
+    }
+
+
+def plan_model(
+    model_name: str,
+    *,
+    preset: str = "fast",
+    grid: int = 64,
+    batch: int = 1,
+    backward: bool = False,
+) -> dict:
+    """Compile + verify plan(s) for one registry model (JSON-ready)."""
+    graph, tape = _traced(
+        model_name, preset=preset, grid=grid, batch=batch, backward=backward
+    )
+    forward_plan = compile_plan(graph)
+    all_findings = list(verify_plan(forward_plan, graph))
+    report = {
+        "schema": SCHEMA,
+        "model": model_name,
+        "preset": preset,
+        "grid": grid,
+        "batch": batch,
+        "forward": _section(forward_plan, all_findings),
+    }
+    if tape is not None:
+        training_plan = compile_plan(graph, tape)
+        training_findings = verify_plan(training_plan, graph, tape)
+        report["training"] = _section(training_plan, training_findings)
+        all_findings.extend(training_findings)
+    report["failures"] = [
+        str(f) for f in all_findings if is_blocking(f.code)
+    ]
+    return report
+
+
+def plan_registry(
+    models=None,
+    *,
+    preset: str = "fast",
+    grids=(64,),
+    batch: int = 1,
+    backward: bool = False,
+) -> dict:
+    """Plan every requested model at every grid; one combined bundle."""
+    from repro.models.registry import MODEL_NAMES
+
+    reports = [
+        plan_model(
+            name, preset=preset, grid=grid, batch=batch, backward=backward
+        )
+        for name in (models or MODEL_NAMES)
+        for grid in grids
+    ]
+    codes = sorted(
+        {
+            f["code"]
+            for r in reports
+            for section in ("forward", "training")
+            if section in r
+            for f in r[section]["findings"]
+        }
+    )
+    return {
+        "schema": SCHEMA,
+        "reports": reports,
+        "distinct_codes": codes,
+        "failures": [f for r in reports for f in r["failures"]],
+    }
+
+
+def baseline_from_plan_bundle(bundle: dict) -> dict:
+    """Reduce a plancheck bundle to the invariant slice CI pins.
+
+    Everything recorded is deterministic by construction: counts, byte
+    totals, and the sealed plan fingerprints.  A fingerprint change with
+    unchanged counts is exactly the nondeterminism/semantic-drift signal
+    this baseline exists to catch.
+    """
+    entries = []
+    for report in bundle["reports"]:
+        fwd = report["forward"]["summary"]
+        entry = {
+            "model": report["model"],
+            "preset": report["preset"],
+            "grid": report["grid"],
+            "planned_nodes": fwd["planned_nodes"],
+            "dead_eliminated": fwd["dead_eliminated"],
+            "cse_shared": fwd["cse_shared"],
+            "fusion_groups": fwd["fusion_groups"],
+            "fused_nodes": fwd["fused_nodes"],
+            "copy_elisions": fwd["copy_elisions"],
+            "arena_bytes": fwd["arena_bytes"],
+            "bound_bytes": fwd["bound_bytes"],
+            "plan_fingerprint": fwd["fingerprint"],
+        }
+        if "training" in report:
+            train = report["training"]["summary"]
+            entry.update(
+                {
+                    "tape_entries": train["tape_entries"],
+                    "grad_slots": train["grad_slots"],
+                    "train_copy_elisions": train["copy_elisions"],
+                    "train_arena_bytes": train["arena_bytes"],
+                    "train_bound_bytes": train["bound_bytes"],
+                    "train_plan_fingerprint": train["fingerprint"],
+                }
+            )
+        entries.append(entry)
+    return {"schema": SCHEMA, "entries": entries}
+
+
+def check_schedule_baseline(bundle: dict, baseline: dict) -> list[str]:
+    """Exact-match diff of the plan slice; returns mismatch messages."""
+    current = {
+        (e["model"], e["preset"], e["grid"]): e
+        for e in baseline_from_plan_bundle(bundle)["entries"]
+    }
+    expected = {
+        (e["model"], e["preset"], e["grid"]): e
+        for e in baseline.get("entries", [])
+    }
+    problems = []
+    for key in sorted(set(expected) | set(current)):
+        name = f"{key[0]}/{key[1]}/grid{key[2]}"
+        if key not in current:
+            problems.append(f"{name}: in baseline but not planned")
+            continue
+        if key not in expected:
+            problems.append(
+                f"{name}: planned but missing from baseline "
+                "(run with --update-baseline)"
+            )
+            continue
+        for field in expected[key]:
+            if field in ("model", "preset", "grid"):
+                continue
+            if field not in current[key]:
+                problems.append(
+                    f"{name}: baseline pins {field!r} but the report has "
+                    "no such field (re-run with --backward?)"
+                )
+                continue
+            got, want = current[key][field], expected[key][field]
+            if got != want:
+                detail = (
+                    f"{want} -> {got} ({got - want:+d})"
+                    if isinstance(got, int) and isinstance(want, int)
+                    else f"{want} -> {got}"
+                )
+                problems.append(f"{name}: {field} changed {detail}")
+    return problems

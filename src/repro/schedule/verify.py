@@ -1,0 +1,660 @@
+"""Independent plan verifier: translation validation for ExecutionPlans.
+
+``verify_plan`` takes a plan plus the traced graph (and tape, for
+training plans) and re-derives every safety property the plan claims —
+**from the graph alone**, using none of the compiler's legality
+reasoning.  This module deliberately re-implements reachability, value
+resolution, residency intervals, structural equality and the pointwise
+op universe from scratch, so a bug in :mod:`repro.schedule.compiler`
+cannot also blind the check that would have caught it (the
+translation-validation argument: the pair is only as wrong as *both*
+halves being wrong in the same way).
+
+Every check emits a blocking diagnostic through the central registry:
+
+========  ==============================================================
+REPRO401  two arena slots overlap in address while both values are live
+REPRO402  a fusion group crosses an aliasing or multi-consumer edge,
+          mixes dtypes/sizes, or fuses away a value someone else needs
+REPRO403  a copy-elision certificate is invalid: the source is an
+          output, tape-retained, or read again after the copy
+REPRO404  plan/graph topology mismatch — a planned node the graph does
+          not justify, a reachable node the plan dropped, a misclaimed
+          CSE pair, a missing/forged arena slot
+REPRO405  the order is not the canonical deterministic schedule
+REPRO406  the arena exceeds the memory planner's bound (or a slot
+          exceeds the arena, or the recorded bound is forged)
+REPRO407  a dtype pin contradicts the dtype the trace derived
+REPRO408  the plan fingerprint does not match the graph or its own
+          content (stale or tampered artifact)
+========  ==============================================================
+
+The verifier is intentionally *stricter in address reuse and looser in
+residency* than the compiler: it uses minimal last-use lifetimes (plus
+output and tape retention), so any overlap it reports is a genuine
+unsafe replay, while the compiler's scope-extended intervals keep real
+plans comfortably disjoint.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.ir.graph import Graph
+from repro.ir.passes import node_finding
+from repro.ir.trace import TapeEntry
+from repro.lint.rules import LintDiagnostic
+
+from .plan import ExecutionPlan, graph_fingerprint
+
+__all__ = ["verify_plan"]
+
+# The verifier's own pointwise universe (independent of the compiler's
+# FUSABLE_OPS and of repro.perf.fusion.ELEMENTWISE_OPS — keep it that
+# way; convergence is asserted by tests, not by imports).
+_POINTWISE = frozenset(
+    {
+        "add", "subtract", "multiply", "divide", "negative", "exp", "log",
+        "sqrt", "tanh", "abs", "power", "maximum", "minimum", "where",
+        "clip", "square",
+    }
+)
+
+
+def _plan_finding(code: str, message: str) -> LintDiagnostic:
+    return LintDiagnostic("<plan>", 0, 0, code, message)
+
+
+def _reachable(graph: Graph) -> set[int]:
+    """Ids backward-reachable from any output (verifier's own walk)."""
+    seen: set[int] = set()
+    frontier = list(graph.outputs)
+    while frontier:
+        nid = frontier.pop()
+        if nid in seen:
+            continue
+        seen.add(nid)
+        node = graph[nid]
+        frontier.extend(node.inputs)
+        if node.alias_of is not None:
+            frontier.append(node.alias_of)
+    return seen
+
+
+def _storage(graph: Graph, nid: int) -> int:
+    """Walk the view chain down to the node that owns the bytes."""
+    node = graph[nid]
+    while node.alias_of is not None:
+        node = graph[node.alias_of]
+    return node.id
+
+
+def _struct_equal(graph: Graph, a: int, b: int, memo: dict) -> bool:
+    """Value equality by recursive structure (the CSE claim checker).
+
+    Distinct from the compiler's hash-interning: this compares the two
+    claimed nodes directly, so an interning collision in the compiler
+    would be caught here.
+    """
+    if a == b:
+        return True
+    key = (a, b) if a < b else (b, a)
+    if key in memo:
+        return memo[key]
+    na, nb = graph[a], graph[b]
+    if na.kind != "op" or nb.kind != "op":
+        return memo.setdefault(key, False)
+    if (
+        na.op != nb.op
+        or na.attrs != nb.attrs
+        or na.dtype != nb.dtype
+        or na.shape != nb.shape
+        or len(na.inputs) != len(nb.inputs)
+    ):
+        return memo.setdefault(key, False)
+    memo[key] = True  # cycle guard (SSA graphs are acyclic, but cheap)
+    ok = all(
+        _struct_equal(graph, ia, ib, memo)
+        for ia, ib in zip(na.inputs, nb.inputs)
+    )
+    memo[key] = ok
+    return ok
+
+
+def verify_plan(
+    plan: ExecutionPlan,
+    graph: Graph,
+    tape: list[TapeEntry] | None = None,
+) -> list[LintDiagnostic]:
+    """Re-derive every safety claim in ``plan``; return blocking findings."""
+    findings: list[LintDiagnostic] = []
+    n = len(graph)
+    t = len(tape) if tape else 0
+    end = n + t
+
+    # ---- REPRO408: fingerprints ---------------------------------------------
+    actual_fp = graph_fingerprint(graph)
+    if plan.graph_fingerprint != actual_fp:
+        findings.append(
+            _plan_finding(
+                "REPRO408",
+                f"plan was compiled against graph {plan.graph_fingerprint[:19]}… "
+                f"but this graph hashes to {actual_fp[:19]}…",
+            )
+        )
+    payload = json.dumps(
+        plan._content_dict(), sort_keys=True, separators=(",", ":")
+    )
+    import hashlib
+
+    content_fp = f"sha256:{hashlib.sha256(payload.encode()).hexdigest()}"
+    if plan.fingerprint != content_fp:
+        findings.append(
+            _plan_finding(
+                "REPRO408",
+                "plan content does not hash to its recorded fingerprint "
+                "(tampered or never sealed)",
+            )
+        )
+
+    # ---- REPRO405: canonical deterministic ordering -------------------------
+    if any(b <= a for a, b in zip(plan.order, plan.order[1:])):
+        findings.append(
+            _plan_finding(
+                "REPRO405",
+                "order is not strictly ascending: the canonical schedule "
+                "is SSA id order, anything else is nondeterministic",
+            )
+        )
+    if any(
+        b >= a for a, b in zip(plan.backward_order, plan.backward_order[1:])
+    ):
+        findings.append(
+            _plan_finding(
+                "REPRO405",
+                "backward_order is not strictly descending tape index order",
+            )
+        )
+
+    # ---- REPRO404: topology -------------------------------------------------
+    def valid_op(nid: int) -> bool:
+        return 0 <= nid < n and graph[nid].kind == "op"
+
+    reachable = _reachable(graph)
+    order_set = set(plan.order)
+    elided = {e.copy: e.source for e in plan.copy_elisions}
+
+    for nid in plan.order:
+        if not valid_op(nid):
+            findings.append(
+                _plan_finding("REPRO404", f"order lists %{nid}, not an op node")
+            )
+        elif nid not in reachable:
+            findings.append(
+                node_finding(
+                    graph[nid], "REPRO404",
+                    "planned node is dead (unreachable from every output)",
+                )
+            )
+    for nid in plan.dead:
+        if not valid_op(nid):
+            findings.append(
+                _plan_finding("REPRO404", f"dead lists %{nid}, not an op node")
+            )
+        elif nid in reachable:
+            findings.append(
+                node_finding(
+                    graph[nid], "REPRO404",
+                    "node marked dead but an output depends on it",
+                )
+            )
+    memo: dict = {}
+    for dup, rep in plan.cse.items():
+        if not valid_op(dup) or not valid_op(rep) or rep not in order_set:
+            findings.append(
+                _plan_finding(
+                    "REPRO404",
+                    f"cse maps %{dup} -> %{rep} but the representative is "
+                    "not a planned op node",
+                )
+            )
+            continue
+        if not _struct_equal(graph, dup, rep, memo):
+            findings.append(
+                node_finding(
+                    graph[dup], "REPRO404",
+                    f"cse claims %{dup} duplicates %{rep} but the two are "
+                    "not structurally equal",
+                )
+            )
+    claimed = order_set | set(plan.dead) | set(plan.cse)
+    for node in graph:
+        if node.kind == "op" and node.id not in claimed:
+            findings.append(
+                node_finding(
+                    graph[node.id], "REPRO404",
+                    "op node missing from the plan (not ordered, dead or "
+                    "CSE-mapped)",
+                )
+            )
+
+    def resolve(nid: int) -> int:
+        """Storage a read of ``nid`` lands on under this plan's claims."""
+        buf = _storage(graph, nid)
+        buf = plan.cse.get(buf, buf)
+        buf = _storage(graph, buf)
+        return elided.get(buf, buf)
+
+    for nid in plan.order:
+        if not valid_op(nid):
+            continue
+        for input_id in graph[nid].inputs:
+            mapped = plan.cse.get(input_id, input_id)
+            node = graph[mapped] if 0 <= mapped < n else None
+            if node is not None and node.kind == "op" and (
+                mapped not in order_set or mapped >= nid
+            ):
+                findings.append(
+                    node_finding(
+                        graph[nid], "REPRO404",
+                        f"consumes %{input_id} which the plan never "
+                        "computes beforehand",
+                    )
+                )
+
+    # Arena slot inventory: exactly one slot per planned materialized
+    # value that is not an elided copy; sizes must match the node.
+    for nid in plan.order:
+        if not valid_op(nid):
+            continue
+        node = graph[nid]
+        has_slot = nid in plan.arena_slots
+        if node.bytes > 0 and nid not in elided and not has_slot:
+            findings.append(
+                node_finding(
+                    node, "REPRO404",
+                    "materialized value has no arena slot",
+                )
+            )
+        if (node.bytes == 0 or nid in elided) and has_slot:
+            findings.append(
+                node_finding(
+                    node, "REPRO404",
+                    "arena slot assigned to a value that owns no bytes "
+                    "under this plan",
+                )
+            )
+    for nid, slot in plan.arena_slots.items():
+        if nid not in order_set:
+            findings.append(
+                _plan_finding(
+                    "REPRO404", f"arena slot for unplanned node %{nid}"
+                )
+            )
+        elif slot.bytes != graph[nid].bytes:
+            findings.append(
+                node_finding(
+                    graph[nid], "REPRO404",
+                    f"arena slot is {slot.bytes} bytes but the value needs "
+                    f"{graph[nid].bytes}",
+                )
+            )
+
+    # Training topology: backward order and gradient slots must match
+    # the tape's own reachable-closure structure.
+    grad_begin: dict[int, int] = {}
+    reachable_entries: set[int] = set()
+    if not tape and (
+        plan.grad_slots or plan.backward_order or plan.tape_entries
+    ):
+        findings.append(
+            _plan_finding(
+                "REPRO404",
+                "forward plan carries training artifacts (grad slots, "
+                "backward order or tape entries)",
+            )
+        )
+    if tape:
+        by_out = {entry.out: entry for entry in tape}
+        frontier = [by_out[o] for o in graph.outputs if o in by_out]
+        while frontier:
+            entry = frontier.pop()
+            if entry.index in reachable_entries:
+                continue
+            reachable_entries.add(entry.index)
+            for pid, req in zip(entry.parents, entry.parent_requires_grad):
+                if req and pid in by_out:
+                    frontier.append(by_out[pid])
+        if plan.tape_entries != t:
+            findings.append(
+                _plan_finding(
+                    "REPRO404",
+                    f"plan records {plan.tape_entries} tape entries, "
+                    f"tape has {t}",
+                )
+            )
+        expected_backward = tuple(
+            entry.index
+            for entry in reversed(tape)
+            if entry.index in reachable_entries
+        )
+        if plan.backward_order != expected_backward:
+            findings.append(
+                _plan_finding(
+                    "REPRO404",
+                    "backward_order does not match the tape's reachable "
+                    "closures",
+                )
+            )
+        grad_begin = {o: n for o in graph.outputs}
+        for entry in tape:
+            if entry.index not in reachable_entries:
+                continue
+            pos = n + (t - 1 - entry.index)
+            for pid, req in zip(entry.parents, entry.parent_requires_grad):
+                if req and pid is not None:
+                    grad_begin[pid] = min(grad_begin.get(pid, end), pos)
+        if set(plan.grad_slots) != set(grad_begin):
+            findings.append(
+                _plan_finding(
+                    "REPRO404",
+                    "grad_slots do not cover exactly the values the tape "
+                    "accumulates gradients for",
+                )
+            )
+
+    # ---- REPRO403: copy-elision certificates --------------------------------
+    for cert in plan.copy_elisions:
+        if not valid_op(cert.copy) or cert.copy not in order_set:
+            findings.append(
+                _plan_finding(
+                    "REPRO403",
+                    f"elision for %{cert.copy}, which the plan never runs",
+                )
+            )
+            continue
+        copy_node = graph[cert.copy]
+        problems = []
+        if copy_node.op != "copy":
+            problems.append(f"op is {copy_node.op!r}, only `copy` may alias")
+        src_ok = valid_op(cert.source)
+        if src_ok:
+            src = graph[cert.source]
+            read = _storage(graph, copy_node.inputs[0]) if copy_node.inputs else -1
+            read = plan.cse.get(read, read)
+            if read != cert.source:
+                problems.append(
+                    f"copy actually reads %{read}, not the claimed source"
+                )
+            if src.kind != "op" or src.bytes <= 0:
+                problems.append("source is not a materialized op value")
+            if src.dtype != copy_node.dtype or src.size != copy_node.size:
+                problems.append("source and copy differ in dtype or size")
+            if cert.source not in plan.arena_slots:
+                problems.append("source owns no arena slot to alias")
+            if any(resolve(o) == cert.source for o in graph.outputs):
+                problems.append("source is a graph output")
+            later = [
+                nid
+                for nid in plan.order
+                if nid > cert.copy and valid_op(nid) and any(
+                    plan.cse.get(_storage(graph, i), _storage(graph, i))
+                    == cert.source
+                    for i in graph[nid].inputs
+                )
+            ]
+            if later:
+                problems.append(
+                    f"source is read again at %{later[0]} after the copy"
+                )
+            if tape:
+                for entry in tape:
+                    held = [entry.out, *entry.parents, *entry.captured]
+                    if any(
+                        h is not None
+                        and plan.cse.get(_storage(graph, h), _storage(graph, h))
+                        == cert.source
+                        for h in held
+                    ):
+                        problems.append(
+                            f"source is retained by tape entry {entry.index}"
+                        )
+                        break
+        else:
+            problems.append("claimed source is not an op node")
+        for problem in problems:
+            findings.append(
+                node_finding(
+                    copy_node, "REPRO403", f"invalid elision: {problem}"
+                )
+            )
+
+    # ---- REPRO402: fusion legality ------------------------------------------
+    direct_readers: dict[int, list[int]] = {}
+    for nid in plan.order:
+        if not valid_op(nid):
+            continue
+        for input_id in graph[nid].inputs:
+            mapped = plan.cse.get(input_id, input_id)
+            direct_readers.setdefault(mapped, []).append(nid)
+    output_storage = {resolve(o) for o in graph.outputs}
+    tape_held: set[int] = set()
+    if tape:
+        for entry in tape:
+            for h in (entry.out, *entry.parents, *entry.captured):
+                if h is not None:
+                    tape_held.add(plan.cse.get(_storage(graph, h), _storage(graph, h)))
+
+    for group in plan.fusion_groups:
+        chain = group.nodes
+        problems = []
+        if len(chain) < 2:
+            problems.append("group has fewer than two nodes")
+        if any(b <= a for a, b in zip(chain, chain[1:])):
+            problems.append("members are not in ascending SSA order")
+        bad = [nid for nid in chain if not valid_op(nid) or nid not in order_set]
+        if bad:
+            problems.append(f"member %{bad[0]} is not a planned op node")
+        else:
+            head = graph[chain[0]]
+            for nid in chain:
+                node = graph[nid]
+                if node.op not in _POINTWISE or node.bytes <= 0:
+                    problems.append(
+                        f"%{nid} ({node.op}) is not a materialized "
+                        "pointwise op"
+                    )
+                if node.dtype != head.dtype or node.size != head.size:
+                    problems.append(
+                        f"%{nid} breaks dtype/size uniformity"
+                    )
+            for prev, nxt in zip(chain, chain[1:]):
+                readers = direct_readers.get(prev, [])
+                if readers != [nxt]:
+                    problems.append(
+                        f"%{prev} is not consumed exactly once by %{nxt} "
+                        f"(readers: {sorted(set(readers))})"
+                    )
+            for nid in chain[:-1]:  # interiors become kernel temporaries
+                if any(node.alias_of == nid for node in graph):
+                    problems.append(
+                        f"a view escapes fused interior %{nid}"
+                    )
+                if nid in output_storage:
+                    problems.append(
+                        f"fused interior %{nid} is a graph output"
+                    )
+                if nid in tape_held:
+                    problems.append(
+                        f"fused interior %{nid} is retained by the tape"
+                    )
+                if nid in elided or nid in set(elided.values()):
+                    problems.append(
+                        f"fused interior %{nid} participates in a copy "
+                        "elision"
+                    )
+        anchor = (
+            graph[chain[0]]
+            if chain and valid_op(chain[0])
+            else None
+        )
+        for problem in problems:
+            findings.append(
+                node_finding(anchor, "REPRO402", f"illegal fusion: {problem}")
+                if anchor is not None
+                else _plan_finding("REPRO402", f"illegal fusion: {problem}")
+            )
+
+    # ---- REPRO407: dtype pins -----------------------------------------------
+    traced_default = graph.meta.get("dtype", "")
+    if plan.dtype_pin != traced_default:
+        findings.append(
+            _plan_finding(
+                "REPRO407",
+                f"plan pins dtype {plan.dtype_pin!r} but the trace ran at "
+                f"{traced_default!r}",
+            )
+        )
+    for nid in plan.order:
+        if not valid_op(nid):
+            continue
+        pin = plan.node_pins.get(nid)
+        actual = graph[nid].dtype.name
+        if pin != actual:
+            findings.append(
+                node_finding(
+                    graph[nid], "REPRO407",
+                    f"pinned to {pin!r} but the lattice derives {actual!r}",
+                )
+            )
+    for nid in plan.node_pins:
+        if nid not in order_set:
+            findings.append(
+                _plan_finding(
+                    "REPRO407", f"dtype pin for unplanned node %{nid}"
+                )
+            )
+
+    # ---- residency intervals (minimal last-use lifetimes) -------------------
+    begin: dict[int, int] = {}
+    finish: dict[int, int] = {}
+    for nid, slot in plan.arena_slots.items():
+        if nid not in order_set or not valid_op(nid):
+            continue
+        begin[nid] = nid
+        finish[nid] = nid
+    for nid in plan.order:
+        if not valid_op(nid):
+            continue
+        for input_id in graph[nid].inputs:
+            buf = resolve(input_id)
+            if buf in finish:
+                finish[buf] = max(finish[buf], nid)
+    for out in graph.outputs:
+        buf = resolve(out)
+        if buf in finish:
+            finish[buf] = end
+    if tape:
+        for entry in tape:
+            out_buf = resolve(entry.out)
+            if out_buf in finish:
+                finish[out_buf] = end
+            if entry.index in reachable_entries:
+                pos = n + (t - 1 - entry.index)
+                for h in (*entry.parents, *entry.captured):
+                    if h is None:
+                        continue
+                    buf = resolve(h)
+                    if buf in finish:
+                        finish[buf] = max(finish[buf], pos)
+
+    # ---- REPRO406: arena vs planner bound -----------------------------------
+    expected_bound = None
+    if tape is None and plan.direction == "forward":
+        from repro.ir.memory import plan_memory
+
+        if plan.bound_kind != "plan_memory":
+            findings.append(
+                _plan_finding(
+                    "REPRO406",
+                    f"forward plan bounded by {plan.bound_kind!r}",
+                )
+            )
+        else:
+            expected_bound = int(plan_memory(graph)["peak_bytes"])
+    elif tape is not None and plan.direction == "training":
+        from repro.adjoint.memory import plan_training_memory
+
+        if plan.bound_kind != "plan_training_memory":
+            findings.append(
+                _plan_finding(
+                    "REPRO406",
+                    f"training plan bounded by {plan.bound_kind!r}",
+                )
+            )
+        else:
+            expected_bound = int(
+                plan_training_memory(graph, tape)["train_peak_bytes"]
+            )
+    else:
+        findings.append(
+            _plan_finding(
+                "REPRO404",
+                f"plan direction {plan.direction!r} does not match the "
+                f"artifacts supplied (tape={'yes' if tape else 'no'})",
+            )
+        )
+    if expected_bound is not None and plan.bound_bytes != expected_bound:
+        findings.append(
+            _plan_finding(
+                "REPRO406",
+                f"recorded planner bound {plan.bound_bytes} != "
+                f"re-derived {expected_bound}",
+            )
+        )
+    if plan.arena_bytes > plan.bound_bytes:
+        findings.append(
+            _plan_finding(
+                "REPRO406",
+                f"arena needs {plan.arena_bytes} bytes, exceeding the "
+                f"{plan.bound_kind} bound of {plan.bound_bytes}",
+            )
+        )
+    all_slots: list[tuple[str, int, int, int, int, int]] = []
+    for nid, slot in plan.arena_slots.items():
+        if nid in begin:
+            all_slots.append(
+                (f"%{nid}", nid, slot.offset, slot.bytes,
+                 begin[nid], finish[nid])
+            )
+    for pid, slot in plan.grad_slots.items():
+        at = grad_begin.get(pid, n)
+        all_slots.append((f"grad(%{pid})", pid, slot.offset, slot.bytes, at, end))
+    for label, _, offset, nbytes, _, _ in all_slots:
+        if offset < 0 or offset + nbytes > plan.arena_bytes:
+            findings.append(
+                _plan_finding(
+                    "REPRO406",
+                    f"slot {label} [{offset}, {offset + nbytes}) lies "
+                    f"outside the {plan.arena_bytes}-byte arena",
+                )
+            )
+
+    # ---- REPRO401: address overlap between live values ----------------------
+    by_offset = sorted(all_slots, key=lambda s: (s[2], s[1]))
+    for i, (la, _, off_a, sz_a, b_a, e_a) in enumerate(by_offset):
+        for lb, _, off_b, sz_b, b_b, e_b in by_offset[i + 1:]:
+            if off_b >= off_a + sz_a:
+                break  # sorted by offset: nothing further can overlap a
+            if e_a < b_b or e_b < b_a:
+                continue  # address shared, lifetimes disjoint: legal reuse
+            findings.append(
+                _plan_finding(
+                    "REPRO401",
+                    f"{la} and {lb} share arena bytes "
+                    f"[{off_b}, {min(off_a + sz_a, off_b + sz_b)}) while "
+                    f"both are live ({la}: [{b_a}, {e_a}], {lb}: "
+                    f"[{b_b}, {e_b}])",
+                )
+            )
+    return findings

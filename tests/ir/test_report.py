@@ -115,7 +115,8 @@ class TestIntegration:
         capsys.readouterr()
         assert cli_main(["analyze", "unet", "--preset", "tiny", "--grid", "64",
                          "--no-determinism", "--check-baseline", str(path)]) == 0
-        # A different grid must be reported as drift.
+        # A different grid must be reported as drift (EXIT_DRIFT, not
+        # the blocking-findings code — see the table in docs/API.md).
         assert cli_main(["analyze", "unet", "--preset", "tiny", "--grid", "128",
-                         "--no-determinism", "--check-baseline", str(path)]) == 1
+                         "--no-determinism", "--check-baseline", str(path)]) == 3
         assert "baseline drift" in capsys.readouterr().err

@@ -1,0 +1,87 @@
+"""Shared synthetic graphs for the schedule tests.
+
+Hand-built :class:`repro.ir.Graph` objects keep the compiler/verifier
+behavior under test explicit: every node, byte count and edge is
+spelled out, so a test failure points at a semantic change rather than
+at a model architecture detail.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ir.graph import Graph
+
+F32 = np.dtype(np.float32)
+NBYTES = 64 * 4  # every synthetic tensor is 64 float32 elements
+
+
+def make_chain_graph() -> Graph:
+    """x -> mul -> exp -> tanh -> out: one clean 3-node fusable chain."""
+    g = Graph()
+    g.meta["dtype"] = "float32"
+    x = g.add("x", (), (64,), F32, kind="input", bytes=NBYTES)
+    m = g.add("multiply", (x.id, x.id), (64,), F32, bytes=NBYTES, flops=64)
+    e = g.add("exp", (m.id,), (64,), F32, bytes=NBYTES, flops=64)
+    t = g.add("tanh", (e.id,), (64,), F32, bytes=NBYTES, flops=64)
+    g.outputs = [t.id]
+    return g
+
+
+def make_dead_cse_graph() -> Graph:
+    """Duplicate multiply (CSE) plus a dead exp branch."""
+    g = Graph()
+    g.meta["dtype"] = "float32"
+    x = g.add("x", (), (64,), F32, kind="input", bytes=NBYTES)
+    a = g.add("multiply", (x.id, x.id), (64,), F32, bytes=NBYTES, flops=64)
+    b = g.add("multiply", (x.id, x.id), (64,), F32, bytes=NBYTES, flops=64)
+    dead = g.add("exp", (x.id,), (64,), F32, bytes=NBYTES, flops=64)
+    out = g.add("add", (a.id, b.id), (64,), F32, bytes=NBYTES, flops=64)
+    g.outputs = [out.id]
+    g.meta["dup"], g.meta["rep"], g.meta["dead"] = b.id, a.id, dead.id
+    return g
+
+
+def make_elidable_copy_graph() -> Graph:
+    """mul -> copy -> exp: the copy is the last read of a private value."""
+    g = Graph()
+    g.meta["dtype"] = "float32"
+    x = g.add("x", (), (64,), F32, kind="input", bytes=NBYTES)
+    m = g.add("multiply", (x.id, x.id), (64,), F32, bytes=NBYTES, flops=64)
+    cp = g.add("copy", (m.id,), (64,), F32, bytes=NBYTES)
+    e = g.add("exp", (cp.id,), (64,), F32, bytes=NBYTES, flops=64)
+    g.outputs = [e.id]
+    g.meta["copy"], g.meta["copy_src"] = cp.id, m.id
+    return g
+
+
+def make_required_copy_graph() -> Graph:
+    """mul -> copy, but mul is read again later: eliding is illegal."""
+    g = Graph()
+    g.meta["dtype"] = "float32"
+    x = g.add("x", (), (64,), F32, kind="input", bytes=NBYTES)
+    m = g.add("multiply", (x.id, x.id), (64,), F32, bytes=NBYTES, flops=64)
+    cp = g.add("copy", (m.id,), (64,), F32, bytes=NBYTES)
+    out = g.add("add", (m.id, cp.id), (64,), F32, bytes=NBYTES, flops=64)
+    g.outputs = [out.id]
+    g.meta["copy"], g.meta["copy_src"] = cp.id, m.id
+    return g
+
+
+@pytest.fixture
+def chain_graph():
+    return make_chain_graph()
+
+
+@pytest.fixture
+def dead_cse_graph():
+    return make_dead_cse_graph()
+
+
+@pytest.fixture
+def elidable_copy_graph():
+    return make_elidable_copy_graph()
+
+
+@pytest.fixture
+def required_copy_graph():
+    return make_required_copy_graph()

@@ -1,0 +1,163 @@
+"""ExecutionPlan artifact + compiler: determinism, round-trip, decisions."""
+
+import pytest
+
+from repro.ir.trace import trace_model, trace_tape
+from repro.schedule import (
+    ExecutionPlan,
+    compile_plan,
+    graph_fingerprint,
+    verify_plan,
+)
+
+
+class TestRoundTrip:
+    def test_json_round_trip_is_lossless(self, elidable_copy_graph):
+        plan = compile_plan(elidable_copy_graph)
+        restored = ExecutionPlan.from_json(plan.to_json())
+        assert restored.to_dict() == plan.to_dict()
+        assert restored == plan
+
+    def test_round_trip_preserves_fingerprint_validity(self, chain_graph):
+        plan = compile_plan(chain_graph)
+        restored = ExecutionPlan.from_json(plan.to_json())
+        # Resealing restored content must reproduce the same hash.
+        assert restored.seal().fingerprint == plan.fingerprint
+
+    def test_from_json_rejects_wrong_schema(self):
+        with pytest.raises(ValueError, match="repro.schedule/v1"):
+            ExecutionPlan.from_json('{"schema": "repro.ir/v1"}')
+
+    def test_model_plan_round_trips(self):
+        graph = trace_model("unet", preset="tiny", grid=32)
+        plan = compile_plan(graph)
+        restored = ExecutionPlan.from_json(plan.to_json())
+        assert restored.to_dict() == plan.to_dict()
+
+
+class TestDeterminism:
+    def test_two_independent_traces_compile_byte_identical(self):
+        """The REPRO405 contract: same model, same grid, same bytes."""
+        plans = []
+        for _ in range(2):
+            graph = trace_model("ours", preset="tiny", grid=32)
+            plans.append(compile_plan(graph).to_json())
+        assert plans[0] == plans[1]
+
+    def test_training_plans_byte_identical(self):
+        from repro.models.registry import build_model
+
+        texts = []
+        for _ in range(2):
+            model = build_model("unet", preset="tiny", grid=32)
+            graph, tape = trace_tape(
+                model, (1, 6, 32, 32), input_vrange=(0.0, 1.0), name="unet"
+            )
+            texts.append(compile_plan(graph, tape).to_json())
+        assert texts[0] == texts[1]
+
+    def test_plan_with_duplicates_byte_identical_across_runs(self):
+        """REPRO106/107 promotion regression: the dead/CSE decisions are
+        part of the deterministic artifact, not a best-effort pass."""
+        from tests.schedule.conftest import make_dead_cse_graph
+
+        first = compile_plan(make_dead_cse_graph())
+        second = compile_plan(make_dead_cse_graph())
+        assert first.to_json() == second.to_json()
+        assert first.fingerprint == second.fingerprint
+
+    def test_graph_fingerprint_ignores_src_but_not_structure(
+        self, chain_graph
+    ):
+        from tests.schedule.conftest import make_chain_graph
+
+        other = make_chain_graph()
+        for node in other.nodes:
+            node.src = "/somewhere/else.py:99"  # machine-local attribution
+        assert graph_fingerprint(other) == graph_fingerprint(chain_graph)
+        other.outputs = [other.outputs[0] - 1]
+        assert graph_fingerprint(other) != graph_fingerprint(chain_graph)
+
+
+class TestDecisions:
+    def test_dead_node_excluded_from_plan(self, dead_cse_graph):
+        plan = compile_plan(dead_cse_graph)
+        dead = dead_cse_graph.meta["dead"]
+        assert dead in plan.dead
+        assert dead not in plan.order
+        assert dead not in plan.arena_slots
+        assert dead not in plan.node_pins
+
+    def test_cse_duplicates_share_one_arena_slot(self, dead_cse_graph):
+        plan = compile_plan(dead_cse_graph)
+        dup, rep = dead_cse_graph.meta["dup"], dead_cse_graph.meta["rep"]
+        assert plan.cse == {dup: rep}
+        assert dup not in plan.order
+        assert rep in plan.arena_slots
+        assert dup not in plan.arena_slots  # shares the representative's
+
+    def test_redundant_copy_gets_certificate_and_no_slot(
+        self, elidable_copy_graph
+    ):
+        plan = compile_plan(elidable_copy_graph)
+        cp = elidable_copy_graph.meta["copy"]
+        src = elidable_copy_graph.meta["copy_src"]
+        assert [(e.copy, e.source) for e in plan.copy_elisions] == [(cp, src)]
+        assert cp in plan.order  # still an (alias) step in the schedule
+        assert cp not in plan.arena_slots
+        assert src in plan.arena_slots
+
+    def test_required_copy_not_elided(self, required_copy_graph):
+        plan = compile_plan(required_copy_graph)
+        assert plan.copy_elisions == ()
+        assert required_copy_graph.meta["copy"] in plan.arena_slots
+
+    def test_fusion_chain_with_proof(self, chain_graph):
+        plan = compile_plan(chain_graph)
+        (group,) = plan.fusion_groups
+        assert group.ops == ("multiply", "exp", "tanh")
+        assert group.proof["single_consumer"] is True
+        assert group.proof["uniform_dtype"] == "float32"
+        assert group.proof["no_view_escape"] is True
+
+    def test_synthetic_plans_verify_clean(
+        self,
+        chain_graph,
+        dead_cse_graph,
+        elidable_copy_graph,
+        required_copy_graph,
+    ):
+        for graph in (
+            chain_graph, dead_cse_graph, elidable_copy_graph,
+            required_copy_graph,
+        ):
+            plan = compile_plan(graph)
+            assert verify_plan(plan, graph) == []
+
+
+class TestModelPlans:
+    """The acceptance contract at test scale: every registry model's
+    forward and training plan verifies clean with the arena under the
+    eager planner's bound.  (CI runs the full 64-512 grid matrix.)"""
+
+    @pytest.mark.parametrize("model", ["unet", "pgnn", "pros2", "ours"])
+    def test_forward_and_training_verified_under_bound(self, model):
+        from repro.models.registry import build_model
+
+        module = build_model(model, preset="tiny", grid=32)
+        graph, tape = trace_tape(
+            module, (1, 6, 32, 32), input_vrange=(0.0, 1.0), name=model
+        )
+        for plan, tp in ((compile_plan(graph), None),
+                         (compile_plan(graph, tape), tape)):
+            assert verify_plan(plan, graph, tp) == []
+            assert plan.arena_bytes <= plan.bound_bytes
+            assert plan.order  # something was actually planned
+
+    def test_compiler_and_verifier_op_universes_agree(self):
+        """The two pointwise-op sets are independent code on purpose;
+        they must still *agree*, or a legal plan would be rejected."""
+        from repro.schedule.compiler import FUSABLE_OPS
+        from repro.schedule.verify import _POINTWISE
+
+        assert FUSABLE_OPS == _POINTWISE

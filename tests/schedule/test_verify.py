@@ -1,0 +1,237 @@
+"""Adversarial verifier tests: every corruption trips its REPRO40x.
+
+Each test takes a plan that verifies clean, applies one targeted
+corruption, re-seals the content hash (so REPRO408 stays quiet and the
+*semantic* check under test must fire), and asserts the matching code.
+"""
+
+import dataclasses
+
+import numpy as np
+
+from repro.ir.graph import Graph
+from repro.ir.trace import trace_model
+from repro.schedule import (
+    ArenaSlot,
+    CopyElision,
+    FusionGroup,
+    compile_plan,
+    verify_plan,
+)
+
+F32 = np.dtype(np.float32)
+
+
+def codes(findings):
+    return {f.code for f in findings}
+
+
+def corrupted(plan, **changes):
+    """A re-sealed copy of ``plan`` with ``changes`` applied."""
+    return dataclasses.replace(plan, **changes).seal()
+
+
+class TestRepro401Overlap:
+    def test_overlapping_live_ranges_same_offset(self, chain_graph):
+        plan = compile_plan(chain_graph)
+        # multiply (%1) is read by exp (%2): both are live at step 2,
+        # so giving exp the multiply's offset is a genuine clobber.
+        slots = dict(plan.arena_slots)
+        slots[2] = ArenaSlot(offset=slots[1].offset, bytes=slots[2].bytes)
+        bad = corrupted(plan, arena_slots=slots)
+        found = verify_plan(bad, chain_graph)
+        assert "REPRO401" in codes(found)
+
+    def test_grad_slot_clobbering_activation(self):
+        from repro.ir.trace import trace_tape
+        from repro.models.registry import build_model
+
+        model = build_model("unet", preset="tiny", grid=32)
+        graph, tape = trace_tape(
+            model, (1, 6, 32, 32), input_vrange=(0.0, 1.0), name="unet"
+        )
+        plan = compile_plan(graph, tape)
+        assert verify_plan(plan, graph, tape) == []
+        # Point some gradient buffer at a tape-retained activation slot:
+        # grads live to the end, retained activations past their
+        # backward position — guaranteed overlap.
+        pid, gslot = next(iter(sorted(plan.grad_slots.items())))
+        victim = max(plan.arena_slots.items(), key=lambda kv: kv[1].bytes)
+        grads = dict(plan.grad_slots)
+        grads[pid] = ArenaSlot(offset=victim[1].offset, bytes=gslot.bytes)
+        bad = corrupted(plan, grad_slots=grads)
+        assert "REPRO401" in codes(verify_plan(bad, graph, tape))
+
+
+class TestRepro402Fusion:
+    def test_multi_consumer_edge_rejected(self, required_copy_graph):
+        # multiply (%1) feeds both the copy and the final add: fusing
+        # across it would compute the add against a kernel temporary.
+        plan = compile_plan(required_copy_graph)
+        forged = plan.fusion_groups + (
+            FusionGroup(
+                nodes=(1, 3), ops=("multiply", "add"),
+                proof={"single_consumer": True},
+            ),
+        )
+        bad = corrupted(plan, fusion_groups=forged)
+        assert "REPRO402" in codes(verify_plan(bad, required_copy_graph))
+
+    def test_view_escaping_interior_rejected(self):
+        g = Graph()
+        g.meta["dtype"] = "float32"
+        x = g.add("x", (), (64,), F32, kind="input", bytes=256)
+        m = g.add("multiply", (x.id, x.id), (64,), F32, bytes=256, flops=64)
+        e = g.add("exp", (m.id,), (64,), F32, bytes=256, flops=64)
+        v = g.add("slice", (m.id,), (32,), F32, alias_of=m.id)
+        out = g.add("add", (e.id, v.id), (64,), F32, bytes=256, flops=64)
+        g.outputs = [out.id]
+        plan = compile_plan(g)
+        assert verify_plan(plan, g) == []
+        # m has two readers (exp and the view): it can never be fused
+        # away as an interior.
+        assert all(m.id not in grp.nodes[:-1] for grp in plan.fusion_groups)
+        forged = (
+            FusionGroup(nodes=(m.id, e.id), ops=("multiply", "exp"),
+                        proof={"no_view_escape": True}),
+        )
+        bad = corrupted(plan, fusion_groups=forged)
+        found = verify_plan(bad, g)
+        assert "REPRO402" in codes(found)
+        assert any("view escapes" in f.message for f in found)
+
+    def test_non_pointwise_member_rejected(self, elidable_copy_graph):
+        plan = compile_plan(elidable_copy_graph)
+        forged = (
+            FusionGroup(nodes=(1, 2), ops=("multiply", "copy"), proof={}),
+        )
+        bad = corrupted(
+            plan, fusion_groups=forged, copy_elisions=(),
+            arena_slots={**plan.arena_slots,
+                         2: ArenaSlot(offset=plan.arena_bytes, bytes=256)},
+            arena_bytes=plan.arena_bytes + 256,
+        )
+        assert "REPRO402" in codes(verify_plan(bad, elidable_copy_graph))
+
+
+class TestRepro403Elision:
+    def test_eliding_a_required_copy_rejected(self, required_copy_graph):
+        """The ISSUE's named corruption: elide a copy whose source is
+        read again afterwards."""
+        plan = compile_plan(required_copy_graph)
+        cp = required_copy_graph.meta["copy"]
+        src = required_copy_graph.meta["copy_src"]
+        slots = dict(plan.arena_slots)
+        del slots[cp]  # an elided copy owns no slot
+        bad = corrupted(
+            plan,
+            copy_elisions=(CopyElision(copy=cp, source=src),),
+            arena_slots=slots,
+        )
+        found = verify_plan(bad, required_copy_graph)
+        assert "REPRO403" in codes(found)
+        assert any("read again" in f.message for f in found)
+
+    def test_eliding_an_output_source_rejected(self, chain_graph):
+        plan = compile_plan(chain_graph)
+        # Forge an elision whose "copy" is the final tanh: wrong op.
+        bad = corrupted(
+            plan, copy_elisions=(CopyElision(copy=3, source=2),)
+        )
+        assert "REPRO403" in codes(verify_plan(bad, chain_graph))
+
+
+class TestRepro404Topology:
+    def test_live_node_claimed_dead(self, chain_graph):
+        plan = compile_plan(chain_graph)
+        bad = corrupted(
+            plan,
+            order=tuple(n for n in plan.order if n != 2),
+            dead=plan.dead + (2,),
+            node_pins={k: v for k, v in plan.node_pins.items() if k != 2},
+            arena_slots={k: v for k, v in plan.arena_slots.items() if k != 2},
+        )
+        assert "REPRO404" in codes(verify_plan(bad, chain_graph))
+
+    def test_bogus_cse_claim(self, dead_cse_graph):
+        plan = compile_plan(dead_cse_graph)
+        out = dead_cse_graph.outputs[0]
+        rep = dead_cse_graph.meta["rep"]
+        bad = corrupted(
+            plan,
+            order=tuple(n for n in plan.order if n != out),
+            cse={**plan.cse, out: rep},  # add(...) is NOT a multiply
+            node_pins={k: v for k, v in plan.node_pins.items() if k != out},
+            arena_slots={k: v for k, v in plan.arena_slots.items()
+                         if k != out},
+        )
+        found = verify_plan(bad, dead_cse_graph)
+        assert "REPRO404" in codes(found)
+        assert any("not structurally equal" in f.message for f in found)
+
+    def test_missing_arena_slot(self, chain_graph):
+        plan = compile_plan(chain_graph)
+        slots = dict(plan.arena_slots)
+        del slots[1]
+        bad = corrupted(plan, arena_slots=slots)
+        found = verify_plan(bad, chain_graph)
+        assert "REPRO404" in codes(found)
+        assert any("no arena slot" in f.message for f in found)
+
+
+class TestRepro405Ordering:
+    def test_non_canonical_order(self, chain_graph):
+        plan = compile_plan(chain_graph)
+        shuffled = (plan.order[1], plan.order[0]) + plan.order[2:]
+        bad = corrupted(plan, order=shuffled)
+        assert "REPRO405" in codes(verify_plan(bad, chain_graph))
+
+
+class TestRepro406Arena:
+    def test_arena_exceeding_planner_bound(self, chain_graph):
+        plan = compile_plan(chain_graph)
+        bad = corrupted(plan, bound_bytes=plan.arena_bytes - 1)
+        found = verify_plan(bad, chain_graph)
+        assert "REPRO406" in codes(found)
+
+    def test_slot_outside_arena(self, chain_graph):
+        plan = compile_plan(chain_graph)
+        slots = dict(plan.arena_slots)
+        slots[1] = ArenaSlot(offset=plan.arena_bytes, bytes=slots[1].bytes)
+        bad = corrupted(plan, arena_slots=slots)
+        assert "REPRO406" in codes(verify_plan(bad, chain_graph))
+
+
+class TestRepro407Dtype:
+    def test_contradicted_node_pin(self, chain_graph):
+        plan = compile_plan(chain_graph)
+        pins = dict(plan.node_pins)
+        pins[1] = "float64"
+        bad = corrupted(plan, node_pins=pins)
+        found = verify_plan(bad, chain_graph)
+        assert "REPRO407" in codes(found)
+
+    def test_contradicted_plan_dtype(self, chain_graph):
+        plan = compile_plan(chain_graph)
+        bad = corrupted(plan, dtype_pin="float64")
+        assert "REPRO407" in codes(verify_plan(bad, chain_graph))
+
+
+class TestRepro408Staleness:
+    def test_tampered_content_without_reseal(self, chain_graph):
+        plan = compile_plan(chain_graph)
+        tampered = dataclasses.replace(plan, arena_bytes=plan.arena_bytes + 8)
+        # NOT resealed: the content hash no longer matches.
+        found = verify_plan(tampered, chain_graph)
+        assert "REPRO408" in codes(found)
+
+    def test_plan_against_different_graph(self):
+        small = trace_model("unet", preset="tiny", grid=32)
+        large = trace_model("unet", preset="tiny", grid=64)
+        plan = compile_plan(small)
+        found = verify_plan(plan, large)
+        assert "REPRO408" in codes(found)
+
+    def test_clean_plan_has_no_findings(self, chain_graph):
+        plan = compile_plan(chain_graph)
+        assert verify_plan(plan, chain_graph) == []

@@ -153,6 +153,38 @@ class TestAnalysisJSONSchemas:
         assert bundle["flow"]["target"] == "flow"
         assert bundle["flow"]["audited_files"] > 0
 
+    def test_plancheck_json_schema(self, capsys):
+        bundle = self._json(
+            capsys,
+            ["plancheck", "unet", "--preset", "tiny", "--grid", "32",
+             "--backward", "--json"],
+        )
+        assert bundle["schema"] == "repro.schedule/v1"
+        assert set(bundle) >= {
+            "schema", "reports", "distinct_codes", "failures",
+        }
+        (report,) = bundle["reports"]
+        assert set(report) >= {
+            "schema", "model", "preset", "grid", "batch", "forward",
+            "training", "failures",
+        }
+        for section in ("forward", "training"):
+            assert report[section]["plan"]["schema"] == "repro.schedule/v1"
+            summary = report[section]["summary"]
+            assert summary["planned_nodes"] > 0
+            assert summary["arena_bytes"] <= summary["bound_bytes"]
+            assert report[section]["findings"] == []
+        assert bundle["failures"] == []
+
+    def test_plancheck_baseline_round_trip(self, tmp_path, capsys):
+        baseline = tmp_path / "schedule_baseline.json"
+        argv = ["plancheck", "unet", "--preset", "tiny", "--grid", "32"]
+        assert main(argv + ["--update-baseline", str(baseline)]) == 0
+        assert baseline.exists()
+        capsys.readouterr()
+        assert main(argv + ["--check-baseline", str(baseline)]) == 0
+        assert "baseline OK" in capsys.readouterr().out
+
     def test_perfcheck_baseline_round_trip(self, tmp_path, capsys):
         baseline = tmp_path / "perf_baseline.json"
         argv = ["perfcheck", "unet", "--preset", "tiny", "--grid", "32",
@@ -172,13 +204,88 @@ class TestAnalysisJSONSchemas:
         assert combined["schema"] == "repro.check/v1"
         assert set(combined) >= {
             "schema", "preset", "grid", "lint", "analyze", "gradcheck",
-            "perfcheck", "failures",
+            "perfcheck", "plancheck", "failures",
         }
         # Each section carries its own full bundle under its own schema.
         assert combined["analyze"]["schema"] == "repro.ir/v1"
         assert combined["gradcheck"]["schema"] == "repro.adjoint/v1"
         assert combined["perfcheck"]["schema"] == "repro.perf/v1"
+        assert combined["plancheck"]["schema"] == "repro.schedule/v1"
         assert combined["failures"] == []
+
+
+class TestExitCodeContract:
+    """The unified exit-code table from docs/API.md.
+
+    Every analysis command distinguishes clean (0), blocking findings
+    (1), usage errors (2), baseline drift (3) and internal crashes (4);
+    these tests pin the shared contract rather than one command's habit.
+    """
+
+    def test_constants_are_distinct_and_stable(self):
+        from repro.cli import (
+            EXIT_BLOCKING,
+            EXIT_DRIFT,
+            EXIT_INTERNAL,
+            EXIT_OK,
+            EXIT_USAGE,
+        )
+
+        assert (EXIT_OK, EXIT_BLOCKING, EXIT_USAGE, EXIT_DRIFT,
+                EXIT_INTERNAL) == (0, 1, 2, 3, 4)
+
+    def test_usage_error_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["plancheck", "unet", "--no-such-flag"])
+        assert exc.value.code == 2
+
+    def _drifted(self, tmp_path, capsys, argv, name, field):
+        """Write a baseline, bump one pinned integer, re-check."""
+        import json
+
+        baseline = tmp_path / name
+        assert main(argv + ["--update-baseline", str(baseline)]) == 0
+        doc = json.loads(baseline.read_text())
+        doc["entries"][0][field] += 1
+        baseline.write_text(json.dumps(doc))
+        capsys.readouterr()
+        rc = main(argv + ["--check-baseline", str(baseline)])
+        assert "baseline drift" in capsys.readouterr().err
+        return rc
+
+    def test_plancheck_drift_exits_3(self, tmp_path, capsys):
+        rc = self._drifted(
+            tmp_path, capsys,
+            ["plancheck", "unet", "--preset", "tiny", "--grid", "32"],
+            "schedule.json", "arena_bytes",
+        )
+        assert rc == 3
+
+    def test_analyze_drift_exits_3(self, tmp_path, capsys):
+        rc = self._drifted(
+            tmp_path, capsys,
+            ["analyze", "unet", "--preset", "tiny", "--grid", "32",
+             "--no-determinism"],
+            "ir.json", "total_flops",
+        )
+        assert rc == 3
+
+    def test_internal_error_exits_4(self, tmp_path, capsys):
+        rc = main(
+            ["plancheck", "unet", "--preset", "tiny", "--grid", "32",
+             "--check-baseline", str(tmp_path / "does-not-exist.json")]
+        )
+        assert rc == 4
+        assert "internal error" in capsys.readouterr().err
+
+    def test_check_accepts_fail_on_choices(self):
+        parser = build_parser()
+        assert parser.parse_args(["check"]).fail_on == "blocking"
+        assert parser.parse_args(
+            ["check", "--fail-on", "advisory"]
+        ).fail_on == "advisory"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["check", "--fail-on", "everything"])
 
 
 class TestMoreCommands:

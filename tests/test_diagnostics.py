@@ -21,7 +21,9 @@ class TestRegistry:
     def test_namespace_bands(self):
         for code, spec in all_codes().items():
             band = int(code.removeprefix("REPRO")) // 100
-            expected = {0: "lint", 1: "ir", 2: "adjoint", 3: "perf"}[band]
+            expected = {
+                0: "lint", 1: "ir", 2: "adjoint", 3: "perf", 4: "schedule",
+            }[band]
             assert spec.component == expected, code
 
     def test_component_views_match_consumers(self):
@@ -29,11 +31,13 @@ class TestRegistry:
         from repro.ir.passes import IR_RULES, OPPORTUNITY_RULES
         from repro.lint.rules import RULES
         from repro.perf import PERF_RULES
+        from repro.schedule import SCHEDULE_RULES
 
         assert RULES == codes_for("lint")
         assert IR_RULES == codes_for("ir")
         assert ADJOINT_RULES == codes_for("adjoint")
         assert PERF_RULES == codes_for("perf")
+        assert SCHEDULE_RULES == codes_for("schedule")
         assert set(OPPORTUNITY_RULES) == {
             c for c, s in all_codes().items()
             if s.component == "ir" and not s.blocking
@@ -52,6 +56,13 @@ class TestRegistry:
         assert {c for c in codes_for("perf") if is_blocking(c)} == {
             "REPRO301", "REPRO302", "REPRO310"
         }
+
+    def test_schedule_codes_present(self):
+        assert set(codes_for("schedule")) == {
+            f"REPRO40{i}" for i in range(1, 9)
+        }
+        # Every plan-verifier code is a safety violation: all blocking.
+        assert all(is_blocking(c) for c in codes_for("schedule"))
 
     def test_blocking_metadata(self):
         assert not is_blocking("REPRO106")

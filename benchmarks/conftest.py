@@ -164,7 +164,11 @@ def dataset(profile) -> CongestionDataset:
         seed=2023,
     )
     specs = [MLCAD2023_SPECS[name] for name in profile.designs]
-    built = CongestionDataset.build(specs, config)
+    # REPRO_BENCH_PARALLEL=N fans per-design generation across N
+    # supervised workers (repro.orchestrate); the dataset is bitwise
+    # identical to the serial build, so the cache stays valid.
+    parallel = int(os.environ.get("REPRO_BENCH_PARALLEL", "0"))
+    built = CongestionDataset.build(specs, config, parallel=parallel)
 
     payload = {}
     for prefix, samples in (("tr", built.train), ("ev", built.eval)):

@@ -15,6 +15,8 @@ and the table aggregation itself.
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.contest import (
@@ -22,6 +24,7 @@ from repro.contest import (
     evaluate_team_on_design,
     format_table2,
     run_table2,
+    table2_artifact,
 )
 
 from .conftest import write_artifact
@@ -61,6 +64,11 @@ def test_table2_report(benchmark, table2, profile):
     benchmark.pedantic(table2.averages, rounds=3, iterations=1)
     write_artifact("table2", _render_table2(table2, profile))
     write_artifact("table2_rows", table2.to_csv(), suffix=".csv")
+    write_artifact(
+        "table2_run",
+        json.dumps(table2_artifact(table2), indent=2, sort_keys=True),
+        suffix=".json",
+    )
     if profile.name == "smoke":
         return  # smoke exercises plumbing only
 

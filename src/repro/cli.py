@@ -120,6 +120,29 @@ def build_parser() -> argparse.ArgumentParser:
 
     table2 = sub.add_parser("table2", help="mini Table II (4 teams)")
     add_common(table2, multi_design=True)
+    table2.add_argument(
+        "--parallel", type=int, default=None, metavar="N",
+        help="fan (team, design) evaluations across N supervised worker "
+        "processes (repro.orchestrate); 0 = supervised serial",
+    )
+    table2.add_argument(
+        "--seed", type=int, default=None,
+        help="root seed for deterministic per-job RNG streams "
+        "(parallel runs reproduce serial bitwise)",
+    )
+    table2.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="durable JSONL job journal (enables --resume after a crash)",
+    )
+    table2.add_argument(
+        "--resume", action="store_true",
+        help="skip journal-verified completed jobs and finish the rest",
+    )
+    table2.add_argument(
+        "--artifact", default="results/table2_run.json", metavar="PATH",
+        help="structured JSON run record: scores, error manifest with "
+        "traceback tails, REPRO5xx incidents (default %(default)s)",
+    )
 
     lint = sub.add_parser(
         "lint", help="static autograd lint + shape checks (see repro.lint)"
@@ -374,16 +397,33 @@ def _cmd_train(args) -> int:
 
 
 def _cmd_table2(args) -> int:
-    from .contest import contest_teams, format_table2, run_table2
+    from .contest import contest_teams, format_table2, run_table2, write_table2_artifact
 
-    teams = contest_teams()
-    result = run_table2(
-        teams, design_names=tuple(args.designs), scale=1.0 / args.scale,
-        verbose=True,
+    orchestrated = (
+        args.parallel is not None or args.journal is not None or args.resume
     )
+    if args.resume and args.journal is None:
+        print("table2: --resume requires --journal PATH", file=sys.stderr)
+        return EXIT_USAGE
+    if orchestrated:
+        result = run_table2(
+            design_names=tuple(args.designs), scale=1.0 / args.scale,
+            verbose=True, parallel=args.parallel, seed=args.seed,
+            journal_path=args.journal, resume=args.resume,
+        )
+    else:
+        result = run_table2(
+            contest_teams(), design_names=tuple(args.designs),
+            scale=1.0 / args.scale, verbose=True,
+        )
     print()
     print(format_table2(result))
-    return 0
+    if args.artifact:
+        path = write_table2_artifact(result, args.artifact)
+        print(f"\nrun artifact: {path}")
+    if result.incidents:
+        print(f"orchestration incidents: {len(result.incidents)} (see artifact)")
+    return EXIT_OK if result.complete else EXIT_BLOCKING
 
 
 def _cmd_lint(args) -> int:

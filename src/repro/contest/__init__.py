@@ -5,6 +5,8 @@ from .evaluate import (
     evaluate_team_on_design,
     format_table2,
     run_table2,
+    table2_artifact,
+    write_table2_artifact,
 )
 from .scoring import (
     ContestScore,
@@ -26,4 +28,6 @@ __all__ = [
     "evaluate_team_on_design",
     "run_table2",
     "format_table2",
+    "table2_artifact",
+    "write_table2_artifact",
 ]

@@ -12,11 +12,24 @@ therefore records per-design failures in an error manifest
 the formatted table are computed over the designs that survived, and
 the manifest is appended so partial results are never mistaken for
 complete ones.
+
+The sweep is embarrassingly parallel, so ``run_table2`` can fan the
+(team, design) grid across the :mod:`repro.orchestrate` worker pool:
+``run_table2(parallel=N, seed=..., journal_path=...)`` supervises N
+worker processes with deadlines, retries and quarantine, journals every
+transition for ``resume=True``, and — because each job's RNG stream is
+spawned from the root seed by grid position — produces scores bitwise
+identical to the serial ``parallel=0`` run.  Teams are rebuilt inside
+each worker from a dotted factory reference (``team_source``), since
+:class:`TeamConfig` closures do not pickle.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+import os
+from dataclasses import dataclass, field, replace
+from pathlib import Path
 
 import numpy as np
 
@@ -24,9 +37,19 @@ from ..netlist import MLCAD2023_SPECS, TABLE2_DESIGNS, generate_design
 from ..placement import place_design
 from ..routing import DetailedRoutingModel, congestion_report, route_design
 from .scoring import ContestScore, initial_routing_score
-from .teams import TeamConfig
+from .teams import TEAM_NAMES, TeamConfig
 
-__all__ = ["Table2Result", "evaluate_team_on_design", "run_table2", "format_table2"]
+__all__ = [
+    "Table2Result",
+    "evaluate_team_on_design",
+    "run_table2",
+    "format_table2",
+    "table2_artifact",
+    "write_table2_artifact",
+]
+
+#: Default dotted factory workers use to rebuild the Table-II teams.
+DEFAULT_TEAM_SOURCE = "repro.contest.teams:contest_teams"
 
 _COLUMNS = ("S_score", "S_R", "T_P&R", "S_IR", "S_DR")
 
@@ -58,35 +81,65 @@ def evaluate_team_on_design(
     )
 
 
+def _structured_error(error) -> dict:
+    """Normalize an error (string or dict) to type/message/traceback."""
+    if isinstance(error, dict):
+        return {
+            "type": str(error.get("type", "Error")),
+            "message": str(error.get("message", "")),
+            "traceback": list(error.get("traceback", [])),
+        }
+    text = str(error)
+    head, sep, rest = text.partition(": ")
+    if sep and head.isidentifier():
+        return {"type": head, "message": rest, "traceback": []}
+    return {"type": "Error", "message": text, "traceback": []}
+
+
 @dataclass
 class Table2Result:
     """All scores of a Table-II run, indexed [team][design].
 
-    ``errors`` is the failure manifest of a resilient run: one entry
-    per (team, design) pair whose flow raised, holding the error
-    string in place of a score.  ``complete`` is False whenever the
-    manifest is non-empty.
+    ``errors`` is the failure manifest of a resilient run: one
+    structured entry (exception type, message, traceback tail) per
+    (team, design) pair whose flow raised, in place of a score.
+    ``incidents`` is the orchestration incident log (REPRO5xx events)
+    of a parallel run — empty for serial in-process sweeps.
+    ``complete`` is False whenever the error manifest is non-empty.
     """
 
     scores: dict[str, dict[str, ContestScore]] = field(default_factory=dict)
-    errors: dict[str, dict[str, str]] = field(default_factory=dict)
+    errors: dict[str, dict[str, dict]] = field(default_factory=dict)
+    incidents: list[dict] = field(default_factory=list)
 
     def add(self, score: ContestScore) -> None:
         self.scores.setdefault(score.team, {})[score.design] = score
 
-    def add_error(self, team: str, design: str, error: str) -> None:
-        self.errors.setdefault(team, {})[design] = error
+    def add_error(self, team: str, design: str, error) -> None:
+        """Record a failure; ``error`` may be a string or a structured dict."""
+        self.errors.setdefault(team, {})[design] = _structured_error(error)
 
     @property
     def complete(self) -> bool:
         return not self.errors
 
-    def error_manifest(self) -> list[dict[str, str]]:
-        """Flat (team, design, error) rows of every recorded failure."""
+    def error_manifest(self) -> list[dict[str, object]]:
+        """Flat rows of every recorded failure.
+
+        Each row carries the legacy ``error`` display string plus the
+        structured ``type`` and ``traceback`` tail, so artifacts keep
+        enough context to debug a failure without re-running it.
+        """
         return [
-            {"team": team, "design": design, "error": error}
+            {
+                "team": team,
+                "design": design,
+                "error": f"{info['type']}: {info['message']}",
+                "type": info["type"],
+                "traceback": info["traceback"],
+            }
             for team, by_design in sorted(self.errors.items())
-            for design, error in sorted(by_design.items())
+            for design, info in sorted(by_design.items())
         ]
 
     def averages(self) -> dict[str, dict[str, float]]:
@@ -138,12 +191,136 @@ class Table2Result:
         }
 
 
+def _table2_job(
+    team_name: str,
+    design_name: str,
+    scale: float,
+    team_source: str = DEFAULT_TEAM_SOURCE,
+    team_kwargs: dict | None = None,
+    seed_seq=None,
+) -> dict:
+    """One orchestrated (team, design) evaluation, run inside a worker.
+
+    Rebuilds the team from its dotted factory reference (closures in
+    :class:`TeamConfig` do not pickle), derives the placer seed from
+    the job's private ``seed_seq`` when the run is seeded, and returns
+    the score as a JSON-safe payload for the journal.
+    """
+    from ..orchestrate.worker import resolve_callable
+
+    kwargs = dict(team_kwargs or {})
+    if seed_seq is not None:
+        kwargs["seed"] = int(seed_seq.generate_state(1)[0] % np.iinfo(np.int32).max)
+    factory = resolve_callable(team_source)
+    teams = factory(**kwargs)
+    by_name = {team.name: team for team in teams}
+    if team_name not in by_name:
+        raise KeyError(f"team source {team_source!r} knows no team {team_name!r}")
+    score = evaluate_team_on_design(by_name[team_name], design_name, scale=scale)
+    return {
+        "design": score.design,
+        "team": score.team,
+        "s_ir": int(score.s_ir),
+        "s_dr": int(score.s_dr),
+        "t_macro_minutes": float(score.t_macro_minutes),
+        "t_pr_hours": float(score.t_pr_hours),
+    }
+
+
+def _validate_score_payload(payload) -> None:
+    """Reject malformed/corrupted result payloads (REPRO506 on failure)."""
+    if not isinstance(payload, dict):
+        raise ValueError(f"score payload must be a dict, got {type(payload).__name__}")
+    required = ("design", "team", "s_ir", "s_dr", "t_macro_minutes", "t_pr_hours")
+    missing = [key for key in required if key not in payload]
+    if missing:
+        raise ValueError(f"score payload missing fields: {missing}")
+    for key in ("s_ir", "s_dr", "t_macro_minutes", "t_pr_hours"):
+        value = payload[key]
+        if not isinstance(value, (int, float)) or not np.isfinite(value):
+            raise ValueError(f"score payload field {key!r} is not finite: {value!r}")
+
+
+def _run_table2_orchestrated(
+    design_names: tuple[str, ...],
+    scale: float,
+    verbose: bool,
+    parallel: int,
+    seed: int | None,
+    journal_path,
+    resume: bool,
+    chaos,
+    team_source: str,
+    team_kwargs: dict | None,
+    team_names: tuple[str, ...],
+    runtime_config,
+) -> Table2Result:
+    from ..orchestrate import JobSpec, RuntimeConfig, run_jobs
+
+    jobs = [
+        JobSpec(
+            key=f"{team}:{design}",
+            fn="repro.contest.evaluate:_table2_job",
+            args=(team, design, scale, team_source, team_kwargs),
+        )
+        for team in team_names
+        for design in design_names
+    ]
+    if runtime_config is None:
+        config = RuntimeConfig(
+            workers=parallel,
+            deadline=3600.0,
+            max_attempts=2,
+            seed=seed,
+            chaos=chaos,
+            validate=_validate_score_payload,
+            verbose=verbose,
+        )
+    else:
+        config = replace(
+            runtime_config,
+            workers=parallel,
+            seed=seed if seed is not None else runtime_config.seed,
+            chaos=chaos if chaos is not None else runtime_config.chaos,
+            validate=runtime_config.validate or _validate_score_payload,
+        )
+    report = run_jobs(jobs, config, journal_path=journal_path, resume=resume)
+
+    result = Table2Result()
+    result.incidents = [incident.to_dict() for incident in report.incidents]
+    for outcome in report.outcomes:
+        team, _, design = outcome.key.partition(":")
+        if outcome.status == "done":
+            result.add(ContestScore(**outcome.result))
+            if verbose:
+                suffix = " (resumed)" if outcome.resumed else ""
+                print(f"{team:<14} {design:<12} {result.scores[team][design].row()}{suffix}")
+        else:
+            error = outcome.error or {
+                "type": "Unknown", "message": outcome.status, "traceback": [],
+            }
+            result.add_error(team, design, error)
+            if verbose:
+                print(f"{team:<14} {design:<12} FAILED: {error['message']}")
+    return result
+
+
 def run_table2(
-    teams: list[TeamConfig],
+    teams: list[TeamConfig] | None = None,
     design_names: tuple[str, ...] = TABLE2_DESIGNS,
     scale: float = 1.0 / 64.0,
     verbose: bool = False,
     resilient: bool = True,
+    *,
+    parallel: int | None = None,
+    seed: int | None = None,
+    journal_path=None,
+    resume: bool = False,
+    chaos=None,
+    team_source: str = DEFAULT_TEAM_SOURCE,
+    team_kwargs: dict | None = None,
+    team_names: tuple[str, ...] = TEAM_NAMES,
+    runtime_config=None,
 ) -> Table2Result:
     """Evaluate every team on every design.
 
@@ -151,7 +328,37 @@ def run_table2(
     recorded in the result's error manifest and the sweep continues,
     yielding partial scores; ``resilient=False`` restores fail-fast
     behaviour for debugging.
+
+    Passing ``parallel`` (or ``journal_path``/``resume``) routes the
+    sweep through the :mod:`repro.orchestrate` supervisor: ``parallel``
+    worker processes (0 = supervised serial), per-job deadlines and
+    retries, quarantine, a durable journal and REPRO5xx incidents on
+    the returned result.  ``seed`` makes every evaluation's placer seed
+    a deterministic function of its (team, design) grid position, so a
+    parallel sweep is bitwise-identical to ``parallel=0``.  Teams are
+    then rebuilt in each worker from ``team_source`` — a dotted
+    ``contest_teams``-style factory — which is incompatible with
+    passing prebuilt ``teams`` (their closures don't pickle).
     """
+    orchestrated = parallel is not None or journal_path is not None or resume
+    if orchestrated:
+        if teams is not None:
+            raise ValueError(
+                "run_table2: pass either prebuilt teams (serial in-process) or "
+                "parallel/journal options with team_source (orchestrated), not both"
+            )
+        return _run_table2_orchestrated(
+            design_names, scale, verbose,
+            parallel=0 if parallel is None else int(parallel),
+            seed=seed, journal_path=journal_path, resume=resume, chaos=chaos,
+            team_source=team_source, team_kwargs=team_kwargs,
+            team_names=tuple(team_names), runtime_config=runtime_config,
+        )
+
+    from .teams import contest_teams
+
+    if teams is None:
+        teams = contest_teams(**(team_kwargs or {}))
     result = Table2Result()
     for team in teams:
         for name in design_names:
@@ -160,7 +367,9 @@ def run_table2(
             except Exception as exc:
                 if not resilient:
                     raise
-                result.add_error(team.name, name, f"{type(exc).__name__}: {exc}")
+                from ..orchestrate.worker import error_info
+
+                result.add_error(team.name, name, error_info(exc))
                 if verbose:
                     print(f"{team.name:<14} {name:<12} FAILED: {exc}")
                 continue
@@ -220,3 +429,36 @@ def format_table2(result: Table2Result) -> str:
                 f"  {entry['team']:<14} {entry['design']:<12} {entry['error']}"
             )
     return "\n".join(lines)
+
+
+def table2_artifact(result: Table2Result) -> dict:
+    """JSON-safe record of a Table-II run: scores, failures, incidents.
+
+    This is what lands under ``results/`` after a sweep — enough to
+    audit a partial run (structured error manifest with traceback
+    tails, the REPRO5xx orchestration incident log) without re-running
+    anything.
+    """
+    return {
+        "complete": result.complete,
+        "scores": result.rows(),
+        "averages": result.averages(),
+        "error_manifest": result.error_manifest(),
+        "incidents": list(result.incidents),
+    }
+
+
+def write_table2_artifact(
+    result: Table2Result, path: str | os.PathLike = "results/table2_run.json"
+) -> Path:
+    """Atomically persist :func:`table2_artifact` to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    blob = json.dumps(table2_artifact(result), indent=2, sort_keys=True) + "\n"
+    tmp = path.parent / (path.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(blob)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    return path

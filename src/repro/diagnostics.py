@@ -18,6 +18,12 @@ Severity: ``blocking`` findings fail gates (``repro lint`` /
 ``build_model(analyze=True)`` raises); non-blocking codes report
 *opportunities* and never fail anything.  Every finding, whatever its
 component, honours ``# noqa: REPROxxx`` suppression on its source line.
+
+The orchestration runtime (:mod:`repro.orchestrate`, ``REPRO5xx``) is
+the one component whose codes label *runtime incidents* rather than
+static findings: a blocking 5xx code means the parallel run could not
+deliver a complete result (a job was quarantined), a non-blocking one
+records a fault the supervisor recovered from.
 """
 
 from __future__ import annotations
@@ -311,4 +317,44 @@ register_code(
     "REPRO408",
     "stale plan: fingerprint does not match the graph or plan content",
     component="schedule",
+)
+
+# Fault-tolerant orchestration runtime (repro.orchestrate) — 5xx.
+# These are *runtime incidents*, not static findings: non-blocking codes
+# record faults the supervisor recovered from (the run still produced a
+# complete result), blocking codes mean a job was lost and the run is
+# partial.
+register_code(
+    "REPRO501",
+    "worker process crashed or was killed mid-job; job re-dispatched",
+    component="orchestrate",
+    blocking=False,
+)
+register_code(
+    "REPRO502",
+    "job exceeded its deadline or stopped heartbeating; worker killed",
+    component="orchestrate",
+    blocking=False,
+)
+register_code(
+    "REPRO503",
+    "poison job quarantined; run result is partial",
+    component="orchestrate",
+)
+register_code(
+    "REPRO504",
+    "journal recovered with a truncated or corrupt tail (crash mid-append)",
+    component="orchestrate",
+    blocking=False,
+)
+register_code(
+    "REPRO505",
+    "job retry budget exhausted",
+    component="orchestrate",
+)
+register_code(
+    "REPRO506",
+    "result payload failed validation; attempt discarded and retried",
+    component="orchestrate",
+    blocking=False,
 )

@@ -69,7 +69,11 @@ class PGNNNet(CongestionModel):
         seed: int = 0,
     ) -> None:
         super().__init__()
-        rng = np.random.default_rng(seed)
+        # Independent child streams for the two branches (rather than
+        # seed arithmetic, which risks stream collisions between models
+        # built from nearby seeds).
+        gnn_seq, unet_seq = np.random.SeedSequence(seed).spawn(2)
+        rng = np.random.default_rng(gnn_seq)
         self.gnn = nn.ModuleList()
         ch = in_channels
         for _ in range(gnn_layers):
@@ -78,7 +82,7 @@ class PGNNNet(CongestionModel):
         self.unet = UNet(
             in_channels=in_channels + gnn_channels,
             base_channels=base_channels,
-            seed=seed + 1,
+            seed=unet_seq,
         )
 
     def forward(self, x: Tensor) -> Tensor:

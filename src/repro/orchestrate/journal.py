@@ -1,0 +1,152 @@
+"""Durable, fsync'd JSONL job journal — the crash-recovery substrate.
+
+Every job transition of an orchestrated run (:mod:`repro.orchestrate`)
+is appended to one journal file as a single JSON line, flushed and
+``fsync``'d before the supervisor proceeds — the same never-lose-a-good
+-state discipline :mod:`repro.resilience.checkpoint` applies to
+checkpoint bundles, adapted to an append-only log.  A run that is
+SIGKILL'd at any instant therefore leaves a journal whose committed
+prefix is intact; at worst the final line is truncated (crash
+mid-append), which :func:`read_journal` detects and drops, reporting it
+so the supervisor can surface a REPRO504 incident.
+
+Record vocabulary (the ``event`` field):
+
+``run_start``
+    One per ``run_jobs`` invocation: the ordered job-key list, the root
+    seed and the worker count.  A resumed run appends a fresh
+    ``run_start`` with ``resume: true``; recovery always validates the
+    job set against the *last* one.
+``dispatched`` / ``completed`` / ``failed`` / ``quarantined``
+    Per-job transitions.  ``completed`` records carry the JSON result
+    payload plus a content digest so a corrupt journal line can never
+    smuggle a damaged result into a resumed run.
+
+Resume reads the journal, re-verifies every completed payload against
+its digest, and returns the surviving results — completed jobs are
+skipped, in-flight and failed jobs are re-dispatched.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "JournalError",
+    "Journal",
+    "JournalRecovery",
+    "payload_digest",
+    "read_journal",
+]
+
+
+class JournalError(RuntimeError):
+    """The journal cannot be used (job-set mismatch on resume, ...)."""
+
+
+def payload_digest(payload) -> str:
+    """Content digest of a JSON-serializable result payload."""
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+class Journal:
+    """Append-only fsync'd JSONL writer.
+
+    ``chaos`` (a :class:`repro.resilience.faults.JournalChaos`) makes the
+    Nth append write only a prefix of its line and then simulate a hard
+    crash — either raising :class:`ChaosCrash` or ``os._exit``-ing —
+    exactly the failure :func:`read_journal` must survive.
+    """
+
+    def __init__(self, path: str | os.PathLike, chaos=None) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self._chaos = chaos
+        self.appends = 0
+
+    def append(self, record: dict) -> None:
+        """Write one record durably (write + flush + fsync)."""
+        line = json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+        self.appends += 1
+        if self._chaos is not None and self._chaos.fires_on(self.appends):
+            # Crash mid-append: commit a torn prefix of the line, then die.
+            self._fh.write(line[: max(1, len(line) // 2)])
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            self._chaos.crash()
+        self._fh.write(line)
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+@dataclass
+class JournalRecovery:
+    """Everything a resume needs, reconstructed from one journal file."""
+
+    records: list[dict] = field(default_factory=list)
+    completed: dict[str, dict] = field(default_factory=dict)  # key -> payload
+    quarantined: set[str] = field(default_factory=set)
+    job_keys: list[str] | None = None  # from the last run_start
+    seed: int | None = None
+    dropped_lines: int = 0  # unparseable lines (torn tail) dropped
+    bad_digests: int = 0  # completed records whose payload failed its digest
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing had to be dropped or rejected."""
+        return self.dropped_lines == 0 and self.bad_digests == 0
+
+
+def read_journal(path: str | os.PathLike) -> JournalRecovery:
+    """Parse a journal, dropping any torn/corrupt lines, and fold state.
+
+    Never raises on damaged content: a line that fails to parse (the
+    signature of a crash mid-append) or a completed record whose payload
+    does not match its digest is dropped and *counted*, so the caller
+    can re-run the affected job instead of trusting a damaged result.
+    """
+    recovery = JournalRecovery()
+    text = Path(path).read_text(encoding="utf-8", errors="replace")
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            recovery.dropped_lines += 1
+            continue
+        if not isinstance(record, dict) or "event" not in record:
+            recovery.dropped_lines += 1
+            continue
+        recovery.records.append(record)
+        event = record["event"]
+        key = record.get("job")
+        if event == "run_start":
+            recovery.job_keys = list(record.get("jobs", []))
+            recovery.seed = record.get("seed")
+        elif event == "completed" and key is not None:
+            payload = record.get("result")
+            if payload_digest(payload) != record.get("digest"):
+                recovery.bad_digests += 1
+                continue
+            recovery.completed[key] = payload
+            recovery.quarantined.discard(key)
+        elif event == "quarantined" and key is not None:
+            recovery.quarantined.add(key)
+    return recovery

@@ -1,0 +1,125 @@
+"""Worker-process side of the orchestration runtime.
+
+Each worker is one OS process running :func:`worker_main` over a duplex
+pipe to the supervisor.  The protocol is deliberately tiny:
+
+supervisor -> worker
+    ``("job", key, attempt, fn_ref, args, kwargs, seed_seq)`` or
+    ``("shutdown",)``
+
+worker -> supervisor
+    ``("hb", key, attempt)`` — heartbeat, sent by a daemon thread every
+    ``heartbeat_interval`` seconds while a job runs;
+    ``("result", key, attempt, payload)`` on success;
+    ``("error", key, attempt, info)`` on an in-job exception, where
+    ``info`` carries the exception type, message and traceback tail.
+
+Job functions are referenced by dotted path (``"module:attr"``) so the
+spec stays picklable under every start method, and — when the
+supervisor runs seeded — receive their private RNG stream as a
+``seed_seq`` keyword (an :class:`numpy.random.SeedSequence` child
+spawned by job *index*, never by dispatch order, which is what makes a
+parallel run bitwise-identical to a serial one).
+
+The worker never decides policy: deadlines, retries and quarantine all
+live in the supervisor, which can SIGKILL this process at any moment.
+The only failure logic here is the chaos harness
+(:class:`repro.resilience.faults.ChaosConfig`) — seeded sabotage of the
+worker itself, used by the chaos test suite to prove the supervisor's
+failure semantics.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import signal
+import threading
+import time
+import traceback
+
+
+def resolve_callable(ref: str):
+    """Resolve a ``"package.module:attr"`` (or ``:Class.method``) path."""
+    module_path, _, attr_path = ref.partition(":")
+    if not attr_path:
+        raise ValueError(f"job fn must look like 'package.module:attr', got {ref!r}")
+    obj = importlib.import_module(module_path)
+    for part in attr_path.split("."):
+        obj = getattr(obj, part)
+    return obj
+
+
+def error_info(exc: BaseException, tail: int = 8) -> dict:
+    """The structured error payload a failed attempt reports."""
+    lines = traceback.format_exception(type(exc), exc, exc.__traceback__)
+    flat = "".join(lines).rstrip().splitlines()
+    return {
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "traceback": flat[-tail:],
+    }
+
+
+def _heartbeat_loop(conn, lock, key, attempt, stop, interval: float) -> None:
+    while not stop.wait(interval):
+        try:
+            with lock:
+                conn.send(("hb", key, attempt))
+        except OSError:  # supervisor is gone; nothing left to report to
+            return
+
+
+def worker_main(conn, worker_id: int, chaos, heartbeat_interval: float) -> None:
+    """Process one job at a time until told to shut down."""
+    # The supervisor owns interruption (it SIGKILLs); a stray ^C on the
+    # process group must not tear workers down mid-protocol.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    lock = threading.Lock()
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            return
+        if msg[0] == "shutdown":
+            return
+        _, key, attempt, fn_ref, args, kwargs, seed_seq = msg
+        mode = chaos.decide(key, attempt) if chaos is not None else None
+        stop = threading.Event()
+        beat = None
+        if mode != "freeze":
+            beat = threading.Thread(
+                target=_heartbeat_loop,
+                args=(conn, lock, key, attempt, stop, heartbeat_interval),
+                daemon=True,
+            )
+            beat.start()
+        try:
+            if mode == "kill":
+                os.kill(os.getpid(), signal.SIGKILL)
+            if mode in ("hang", "freeze"):
+                time.sleep(chaos.hang_seconds)
+            fn = resolve_callable(fn_ref)
+            call_kwargs = dict(kwargs)
+            if seed_seq is not None:
+                call_kwargs["seed_seq"] = seed_seq
+            result = fn(*args, **call_kwargs)
+            if mode == "corrupt":
+                from ..resilience.faults import corrupt_payload
+
+                result = corrupt_payload(
+                    result, chaos.corruption_rng(key, attempt)
+                )
+            with lock:
+                conn.send(("result", key, attempt, result))
+        except Exception as exc:
+            info = error_info(exc)
+            try:
+                with lock:
+                    conn.send(("error", key, attempt, info))
+            except OSError:
+                return
+        finally:
+            stop.set()
+            if beat is not None:
+                beat.join(timeout=1.0)

@@ -26,14 +26,21 @@ def sample_placer_config(
     gp_iters: int = 400,
     stage2_iters: int = 120,
     bins: int = 32,
+    gp_seed: int | None = None,
 ) -> PlacerConfig:
-    """Draw one placement configuration from the sweep distribution."""
+    """Draw one placement configuration from the sweep distribution.
+
+    ``gp_seed`` pins the GP seed explicitly — the dataset builder
+    derives it from a per-placement ``SeedSequence`` child so parallel
+    generation reproduces the serial stream — instead of the legacy
+    draw from ``rng``.
+    """
     gp = GPConfig(
         bins=bins,
         max_iters=gp_iters,
         lr=float(rng.uniform(0.35, 0.55)),
         lambda_growth=float(rng.uniform(1.012, 1.02)),
-        seed=int(rng.integers(1_000_000)),
+        seed=int(rng.integers(1_000_000)) if gp_seed is None else int(gp_seed),
     )
     stage1_lo = max(1, int(0.6 * gp_iters))
     return PlacerConfig(

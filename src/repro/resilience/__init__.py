@@ -15,7 +15,10 @@ estimator crash.  This package makes those runs survivable:
     placer uses for graceful degradation.
 ``repro.resilience.faults``
     Deterministic fault injection so the test suite can provoke every
-    failure above and prove the recovery paths actually work.
+    failure above and prove the recovery paths actually work — both
+    in-process (``inject_fault``) and at the process level
+    (``ChaosConfig``/``JournalChaos``, which sabotage the
+    :mod:`repro.orchestrate` worker pool and its journal).
 """
 
 from .checkpoint import (
@@ -29,7 +32,17 @@ from .checkpoint import (
     load_checkpoint,
     save_checkpoint,
 )
-from .faults import CallRecord, FaultInjected, inject_fault, nan_poison
+from .faults import (
+    CHAOS_MODES,
+    CallRecord,
+    ChaosConfig,
+    ChaosCrash,
+    FaultInjected,
+    JournalChaos,
+    corrupt_payload,
+    inject_fault,
+    nan_poison,
+)
 from .recovery import (
     LEVEL_MAX,
     LEVEL_MIN,
@@ -54,6 +67,11 @@ __all__ = [
     "CallRecord",
     "inject_fault",
     "nan_poison",
+    "CHAOS_MODES",
+    "ChaosConfig",
+    "ChaosCrash",
+    "JournalChaos",
+    "corrupt_payload",
     "Incident",
     "TrainingDiverged",
     "EstimatorOutputError",

@@ -266,14 +266,30 @@ def load_checkpoint(
 
 
 class CheckpointManager:
-    """Rolling ``last``/``best`` checkpoint retention in one directory."""
+    """Rolling ``last``/``best`` checkpoint retention in one directory.
+
+    On construction the manager scans its directory for crash debris:
+    leftover ``*.tmp`` files (a kill mid-write, before the atomic
+    rename) and ``last``/``best`` bundles that no longer verify (torn
+    by a kill mid-rename or bit-rot).  Debris is moved into a
+    ``quarantine/`` subdirectory — created only when needed — rather
+    than deleted, so a post-mortem can still inspect it; the paths land
+    in ``self.quarantined``.  :meth:`load_last` then falls back to the
+    newest bundle that still verifies instead of raising
+    :class:`CheckpointCorrupt` at resume time (a *fingerprint* mismatch
+    still raises — that is a configuration error, not corruption).
+    """
 
     LAST = "last.ckpt.npz"
     BEST = "best.ckpt.npz"
+    QUARANTINE = "quarantine"
 
-    def __init__(self, directory: str | os.PathLike) -> None:
+    def __init__(self, directory: str | os.PathLike, scan: bool = True) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.quarantined: list[Path] = []
+        if scan:
+            self._startup_scan()
 
     @property
     def last_path(self) -> Path:
@@ -283,6 +299,31 @@ class CheckpointManager:
     def best_path(self) -> Path:
         return self.directory / self.BEST
 
+    def _quarantine(self, path: Path) -> Path:
+        """Move crash debris aside (never delete evidence)."""
+        qdir = self.directory / self.QUARANTINE
+        qdir.mkdir(exist_ok=True)
+        dest = qdir / path.name
+        counter = 0
+        while dest.exists():
+            counter += 1
+            dest = qdir / f"{path.name}.{counter}"
+        os.replace(path, dest)
+        self.quarantined.append(dest)
+        return dest
+
+    def _startup_scan(self) -> None:
+        for tmp in sorted(self.directory.glob("*.tmp")):
+            self._quarantine(tmp)
+        for name in (self.LAST, self.BEST):
+            path = self.directory / name
+            if not path.exists():
+                continue
+            try:
+                load_checkpoint(path)
+            except CheckpointCorrupt:
+                self._quarantine(path)
+
     def save(self, checkpoint: Checkpoint, is_best: bool = False) -> Path:
         """Write ``last`` (and ``best`` when flagged), each atomically."""
         path = save_checkpoint(checkpoint, self.last_path)
@@ -291,10 +332,22 @@ class CheckpointManager:
         return path
 
     def load_last(self, expected_fingerprint: dict | None = None) -> Checkpoint | None:
-        """The most recent bundle, or None if the directory has none."""
-        if not self.last_path.exists():
-            return None
-        return load_checkpoint(self.last_path, expected_fingerprint)
+        """The newest bundle that verifies, or None if no valid one remains.
+
+        Preference order is ``last`` then ``best`` (``last`` is by
+        construction the most recent save).  A bundle that fails its
+        checksum is quarantined and the next candidate tried, so a
+        crash that corrupted ``last`` degrades the resume by one
+        checkpoint instead of aborting it.
+        """
+        for path in (self.last_path, self.best_path):
+            if not path.exists():
+                continue
+            try:
+                return load_checkpoint(path, expected_fingerprint)
+            except CheckpointCorrupt:
+                self._quarantine(path)
+        return None
 
     def load_best(self, expected_fingerprint: dict | None = None) -> Checkpoint | None:
         if not self.best_path.exists():

@@ -16,16 +16,36 @@ log, so every failure scenario is replayable bit-for-bit.
                       corrupt=poison) as fault:
         trainer.train(model, dataset)
     assert fault.fired
+
+:class:`inject_fault` only reaches *in-process* failures.  The
+process-level chaos layer (:class:`ChaosConfig`, :class:`JournalChaos`)
+sabotages the :mod:`repro.orchestrate` worker pool itself — SIGKILL a
+worker mid-job, hang past the deadline, freeze its heartbeats, corrupt
+a result payload, or tear a journal append in half — with every
+decision derived from a seed and the (job, attempt) identity, so a
+chaos run is exactly replayable.
 """
 
 from __future__ import annotations
 
+import hashlib
 import importlib
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["FaultInjected", "CallRecord", "inject_fault", "nan_poison"]
+__all__ = [
+    "FaultInjected",
+    "CallRecord",
+    "inject_fault",
+    "nan_poison",
+    "CHAOS_MODES",
+    "ChaosConfig",
+    "ChaosCrash",
+    "JournalChaos",
+    "corrupt_payload",
+]
 
 
 class FaultInjected(RuntimeError):
@@ -150,3 +170,111 @@ class inject_fault:
 
     def __exit__(self, *exc_info) -> None:
         setattr(self.owner, self.attr, self._original)
+
+
+# -- process-level chaos (repro.orchestrate worker pool) ----------------------
+
+# Worker-side sabotage modes, in decision order:
+#   kill     SIGKILL the worker process mid-job (worker crash, REPRO501)
+#   hang     sleep past the per-job deadline, heartbeats keep flowing
+#            (deadline watchdog, REPRO502)
+#   freeze   sleep with heartbeats suppressed — the observable shape of a
+#            SIGSTOP'd or wedged process (heartbeat watchdog, REPRO502)
+#   corrupt  damage the result payload before sending it back
+#            (payload validation, REPRO506)
+CHAOS_MODES = ("kill", "hang", "freeze", "corrupt")
+
+
+class ChaosCrash(RuntimeError):
+    """Raised by :class:`JournalChaos` in soft-crash mode."""
+
+
+def _stable_hash(text: str) -> int:
+    """A hash stable across processes (``hash()`` is salted per run)."""
+    return int.from_bytes(hashlib.sha256(text.encode()).digest()[:8], "big")
+
+
+def corrupt_payload(payload, rng: np.random.Generator):
+    """Deterministically damage a JSON-style result payload.
+
+    Dicts lose one seeded key, lists lose their tail element, scalars
+    become ``None`` — all damage a result validator must catch.
+    """
+    if isinstance(payload, dict) and payload:
+        broken = dict(payload)
+        victim = sorted(broken)[int(rng.integers(len(broken)))]
+        del broken[victim]
+        return broken
+    if isinstance(payload, list) and payload:
+        return payload[:-1]
+    return None
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Seeded process-level fault plan for the orchestration worker pool.
+
+    Each field in ``kill``/``hang``/``freeze``/``corrupt`` is the
+    probability of that sabotage firing on an eligible job attempt; the
+    draw is made from an RNG keyed on ``(seed, job key, attempt)``, so
+    the same plan injects the same faults in every replay regardless of
+    worker scheduling.  ``max_attempt`` bounds sabotage to early
+    attempts (default: only the first), guaranteeing retries can
+    succeed; ``jobs`` restricts sabotage to specific job keys.
+    """
+
+    seed: int = 0
+    kill: float = 0.0
+    hang: float = 0.0
+    freeze: float = 0.0
+    corrupt: float = 0.0
+    hang_seconds: float = 30.0
+    max_attempt: int = 1
+    jobs: tuple[str, ...] | None = None
+
+    def _rng(self, key: str, attempt: int) -> np.random.Generator:
+        return np.random.default_rng(
+            np.random.SeedSequence([self.seed, _stable_hash(key), attempt])
+        )
+
+    def decide(self, key: str, attempt: int) -> str | None:
+        """Which sabotage (if any) fires on this job attempt."""
+        if attempt > self.max_attempt:
+            return None
+        if self.jobs is not None and key not in self.jobs:
+            return None
+        draw = float(self._rng(key, attempt).random())
+        edge = 0.0
+        for mode in CHAOS_MODES:
+            edge += float(getattr(self, mode))
+            if draw < edge:
+                return mode
+        return None
+
+    def corruption_rng(self, key: str, attempt: int) -> np.random.Generator:
+        """The seeded RNG ``corrupt_payload`` uses for this attempt."""
+        return self._rng(f"corrupt/{key}", attempt)
+
+
+@dataclass(frozen=True)
+class JournalChaos:
+    """Crash mid-journal-append: tear line ``truncate_at`` in half.
+
+    With ``hard_exit`` the process dies via ``os._exit`` (no cleanup, no
+    atexit — the closest in-process stand-in for SIGKILL); otherwise
+    :class:`ChaosCrash` is raised so in-process tests can observe the
+    crash and then exercise resume.
+    """
+
+    truncate_at: int = 1  # 1-based append index that gets torn
+    hard_exit: bool = False
+
+    def fires_on(self, append_index: int) -> bool:
+        return append_index == self.truncate_at
+
+    def crash(self) -> None:
+        if self.hard_exit:
+            os._exit(73)
+        raise ChaosCrash(
+            f"injected crash mid-journal-append #{self.truncate_at}"
+        )

@@ -74,12 +74,14 @@ class DatasetConfig:
     stage2_iters: int = 120
 
 
-def _varied_placer_config(rng: np.random.Generator, cfg: DatasetConfig) -> PlacerConfig:
+def _varied_placer_config(
+    rng: np.random.Generator, cfg: DatasetConfig, gp_seed: int | None = None
+) -> PlacerConfig:
     """A placement configuration drawn from the paper's parameter sweep."""
     from ..placement.sweep import sample_placer_config
 
     return sample_placer_config(
-        rng, gp_iters=cfg.gp_iters, stage2_iters=cfg.stage2_iters
+        rng, gp_iters=cfg.gp_iters, stage2_iters=cfg.stage2_iters, gp_seed=gp_seed
     )
 
 
@@ -87,17 +89,33 @@ def generate_samples(
     design_or_spec: Design | DesignSpec,
     config: DatasetConfig,
     rng: np.random.Generator | None = None,
+    seed_seq: np.random.SeedSequence | None = None,
 ) -> list[Sample]:
     """Run the placement sweep for one design and label every placement.
 
     A fresh design instance is generated per placement (placement state
     is mutated by the flow), each placed with varied parameters, routed,
     and converted to a (features, levels) pair on the ``grid`` raster.
+
+    With ``seed_seq`` every placement draws from its own spawned child
+    stream — independent of how many placements ran before it — which
+    is what lets :meth:`CongestionDataset.build` generate designs in
+    parallel workers and still reproduce the serial dataset bitwise.
+    The legacy ``rng`` path threads one generator through the whole
+    sweep and is kept for direct callers.
     """
-    rng = rng or np.random.default_rng(config.seed)
+    if seed_seq is None:
+        rng = rng or np.random.default_rng(config.seed)
+        draws = [(rng, None) for _ in range(config.placements_per_design)]
+    else:
+        draws = []
+        for child in seed_seq.spawn(config.placements_per_design):
+            cfg_seq, gp_seq = child.spawn(2)
+            gp_seed = int(gp_seq.generate_state(1)[0] % 1_000_000)
+            draws.append((np.random.default_rng(cfg_seq), gp_seed))
     extractor = FeatureExtractor(grid=config.grid)
     samples: list[Sample] = []
-    for _ in range(config.placements_per_design):
+    for draw_rng, gp_seed in draws:
         if isinstance(design_or_spec, DesignSpec):
             design = generate_design(design_or_spec, scale=config.design_scale)
         else:
@@ -105,9 +123,9 @@ def generate_samples(
                 _spec_of(design_or_spec), scale=config.design_scale,
                 device=design_or_spec.device,
             )
-        placer_cfg = _varied_placer_config(rng, config)
+        placer_cfg = _varied_placer_config(draw_rng, config, gp_seed=gp_seed)
         estimator = RudyEstimator(
-            grid=design.device.tile_cols, gain=float(rng.uniform(0.7, 1.3))
+            grid=design.device.tile_cols, gain=float(draw_rng.uniform(0.7, 1.3))
         )
         place_design(design, estimator=estimator, config=placer_cfg)
 
@@ -120,6 +138,13 @@ def generate_samples(
         labels = np.clip(np.rint(labels), 0, 7).astype(np.int64)
         samples.append(Sample(features, labels, design.name))
     return samples
+
+
+def _design_samples_job(
+    spec: DesignSpec, config: DatasetConfig, seed_seq=None
+) -> list[Sample]:
+    """Orchestrated per-design sweep (runs inside a worker process)."""
+    return generate_samples(spec, config, seed_seq=seed_seq)
 
 
 def _spec_of(design: Design) -> DesignSpec:
@@ -144,12 +169,52 @@ class CongestionDataset:
         cls,
         specs: list[DesignSpec],
         config: DatasetConfig,
+        parallel: int = 0,
     ) -> "CongestionDataset":
-        """Generate the full multi-design dataset (paper Section V-A)."""
-        rng = np.random.default_rng(config.seed)
+        """Generate the full multi-design dataset (paper Section V-A).
+
+        Each design draws from its own ``SeedSequence`` child (spawned
+        from ``config.seed`` by position), so the dataset is a pure
+        function of the config — independent of generation order.
+        ``parallel=N`` fans the per-design sweeps across N supervised
+        worker processes (:mod:`repro.orchestrate`); because the
+        runtime spawns the identical child per job index, the parallel
+        dataset is bitwise-identical to the serial one.
+        """
+        if parallel and parallel > 0:
+            from ..orchestrate import JobSpec, RuntimeConfig, run_jobs
+
+            jobs = [
+                JobSpec(
+                    key=spec.name,
+                    fn="repro.train.dataset:_design_samples_job",
+                    args=(spec, config),
+                )
+                for spec in specs
+            ]
+            report = run_jobs(
+                jobs,
+                RuntimeConfig(
+                    workers=int(parallel), seed=config.seed,
+                    deadline=3600.0, max_attempts=2,
+                ),
+            )
+            if not report.complete:
+                failed = [o.key for o in report.outcomes if o.status != "done"]
+                raise RuntimeError(
+                    f"dataset generation failed for design(s) {failed}; "
+                    "see the run's orchestration incidents"
+                )
+            per_design = [outcome.result for outcome in report.outcomes]
+        else:
+            children = np.random.SeedSequence(config.seed).spawn(len(specs))
+            per_design = [
+                generate_samples(spec, config, seed_seq=child)
+                for spec, child in zip(specs, children)
+            ]
+
         dataset = cls()
-        for spec in specs:
-            samples = generate_samples(spec, config, rng)
+        for samples in per_design:
             n_eval = max(1, int(round(config.eval_fraction * len(samples))))
             eval_part = samples[:n_eval]
             train_part = samples[n_eval:]

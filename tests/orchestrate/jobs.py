@@ -1,0 +1,109 @@
+"""Picklable job callables for the orchestration test suite.
+
+Workers resolve job functions by dotted path, so everything the tests
+dispatch lives here at module level.  Several helpers coordinate across
+processes through marker files (a counter of attempts, a side-effect
+log) — the only channel that survives a SIGKILL'd worker.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+
+def echo(value, seed_seq=None):
+    """Return ``value`` unchanged (payload plumbing smoke test)."""
+    return value
+
+
+def rng_draw(n=4, seed_seq=None):
+    """Draw ``n`` floats from the job's private seeded stream."""
+    rng = np.random.default_rng(seed_seq)
+    return [float(x) for x in rng.random(n)]
+
+
+def always_fail(seed_seq=None):
+    raise ValueError("this job never succeeds")
+
+
+def slow(seconds, seed_seq=None):
+    """Sleep, then succeed — exceeds small deadlines."""
+    time.sleep(seconds)
+    return "finished"
+
+
+def flaky(marker, fail_times=1, seed_seq=None):
+    """Fail the first ``fail_times`` attempts, then succeed.
+
+    ``marker`` is a filesystem path used as a cross-process attempt
+    counter (one line appended per call).
+    """
+    path = Path(marker)
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write("attempt\n")
+    attempts = len(path.read_text().splitlines())
+    if attempts <= fail_times:
+        raise RuntimeError(f"flaky failure on attempt {attempts}")
+    return {"attempts": attempts}
+
+
+def record_effect(log_path, key, seed_seq=None):
+    """Append ``key`` to a shared effect log (duplicate-execution probe)."""
+    with open(log_path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps({"job": key, "pid": os.getpid()}) + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+    return {"job": key}
+
+
+def tiny_bundle(epoch=1):
+    """A minimal real Checkpoint (cheap to save in a worker)."""
+    from repro.resilience import Checkpoint
+
+    rng = np.random.default_rng(0)
+    return Checkpoint(
+        model_state={"w": rng.normal(size=(4, 2))},
+        optimizer_state={"step": epoch},
+        rng_state=rng.bit_generator.state,
+        epoch=epoch,
+        losses=[1.0 / epoch],
+        fingerprint={"lr": 1e-3},
+    )
+
+
+def checkpoint_then_maybe_die(directory, marker, seed_seq=None):
+    """Save a checkpoint bundle; SIGKILL self mid-save on the first attempt.
+
+    First attempt (no marker yet): writes the marker, patches
+    ``repro.resilience.checkpoint.os.replace`` so the atomic-rename
+    step of the save instead SIGKILLs the process — the on-disk state
+    is a leftover ``*.tmp`` file, exactly a crash mid-save.  Retry
+    attempts save normally and return the saved epoch.
+    """
+    import signal
+
+    from repro.resilience import checkpoint as ckpt_mod
+    from repro.resilience.checkpoint import CheckpointManager
+
+    marker = Path(marker)
+    first = not marker.exists()
+    if first:
+        marker.write_text("dying\n")
+
+        real_replace = ckpt_mod.os.replace
+
+        def killing_replace(src, dst, *args, **kwargs):
+            if str(dst).endswith(".npz"):
+                os.kill(os.getpid(), signal.SIGKILL)
+            return real_replace(src, dst, *args, **kwargs)
+
+        ckpt_mod.os.replace = killing_replace
+    manager = CheckpointManager(directory)
+    manager.save(tiny_bundle(epoch=2), is_best=False)
+    restored = manager.load_last()
+    return {"epoch": restored.epoch, "quarantined": len(manager.quarantined)}

@@ -1,0 +1,133 @@
+"""End-to-end crash consistency (ISSUE satellite).
+
+Two real crashes, not simulations: a worker SIGKILLed in the middle of
+an atomic checkpoint save, and a supervisor process hard-killed
+(``os._exit``) in the middle of a journal append.  Both must leave
+on-disk state a fresh process can recover to a correct, complete run.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.orchestrate import (
+    CODE_JOURNAL_RECOVERY,
+    CODE_WORKER_CRASH,
+    JobSpec,
+    RuntimeConfig,
+    read_journal,
+    run_jobs,
+)
+
+JOBS = "tests.orchestrate.jobs"
+
+
+def _fast(**overrides) -> RuntimeConfig:
+    defaults = dict(
+        workers=2, deadline=10.0, heartbeat_interval=0.05,
+        heartbeat_grace=10.0, max_attempts=3, backoff_base=0.01,
+        backoff_max=0.05, restart_backoff=0.01, run_timeout=60.0,
+    )
+    defaults.update(overrides)
+    return RuntimeConfig(**defaults)
+
+
+class TestKillMidCheckpointSave:
+    def test_retry_recovers_and_quarantines_the_debris(self, tmp_path):
+        ckpt_dir = tmp_path / "ckpts"
+        ckpt_dir.mkdir()
+        marker = tmp_path / "first-attempt"
+        jobs = [
+            JobSpec(
+                key="train",
+                fn=f"{JOBS}:checkpoint_then_maybe_die",
+                args=(str(ckpt_dir), str(marker)),
+            )
+        ]
+        report = run_jobs(jobs, _fast(max_attempts=2))
+        # Attempt 1 really died mid-save (SIGKILL during the atomic
+        # rename): the supervisor logged a worker crash and retried.
+        assert marker.exists()
+        assert any(i.code == CODE_WORKER_CRASH for i in report.incidents)
+        assert report.complete
+        assert report.outcomes[0].attempts == 2
+        # The retry's startup scan swept the torn ``*.tmp`` into
+        # quarantine and the fresh save produced a loadable bundle.
+        assert report.results()["train"] == {"epoch": 2, "quarantined": 1}
+        debris = list((ckpt_dir / "quarantine").iterdir())
+        assert len(debris) == 1 and debris[0].name.endswith(".tmp")
+        from repro.resilience import load_checkpoint
+
+        assert load_checkpoint(ckpt_dir / "last.ckpt.npz").epoch == 2
+
+
+_CRASH_SCRIPT = """
+import sys
+from repro.orchestrate import JobSpec, RuntimeConfig, run_jobs
+from repro.resilience import JournalChaos
+
+journal_path, log_path = sys.argv[1], sys.argv[2]
+jobs = [
+    JobSpec(
+        key=f"j{i}", fn="tests.orchestrate.jobs:record_effect",
+        args=(log_path, f"j{i}"),
+    )
+    for i in range(4)
+]
+config = RuntimeConfig(
+    workers=0, seed=7,
+    journal_chaos=JournalChaos(truncate_at=4, hard_exit=True),
+)
+run_jobs(jobs, config, journal_path=journal_path)
+"""
+
+
+class TestHardExitMidJournalAppend:
+    def test_resume_loses_and_duplicates_nothing(self, tmp_path):
+        journal_path = tmp_path / "run.jsonl"
+        log_path = tmp_path / "effects.log"
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src, env.get("PYTHONPATH")) if p
+        )
+        # Serial supervised run, torn on append #4: run_start, then
+        # (dispatched j0, completed j0), then the "dispatched j1" record
+        # is half-written when the process dies via os._exit — no
+        # cleanup, no atexit, the closest in-process stand-in for
+        # SIGKILL.  j0's side effect has run; j1..j3 never started.
+        proc = subprocess.run(
+            [sys.executable, "-c", _CRASH_SCRIPT, str(journal_path), str(log_path)],
+            cwd=Path(__file__).resolve().parents[2],
+            env=env,
+            capture_output=True,
+            timeout=120,
+        )
+        assert proc.returncode == 73, proc.stderr.decode()
+        assert not read_journal(journal_path).clean
+
+        jobs = [
+            JobSpec(
+                key=f"j{i}", fn=f"{JOBS}:record_effect",
+                args=(str(log_path), f"j{i}"),
+            )
+            for i in range(4)
+        ]
+        report = run_jobs(
+            jobs, _fast(seed=7), journal_path=journal_path, resume=True
+        )
+        assert report.complete
+        assert any(i.code == CODE_JOURNAL_RECOVERY for i in report.incidents)
+        # The journaled job was not re-run; the torn one was.
+        assert report.resumed == 1
+        assert {o.key for o in report.outcomes if o.resumed} == {"j0"}
+        # Every job ran exactly once across crash + resume: no lost
+        # jobs, no duplicated side effects.
+        effects = [
+            json.loads(line)["job"]
+            for line in log_path.read_text().splitlines()
+        ]
+        assert sorted(effects) == ["j0", "j1", "j2", "j3"]
+        assert report.results() == {f"j{i}": {"job": f"j{i}"} for i in range(4)}

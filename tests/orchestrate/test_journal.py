@@ -1,0 +1,122 @@
+"""The JSONL journal: durable appends, torn-tail recovery, digests."""
+
+import json
+
+import pytest
+
+from repro.orchestrate import Journal, payload_digest, read_journal
+from repro.resilience import ChaosCrash, JournalChaos
+
+
+def _start(journal, jobs=("a", "b"), seed=7):
+    journal.append({
+        "event": "run_start", "jobs": list(jobs), "seed": seed,
+        "workers": 2, "resume": False,
+    })
+
+
+class TestAppend:
+    def test_one_canonical_json_line_per_record(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with Journal(path) as journal:
+            _start(journal)
+            journal.append({"event": "dispatched", "job": "a", "attempt": 1})
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[1]) == {
+            "event": "dispatched", "job": "a", "attempt": 1,
+        }
+
+    def test_append_reopens_existing_file(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with Journal(path) as journal:
+            _start(journal)
+        with Journal(path) as journal:
+            journal.append({"event": "dispatched", "job": "a", "attempt": 1})
+        assert len(path.read_text().splitlines()) == 2
+
+
+class TestRecovery:
+    def test_round_trip_folds_completed_state(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        payload = {"score": 4.5}
+        with Journal(path) as journal:
+            _start(journal)
+            journal.append({
+                "event": "completed", "job": "a", "attempt": 1,
+                "result": payload, "digest": payload_digest(payload),
+            })
+            journal.append({"event": "quarantined", "job": "b", "attempts": 3})
+        recovery = read_journal(path)
+        assert recovery.clean
+        assert recovery.job_keys == ["a", "b"]
+        assert recovery.seed == 7
+        assert recovery.completed == {"a": payload}
+        assert recovery.quarantined == {"b"}
+
+    def test_torn_tail_is_dropped_and_counted(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with Journal(path) as journal:
+            _start(journal)
+            journal.append({
+                "event": "completed", "job": "a", "attempt": 1,
+                "result": {"v": 1}, "digest": payload_digest({"v": 1}),
+            })
+        # Simulate a crash mid-append: half a line at the end.
+        with open(path, "a") as fh:
+            fh.write('{"event": "completed", "job": "b", "at')
+        recovery = read_journal(path)
+        assert recovery.dropped_lines == 1
+        assert not recovery.clean
+        assert recovery.completed == {"a": {"v": 1}}  # committed prefix intact
+
+    def test_digest_mismatch_rejects_payload(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with Journal(path) as journal:
+            _start(journal)
+            journal.append({
+                "event": "completed", "job": "a", "attempt": 1,
+                "result": {"v": 2}, "digest": "0" * 16,
+            })
+        recovery = read_journal(path)
+        assert recovery.bad_digests == 1
+        assert recovery.completed == {}
+
+    def test_later_completion_overrides_quarantine(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with Journal(path) as journal:
+            _start(journal)
+            journal.append({"event": "quarantined", "job": "a", "attempts": 3})
+            journal.append({
+                "event": "completed", "job": "a", "attempt": 1,
+                "result": {"v": 3}, "digest": payload_digest({"v": 3}),
+            })
+        recovery = read_journal(path)
+        assert recovery.quarantined == set()
+        assert recovery.completed == {"a": {"v": 3}}
+
+    def test_non_dict_lines_are_dropped(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text('"just a string"\n[1, 2]\n\n')
+        recovery = read_journal(path)
+        assert recovery.records == []
+        assert recovery.dropped_lines == 2  # blank lines are not records
+
+
+class TestJournalChaos:
+    def test_torn_append_then_recovery(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = Journal(path, chaos=JournalChaos(truncate_at=2))
+        _start(journal)
+        with pytest.raises(ChaosCrash):
+            journal.append({"event": "dispatched", "job": "a", "attempt": 1})
+        journal.close()
+        text = path.read_text()
+        assert not text.endswith("\n")  # tail really is torn
+        recovery = read_journal(path)
+        assert recovery.dropped_lines == 1
+        assert recovery.job_keys == ["a", "b"]
+
+    def test_payload_digest_is_content_addressed(self):
+        assert payload_digest({"a": 1, "b": 2}) == payload_digest({"b": 2, "a": 1})
+        assert payload_digest({"a": 1}) != payload_digest({"a": 2})

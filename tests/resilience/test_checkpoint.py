@@ -141,6 +141,73 @@ class TestManager:
         assert manager.load_best().epoch == 1
 
 
+class TestStartupScan:
+    """Crash debris is quarantined at construction, never trusted."""
+
+    def test_clean_directory_stays_untouched(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save(_bundle(epoch=1), is_best=True)
+        manager = CheckpointManager(tmp_path)  # rescan
+        assert manager.quarantined == []
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "best.ckpt.npz", "last.ckpt.npz",
+        ]
+
+    def test_leftover_tmp_file_is_quarantined(self, tmp_path):
+        (tmp_path / "last.ckpt.npz.tmp").write_bytes(b"torn mid-write")
+        manager = CheckpointManager(tmp_path)
+        assert [p.name for p in manager.quarantined] == ["last.ckpt.npz.tmp"]
+        assert not (tmp_path / "last.ckpt.npz.tmp").exists()
+        assert (tmp_path / "quarantine" / "last.ckpt.npz.tmp").exists()
+
+    def test_corrupt_last_is_quarantined_on_scan(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save(_bundle(epoch=1), is_best=True)
+        (tmp_path / "last.ckpt.npz").write_bytes(b"garbage")
+        manager = CheckpointManager(tmp_path)
+        assert [p.name for p in manager.quarantined] == ["last.ckpt.npz"]
+        # Resume falls back to the surviving best bundle.
+        assert manager.load_last().epoch == 1
+
+    def test_load_last_falls_back_when_corruption_postdates_scan(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save(_bundle(epoch=1), is_best=True)
+        manager.save(_bundle(epoch=2), is_best=False)
+        (tmp_path / "last.ckpt.npz").write_bytes(b"garbage")
+        restored = manager.load_last()
+        assert restored is not None and restored.epoch == 1
+        assert [p.name for p in manager.quarantined] == ["last.ckpt.npz"]
+
+    def test_all_bundles_corrupt_returns_none(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save(_bundle(epoch=1), is_best=True)
+        (tmp_path / "last.ckpt.npz").write_bytes(b"garbage")
+        (tmp_path / "best.ckpt.npz").write_bytes(b"also garbage")
+        manager = CheckpointManager(tmp_path)
+        assert manager.load_last() is None
+        assert len(manager.quarantined) == 2
+
+    def test_quarantine_names_never_collide(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        for _ in range(2):
+            (tmp_path / "x.tmp").write_bytes(b"debris")
+            manager._quarantine(tmp_path / "x.tmp")
+        names = sorted(p.name for p in (tmp_path / "quarantine").iterdir())
+        assert names == ["x.tmp", "x.tmp.1"]
+
+    def test_fingerprint_mismatch_still_raises(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save(_bundle(epoch=1))
+        with pytest.raises(CheckpointMismatch):
+            manager.load_last(expected_fingerprint={"lr": 9.0, "batch_size": 4})
+
+    def test_scan_can_be_disabled(self, tmp_path):
+        (tmp_path / "last.ckpt.npz.tmp").write_bytes(b"torn")
+        manager = CheckpointManager(tmp_path, scan=False)
+        assert manager.quarantined == []
+        assert (tmp_path / "last.ckpt.npz.tmp").exists()
+
+
 class TestOptimizerStateDict:
     def test_adam_round_trip_continues_identically(self):
         rng = np.random.default_rng(1)

@@ -29,14 +29,14 @@ class TestPartialTable2:
         # The surviving design is scored, the failing one is manifested.
         assert list(result.scores["UTDA"]) == ["Design_116"]
         manifest = result.error_manifest()
-        assert manifest == [
-            {
-                "team": "UTDA",
-                "design": "Design_120",
-                "error": manifest[0]["error"],
-            }
-        ]
+        assert [
+            (entry["team"], entry["design"]) for entry in manifest
+        ] == [("UTDA", "Design_120")]
+        # Failures are structured: exception type + traceback tail, not
+        # just a display string.
+        assert manifest[0]["type"] == "FaultInjected"
         assert "FaultInjected" in manifest[0]["error"]
+        assert any("FaultInjected" in line for line in manifest[0]["traceback"])
         # Averages are computed over what survived.
         assert "UTDA" in result.averages()
 

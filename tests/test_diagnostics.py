@@ -23,6 +23,7 @@ class TestRegistry:
             band = int(code.removeprefix("REPRO")) // 100
             expected = {
                 0: "lint", 1: "ir", 2: "adjoint", 3: "perf", 4: "schedule",
+                5: "orchestrate",
             }[band]
             assert spec.component == expected, code
 
@@ -30,6 +31,7 @@ class TestRegistry:
         from repro.adjoint import ADJOINT_RULES
         from repro.ir.passes import IR_RULES, OPPORTUNITY_RULES
         from repro.lint.rules import RULES
+        from repro.orchestrate import ORCHESTRATE_RULES
         from repro.perf import PERF_RULES
         from repro.schedule import SCHEDULE_RULES
 
@@ -38,6 +40,7 @@ class TestRegistry:
         assert ADJOINT_RULES == codes_for("adjoint")
         assert PERF_RULES == codes_for("perf")
         assert SCHEDULE_RULES == codes_for("schedule")
+        assert ORCHESTRATE_RULES == codes_for("orchestrate")
         assert set(OPPORTUNITY_RULES) == {
             c for c, s in all_codes().items()
             if s.component == "ir" and not s.blocking
@@ -63,6 +66,16 @@ class TestRegistry:
         }
         # Every plan-verifier code is a safety violation: all blocking.
         assert all(is_blocking(c) for c in codes_for("schedule"))
+
+    def test_orchestrate_codes_present(self):
+        assert set(codes_for("orchestrate")) == {
+            f"REPRO50{i}" for i in range(1, 7)
+        }
+        # Blocking = the run delivered a partial result; non-blocking =
+        # the supervisor recovered (crash, deadline, journal, payload).
+        assert {c for c in codes_for("orchestrate") if is_blocking(c)} == {
+            "REPRO503", "REPRO505",
+        }
 
     def test_blocking_metadata(self):
         assert not is_blocking("REPRO106")

@@ -135,6 +135,28 @@ class TestScheduleDoc:
             assert getattr(cli, name) == int(value)
 
 
+class TestOrchestrationDoc:
+    def test_exists_and_covers_the_runtime(self):
+        text = _read("docs/ORCHESTRATION.md")
+        for topic in (
+            "heartbeat", "quarantine", "journal", "resume",
+            "SeedSequence", "bitwise", "ChaosConfig",
+        ):
+            assert topic in text, f"ORCHESTRATION.md does not cover {topic}"
+
+    def test_documents_every_orchestrate_code(self):
+        from repro.diagnostics import codes_for
+
+        text = _read("docs/ORCHESTRATION.md")
+        for code in codes_for("orchestrate"):
+            assert code in text, f"ORCHESTRATION.md does not mention {code}"
+
+    def test_linked_from_readme_and_api(self):
+        assert "docs/ORCHESTRATION.md" in _read("README.md")
+        assert "ORCHESTRATION.md" in _read("docs/API.md")
+        assert (_ROOT / "docs" / "ORCHESTRATION.md").exists()
+
+
 class TestApiDoc:
     def test_every_backticked_symbol_importable(self):
         """Symbols written as `name` in a module section must exist there."""

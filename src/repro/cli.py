@@ -22,8 +22,12 @@ Subcommands mirror the library's main workflows:
   ``repro.schedule/v1`` execution plan (fusion groups, arena buffer
   assignment, copy-elision certificates) and re-check it with the
   independent plan verifier (see repro.schedule).
+* ``concheck`` — static concurrency-safety certification: re-derive the
+  worker-reachable call graph from the dotted job references, then run
+  effect inference, deep RNG discipline, fork/pickle safety and the
+  durable-write lint over it (REPRO601-612, see repro.concheck).
 * ``check``  — the unified gate: lint + analyze + gradcheck + perfcheck
-  + plancheck in one command with one combined JSON report
+  + plancheck + concheck in one command with one combined JSON report
   (``repro.check/v1``).
 
 Every analysis command reports through one exit-code contract (the
@@ -273,10 +277,34 @@ def build_parser() -> argparse.ArgumentParser:
         "baseline JSON",
     )
 
+    concheck = sub.add_parser(
+        "concheck",
+        help="static concurrency-safety analysis of the worker-reachable "
+        "call graph (see repro.concheck)",
+    )
+    concheck.add_argument(
+        "--root", metavar="DIR", default=None,
+        help="package tree to analyze (default: the installed repro "
+        "package source)",
+    )
+    concheck.add_argument("--json", action="store_true",
+                          help="print the full repro.concheck/v1 bundle")
+    concheck.add_argument("--top", type=int, default=10,
+                          help="findings shown without --json (default 10)")
+    concheck.add_argument(
+        "--check-baseline", metavar="PATH", default=None,
+        help="diff worker roots + per-code counts against a baseline JSON "
+        "and fail on any drift",
+    )
+    concheck.add_argument(
+        "--update-baseline", metavar="PATH", default=None,
+        help="write the deterministic slice of this run to a baseline JSON",
+    )
+
     check = sub.add_parser(
         "check",
         help="unified gate: lint + analyze + gradcheck + perfcheck "
-        "+ plancheck",
+        "+ plancheck + concheck",
     )
     check.add_argument("--preset", default="fast",
                        choices=("tiny", "fast", "paper"))
@@ -719,6 +747,69 @@ def _cmd_perfcheck(args) -> int:
     return status
 
 
+def _cmd_concheck(args) -> int:
+    import json
+
+    from .concheck import (
+        baseline_from_concheck,
+        check_concheck_baseline,
+        concheck,
+    )
+
+    bundle = concheck(root=args.root)
+
+    if args.json:
+        print(json.dumps(bundle, indent=2))
+    else:
+        print(f"{bundle['package']}: {bundle['modules']} modules, "
+              f"{bundle['functions']} functions indexed")
+        print(f"worker roots ({len(bundle['worker_roots'])}):")
+        for ref in bundle["worker_roots"]:
+            print(f"  {ref}")
+        summary = bundle["effect_summary"]
+        print(f"reachable: {bundle['reachable_functions']} functions "
+              f"across {len(bundle['worker_modules'])} modules "
+              f"(pure {summary['pure']}, deterministic "
+              f"{summary['deterministic']}, io {summary['io']}, "
+              f"global-mutating {summary['global-mutating']})")
+        if bundle["by_code"]:
+            print("findings: " + ", ".join(
+                f"{code} x{count}"
+                for code, count in sorted(bundle["by_code"].items())
+            ))
+        for finding in bundle["findings"][: args.top]:
+            print(f"  {finding['path']}:{finding['line']}: "
+                  f"{finding['code']} {finding['message']}")
+        if len(bundle["findings"]) > args.top:
+            print(f"  ... {len(bundle['findings']) - args.top} more "
+                  "(--json for all)")
+
+    status = EXIT_OK
+    if bundle["failures"]:
+        print(f"error: {len(bundle['failures'])} blocking finding(s)",
+              file=sys.stderr)
+        status = EXIT_BLOCKING
+    elif not args.json:
+        print("concurrency-safety certified (0 blocking REPRO6xx findings)")
+
+    if args.update_baseline:
+        with open(args.update_baseline, "w") as fh:
+            json.dump(baseline_from_concheck(bundle), fh, indent=2)
+            fh.write("\n")
+        print(f"baseline written: {args.update_baseline}")
+    if args.check_baseline:
+        with open(args.check_baseline) as fh:
+            problems = check_concheck_baseline(bundle, json.load(fh))
+        if problems:
+            for problem in problems:
+                print(f"baseline drift: {problem}", file=sys.stderr)
+            if status == EXIT_OK:
+                status = EXIT_DRIFT
+        else:
+            print(f"baseline OK ({args.check_baseline})")
+    return status
+
+
 def _print_plan_section(label: str, section: dict) -> None:
     s = section["summary"]
     print(f"  {label}: {s['planned_nodes']} nodes planned "
@@ -808,11 +899,13 @@ def _iter_finding_codes(obj):
 
 
 def _cmd_check(args) -> int:
-    """The unified gate: lint + analyze + gradcheck + perfcheck + plancheck."""
+    """The unified gate: lint + analyze + gradcheck + perfcheck +
+    plancheck + concheck."""
     import json
     from pathlib import Path
 
     from .adjoint import audit_registry
+    from .concheck import concheck
     from .ir import analyze_registry
     from .ir.report import serialize_finding
     from .lint.rules import lint_paths
@@ -852,6 +945,10 @@ def _cmd_check(args) -> int:
     )
     failures.extend(plan_bundle["failures"])
 
+    # 6. Concurrency-safety certification of the worker-reachable graph.
+    concheck_bundle = concheck()
+    failures.extend(concheck_bundle["failures"])
+
     combined = {
         "schema": "repro.check/v1",
         "preset": args.preset,
@@ -864,6 +961,7 @@ def _cmd_check(args) -> int:
         "gradcheck": gradcheck_bundle,
         "perfcheck": perf_bundle,
         "plancheck": plan_bundle,
+        "concheck": concheck_bundle,
         "failures": failures,
     }
     advisories: list[str] = []
@@ -887,6 +985,7 @@ def _cmd_check(args) -> int:
                               for r in gradcheck_bundle["reports"])),
             ("perfcheck", len(perf_bundle["failures"])),
             ("plancheck", len(plan_bundle["failures"])),
+            ("concheck", len(concheck_bundle["failures"])),
         )
         for name, count in sections:
             print(f"{name}: {'OK' if not count else f'{count} failure(s)'}")
@@ -920,6 +1019,7 @@ _COMMANDS = {
     "gradcheck": _cmd_gradcheck,
     "perfcheck": _cmd_perfcheck,
     "plancheck": _cmd_plancheck,
+    "concheck": _cmd_concheck,
     "check": _cmd_check,
 }
 

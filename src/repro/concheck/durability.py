@@ -1,0 +1,211 @@
+"""Durable-write lint: the tmp + fsync + rename idiom (REPRO611-612).
+
+The crash-recovery proofs in :mod:`repro.resilience.checkpoint` and
+:mod:`repro.orchestrate.journal` rest on one filesystem idiom: write
+the full payload to a *temporary* name, ``flush`` + ``os.fsync`` the
+handle, then ``os.replace`` onto the final path (and the append-only
+variant: ``fsync`` after every committed line).  Any durable artifact
+written without it has a crash window in which a reader sees a torn
+file at the *final* name — exactly the corruption the recovery path
+promises cannot happen.
+
+The lint applies to functions that handle durable state, recognized
+by name: the function (or its module/class) mentions ``checkpoint`` /
+``journal`` / ``artifact`` / ``bundle``, or the function is a
+``save_*`` / ``write_*`` entry point.  Scanning only durable writers
+keeps scratch/viz output out of scope — a plot writer owes nobody
+atomicity.
+
+* ``REPRO611`` (blocking) — a durable write that skips the idiom:
+  writing straight to the final path, a temp file that is never
+  renamed into place, or append-mode writes with no ``fsync``
+  anywhere in the owning function/class.
+* ``REPRO612`` (blocking) — the rename half is present but nothing
+  ``fsync``'d the written temp first: after a crash the rename can
+  survive while the *data* it published does not (metadata commits
+  before data), which is the subtlest torn-state bug of the family.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.lint.rules import LintDiagnostic
+
+from .index import PackageIndex
+
+__all__ = ["check_durability", "DURABLE_MARKERS"]
+
+# A ``write_pgm``-style scratch/plot writer owes nobody atomicity, so
+# the name gate is the durable-state vocabulary plus ``save_*`` entry
+# points (state that is loaded back), not every ``write_*`` helper.
+DURABLE_MARKERS = ("checkpoint", "journal", "artifact", "bundle")
+_DURABLE_FN_RE = re.compile(r"^save_")
+
+_WRITE_METHODS = {"write_text": True, "write_bytes": True}
+_NP_SAVERS = {"savez", "savez_compressed", "save"}
+
+
+def _dotted(node: ast.AST) -> str:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _is_durable(fn) -> bool:
+    haystack = f"{fn.module}.{fn.cls or ''}.{fn.name}".lower()
+    if any(marker in haystack for marker in DURABLE_MARKERS):
+        return True
+    return bool(_DURABLE_FN_RE.match(fn.name))
+
+
+def _expr_text(node: ast.AST) -> str:
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on parsed trees
+        return ""
+
+
+def _looks_temp(node: ast.AST) -> bool:
+    """The written target is a temporary name (later renamed into place)."""
+    text = _expr_text(node).lower()
+    return "tmp" in text or "temp" in text or "partial" in text
+
+
+def _open_mode(call: ast.Call) -> str | None:
+    """Mode string of an ``open(...)`` call, default ``"r"``."""
+    if len(call.args) >= 2 and isinstance(call.args[1], ast.Constant):
+        if isinstance(call.args[1].value, str):
+            return call.args[1].value
+    for kw in call.keywords:
+        if kw.arg == "mode" and isinstance(kw.value, ast.Constant):
+            if isinstance(kw.value.value, str):
+                return kw.value.value
+    return "r" if len(call.args) < 2 else None
+
+
+def _class_has_fsync(index: PackageIndex, fn) -> bool:
+    if fn.cls is None:
+        return False
+    module = index.modules.get(fn.module)
+    if module is None:
+        return False
+    for method in module.classes.get(fn.cls, {}).values():
+        if _fn_has_fsync(method.node):
+            return True
+    return False
+
+
+def _fn_has_fsync(fn_node: ast.AST) -> bool:
+    for node in ast.walk(fn_node):
+        if isinstance(node, ast.Call) and _dotted(node.func).endswith("fsync"):
+            return True
+    return False
+
+
+def check_durability(index: PackageIndex) -> list[LintDiagnostic]:
+    """REPRO611/612 over every durable-writer function in the package.
+
+    Durability is a property of the write site, not of worker
+    reachability — a checkpoint written torn from the parent process is
+    just as unrecoverable — so this pass scans the whole package.
+    """
+    findings: list[LintDiagnostic] = []
+    for qualname in sorted(index.functions):
+        fn = index.functions[qualname]
+        if not _is_durable(fn):
+            continue
+        module = index.modules.get(fn.module)
+
+        def report(node: ast.AST, code: str, message: str) -> None:
+            line = getattr(node, "lineno", fn.lineno)
+            if module is not None and module.suppressed(line, code):
+                return
+            findings.append(
+                LintDiagnostic(
+                    fn.path, line, getattr(node, "col_offset", 0), code, message
+                )
+            )
+
+        writes: list[tuple[ast.AST, bool, str]] = []  # (site, is_temp, kind)
+        appends: list[ast.AST] = []
+        renames: list[ast.AST] = []
+        has_fsync = _fn_has_fsync(fn.node)
+
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _dotted(node.func)
+            tail = name.rsplit(".", 1)[-1]
+            if name.endswith(("os.replace", "os.rename")) or (
+                tail == "replace" and name.startswith("os.")
+            ):
+                renames.append(node)
+            elif tail == "open" and name in ("open", "io.open"):
+                mode = _open_mode(node)
+                if mode is None or not any(c in mode for c in "wxa"):
+                    continue
+                target = node.args[0] if node.args else node
+                if "a" in mode:
+                    appends.append(node)
+                else:
+                    writes.append((node, _looks_temp(target), "open"))
+            elif tail in _NP_SAVERS and name.startswith(("np.", "numpy.")):
+                target = node.args[0] if node.args else node
+                # Writing through an already-opened handle is covered by
+                # the open() that produced it; only direct-to-path
+                # saves are their own write site.
+                if isinstance(target, ast.Name) and target.id in ("fh", "f",
+                                                                  "handle", "fp"):
+                    continue
+                writes.append((node, _looks_temp(target), tail))
+            elif tail in _WRITE_METHODS:
+                base = node.func.value if isinstance(node.func, ast.Attribute) else node
+                writes.append((node, _looks_temp(base), tail))
+
+        if not writes and not appends:
+            continue
+
+        for site in appends:
+            if not (has_fsync or _class_has_fsync(index, fn)):
+                report(
+                    site, "REPRO611",
+                    f"{qualname} appends to a durable log without fsync; a "
+                    "crash can lose lines the caller believes committed — "
+                    "flush + os.fsync after every committed record",
+                )
+
+        temp_writes = [w for w in writes if w[1]]
+        final_writes = [w for w in writes if not w[1]]
+
+        for site, _, kind in final_writes:
+            report(
+                site, "REPRO611",
+                f"{qualname} writes durable state directly to its final "
+                f"path ({kind}); a crash mid-write leaves a torn file where "
+                "recovery expects a complete one — write to a temp name, "
+                "fsync, then os.replace",
+            )
+        if temp_writes and not renames:
+            site = temp_writes[0][0]
+            report(
+                site, "REPRO611",
+                f"{qualname} writes a temp file but never renames it into "
+                "place; the durable artifact is either stale or missing "
+                "after a crash — finish the idiom with os.replace",
+            )
+        if renames and (temp_writes or final_writes) and not has_fsync:
+            report(
+                renames[0], "REPRO612",
+                f"{qualname} renames into place without fsync of the "
+                "written temp; the rename can survive a crash while the "
+                "data does not — flush + os.fsync before os.replace",
+            )
+    findings.sort(key=lambda d: (d.path, d.line, d.col, d.code))
+    return findings

@@ -1,0 +1,361 @@
+"""Interprocedural effect inference over the worker-reachable universe.
+
+Every function the orchestrator can reach is classified onto a small
+effect lattice::
+
+    pure  <  deterministic  <  io  <  global-mutating
+
+* ``pure`` — no observable effects, and every resolvable callee is
+  pure.  Calls into unindexed code (numpy, stdlib math) demote to
+  ``deterministic``, never below: external code is *assumed*
+  deterministic-given-inputs, which is the contract numpy keeps.
+* ``deterministic`` — may allocate, loop, call external numeric code;
+  result depends only on the arguments.
+* ``io`` — reads environment-dependent state: wall clock, environment
+  variables, hostname.  Advisory in workers (REPRO603) because the
+  result can differ between serial and parallel runs even when the
+  maths agree — e.g. wall-clock timing fields.
+* ``global-mutating`` — writes process-global state: ``global`` names,
+  module attributes, class attributes, ``os.environ``.  Blocking in
+  workers (REPRO601): a fork worker mutates its *copy*, the parent
+  never sees it, and serial/parallel runs diverge.
+
+The fixpoint propagates levels up the call graph, so a pure-looking
+job that calls a helper that calls ``time.time()`` is still ``io``.
+Violations are reported at the local hazard site with the worker
+root chain and the escape set (which globals leak) in the message.
+
+Scoped save/restore is exempt from REPRO601: ``__enter__``/``__exit__``
+pairs (the ``no_grad`` pattern) and writes inside a ``finally:`` block
+that restore a value saved in the matching ``try:`` body — mutation
+that provably unwinds is not an escape.
+
+REPRO602 (blocking) is the sibling hazard: mutable default arguments
+and ``nonlocal`` accumulation give a function call-to-call memory that
+each worker process evolves independently.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.lint.rules import LintDiagnostic
+
+from .callgraph import CallGraph
+from .index import FunctionInfo, PackageIndex
+
+__all__ = ["EFFECT_LATTICE", "infer_effects"]
+
+EFFECT_LATTICE = ("pure", "deterministic", "io", "global-mutating")
+_RANK = {level: i for i, level in enumerate(EFFECT_LATTICE)}
+
+# Callables whose results depend on ambient process/host state.
+_ENV_TIME_CALLS = {
+    "time.time": "wall clock",
+    "time.perf_counter": "wall clock",
+    "time.monotonic": "wall clock",
+    "time.process_time": "process clock",
+    "time.time_ns": "wall clock",
+    "time.perf_counter_ns": "wall clock",
+    "time.monotonic_ns": "wall clock",
+    "datetime.now": "wall clock",
+    "datetime.utcnow": "wall clock",
+    "datetime.today": "wall clock",
+    "date.today": "wall clock",
+    "os.getenv": "environment variable",
+    "os.environ.get": "environment variable",
+    "getenv": "environment variable",
+    "socket.gethostname": "hostname",
+    "platform.node": "hostname",
+    "os.getpid": "process id",
+    "os.cpu_count": "host cpu count",
+}
+
+# Builtins that keep a function pure.
+_PURE_BUILTINS = frozenset({
+    "abs", "min", "max", "sum", "len", "round", "range", "enumerate",
+    "zip", "map", "filter", "sorted", "reversed", "list", "tuple", "dict",
+    "set", "frozenset", "str", "int", "float", "bool", "bytes", "repr",
+    "isinstance", "issubclass", "getattr", "hasattr", "setattr", "iter",
+    "next", "divmod", "pow", "any", "all", "id", "hash", "format", "type",
+    "ValueError", "TypeError", "KeyError", "RuntimeError", "IndexError",
+    "AttributeError", "NotImplementedError", "OSError", "StopIteration",
+    "super", "print", "vars", "slice", "object", "Exception",
+})
+
+_MUTABLE_DEFAULT_CALLS = frozenset({"list", "dict", "set", "defaultdict",
+                                    "OrderedDict", "Counter", "deque"})
+
+
+def _dotted(node: ast.AST) -> str:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+@dataclass
+class _LocalEffects:
+    """What one function body does, before callee propagation."""
+
+    level: str = "pure"
+    escapes: list[str] = field(default_factory=list)
+    # (node, code, message) hazards to report if worker-reachable
+    hazards: list[tuple[ast.AST, str, str]] = field(default_factory=list)
+
+    def raise_to(self, level: str) -> None:
+        if _RANK[level] > _RANK[self.level]:
+            self.level = level
+
+
+def _finally_restored_targets(fn_node: ast.AST) -> set[str]:
+    """Targets written inside any ``finally:`` block of the function.
+
+    A write in a ``finally`` is the unwind half of a save/restore pair;
+    the matching save-side write in the ``try`` body is exempt too, so
+    the whole *target* is treated as scoped within this function.
+    """
+    restored: set[str] = set()
+    for node in ast.walk(fn_node):
+        if isinstance(node, ast.Try) and node.finalbody:
+            for stmt in node.finalbody:
+                for sub in ast.walk(stmt):
+                    if isinstance(sub, (ast.Assign, ast.AugAssign)):
+                        targets = (
+                            sub.targets
+                            if isinstance(sub, ast.Assign)
+                            else [sub.target]
+                        )
+                        for tgt in targets:
+                            name = _dotted(tgt) or getattr(tgt, "id", "")
+                            if name:
+                                restored.add(name)
+    return restored
+
+
+def _is_scoped_ctx_method(fn: FunctionInfo, index: PackageIndex) -> bool:
+    """``__enter__``/``__exit__`` of a context manager: save/restore."""
+    if fn.cls is None or fn.name not in ("__enter__", "__exit__"):
+        return False
+    module = index.modules.get(fn.module)
+    if module is None:
+        return False
+    methods = module.classes.get(fn.cls, {})
+    return "__enter__" in methods and "__exit__" in methods
+
+
+def _local_effects(fn: FunctionInfo, index: PackageIndex) -> _LocalEffects:
+    out = _LocalEffects()
+    module = index.modules.get(fn.module)
+    scoped_ctx = _is_scoped_ctx_method(fn, index)
+    restored = _finally_restored_targets(fn.node)
+
+    global_names: set[str] = set()
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Global):
+            global_names.update(node.names)
+
+    # -- REPRO602: call-to-call memory ---------------------------------------
+    args_node = fn.node.args
+    defaults = list(args_node.defaults) + [
+        d for d in args_node.kw_defaults if d is not None
+    ]
+    for default in defaults:
+        mutable = isinstance(
+            default, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                      ast.DictComp, ast.SetComp)
+        )
+        if isinstance(default, ast.Call):
+            callee = _dotted(default.func)
+            mutable = mutable or callee.rsplit(".", 1)[-1] in _MUTABLE_DEFAULT_CALLS
+        if mutable:
+            out.hazards.append((
+                default,
+                "REPRO602",
+                f"mutable default argument in {fn.qualname} gives the "
+                "function call-to-call memory that diverges per worker "
+                "process; default to None and allocate inside the body",
+            ))
+
+    for node in ast.walk(fn.node):
+        # -- REPRO601: process-global writes ---------------------------------
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for tgt in targets:
+                escape = _escape_target(tgt, fn, index, module, global_names)
+                if escape is None:
+                    continue
+                name = _dotted(tgt) or getattr(tgt, "id", "?")
+                if scoped_ctx or name in restored:
+                    continue  # save/restore pair: provably unwound
+                out.raise_to("global-mutating")
+                out.escapes.append(escape)
+                out.hazards.append((
+                    node,
+                    "REPRO601",
+                    f"{fn.qualname} mutates process-global state "
+                    f"({escape}); a fork worker mutates its own copy and "
+                    "serial/parallel runs diverge — thread the value "
+                    "through arguments/results instead",
+                ))
+        elif isinstance(node, ast.Call):
+            callee = _dotted(node.func)
+            tail2 = ".".join(callee.split(".")[-2:])
+            if callee in _ENV_TIME_CALLS or tail2 in _ENV_TIME_CALLS:
+                what = _ENV_TIME_CALLS.get(callee) or _ENV_TIME_CALLS[tail2]
+                out.raise_to("io")
+                out.hazards.append((
+                    node,
+                    "REPRO603",
+                    f"{fn.qualname} reads the {what} via {callee}(); the "
+                    "value differs between serial and parallel runs — keep "
+                    "it out of result payloads that parity compares",
+                ))
+            elif callee.startswith("os.environ") or callee in (
+                "os.putenv", "os.unsetenv"
+            ):
+                out.raise_to("global-mutating")
+                out.escapes.append("os.environ")
+                out.hazards.append((
+                    node,
+                    "REPRO601",
+                    f"{fn.qualname} mutates os.environ; environment writes "
+                    "in a fork worker never reach the parent or siblings",
+                ))
+            elif callee and "." not in callee and callee not in _PURE_BUILTINS:
+                resolved = index.resolve(fn.module, callee)
+                if resolved is None:
+                    out.raise_to("deterministic")
+            elif "." in callee:
+                head = callee.split(".")[0]
+                resolved = index.resolve(fn.module, head)
+                external = resolved is None or (
+                    resolved[0] == "module"
+                    and resolved[1] not in index.modules
+                )
+                if external and head != "self":
+                    out.raise_to("deterministic")
+        elif isinstance(node, ast.Subscript) and isinstance(node.ctx, ast.Store):
+            target = _dotted(node.value)
+            if target in ("os.environ", "environ"):
+                out.raise_to("global-mutating")
+                out.escapes.append("os.environ")
+                out.hazards.append((
+                    node,
+                    "REPRO601",
+                    f"{fn.qualname} assigns into os.environ; environment "
+                    "writes in a fork worker never reach the parent",
+                ))
+    return out
+
+
+def _escape_target(
+    tgt: ast.AST,
+    fn: FunctionInfo,
+    index: PackageIndex,
+    module,
+    global_names: set[str],
+) -> str | None:
+    """Describe the escaping location if ``tgt`` is process-global."""
+    if isinstance(tgt, ast.Name) and tgt.id in global_names:
+        return f"module global {fn.module}.{tgt.id}"
+    if not isinstance(tgt, ast.Attribute):
+        return None
+    base = tgt.value
+    if isinstance(base, ast.Name):
+        if base.id == "self" or base.id == "cls" and fn.cls is None:
+            return None
+        if base.id == "cls" and fn.cls is not None:
+            return f"class attribute {fn.module}:{fn.cls}.{tgt.attr}"
+        resolved = index.resolve(fn.module, base.id)
+        if resolved is None:
+            return None
+        kind, target = resolved
+        if kind == "class":
+            return f"class attribute {target}.{tgt.attr}"
+        if kind == "module":
+            return f"module attribute {target}.{tgt.attr}"
+        return None
+    dotted = _dotted(base)
+    if dotted and module is not None:
+        head = dotted.split(".")[0]
+        resolved = index.resolve(fn.module, head)
+        if resolved is not None and resolved[0] == "module":
+            return f"module attribute {dotted}.{tgt.attr}"
+    return None
+
+
+def infer_effects(index: PackageIndex, graph: CallGraph) -> dict:
+    """Fixpoint effect classification + REPRO601-603 findings.
+
+    Returns ``{"effects", "escapes", "findings", "summary"}`` where
+    ``effects`` maps every worker-reachable qualname to its lattice
+    level and ``escapes`` lists the global locations it (transitively)
+    writes.
+    """
+    local: dict[str, _LocalEffects] = {}
+    for qualname in graph.reachable:
+        fn = index.functions.get(qualname)
+        if fn is not None:
+            local[qualname] = _local_effects(fn, index)
+
+    effects = {q: eff.level for q, eff in local.items()}
+    escapes = {q: list(eff.escapes) for q, eff in local.items()}
+    changed = True
+    while changed:
+        changed = False
+        for qualname in local:
+            level = effects[qualname]
+            merged = set(escapes[qualname])
+            for callee in graph.callees(qualname):
+                if callee not in effects:
+                    continue
+                if _RANK[effects[callee]] > _RANK[level]:
+                    level = effects[callee]
+                before = len(merged)
+                merged.update(escapes[callee])
+                if len(merged) != before:
+                    changed = True
+            if level != effects[qualname]:
+                effects[qualname] = level
+                changed = True
+            escapes[qualname] = sorted(merged)
+
+    findings: list[LintDiagnostic] = []
+    for qualname, eff in sorted(local.items()):
+        fn = index.functions[qualname]
+        module = index.modules.get(fn.module)
+        chain = " -> ".join(graph.chain(qualname))
+        for node, code, message in eff.hazards:
+            line = getattr(node, "lineno", fn.lineno)
+            if module is not None and module.suppressed(line, code):
+                continue
+            trail = sorted(set(escapes[qualname])) if code == "REPRO601" else []
+            suffix = f" [escapes: {', '.join(trail)}]" if trail else ""
+            findings.append(
+                LintDiagnostic(
+                    fn.path,
+                    line,
+                    getattr(node, "col_offset", 0),
+                    code,
+                    f"{message}{suffix} [worker-reachable via {chain}]",
+                )
+            )
+    findings.sort(key=lambda d: (d.path, d.line, d.col, d.code))
+
+    summary = {level: 0 for level in EFFECT_LATTICE}
+    for level in effects.values():
+        summary[level] += 1
+    return {
+        "effects": effects,
+        "escapes": {q: e for q, e in escapes.items() if e},
+        "findings": findings,
+        "summary": summary,
+    }

@@ -1,0 +1,272 @@
+"""Fork & pickle safety for the orchestrator boundary (REPRO607-610).
+
+``repro.orchestrate`` ships :class:`JobSpec` payloads to worker
+processes and resolves ``"module:attr"`` references in a fresh
+interpreter.  Four things break that boundary silently:
+
+* ``REPRO607`` (blocking) — an unpicklable value in a ``JobSpec``
+  payload: lambdas, locally-defined closures, generators, open file
+  handles, locks.  ``multiprocessing`` raises at submit time at best;
+  at worst (fork start method) the object crosses as shared state.
+* ``REPRO608`` (blocking) — a dotted job reference that does not
+  resolve to a module-level callable in this package: the worker's
+  ``resolve_callable`` would raise at dispatch, after the run started.
+  Lambdas or nested functions passed where a dotted ref belongs are
+  the same bug earlier in its life.
+* ``REPRO609`` (blocking) — import-time side effects in a module a
+  worker must import: IO, RNG draws, thread starts or environment
+  mutation at module scope runs *once per worker process* at import,
+  unordered with respect to everything else.
+* ``REPRO610`` (advisory) — fork-unsafe resources created at module
+  scope in worker modules (threads, locks, sockets, pools, open
+  handles): after ``fork()`` the child inherits them in an undefined
+  state (held locks stay held, fds are shared).  Advisory because a
+  module-scope lock can be deliberate for the parent-side path.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.rules import LintDiagnostic
+
+from .callgraph import CallGraph
+from .index import PackageIndex
+
+__all__ = ["check_fork_safety"]
+
+_UNPICKLABLE_CALLS = {
+    "open": "an open file handle",
+    "Lock": "a lock",
+    "RLock": "a lock",
+    "Condition": "a condition variable",
+    "Semaphore": "a semaphore",
+    "Event": "an event",
+    "Thread": "a thread object",
+    "Pool": "a process pool",
+    "Popen": "a subprocess handle",
+    "socket": "a socket",
+    "connect": "a connection object",
+}
+
+_FORK_UNSAFE_FACTORIES = {
+    "Thread": "thread",
+    "Lock": "lock",
+    "RLock": "lock",
+    "Condition": "condition variable",
+    "Semaphore": "semaphore",
+    "BoundedSemaphore": "semaphore",
+    "Event": "event",
+    "Pool": "process pool",
+    "ProcessPoolExecutor": "process pool",
+    "ThreadPoolExecutor": "thread pool",
+    "Popen": "subprocess handle",
+    "socket": "socket",
+    "open": "open file handle",
+}
+
+# Module-scope calls that constitute an import-time side effect.  Pure
+# registration (``register_code``, decorators) is deliberately NOT here:
+# deterministic in-process bookkeeping at import is the normal pattern.
+_IMPORT_EFFECT_TAILS = {
+    "open": "file IO",
+    "urandom": "OS entropy",
+    "putenv": "environment mutation",
+    "unsetenv": "environment mutation",
+    "start": "thread start",
+    "basicConfig": "global logging reconfiguration",
+}
+
+# Filesystem mutators need their module prefix to avoid colliding with
+# list.remove / set.remove at module scope.
+_IMPORT_EFFECT_FULL = {
+    "os.mkdir": "filesystem mutation",
+    "os.makedirs": "filesystem mutation",
+    "os.remove": "filesystem mutation",
+    "os.unlink": "filesystem mutation",
+    "os.rename": "filesystem mutation",
+    "os.replace": "filesystem mutation",
+    "shutil.rmtree": "filesystem mutation",
+    "random.seed": "global RNG mutation",
+    "np.random.seed": "global RNG mutation",
+    "numpy.random.seed": "global RNG mutation",
+}
+
+
+def _dotted(node: ast.AST) -> str:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _payload_nodes(call: ast.Call):
+    """Expressions that travel in a JobSpec payload (args/kwargs/fn)."""
+    for i, arg in enumerate(call.args):
+        yield ("fn" if i == 1 else "payload"), arg
+    for kw in call.keywords:
+        role = "fn" if kw.arg == "fn" else "payload"
+        if kw.value is not None:
+            yield role, kw.value
+
+
+def _local_def_names(module) -> dict[str, set[str]]:
+    """Function -> names of defs nested inside it (closure candidates)."""
+    out: dict[str, set[str]] = {}
+    for fn in module.functions.values():
+        nested = {
+            sub.name
+            for stmt in ast.walk(fn.node)
+            for sub in [stmt]
+            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and sub is not fn.node
+        }
+        out[fn.name] = nested
+    return out
+
+
+def check_fork_safety(index: PackageIndex, graph: CallGraph) -> list[LintDiagnostic]:
+    findings: list[LintDiagnostic] = []
+
+    def report(module, path: str, node: ast.AST, code: str, message: str) -> None:
+        line = getattr(node, "lineno", 0)
+        if module is not None and module.suppressed(line, code):
+            return
+        findings.append(
+            LintDiagnostic(path, line, getattr(node, "col_offset", 0), code, message)
+        )
+
+    # -- REPRO607 / lambda-as-ref half of 608: JobSpec payload contents ------
+    for path, _, call, module_name in graph.jobspec_sites:
+        module = index.modules.get(module_name)
+        nested = _local_def_names(module) if module else {}
+        enclosing = _enclosing_function(module, call) if module else None
+        local_defs = nested.get(enclosing, set()) if enclosing else set()
+        for role, expr in _payload_nodes(call):
+            for sub in ast.walk(expr):
+                if isinstance(sub, ast.Lambda):
+                    code = "REPRO608" if role == "fn" else "REPRO607"
+                    what = (
+                        "a lambda where a dotted \"module:attr\" reference "
+                        "belongs; a fresh worker cannot resolve it"
+                        if role == "fn"
+                        else "a lambda, which cannot be pickled across the "
+                        "process boundary"
+                    )
+                    report(module, path, sub, code, f"JobSpec carries {what}")
+                elif isinstance(sub, ast.GeneratorExp):
+                    report(
+                        module, path, sub, "REPRO607",
+                        "JobSpec payload contains a generator expression; "
+                        "generators cannot be pickled — materialize a list",
+                    )
+                elif isinstance(sub, ast.Call):
+                    tail = _dotted(sub.func).rsplit(".", 1)[-1]
+                    if tail in _UNPICKLABLE_CALLS:
+                        report(
+                            module, path, sub, "REPRO607",
+                            f"JobSpec payload contains {_UNPICKLABLE_CALLS[tail]} "
+                            f"({tail}(...)); it cannot cross the process "
+                            "boundary — pass a path or plain data instead",
+                        )
+                elif isinstance(sub, ast.Name) and sub.id in local_defs:
+                    code = "REPRO608" if role == "fn" else "REPRO607"
+                    report(
+                        module, path, sub, code,
+                        f"JobSpec carries locally-defined function "
+                        f"'{sub.id}'; a closure is not importable from a "
+                        "fresh worker — hoist it to module level and use a "
+                        "dotted reference",
+                    )
+
+    # -- REPRO608: in-package dotted refs that do not resolve ----------------
+    for ref, path, line, why in graph.unresolved_refs:
+        module = _module_for_path(index, path)
+        node = ast.Constant(value=ref)
+        node.lineno, node.col_offset = line, 0
+        report(
+            module, path, node, "REPRO608",
+            f'dotted job reference "{ref}" {why}; the worker\'s '
+            "resolve_callable would fail at dispatch, mid-run",
+        )
+
+    # -- REPRO609/610: module scope of every worker module -------------------
+    for module_name in sorted(graph.worker_modules()):
+        module = index.modules.get(module_name)
+        if module is None:
+            continue
+        for stmt in _module_level_statements(module.tree):
+            # Bodies that only run when called are not import-time code.
+            deferred = {
+                sub
+                for node in ast.walk(stmt)
+                if isinstance(node, ast.Lambda)
+                for sub in ast.walk(node.body)
+            }
+            for node in ast.walk(stmt):
+                if node in deferred:
+                    continue
+                if isinstance(node, ast.Call):
+                    name = _dotted(node.func)
+                    tail = name.rsplit(".", 1)[-1]
+                    effect = _IMPORT_EFFECT_FULL.get(name) or _IMPORT_EFFECT_TAILS.get(tail)
+                    if name.startswith(("np.random.", "numpy.random.")) or (
+                        name.startswith("random.") and name.count(".") == 1
+                    ):
+                        effect = effect or "global RNG use"
+                    if effect is not None:
+                        report(
+                            module, module.path, node, "REPRO609",
+                            f"import of worker module {module_name} performs "
+                            f"{effect} ({name}(...)) at module scope; it "
+                            "reruns once per worker process at import time",
+                        )
+        for name, value in sorted(module.assigns.items()):
+            if isinstance(value, ast.Call):
+                tail = _dotted(value.func).rsplit(".", 1)[-1]
+                kind = _FORK_UNSAFE_FACTORIES.get(tail)
+                if kind is not None:
+                    report(
+                        module, module.path, value, "REPRO610",
+                        f"worker module {module_name} creates a {kind} "
+                        f"({name} = {tail}(...)) at module scope; fork "
+                        "children inherit it in an undefined state",
+                    )
+    findings.sort(key=lambda d: (d.path, d.line, d.col, d.code))
+    return findings
+
+
+def _module_level_statements(tree: ast.Module):
+    """Top-level statements plus bodies of top-level if/try/for/with."""
+    stack = list(tree.body)
+    while stack:
+        stmt = stack.pop(0)
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        if isinstance(stmt, (ast.If, ast.For, ast.While, ast.With, ast.Try)):
+            stack.extend(getattr(stmt, "body", []))
+            stack.extend(getattr(stmt, "orelse", []))
+            stack.extend(getattr(stmt, "finalbody", []))
+            for handler in getattr(stmt, "handlers", []):
+                stack.extend(handler.body)
+            continue
+        yield stmt
+
+
+def _enclosing_function(module, call: ast.Call) -> str | None:
+    for fn in module.functions.values():
+        for node in ast.walk(fn.node):
+            if node is call:
+                return fn.name
+    return None
+
+
+def _module_for_path(index: PackageIndex, path: str):
+    for module in index.modules.values():
+        if module.path == path:
+            return module
+    return None

@@ -1,0 +1,261 @@
+"""Whole-package AST index: modules, functions, classes, imports.
+
+The analyzer never imports the code it certifies — a module whose
+import has side effects (exactly what REPRO609 exists to catch) must
+not get to run them inside the checker.  Everything downstream (call
+graph, effect inference, durability lint) therefore works off this
+parsed index of the package source tree.
+
+Qualified names follow the dotted-reference convention the orchestrator
+resolves at dispatch (:func:`repro.orchestrate.worker.resolve_callable`):
+``"package.module:fn"`` for module-level functions and
+``"package.module:Class.method"`` for methods, so an indexed name *is*
+a valid ``JobSpec.fn`` string and vice versa.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.rules import _noqa_lines
+
+__all__ = ["FunctionInfo", "ModuleInfo", "PackageIndex", "build_index"]
+
+
+@dataclass
+class FunctionInfo:
+    """One analyzable unit: a module-level function or a method.
+
+    Nested ``def``\\ s and lambdas are *not* separate units — their
+    bodies belong to the enclosing unit, which is the conservative
+    reading for reachability (defining a closure in reachable code
+    means it may run there).
+    """
+
+    qualname: str  # "pkg.mod:fn" or "pkg.mod:Class.fn"
+    module: str
+    name: str
+    cls: str | None
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    path: str
+    lineno: int
+    decorators: tuple[str, ...] = ()
+
+
+@dataclass
+class ModuleInfo:
+    """Parsed facts about one module file."""
+
+    name: str  # dotted module name
+    path: str
+    tree: ast.Module
+    noqa: dict[int, set[str] | None]
+    # import alias -> dotted module ("np" -> "numpy", "journal" -> ...)
+    imports: dict[str, str] = field(default_factory=dict)
+    # local name -> (dotted module, attr) from ``from X import Y [as Z]``
+    from_imports: dict[str, tuple[str, str]] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    # class name -> method name -> FunctionInfo
+    classes: dict[str, dict[str, FunctionInfo]] = field(default_factory=dict)
+    # module-level simple assignments: name -> value expression
+    assigns: dict[str, ast.expr] = field(default_factory=dict)
+
+    def suppressed(self, line: int, code: str) -> bool:
+        """True when ``# noqa`` / ``# noqa: CODE`` silences this line."""
+        codes = self.noqa.get(line, ())
+        return codes is None or (bool(codes) and code in codes)
+
+
+def _decorator_names(node: ast.FunctionDef | ast.AsyncFunctionDef) -> tuple[str, ...]:
+    names = []
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        parts = []
+        while isinstance(target, ast.Attribute):
+            parts.append(target.attr)
+            target = target.value
+        if isinstance(target, ast.Name):
+            parts.append(target.id)
+        names.append(".".join(reversed(parts)))
+    return tuple(names)
+
+
+def _resolve_relative(module: str, level: int, target: str | None) -> str:
+    """Resolve ``from ..x import y`` against the importing module."""
+    # The package of a module file is the module minus its last part;
+    # level 1 = that package, each extra level strips one more.
+    parts = module.split(".")
+    base = parts[: len(parts) - level]
+    if target:
+        base = base + target.split(".")
+    return ".".join(base)
+
+
+def _index_module(name: str, path: Path, is_package: bool) -> ModuleInfo | None:
+    try:
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+    except (OSError, SyntaxError):
+        return None
+    info = ModuleInfo(name=name, path=str(path), tree=tree, noqa=_noqa_lines(source))
+    # Relative imports resolve against the *package* for __init__ files
+    # and against the containing package for plain modules; encode that
+    # by resolving levels against a synthetic child for packages.
+    anchor = name + "._" if is_package else name
+
+    for node in tree.body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                info.imports[bound] = alias.name if alias.asname else alias.name.split(".")[0]
+                if alias.asname is None:
+                    # ``import a.b`` binds ``a``; remember the full path
+                    # too so dotted attribute chains can resolve.
+                    info.imports.setdefault(alias.name, alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            target = (
+                _resolve_relative(anchor, node.level, node.module)
+                if node.level
+                else (node.module or "")
+            )
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                info.from_imports[bound] = (target, alias.name)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info.functions[node.name] = FunctionInfo(
+                qualname=f"{name}:{node.name}",
+                module=name,
+                name=node.name,
+                cls=None,
+                node=node,
+                path=str(path),
+                lineno=node.lineno,
+                decorators=_decorator_names(node),
+            )
+        elif isinstance(node, ast.ClassDef):
+            methods: dict[str, FunctionInfo] = {}
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    methods[item.name] = FunctionInfo(
+                        qualname=f"{name}:{node.name}.{item.name}",
+                        module=name,
+                        name=item.name,
+                        cls=node.name,
+                        node=item,
+                        path=str(path),
+                        lineno=item.lineno,
+                        decorators=_decorator_names(item),
+                    )
+            info.classes[node.name] = methods
+        elif isinstance(node, ast.Assign):
+            for tgt in node.targets:
+                if isinstance(tgt, ast.Name):
+                    info.assigns[tgt.id] = node.value
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            if node.value is not None:
+                info.assigns[node.target.id] = node.value
+    return info
+
+
+@dataclass
+class PackageIndex:
+    """Every module of one package tree, parsed and cross-linked."""
+
+    package: str
+    root: str
+    modules: dict[str, ModuleInfo] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    # method bare name -> qualnames across every indexed class (for the
+    # bounded class-hierarchy fallback in the call graph)
+    methods_by_name: dict[str, list[str]] = field(default_factory=dict)
+
+    def module_of(self, dotted: str) -> ModuleInfo | None:
+        return self.modules.get(dotted)
+
+    def resolve(
+        self, module: str, name: str, _seen: frozenset = frozenset()
+    ) -> tuple[str, str] | None:
+        """Resolve ``name`` as seen from ``module``.
+
+        Chases ``from X import Y`` re-export chains across the index
+        (the ``__init__`` barrel-module pattern) and returns one of
+        ``("func", qualname)``, ``("class", "module:Class")`` or
+        ``("module", dotted)`` — or ``None`` for anything external.
+        """
+        key = (module, name)
+        if key in _seen:
+            return None
+        info = self.modules.get(module)
+        if info is None:
+            return None
+        if name in info.functions:
+            return ("func", info.functions[name].qualname)
+        if name in info.classes:
+            return ("class", f"{module}:{name}")
+        if name in info.from_imports:
+            target_mod, attr = info.from_imports[name]
+            if target_mod in self.modules:
+                resolved = self.resolve(target_mod, attr, _seen | {key})
+                if resolved is not None:
+                    return resolved
+            # ``from . import submodule`` / ``from pkg import submodule``
+            if f"{target_mod}.{attr}" in self.modules:
+                return ("module", f"{target_mod}.{attr}")
+            return None
+        if name in info.imports:
+            return ("module", info.imports[name])
+        return None
+
+    def resolve_dotted_ref(self, ref: str) -> FunctionInfo | None:
+        """Resolve a ``"module:attr.path"`` job reference, if indexed.
+
+        Mirrors :func:`repro.orchestrate.worker.resolve_callable` but
+        over the static index: returns the target function when the
+        module is part of this package and the attribute path lands on
+        a module-level function or a method of a module-level class.
+        """
+        module_path, _, attr_path = ref.partition(":")
+        info = self.modules.get(module_path)
+        if info is None or not attr_path:
+            return None
+        parts = attr_path.split(".")
+        if len(parts) == 1:
+            return info.functions.get(parts[0])
+        if len(parts) == 2 and parts[0] in info.classes:
+            return info.classes[parts[0]].get(parts[1])
+        return None
+
+
+def build_index(root: str | Path, package: str | None = None) -> PackageIndex:
+    """Parse every ``*.py`` under ``root`` into a :class:`PackageIndex`.
+
+    ``package`` is the dotted prefix of the tree (defaults to the root
+    directory's name, which is correct for ``src/repro``-style layouts).
+    """
+    root = Path(root).resolve()
+    package = package or root.name
+    index = PackageIndex(package=package, root=str(root))
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root)
+        parts = list(rel.parts)
+        is_package = parts[-1] == "__init__.py"
+        if is_package:
+            parts = parts[:-1]
+        else:
+            parts[-1] = parts[-1][: -len(".py")]
+        dotted = ".".join([package] + parts)
+        info = _index_module(dotted, path, is_package)
+        if info is None:
+            continue
+        index.modules[dotted] = info
+        for fn in info.functions.values():
+            index.functions[fn.qualname] = fn
+        for methods in info.classes.values():
+            for fn in methods.values():
+                index.functions[fn.qualname] = fn
+                index.methods_by_name.setdefault(fn.name, []).append(fn.qualname)
+    return index

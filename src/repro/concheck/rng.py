@@ -1,0 +1,184 @@
+"""Call-graph-deep RNG and iteration-order discipline (REPRO604-606).
+
+:mod:`repro.ir.determinism` already flags global RNG and unordered
+iteration *within* the training/placement packages (REPRO104/105).
+These checks lift the same discipline to the worker-reachable closure:
+a helper three calls below a job entry point that touches
+``np.random.shuffle`` breaks serial/parallel parity exactly as surely
+as the job function itself would, but no intra-file audit of the job's
+module can see it.
+
+* ``REPRO604`` (blocking) — legacy/global RNG deep in worker code:
+  ``np.random.*`` module-level API, stdlib ``random.*`` globals, and
+  ``os.urandom``.  Global RNG state is per-process; fork workers
+  inherit one snapshot and then diverge from the serial order.
+* ``REPRO605`` (blocking) — a fresh ``default_rng()`` /
+  ``SeedSequence()`` with no argument (OS entropy) or an argument that
+  is itself entropy/time-derived.  The parity contract requires every
+  worker generator to descend from the run's root ``SeedSequence`` by
+  spawn index (see ``repro.orchestrate.runtime``); a seed threaded in
+  through parameters or config is accepted.
+* ``REPRO606`` (blocking) — unordered iteration (sets, ``os.listdir``)
+  anywhere in worker-reachable code, where the visit order can differ
+  per process and reach reduction results.
+
+Every finding carries the worker-root chain so the reader can see
+*why* the function is in the worker universe.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.ir.determinism import _LEGACY_NP_RANDOM, _STDLIB_RANDOM
+from repro.lint.rules import LintDiagnostic
+
+from .callgraph import CallGraph
+from .index import PackageIndex
+
+__all__ = ["check_rng_discipline"]
+
+_ENTROPY_SOURCES = ("urandom", "time", "perf_counter", "monotonic",
+                    "getpid", "time_ns", "entropy")
+
+
+def _dotted(node: ast.AST) -> str:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _entropy_derived(node: ast.AST) -> bool:
+    """Seed expressions that smuggle entropy in: ``default_rng(time())``."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            name = _dotted(sub.func)
+            tail = name.rsplit(".", 1)[-1]
+            if tail in _ENTROPY_SOURCES:
+                return True
+            if name in ("SeedSequence",) and not sub.args and not sub.keywords:
+                return True
+    return False
+
+
+def _order_hazard(node: ast.AST) -> str | None:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "a set literal"
+    if isinstance(node, ast.Call):
+        name = _dotted(node.func)
+        if name in ("set", "frozenset"):
+            return f"{name}(...)"
+        if name.endswith(("os.listdir", "listdir")) and name.count(".") <= 1:
+            return "os.listdir(...) (filesystem order)"
+        if name.endswith((".union", ".intersection", ".difference",
+                          ".symmetric_difference")):
+            return f"{name.rsplit('.', 1)[-1]}(...) of sets"
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub)
+    ):
+        if _order_hazard(node.left) or _order_hazard(node.right):
+            return "a set expression"
+    return None
+
+
+def check_rng_discipline(index: PackageIndex, graph: CallGraph) -> list[LintDiagnostic]:
+    """REPRO604-606 over every worker-reachable function."""
+    findings: list[LintDiagnostic] = []
+    for qualname in sorted(graph.reachable):
+        fn = index.functions.get(qualname)
+        if fn is None:
+            continue
+        module = index.modules.get(fn.module)
+        chain = " -> ".join(graph.chain(qualname))
+
+        def report(node: ast.AST, code: str, message: str) -> None:
+            line = getattr(node, "lineno", fn.lineno)
+            if module is not None and module.suppressed(line, code):
+                return
+            findings.append(
+                LintDiagnostic(
+                    fn.path,
+                    line,
+                    getattr(node, "col_offset", 0),
+                    code,
+                    f"{message} [worker-reachable via {chain}]",
+                )
+            )
+
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Call):
+                name = _dotted(node.func)
+                tail = name.rsplit(".", 1)[-1]
+                if tail in ("default_rng", "SeedSequence"):
+                    if not node.args and not node.keywords:
+                        report(
+                            node,
+                            "REPRO605",
+                            f"{tail}() with no seed draws from OS entropy "
+                            "inside worker-reachable code; derive the seed "
+                            "from the run's root SeedSequence (spawn per "
+                            "job) so parallel replays are bitwise stable",
+                        )
+                    elif any(_entropy_derived(a) for a in node.args) or any(
+                        kw.value is not None and _entropy_derived(kw.value)
+                        for kw in node.keywords
+                    ):
+                        report(
+                            node,
+                            "REPRO605",
+                            f"{tail}(...) seeded from an entropy/time source "
+                            "is still nondeterministic; derive the seed from "
+                            "the run's root SeedSequence instead",
+                        )
+                elif name.startswith(("np.random.", "numpy.random.")):
+                    if tail in _LEGACY_NP_RANDOM:
+                        report(
+                            node,
+                            "REPRO604",
+                            f"legacy global np.random.{tail}() in worker code "
+                            "shares per-process state; fork workers inherit "
+                            "one snapshot and diverge from the serial order — "
+                            "use the SeedSequence-derived Generator the "
+                            "runtime passes to each job",
+                        )
+                elif name.startswith("random.") and name.split(".")[1] in _STDLIB_RANDOM:
+                    report(
+                        node,
+                        "REPRO604",
+                        f"stdlib {name}() in worker code uses the global "
+                        "random state; use a SeedSequence-derived "
+                        "np.random.default_rng Generator",
+                    )
+                elif tail == "urandom":
+                    report(
+                        node,
+                        "REPRO604",
+                        "os.urandom() in worker code draws OS entropy; no "
+                        "two runs (or workers) see the same bytes",
+                    )
+            hazard = None
+            site: ast.AST = node
+            if isinstance(node, ast.For):
+                hazard = _order_hazard(node.iter)
+                site = node.iter
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.SetComp)):
+                for comp in node.generators:
+                    hazard = hazard or _order_hazard(comp.iter)
+                    if hazard:
+                        site = comp.iter
+                        break
+            if hazard:
+                report(
+                    site,
+                    "REPRO606",
+                    f"iteration over {hazard} in worker-reachable code has "
+                    "no defined order; per-process hash randomization can "
+                    "reorder it — wrap in sorted(...)",
+                )
+    findings.sort(key=lambda d: (d.path, d.line, d.col, d.code))
+    return findings

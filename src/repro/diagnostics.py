@@ -358,3 +358,80 @@ register_code(
     component="orchestrate",
     blocking=False,
 )
+
+# Static concurrency-safety analyzer (repro.concheck) — 6xx.  Unlike
+# the 5xx runtime incidents these are *static proofs-of-hazard* over
+# the worker-reachable call graph: blocking codes break the parity or
+# crash-recovery contract outright; advisory codes flag environment
+# reads and fork-inherited resources that are legitimate in parent-only
+# paths but worth eyes whenever they sit in worker-reachable code.
+register_code(
+    "REPRO601",
+    "worker-reachable code mutates process-global state (module global, "
+    "class attribute, os.environ)",
+    component="concheck",
+)
+register_code(
+    "REPRO602",
+    "worker-reachable function has call-to-call memory (mutable default "
+    "argument / nonlocal accumulation)",
+    component="concheck",
+)
+register_code(
+    "REPRO603",
+    "worker-reachable code reads environment-dependent state (wall clock, "
+    "env vars, hostname)",
+    component="concheck",
+    blocking=False,
+)
+register_code(
+    "REPRO604",
+    "global/legacy RNG (np.random.*, random.*, os.urandom) reachable from "
+    "a worker entry point",
+    component="concheck",
+)
+register_code(
+    "REPRO605",
+    "fresh default_rng()/SeedSequence() without a SeedSequence-derived "
+    "seed in worker-reachable code",
+    component="concheck",
+)
+register_code(
+    "REPRO606",
+    "unordered iteration (set, os.listdir) in worker-reachable code",
+    component="concheck",
+)
+register_code(
+    "REPRO607",
+    "JobSpec payload contains an unpicklable value (lambda, closure, "
+    "generator, handle, lock)",
+    component="concheck",
+)
+register_code(
+    "REPRO608",
+    "dotted job reference does not resolve to a module-level callable",
+    component="concheck",
+)
+register_code(
+    "REPRO609",
+    "worker module performs IO/RNG/thread/environ side effects at import "
+    "time",
+    component="concheck",
+)
+register_code(
+    "REPRO610",
+    "fork-unsafe resource (thread, lock, socket, pool, handle) created at "
+    "module scope in a worker module",
+    component="concheck",
+    blocking=False,
+)
+register_code(
+    "REPRO611",
+    "durable write skips the temp-file + fsync + rename idiom",
+    component="concheck",
+)
+register_code(
+    "REPRO612",
+    "rename into place without fsync of the written temp file",
+    component="concheck",
+)

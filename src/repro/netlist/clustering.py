@@ -32,7 +32,7 @@ def _affinities(design: Design, clusterable: np.ndarray) -> dict[int, dict[int, 
     clusterable_set = set(int(i) for i in clusterable)
     graph: dict[int, dict[int, float]] = {int(i): {} for i in clusterable}
     for net in design.nets:
-        pins = [p for p in set(net.pins) if p in clusterable_set]
+        pins = [p for p in sorted(set(net.pins)) if p in clusterable_set]
         k = len(net.pins)
         if len(pins) < 2 or k < 2 or k > 16:
             continue

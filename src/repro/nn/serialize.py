@@ -33,11 +33,21 @@ def _npz_path(path: str | os.PathLike) -> Path:
 def save_state(state: dict[str, np.ndarray], path: str | os.PathLike) -> Path:
     """Write a state dict to a compressed ``.npz`` archive.
 
+    The archive is written to a temporary sibling, fsync'd, and renamed
+    into place, so a crash mid-save leaves either the previous complete
+    checkpoint or the new one — never a torn archive at the final name
+    (the same discipline as :mod:`repro.resilience.checkpoint`).
+
     Returns the path actually written (with the ``.npz`` suffix that
     numpy appends when it is missing).
     """
     path = _npz_path(path)
-    np.savez_compressed(path, **state)
+    tmp = path.parent / (path.name + ".tmp")
+    with open(tmp, "wb") as fh:
+        np.savez_compressed(fh, **state)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
     return path
 
 

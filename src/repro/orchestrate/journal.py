@@ -106,11 +106,21 @@ class JournalRecovery:
     seed: int | None = None
     dropped_lines: int = 0  # unparseable lines (torn tail) dropped
     bad_digests: int = 0  # completed records whose payload failed its digest
+    duplicate_commits: int = 0  # re-commits of an already-completed job
+    conflicting_commits: int = 0  # duplicates whose payload differed
 
     @property
     def clean(self) -> bool:
-        """True when nothing had to be dropped or rejected."""
-        return self.dropped_lines == 0 and self.bad_digests == 0
+        """True when nothing had to be dropped, rejected or contradicted.
+
+        An *identical* re-commit stays clean — a crash between the
+        fsync'd commit and the in-memory completion mark makes the
+        resumed run redo the job, and a deterministic job reproduces the
+        same payload.  A duplicate with a *different* payload means the
+        job is not deterministic, which is exactly what parity forbids.
+        """
+        return (self.dropped_lines == 0 and self.bad_digests == 0
+                and self.conflicting_commits == 0)
 
 
 def read_journal(path: str | os.PathLike) -> JournalRecovery:
@@ -145,6 +155,10 @@ def read_journal(path: str | os.PathLike) -> JournalRecovery:
             if payload_digest(payload) != record.get("digest"):
                 recovery.bad_digests += 1
                 continue
+            if key in recovery.completed:
+                recovery.duplicate_commits += 1
+                if recovery.completed[key] != payload:
+                    recovery.conflicting_commits += 1
             recovery.completed[key] = payload
             recovery.quarantined.discard(key)
         elif event == "quarantined" and key is not None:

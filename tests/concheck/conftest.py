@@ -1,0 +1,36 @@
+"""Fixture-package helpers for the concheck adversarial tests.
+
+Each test writes a tiny package under ``tmp_path`` whose modules plant
+exactly one hazard (or its safe twin), then runs the analyzer over it.
+The package is *never imported* — concheck is AST-only, which is the
+point: several fixtures would be unsafe to import.
+"""
+
+import pytest
+
+from repro.concheck import concheck
+
+
+@pytest.fixture
+def fixture_pkg(tmp_path):
+    """Write ``files`` into a package dir and run concheck over it."""
+
+    def run(files: dict[str, str], package: str = "pkg") -> dict:
+        root = tmp_path / package
+        root.mkdir(exist_ok=True)
+        (root / "__init__.py").write_text(files.pop("__init__.py", ""))
+        for name, source in files.items():
+            path = root / name
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(source)
+        return concheck(root=root, package=package)
+
+    return run
+
+
+def codes(bundle: dict) -> list[str]:
+    return [f["code"] for f in bundle["findings"]]
+
+
+def messages_for(bundle: dict, code: str) -> list[str]:
+    return [f["message"] for f in bundle["findings"] if f["code"] == code]

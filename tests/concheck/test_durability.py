@@ -1,0 +1,159 @@
+"""Durable-write idiom lint: REPRO611-612 fixtures.
+
+Durability findings are reachability-independent (a checkpoint written
+torn from the parent is just as unrecoverable), so these fixtures need
+no JobSpec roots — the name gate alone puts a function in scope.
+"""
+
+from .conftest import codes, messages_for
+
+
+class TestDirectWrites:
+    def test_final_path_write_fires_611(self, fixture_pkg):
+        bundle = fixture_pkg({
+            "store.py": (
+                "import json\n"
+                "def save_checkpoint(state, path):\n"
+                "    with open(path, 'w') as fh:\n"
+                "        json.dump(state, fh)\n"
+            ),
+        })
+        assert codes(bundle) == ["REPRO611"]
+        [msg] = messages_for(bundle, "REPRO611")
+        assert "directly to its final path" in msg
+        assert bundle["failures"]  # blocking
+
+    def test_write_text_to_final_path_fires_611(self, fixture_pkg):
+        bundle = fixture_pkg({
+            "store.py": (
+                "def save_manifest(path, payload):\n"
+                "    path.write_text(payload)\n"
+            ),
+        })
+        assert codes(bundle) == ["REPRO611"]
+
+    def test_temp_never_renamed_fires_611(self, fixture_pkg):
+        bundle = fixture_pkg({
+            "store.py": (
+                "import json, os\n"
+                "def save_checkpoint(state, path):\n"
+                "    tmp = str(path) + '.tmp'\n"
+                "    with open(tmp, 'w') as fh:\n"
+                "        json.dump(state, fh)\n"
+                "        fh.flush()\n"
+                "        os.fsync(fh.fileno())\n"
+            ),
+        })
+        assert codes(bundle) == ["REPRO611"]
+        [msg] = messages_for(bundle, "REPRO611")
+        assert "never renames" in msg
+
+    def test_rename_without_fsync_fires_612(self, fixture_pkg):
+        bundle = fixture_pkg({
+            "store.py": (
+                "import json, os\n"
+                "def save_checkpoint(state, path):\n"
+                "    tmp = str(path) + '.tmp'\n"
+                "    with open(tmp, 'w') as fh:\n"
+                "        json.dump(state, fh)\n"
+                "    os.replace(tmp, path)\n"
+            ),
+        })
+        assert codes(bundle) == ["REPRO612"]
+        [msg] = messages_for(bundle, "REPRO612")
+        assert "without fsync" in msg
+
+    def test_full_idiom_passes(self, fixture_pkg):
+        # The reference pattern from repro.resilience.checkpoint.
+        bundle = fixture_pkg({
+            "store.py": (
+                "import json, os\n"
+                "def save_checkpoint(state, path):\n"
+                "    tmp = str(path) + '.tmp'\n"
+                "    with open(tmp, 'w') as fh:\n"
+                "        json.dump(state, fh)\n"
+                "        fh.flush()\n"
+                "        os.fsync(fh.fileno())\n"
+                "    os.replace(tmp, path)\n"
+            ),
+        })
+        assert codes(bundle) == []
+
+
+class TestAppendLogs:
+    def test_append_without_fsync_fires_611(self, fixture_pkg):
+        bundle = fixture_pkg({
+            "journal.py": (
+                "def append_record(path, line):\n"
+                "    with open(path, 'a') as fh:\n"
+                "        fh.write(line)\n"
+            ),
+        })
+        assert codes(bundle) == ["REPRO611"]
+        [msg] = messages_for(bundle, "REPRO611")
+        assert "without fsync" in msg
+
+    def test_append_with_fsync_passes(self, fixture_pkg):
+        bundle = fixture_pkg({
+            "journal.py": (
+                "import os\n"
+                "def append_record(path, line):\n"
+                "    with open(path, 'a') as fh:\n"
+                "        fh.write(line)\n"
+                "        fh.flush()\n"
+                "        os.fsync(fh.fileno())\n"
+            ),
+        })
+        assert codes(bundle) == []
+
+    def test_append_with_class_level_fsync_passes(self, fixture_pkg):
+        # The Journal pattern: the handle is opened once, records are
+        # appended by one method, and a sibling commit() fsyncs.
+        bundle = fixture_pkg({
+            "journal.py": (
+                "import os\n"
+                "class Journal:\n"
+                "    def __init__(self, path):\n"
+                "        self._fh = open(path, 'a')\n"
+                "    def append(self, line):\n"
+                "        self._fh.write(line)\n"
+                "    def commit(self):\n"
+                "        self._fh.flush()\n"
+                "        os.fsync(self._fh.fileno())\n"
+            ),
+        })
+        assert codes(bundle) == []
+
+
+class TestScope:
+    def test_non_durable_writer_is_out_of_scope(self, fixture_pkg):
+        # A plot/scratch writer owes nobody atomicity.
+        bundle = fixture_pkg({
+            "viz.py": (
+                "def write_pgm(path, rows):\n"
+                "    with open(path, 'w') as fh:\n"
+                "        fh.write(rows)\n"
+            ),
+        })
+        assert codes(bundle) == []
+
+    def test_module_name_gates_durability(self, fixture_pkg):
+        # Same body, but the module name says "checkpoint" — in scope.
+        bundle = fixture_pkg({
+            "checkpoint.py": (
+                "def dump(path, rows):\n"
+                "    with open(path, 'w') as fh:\n"
+                "        fh.write(rows)\n"
+            ),
+        })
+        assert codes(bundle) == ["REPRO611"]
+
+    def test_np_savez_direct_to_path_fires_611(self, fixture_pkg):
+        bundle = fixture_pkg({
+            "store.py": (
+                "import numpy as np\n"
+                "def save_weights(path, arrays):\n"
+                "    np.savez(path, **arrays)\n"
+            ),
+        })
+        assert codes(bundle) == ["REPRO611"]

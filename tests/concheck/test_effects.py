@@ -1,0 +1,201 @@
+"""Effect inference: REPRO601-603 fixtures + lattice propagation."""
+
+from .conftest import codes, messages_for
+
+_JOB = 'REF = "pkg.jobs:job"\n'
+
+
+class TestGlobalMutation:
+    def test_global_statement_write_fires_601(self, fixture_pkg):
+        bundle = fixture_pkg({
+            "jobs.py": (
+                "_CACHE = None\n"
+                "def job():\n"
+                "    global _CACHE\n"
+                "    _CACHE = 42\n" + _JOB
+            ),
+        })
+        assert codes(bundle) == ["REPRO601"]
+        [msg] = messages_for(bundle, "REPRO601")
+        assert "escapes: module global pkg.jobs._CACHE" in msg
+        assert "worker-reachable via pkg.jobs:job" in msg
+        assert bundle["effect_summary"]["global-mutating"] == 1
+
+    def test_class_attribute_write_fires_601(self, fixture_pkg):
+        bundle = fixture_pkg({
+            "jobs.py": (
+                "class Config:\n"
+                "    mode = 'fast'\n"
+                "def job():\n"
+                "    Config.mode = 'slow'\n" + _JOB
+            ),
+        })
+        assert codes(bundle) == ["REPRO601"]
+        assert "class attribute pkg.jobs:Config.mode" in bundle["findings"][0]["message"]
+
+    def test_environ_write_fires_601(self, fixture_pkg):
+        bundle = fixture_pkg({
+            "jobs.py": (
+                "import os\n"
+                "def job():\n"
+                "    os.environ['OMP_NUM_THREADS'] = '1'\n" + _JOB
+            ),
+        })
+        assert codes(bundle) == ["REPRO601"]
+
+    def test_deep_mutation_raises_job_level_via_fixpoint(self, fixture_pkg):
+        # The hazard sits two calls below the root; the *site* is
+        # reported in helpers.py, and the job's effect level rises to
+        # global-mutating transitively.
+        bundle = fixture_pkg({
+            "jobs.py": (
+                "from .helpers import step\n"
+                "def job():\n    return step()\n" + _JOB
+            ),
+            "helpers.py": (
+                "STATE = {}\n"
+                "def step():\n    return poke()\n"
+                "def poke():\n"
+                "    global STATE\n"
+                "    STATE = {'hit': True}\n"
+            ),
+        })
+        assert codes(bundle) == ["REPRO601"]
+        assert bundle["findings"][0]["path"].endswith("helpers.py")
+        assert bundle["effect_summary"]["global-mutating"] == 3  # job, step, poke
+        assert bundle["escapes"]["pkg.jobs:job"] == [
+            "module global pkg.helpers.STATE"
+        ]
+
+    def test_instance_attribute_write_is_clean(self, fixture_pkg):
+        bundle = fixture_pkg({
+            "jobs.py": (
+                "class Acc:\n"
+                "    def __init__(self):\n"
+                "        self.total = 0\n"
+                "    def add(self, x):\n"
+                "        self.total += x\n"
+                "def job():\n"
+                "    a = Acc()\n"
+                "    a.add(3)\n"
+                "    return a.total\n" + _JOB
+            ),
+        })
+        assert codes(bundle) == []
+        assert bundle["effect_summary"]["global-mutating"] == 0
+
+    def test_enter_exit_save_restore_exempt(self, fixture_pkg):
+        # The no_grad pattern: paired save/restore context manager.
+        bundle = fixture_pkg({
+            "jobs.py": (
+                "_FLAG = True\n"
+                "class no_flag:\n"
+                "    def __enter__(self):\n"
+                "        global _FLAG\n"
+                "        self.prev = _FLAG\n"
+                "        _FLAG = False\n"
+                "        return self\n"
+                "    def __exit__(self, *exc):\n"
+                "        global _FLAG\n"
+                "        _FLAG = self.prev\n"
+                "def job():\n"
+                "    with no_flag():\n"
+                "        return 1\n" + _JOB
+            ),
+        })
+        assert codes(bundle) == []
+
+    def test_try_finally_restore_exempt(self, fixture_pkg):
+        bundle = fixture_pkg({
+            "jobs.py": (
+                "_MODE = 'a'\n"
+                "def job():\n"
+                "    global _MODE\n"
+                "    prev = _MODE\n"
+                "    _MODE = 'b'\n"
+                "    try:\n"
+                "        return 1\n"
+                "    finally:\n"
+                "        _MODE = prev\n" + _JOB
+            ),
+        })
+        assert codes(bundle) == []
+
+
+class TestCallToCallMemory:
+    def test_mutable_default_list_fires_602(self, fixture_pkg):
+        bundle = fixture_pkg({
+            "jobs.py": "def job(acc=[]):\n    acc.append(1)\n    return acc\n" + _JOB,
+        })
+        assert codes(bundle) == ["REPRO602"]
+
+    def test_mutable_default_dict_call_fires_602(self, fixture_pkg):
+        bundle = fixture_pkg({
+            "jobs.py": "def job(cache=dict()):\n    return cache\n" + _JOB,
+        })
+        assert codes(bundle) == ["REPRO602"]
+
+    def test_none_default_is_clean(self, fixture_pkg):
+        bundle = fixture_pkg({
+            "jobs.py": (
+                "def job(acc=None):\n"
+                "    acc = [] if acc is None else acc\n"
+                "    return acc\n" + _JOB
+            ),
+        })
+        assert codes(bundle) == []
+
+
+class TestEnvironmentReads:
+    def test_wall_clock_fires_advisory_603(self, fixture_pkg):
+        bundle = fixture_pkg({
+            "jobs.py": (
+                "import time\n"
+                "def job():\n"
+                "    return time.perf_counter()\n" + _JOB
+            ),
+        })
+        assert codes(bundle) == ["REPRO603"]
+        assert bundle["failures"] == []  # advisory: never blocks
+        assert bundle["effect_summary"]["io"] == 1
+
+    def test_getenv_fires_603_deep(self, fixture_pkg):
+        bundle = fixture_pkg({
+            "jobs.py": (
+                "from .helpers import knob\n"
+                "def job():\n    return knob()\n" + _JOB
+            ),
+            "helpers.py": (
+                "import os\n"
+                "def knob():\n    return os.getenv('THREADS', '1')\n"
+            ),
+        })
+        assert codes(bundle) == ["REPRO603"]
+        # io propagates up to the root through the fixpoint
+        assert bundle["effect_summary"]["io"] == 2
+
+    def test_unreachable_hazard_not_reported(self, fixture_pkg):
+        # Same hazard, but nothing roots the module: parent-side code
+        # may read clocks freely.
+        bundle = fixture_pkg({
+            "jobs.py": "import time\ndef job():\n    return time.time()\n",
+        })
+        assert bundle["worker_roots"] == []
+        assert codes(bundle) == []
+
+
+class TestLattice:
+    def test_pure_and_deterministic_split(self, fixture_pkg):
+        bundle = fixture_pkg({
+            "jobs.py": (
+                "import numpy as np\n"
+                "def pure_helper(x):\n"
+                "    return x + 1\n"
+                "def job(x):\n"
+                "    return np.sqrt(pure_helper(x))\n" + _JOB
+            ),
+        })
+        assert codes(bundle) == []
+        # job calls numpy (external -> deterministic); helper is pure
+        assert bundle["effect_summary"]["pure"] == 1
+        assert bundle["effect_summary"]["deterministic"] == 1

@@ -1,0 +1,191 @@
+"""Fork & pickle safety: REPRO607-610 fixtures."""
+
+from .conftest import codes, messages_for
+
+_JOB = 'REF = "pkg.jobs:job"\n'
+
+
+class TestPayloads:
+    def test_lambda_in_payload_fires_607(self, fixture_pkg):
+        bundle = fixture_pkg({
+            "jobs.py": (
+                "def job(f):\n    return f\n" + _JOB +
+                "def submit(JobSpec):\n"
+                "    return JobSpec(key='k', fn=REF, args=(lambda x: x,))\n"
+            ),
+        })
+        assert "REPRO607" in codes(bundle)
+
+    def test_open_handle_in_payload_fires_607(self, fixture_pkg):
+        bundle = fixture_pkg({
+            "jobs.py": (
+                "def job(fh):\n    return fh\n" + _JOB +
+                "def submit(JobSpec, path):\n"
+                "    return JobSpec(key='k', fn=REF,\n"
+                "                   kwargs={'fh': open(path)})\n"
+            ),
+        })
+        assert "REPRO607" in codes(bundle)
+
+    def test_generator_in_payload_fires_607(self, fixture_pkg):
+        bundle = fixture_pkg({
+            "jobs.py": (
+                "def job(it):\n    return it\n" + _JOB +
+                "def submit(JobSpec, xs):\n"
+                "    return JobSpec(key='k', fn=REF,\n"
+                "                   args=((x * 2 for x in xs),))\n"
+            ),
+        })
+        assert "REPRO607" in codes(bundle)
+
+    def test_plain_data_payload_is_clean(self, fixture_pkg):
+        bundle = fixture_pkg({
+            "jobs.py": (
+                "def job(xs, scale):\n    return [x * scale for x in xs]\n"
+                + _JOB +
+                "def submit(JobSpec):\n"
+                "    return JobSpec(key='k', fn=REF,\n"
+                "                   args=([1, 2, 3],), kwargs={'scale': 2.0})\n"
+            ),
+        })
+        assert codes(bundle) == []
+
+
+class TestDottedRefs:
+    def test_unresolvable_ref_fires_608(self, fixture_pkg):
+        bundle = fixture_pkg({
+            "jobs.py": 'REF = "pkg.jobs:gone_with_the_refactor"\n',
+        })
+        assert codes(bundle) == ["REPRO608"]
+        [msg] = messages_for(bundle, "REPRO608")
+        assert "resolve_callable would fail at dispatch" in msg
+
+    def test_lambda_as_fn_fires_608(self, fixture_pkg):
+        bundle = fixture_pkg({
+            "jobs.py": (
+                "def submit(JobSpec):\n"
+                "    return JobSpec(key='k', fn=lambda: 1)\n"
+            ),
+        })
+        assert codes(bundle) == ["REPRO608"]
+
+    def test_local_closure_as_fn_fires_608(self, fixture_pkg):
+        bundle = fixture_pkg({
+            "jobs.py": (
+                "def submit(JobSpec):\n"
+                "    def inner():\n"
+                "        return 1\n"
+                "    return JobSpec(key='k', fn=inner)\n"
+            ),
+        })
+        assert codes(bundle) == ["REPRO608"]
+        assert "hoist it to module level" in bundle["findings"][0]["message"]
+
+    def test_method_ref_resolves_clean(self, fixture_pkg):
+        bundle = fixture_pkg({
+            "jobs.py": (
+                "class Builder:\n"
+                "    def build(self):\n        return 1\n"
+                'REF = "pkg.jobs:Builder.build"\n'
+            ),
+        })
+        assert codes(bundle) == []
+        assert bundle["worker_roots"] == ["pkg.jobs:Builder.build"]
+
+
+class TestImportTimeEffects:
+    def test_module_scope_rng_seed_fires_609(self, fixture_pkg):
+        bundle = fixture_pkg({
+            "jobs.py": (
+                "import numpy as np\n"
+                "np.random.seed(0)\n"
+                "def job():\n    return 1\n" + _JOB
+            ),
+        })
+        assert codes(bundle) == ["REPRO609"]
+
+    def test_module_scope_open_fires_609(self, fixture_pkg):
+        bundle = fixture_pkg({
+            "jobs.py": (
+                "_BANNER = open('/etc/hostname').read()\n"
+                "def job():\n    return _BANNER\n" + _JOB
+            ),
+        })
+        assert "REPRO609" in codes(bundle)
+
+    def test_guarded_import_effect_still_fires_609(self, fixture_pkg):
+        # Effects behind a module-level ``if`` still run per worker.
+        bundle = fixture_pkg({
+            "jobs.py": (
+                "import os\n"
+                "if os.name == 'posix':\n"
+                "    os.putenv('X', '1')\n"
+                "def job():\n    return 1\n" + _JOB
+            ),
+        })
+        assert codes(bundle) == ["REPRO609"]
+
+    def test_registration_calls_at_import_are_clean(self, fixture_pkg):
+        # Deterministic in-process bookkeeping at import is the normal
+        # pattern (register_code, decorators) — not a side effect.
+        bundle = fixture_pkg({
+            "jobs.py": (
+                "from .registry import register\n"
+                "register('job-v1')\n"
+                "def job():\n    return 1\n" + _JOB
+            ),
+            "registry.py": (
+                "TABLE = {}\n"
+                "def register(name):\n"
+                "    TABLE[name] = True\n"
+            ),
+        })
+        assert codes(bundle) == []
+
+    def test_non_worker_module_import_effects_ignored(self, fixture_pkg):
+        # The same effect in a module no worker imports is out of scope.
+        bundle = fixture_pkg({
+            "jobs.py": "def job():\n    return 1\n" + _JOB,
+            "parent_only.py": (
+                "import numpy as np\n"
+                "np.random.seed(0)\n"
+            ),
+        })
+        assert codes(bundle) == []
+
+
+class TestForkUnsafeResources:
+    def test_module_scope_lock_fires_610_advisory(self, fixture_pkg):
+        bundle = fixture_pkg({
+            "jobs.py": (
+                "import threading\n"
+                "_LOCK = threading.Lock()\n"
+                "def job():\n"
+                "    with _LOCK:\n"
+                "        return 1\n" + _JOB
+            ),
+        })
+        assert codes(bundle) == ["REPRO610"]
+        assert bundle["failures"] == []  # advisory
+
+    def test_module_scope_pool_fires_610(self, fixture_pkg):
+        bundle = fixture_pkg({
+            "jobs.py": (
+                "from concurrent.futures import ThreadPoolExecutor\n"
+                "_POOL = ThreadPoolExecutor(2)\n"
+                "def job():\n    return 1\n" + _JOB
+            ),
+        })
+        assert codes(bundle) == ["REPRO610"]
+
+    def test_lock_inside_function_is_clean(self, fixture_pkg):
+        bundle = fixture_pkg({
+            "jobs.py": (
+                "import threading\n"
+                "def job():\n"
+                "    lock = threading.Lock()\n"
+                "    with lock:\n"
+                "        return 1\n" + _JOB
+            ),
+        })
+        assert codes(bundle) == []

@@ -1,0 +1,175 @@
+"""AST index + call graph: resolution, root discovery, reachability."""
+
+from repro.concheck import build_call_graph, build_index
+
+
+def _index(tmp_path, files, package="pkg"):
+    root = tmp_path / package
+    root.mkdir()
+    (root / "__init__.py").write_text(files.pop("__init__.py", ""))
+    for name, source in files.items():
+        path = root / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    return build_index(root, package=package)
+
+
+class TestIndex:
+    def test_functions_classes_and_methods_indexed(self, tmp_path):
+        index = _index(tmp_path, {
+            "mod.py": (
+                "def f():\n    pass\n"
+                "class C:\n"
+                "    def m(self):\n        pass\n"
+            ),
+        })
+        assert "pkg.mod:f" in index.functions
+        assert "pkg.mod:C.m" in index.functions
+        assert index.functions["pkg.mod:C.m"].cls == "C"
+        assert index.methods_by_name["m"] == ["pkg.mod:C.m"]
+
+    def test_resolve_chases_barrel_reexports(self, tmp_path):
+        # pkg/__init__ re-exports helper from pkg.deep; a consumer that
+        # does ``from pkg import helper`` must resolve to the real def.
+        index = _index(tmp_path, {
+            "__init__.py": "from .deep import helper\n",
+            "deep.py": "def helper():\n    pass\n",
+            "user.py": "from pkg import helper\n",
+        })
+        assert index.resolve("pkg.user", "helper") == ("func", "pkg.deep:helper")
+
+    def test_resolve_relative_imports(self, tmp_path):
+        index = _index(tmp_path, {
+            "a.py": "def fn_a():\n    pass\n",
+            "b.py": "from . import a\nfrom .a import fn_a\n",
+        })
+        assert index.resolve("pkg.b", "fn_a") == ("func", "pkg.a:fn_a")
+        assert index.resolve("pkg.b", "a") == ("module", "pkg.a")
+
+    def test_resolve_dotted_ref_mirrors_worker(self, tmp_path):
+        index = _index(tmp_path, {
+            "jobs.py": (
+                "def job():\n    pass\n"
+                "class Builder:\n"
+                "    def build(self):\n        pass\n"
+            ),
+        })
+        assert index.resolve_dotted_ref("pkg.jobs:job").qualname == "pkg.jobs:job"
+        assert (
+            index.resolve_dotted_ref("pkg.jobs:Builder.build").qualname
+            == "pkg.jobs:Builder.build"
+        )
+        assert index.resolve_dotted_ref("pkg.jobs:missing") is None
+        assert index.resolve_dotted_ref("pkg.missing:job") is None
+
+    def test_syntax_error_module_skipped(self, tmp_path):
+        index = _index(tmp_path, {
+            "good.py": "def f():\n    pass\n",
+            "bad.py": "def broken(:\n",
+        })
+        assert "pkg.good" in index.modules
+        assert "pkg.bad" not in index.modules
+
+
+class TestCallGraph:
+    def test_roots_from_dotted_ref_literals(self, tmp_path):
+        index = _index(tmp_path, {
+            "jobs.py": 'def job():\n    pass\nREF = "pkg.jobs:job"\n',
+        })
+        graph = build_call_graph(index)
+        assert "pkg.jobs:job" in graph.roots
+        assert "pkg.jobs:job" in graph.reachable
+
+    def test_roots_from_jobspec_fn_constant(self, tmp_path):
+        # The fn= keyword follows a module-level string constant, the
+        # DEFAULT_TEAM_SOURCE pattern.
+        index = _index(tmp_path, {
+            "jobs.py": (
+                'DEFAULT = "pkg.jobs:work"\n'
+                "def work():\n    pass\n"
+                "def submit(JobSpec):\n"
+                "    return JobSpec(key='k', fn=DEFAULT)\n"
+            ),
+        })
+        graph = build_call_graph(index)
+        assert "pkg.jobs:work" in graph.roots
+
+    def test_reachability_crosses_modules_and_reports_chain(self, tmp_path):
+        index = _index(tmp_path, {
+            "jobs.py": (
+                "from .helpers import step\n"
+                "def job():\n    return step()\n"
+                'REF = "pkg.jobs:job"\n'
+            ),
+            "helpers.py": (
+                "from .core import kernel\n"
+                "def step():\n    return kernel()\n"
+            ),
+            "core.py": "def kernel():\n    return 1\n",
+        })
+        graph = build_call_graph(index)
+        assert "pkg.core:kernel" in graph.reachable
+        assert graph.chain("pkg.core:kernel") == [
+            "pkg.jobs:job", "pkg.helpers:step", "pkg.core:kernel",
+        ]
+        assert "pkg.core" in graph.worker_modules()
+
+    def test_constructor_chain_resolves_without_cha_blowup(self, tmp_path):
+        # Cls(...).run() resolves to Cls.run, NOT to every class with a
+        # .run method.
+        index = _index(tmp_path, {
+            "jobs.py": (
+                "from .work import Worker\n"
+                "def job():\n    return Worker().run()\n"
+                'REF = "pkg.jobs:job"\n'
+            ),
+            "work.py": (
+                "class Worker:\n"
+                "    def run(self):\n        return 1\n"
+            ),
+            "other.py": (
+                "class Unrelated:\n"
+                "    def run(self):\n        return 2\n"
+            ),
+        })
+        graph = build_call_graph(index)
+        assert "pkg.work:Worker.run" in graph.reachable
+        assert "pkg.other:Unrelated.run" not in graph.reachable
+
+    def test_local_var_constructor_type_inference(self, tmp_path):
+        index = _index(tmp_path, {
+            "jobs.py": (
+                "from .work import Worker\n"
+                "def job():\n"
+                "    w = Worker()\n"
+                "    return w.run()\n"
+                'REF = "pkg.jobs:job"\n'
+            ),
+            "work.py": (
+                "class Worker:\n"
+                "    def __init__(self):\n        self.n = 1\n"
+                "    def run(self):\n        return self.helper()\n"
+                "    def helper(self):\n        return self.n\n"
+            ),
+        })
+        graph = build_call_graph(index)
+        # constructor edge, method edge, and self.-dispatch all present
+        for q in ("pkg.work:Worker.__init__", "pkg.work:Worker.run",
+                  "pkg.work:Worker.helper"):
+            assert q in graph.reachable, q
+
+    def test_unresolvable_ref_recorded_not_rooted(self, tmp_path):
+        index = _index(tmp_path, {
+            "jobs.py": 'REF = "pkg.jobs:nonexistent"\n',
+        })
+        graph = build_call_graph(index)
+        assert graph.roots == {}
+        assert [r[0] for r in graph.unresolved_refs] == ["pkg.jobs:nonexistent"]
+
+    def test_external_refs_ignored(self, tmp_path):
+        index = _index(tmp_path, {
+            "jobs.py": 'REF = "other.package:fn"\n',
+        })
+        graph = build_call_graph(index)
+        assert graph.roots == {}
+        assert graph.unresolved_refs == []

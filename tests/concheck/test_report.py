@@ -1,0 +1,143 @@
+"""Bundle shape, baseline diffing, noqa suppression, and the real tree."""
+
+from repro.concheck import (
+    SCHEMA,
+    baseline_from_concheck,
+    check_concheck_baseline,
+    concheck,
+)
+
+from .conftest import codes
+
+_JOB = 'REF = "pkg.jobs:job"\n'
+
+
+class TestBundle:
+    def test_bundle_shape(self, fixture_pkg):
+        bundle = fixture_pkg({
+            "jobs.py": "def job(x):\n    return x + 1\n" + _JOB,
+        })
+        assert bundle["schema"] == SCHEMA
+        assert bundle["package"] == "pkg"
+        assert bundle["worker_roots"] == ["pkg.jobs:job"]
+        assert bundle["reachable_functions"] == 1
+        assert bundle["worker_modules"] == ["pkg.jobs"]
+        assert bundle["findings"] == []
+        assert bundle["failures"] == []
+
+    def test_advisory_findings_never_fail(self, fixture_pkg):
+        bundle = fixture_pkg({
+            "jobs.py": (
+                "import time\n"
+                "def job():\n    return time.perf_counter()\n" + _JOB
+            ),
+        })
+        assert bundle["by_code"] == {"REPRO603": 1}
+        assert bundle["failures"] == []
+
+
+class TestBaseline:
+    def test_round_trip_is_clean(self, fixture_pkg):
+        bundle = fixture_pkg({
+            "jobs.py": "def job(x):\n    return x\n" + _JOB,
+        })
+        baseline = baseline_from_concheck(bundle)
+        assert check_concheck_baseline(bundle, baseline) == []
+        # The slice is path-free: stable across checkouts.
+        assert "findings" not in baseline
+        assert "escapes" not in baseline
+
+    def test_new_worker_root_drifts(self, fixture_pkg):
+        before = fixture_pkg({
+            "jobs.py": "def job(x):\n    return x\n" + _JOB,
+        })
+        baseline = baseline_from_concheck(before)
+        after = fixture_pkg({
+            "jobs.py": (
+                "def job(x):\n    return x\n"
+                "def job2(x):\n    return x\n"
+                + _JOB + 'REF2 = "pkg.jobs:job2"\n'
+            ),
+        })
+        problems = check_concheck_baseline(after, baseline)
+        assert any("new worker root: pkg.jobs:job2" in p for p in problems)
+        assert any("reachable_functions changed 1 -> 2" in p for p in problems)
+
+    def test_disappeared_worker_root_drifts(self, fixture_pkg):
+        before = fixture_pkg({
+            "jobs.py": "def job(x):\n    return x\n" + _JOB,
+        })
+        baseline = baseline_from_concheck(before)
+        after = fixture_pkg({"jobs.py": "def job(x):\n    return x\n"})
+        problems = check_concheck_baseline(after, baseline)
+        assert any("worker root disappeared: pkg.jobs:job" in p for p in problems)
+
+    def test_new_finding_drifts_by_code(self, fixture_pkg):
+        before = fixture_pkg({
+            "jobs.py": "def job(x):\n    return x\n" + _JOB,
+        })
+        baseline = baseline_from_concheck(before)
+        after = fixture_pkg({
+            "jobs.py": (
+                "import random\n"
+                "def job(x):\n    return random.choice([x])\n" + _JOB
+            ),
+        })
+        problems = check_concheck_baseline(after, baseline)
+        assert any("REPRO604 count changed 0 -> 1 (+1)" in p for p in problems)
+
+
+class TestNoqa:
+    def test_targeted_noqa_suppresses(self, fixture_pkg):
+        bundle = fixture_pkg({
+            "jobs.py": (
+                "import random\n"
+                "def job(x):\n"
+                "    return random.choice([x])  # noqa: REPRO604\n" + _JOB
+            ),
+        })
+        assert codes(bundle) == []
+
+    def test_blanket_noqa_suppresses(self, fixture_pkg):
+        bundle = fixture_pkg({
+            "jobs.py": (
+                "import random\n"
+                "def job(x):\n"
+                "    return random.choice([x])  # noqa\n" + _JOB
+            ),
+        })
+        assert codes(bundle) == []
+
+    def test_wrong_code_noqa_does_not_suppress(self, fixture_pkg):
+        bundle = fixture_pkg({
+            "jobs.py": (
+                "import random\n"
+                "def job(x):\n"
+                "    return random.choice([x])  # noqa: REPRO605\n" + _JOB
+            ),
+        })
+        assert codes(bundle) == ["REPRO604"]
+
+    def test_noqa_on_durability_finding(self, fixture_pkg):
+        bundle = fixture_pkg({
+            "store.py": (
+                "def save_checkpoint(state, path):\n"
+                "    path.write_text(state)  # noqa: REPRO611\n"
+            ),
+        })
+        assert codes(bundle) == []
+
+
+class TestRealTree:
+    def test_repro_package_is_certified(self):
+        bundle = concheck()
+        assert bundle["package"] == "repro"
+        # The re-derived universe must find every orchestrated entry
+        # point from source alone (no registry trust).
+        assert bundle["worker_roots"] == [
+            "repro.contest.evaluate:_table2_job",
+            "repro.contest.teams:contest_teams",
+            "repro.train.dataset:_design_samples_job",
+        ]
+        assert bundle["reachable_functions"] >= 50
+        assert bundle["failures"] == []

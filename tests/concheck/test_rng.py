@@ -1,0 +1,151 @@
+"""Deep RNG & ordering discipline: REPRO604-606 fixtures."""
+
+from .conftest import codes, messages_for
+
+_JOB = 'REF = "pkg.jobs:job"\n'
+
+
+class TestGlobalRng:
+    def test_legacy_np_random_deep_fires_604(self, fixture_pkg):
+        # Three calls below the root — invisible to any intra-file audit
+        # of the job's module.
+        bundle = fixture_pkg({
+            "jobs.py": (
+                "from .a import step\n"
+                "def job():\n    return step()\n" + _JOB
+            ),
+            "a.py": "from .b import draw\ndef step():\n    return draw()\n",
+            "b.py": (
+                "import numpy as np\n"
+                "def draw():\n    return np.random.shuffle([1, 2])\n"
+            ),
+        })
+        assert codes(bundle) == ["REPRO604"]
+        [msg] = messages_for(bundle, "REPRO604")
+        assert "pkg.jobs:job -> pkg.a:step -> pkg.b:draw" in msg
+        assert bundle["failures"]  # blocking
+
+    def test_stdlib_random_fires_604(self, fixture_pkg):
+        bundle = fixture_pkg({
+            "jobs.py": (
+                "import random\n"
+                "def job():\n    return random.choice([1, 2])\n" + _JOB
+            ),
+        })
+        assert codes(bundle) == ["REPRO604"]
+
+    def test_os_urandom_fires_604(self, fixture_pkg):
+        bundle = fixture_pkg({
+            "jobs.py": (
+                "import os\n"
+                "def job():\n    return os.urandom(8)\n" + _JOB
+            ),
+        })
+        assert codes(bundle) == ["REPRO604"]
+
+    def test_generator_method_draws_are_clean(self, fixture_pkg):
+        bundle = fixture_pkg({
+            "jobs.py": (
+                "def job(rng):\n"
+                "    return rng.random() + rng.choice([1, 2])\n" + _JOB
+            ),
+        })
+        assert codes(bundle) == []
+
+
+class TestFreshGenerators:
+    def test_unseeded_default_rng_fires_605(self, fixture_pkg):
+        bundle = fixture_pkg({
+            "jobs.py": (
+                "import numpy as np\n"
+                "def job():\n"
+                "    rng = np.random.default_rng()\n"
+                "    return rng.random()\n" + _JOB
+            ),
+        })
+        assert codes(bundle) == ["REPRO605"]
+
+    def test_unseeded_seedsequence_fires_605(self, fixture_pkg):
+        bundle = fixture_pkg({
+            "jobs.py": (
+                "import numpy as np\n"
+                "def job():\n"
+                "    return np.random.SeedSequence().spawn(2)\n" + _JOB
+            ),
+        })
+        assert codes(bundle) == ["REPRO605"]
+
+    def test_entropy_derived_seed_fires_605(self, fixture_pkg):
+        bundle = fixture_pkg({
+            "jobs.py": (
+                "import time\n"
+                "import numpy as np\n"
+                "def job():\n"
+                "    rng = np.random.default_rng(int(time.time()))\n"
+                "    return rng.random()\n" + _JOB
+            ),
+        })
+        assert "REPRO605" in codes(bundle)
+
+    def test_config_seed_passes(self, fixture_pkg):
+        # The blessed pattern: seed threaded through parameters/config.
+        bundle = fixture_pkg({
+            "jobs.py": (
+                "import numpy as np\n"
+                "def job(config):\n"
+                "    rng = np.random.default_rng(config.seed)\n"
+                "    return rng.random()\n" + _JOB
+            ),
+        })
+        assert codes(bundle) == []
+
+    def test_spawned_seedsequence_passes(self, fixture_pkg):
+        bundle = fixture_pkg({
+            "jobs.py": (
+                "import numpy as np\n"
+                "def job(seed, idx):\n"
+                "    child = np.random.SeedSequence(seed).spawn(idx + 1)[idx]\n"
+                "    return np.random.default_rng(child).random()\n" + _JOB
+            ),
+        })
+        assert codes(bundle) == []
+
+
+class TestUnorderedIteration:
+    def test_set_iteration_deep_fires_606(self, fixture_pkg):
+        bundle = fixture_pkg({
+            "jobs.py": (
+                "from .agg import reduce_pins\n"
+                "def job(pins):\n    return reduce_pins(pins)\n" + _JOB
+            ),
+            "agg.py": (
+                "def reduce_pins(pins):\n"
+                "    total = 0.0\n"
+                "    for p in set(pins):\n"
+                "        total += p * 0.1\n"
+                "    return total\n"
+            ),
+        })
+        assert codes(bundle) == ["REPRO606"]
+
+    def test_listdir_comprehension_fires_606(self, fixture_pkg):
+        bundle = fixture_pkg({
+            "jobs.py": (
+                "import os\n"
+                "def job(d):\n"
+                "    return [n for n in os.listdir(d)]\n" + _JOB
+            ),
+        })
+        assert codes(bundle) == ["REPRO606"]
+
+    def test_sorted_set_passes(self, fixture_pkg):
+        bundle = fixture_pkg({
+            "jobs.py": (
+                "def job(pins):\n"
+                "    total = 0.0\n"
+                "    for p in sorted(set(pins)):\n"
+                "        total += p\n"
+                "    return total\n" + _JOB
+            ),
+        })
+        assert codes(bundle) == []

@@ -106,6 +106,21 @@ class TestClusterCells:
         assert a.num_instances == b.num_instances
         np.testing.assert_array_equal(map_a, map_b)
 
+    def test_pin_order_does_not_change_clustering(self):
+        """Regression for the REPRO105 finding in _affinities.
+
+        Affinity accumulation iterated a bare ``set(net.pins)``, so the
+        visit order (and with it float accumulation and tie-breaks)
+        depended on hash order rather than on the netlist.  Reversing
+        every net's pin list must produce the identical clustering.
+        """
+        design = generate_design(MLCAD2023_SPECS["Design_120"], scale=1 / 256)
+        _, map_a = cluster_cells(design, seed=3)
+        for net in design.nets:
+            net.pins = tuple(reversed(net.pins))
+        _, map_b = cluster_cells(design, seed=3)
+        np.testing.assert_array_equal(map_a, map_b)
+
     def test_clustered_placement_flow(self):
         """Cluster → place → expand runs end to end and shortens HPWL."""
         from repro.placement import GPConfig, PlacerConfig, place_design

@@ -65,6 +65,32 @@ class TestRoundTrip:
         assert path.read_text() == p2.read_text()
 
 
+class TestAtomicity:
+    """save_design follows the tmp + fsync + rename idiom (REPRO611/612)."""
+
+    def test_no_temp_file_left_behind(self, tmp_path, tiny_design):
+        save_design(tiny_design, tmp_path / "design.netlist")
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["design.netlist"]
+
+    def test_crash_before_rename_preserves_previous(self, tmp_path,
+                                                    tiny_design, monkeypatch):
+        import os as _os
+
+        p = tmp_path / "design.netlist"
+        save_design(tiny_design, p)
+        before = p.read_text()
+
+        def boom(src, dst):
+            raise RuntimeError("crash before rename")
+
+        monkeypatch.setattr(_os, "replace", boom)
+        with pytest.raises(RuntimeError):
+            save_design(tiny_design, p)
+        monkeypatch.undo()
+        # The previous complete file is untouched at the final name.
+        assert p.read_text() == before
+
+
 class TestErrors:
     def test_bad_header(self, tmp_path):
         p = tmp_path / "bad.netlist"

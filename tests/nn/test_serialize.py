@@ -41,6 +41,43 @@ class TestSuffixNormalization:
         assert np.array_equal(restored["w"], state["w"])
 
 
+class TestAtomicity:
+    """save_state follows the tmp + fsync + rename idiom (REPRO611/612)."""
+
+    def test_no_temp_file_left_behind(self, tmp_path, state):
+        save_state(state, tmp_path / "ckpt.npz")
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["ckpt.npz"]
+
+    def test_overwrite_is_atomic_replace(self, tmp_path, state):
+        # Saving over an existing checkpoint replaces it wholesale; a
+        # reader never sees a mix of old and new members.
+        save_state(state, tmp_path / "ckpt.npz")
+        newer = {"w": state["w"] * 2.0}
+        save_state(newer, tmp_path / "ckpt.npz")
+        restored = load_state(tmp_path / "ckpt.npz")
+        assert set(restored) == {"w"}
+        assert np.array_equal(restored["w"], state["w"] * 2.0)
+
+    def test_crash_before_rename_preserves_previous(self, tmp_path, state,
+                                                    monkeypatch):
+        # Kill the process (simulated) after the tmp write but before
+        # os.replace: the previous complete checkpoint must survive and
+        # no torn archive may sit at the final name.
+        import os as _os
+
+        save_state(state, tmp_path / "ckpt.npz")
+
+        def boom(src, dst):
+            raise RuntimeError("crash before rename")
+
+        monkeypatch.setattr(_os, "replace", boom)
+        with pytest.raises(RuntimeError):
+            save_state({"w": np.zeros((2, 2))}, tmp_path / "ckpt.npz")
+        monkeypatch.undo()
+        restored = load_state(tmp_path / "ckpt.npz")
+        assert np.array_equal(restored["w"], state["w"])
+
+
 class TestModuleRoundTrip:
     def test_save_module_returns_actual_path(self, tmp_path):
         model = build_model("unet", "tiny")

@@ -102,6 +102,66 @@ class TestRecovery:
         assert recovery.records == []
         assert recovery.dropped_lines == 2  # blank lines are not records
 
+    def test_zero_length_journal_is_clean_and_empty(self, tmp_path):
+        # Crash after open(..., "a") but before the first append: the
+        # journal exists with zero bytes and recovery starts fresh.
+        path = tmp_path / "run.jsonl"
+        path.touch()
+        recovery = read_journal(path)
+        assert recovery.clean
+        assert recovery.records == []
+        assert recovery.completed == {}
+        assert recovery.job_keys is None
+        assert recovery.seed is None
+
+    def test_torn_tail_only_journal(self, tmp_path):
+        # Crash during the very first append: the whole journal is one
+        # torn line.  Recovery must report the damage, not invent state.
+        path = tmp_path / "run.jsonl"
+        path.write_text('{"event": "run_start", "jobs": ["a"')
+        recovery = read_journal(path)
+        assert recovery.dropped_lines == 1
+        assert not recovery.clean
+        assert recovery.records == []
+        assert recovery.job_keys is None
+
+    def test_identical_duplicate_commit_is_counted_but_clean(self, tmp_path):
+        # Crash between the fsync'd commit and the in-memory completion
+        # mark: the resumed run redoes the job and, being deterministic,
+        # commits the identical payload again.
+        path = tmp_path / "run.jsonl"
+        record = {
+            "event": "completed", "job": "a", "attempt": 1,
+            "result": {"v": 1}, "digest": payload_digest({"v": 1}),
+        }
+        with Journal(path) as journal:
+            _start(journal)
+            journal.append(record)
+            journal.append(record)
+        recovery = read_journal(path)
+        assert recovery.duplicate_commits == 1
+        assert recovery.conflicting_commits == 0
+        assert recovery.clean
+        assert recovery.completed == {"a": {"v": 1}}
+
+    def test_conflicting_duplicate_commit_breaks_clean(self, tmp_path):
+        # Two commits for one job with different payloads: the job is
+        # not deterministic — last wins for the fold, but the journal is
+        # no longer clean and the caller must treat the run as suspect.
+        path = tmp_path / "run.jsonl"
+        with Journal(path) as journal:
+            _start(journal)
+            for v in (1, 2):
+                journal.append({
+                    "event": "completed", "job": "a", "attempt": v,
+                    "result": {"v": v}, "digest": payload_digest({"v": v}),
+                })
+        recovery = read_journal(path)
+        assert recovery.duplicate_commits == 1
+        assert recovery.conflicting_commits == 1
+        assert not recovery.clean
+        assert recovery.completed == {"a": {"v": 2}}  # deterministic last-wins
+
 
 class TestJournalChaos:
     def test_torn_append_then_recovery(self, tmp_path):

@@ -195,6 +195,40 @@ class TestAnalysisJSONSchemas:
         assert main(argv + ["--check-baseline", str(baseline)]) == 0
         assert "baseline OK" in capsys.readouterr().out
 
+    def test_concheck_summary(self, capsys):
+        rc = main(["concheck"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "worker roots (3):" in out
+        assert "repro.train.dataset:_design_samples_job" in out
+        assert "concurrency-safety certified" in out
+
+    def test_concheck_json_schema(self, capsys):
+        bundle = self._json(capsys, ["concheck", "--json"])
+        assert bundle["schema"] == "repro.concheck/v1"
+        assert set(bundle) >= {
+            "schema", "package", "worker_roots", "reachable_functions",
+            "effect_summary", "by_code", "findings", "failures",
+        }
+        assert bundle["package"] == "repro"
+        assert bundle["failures"] == []
+
+    def test_concheck_baseline_round_trip(self, tmp_path, capsys):
+        baseline = tmp_path / "concheck_baseline.json"
+        assert main(["concheck", "--update-baseline", str(baseline)]) == 0
+        assert baseline.exists()
+        capsys.readouterr()
+        assert main(["concheck", "--check-baseline", str(baseline)]) == 0
+        assert "baseline OK" in capsys.readouterr().out
+
+    def test_concheck_committed_baseline_is_current(self, capsys):
+        # The checked-in baseline must match the tree; CI diffs it.
+        from pathlib import Path
+
+        committed = (Path(__file__).resolve().parents[1]
+                     / "benchmarks" / "concheck_baseline.json")
+        assert main(["concheck", "--check-baseline", str(committed)]) == 0
+
     def test_check_combined_json(self, capsys):
         combined = self._json(
             capsys,
@@ -204,13 +238,15 @@ class TestAnalysisJSONSchemas:
         assert combined["schema"] == "repro.check/v1"
         assert set(combined) >= {
             "schema", "preset", "grid", "lint", "analyze", "gradcheck",
-            "perfcheck", "plancheck", "failures",
+            "perfcheck", "plancheck", "concheck", "failures",
         }
         # Each section carries its own full bundle under its own schema.
         assert combined["analyze"]["schema"] == "repro.ir/v1"
         assert combined["gradcheck"]["schema"] == "repro.adjoint/v1"
         assert combined["perfcheck"]["schema"] == "repro.perf/v1"
         assert combined["plancheck"]["schema"] == "repro.schedule/v1"
+        assert combined["concheck"]["schema"] == "repro.concheck/v1"
+        assert combined["concheck"]["failures"] == []
         assert combined["failures"] == []
 
 
@@ -286,6 +322,55 @@ class TestExitCodeContract:
         ).fail_on == "advisory"
         with pytest.raises(SystemExit):
             parser.parse_args(["check", "--fail-on", "everything"])
+
+    def test_concheck_blocking_exits_1(self, tmp_path, capsys):
+        # A planted worker hazard must fail the run, not just print.
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        (pkg / "jobs.py").write_text(
+            "import random\n"
+            "def job(xs):\n    return random.choice(xs)\n"
+            'REF = "pkg.jobs:job"\n'
+        )
+        rc = main(["concheck", "--root", str(pkg)])
+        assert rc == 1
+        captured = capsys.readouterr()
+        assert "REPRO604" in captured.out
+        assert "blocking finding(s)" in captured.err
+
+    def test_concheck_drift_exits_3(self, tmp_path, capsys):
+        import json
+
+        baseline = tmp_path / "concheck_baseline.json"
+        assert main(["concheck", "--update-baseline", str(baseline)]) == 0
+        doc = json.loads(baseline.read_text())
+        doc["reachable_functions"] += 1
+        doc["worker_roots"].append("repro.gone:job")
+        baseline.write_text(json.dumps(doc))
+        capsys.readouterr()
+        rc = main(["concheck", "--check-baseline", str(baseline)])
+        assert rc == 3
+        err = capsys.readouterr().err
+        assert "worker root disappeared: repro.gone:job" in err
+        assert "reachable_functions changed" in err
+
+    def test_concheck_missing_baseline_exits_4(self, tmp_path, capsys):
+        rc = main(
+            ["concheck", "--check-baseline", str(tmp_path / "nope.json")]
+        )
+        assert rc == 4
+        assert "internal error" in capsys.readouterr().err
+
+    def test_check_fail_on_advisory_trips_on_concheck_603(self, capsys):
+        # The concheck section participates in --fail-on advisory: the
+        # two baselined REPRO603 wall-clock advisories surface here.
+        rc = main(["check", "--preset", "tiny", "--grid", "32",
+                   "--no-validate", "--fail-on", "advisory"])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "--fail-on advisory" in err
+        assert "REPRO603" in err
 
 
 class TestMoreCommands:

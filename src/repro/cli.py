@@ -26,9 +26,15 @@ Subcommands mirror the library's main workflows:
   worker-reachable call graph from the dotted job references, then run
   effect inference, deep RNG discipline, fork/pickle safety and the
   durable-write lint over it (REPRO601-612, see repro.concheck).
+* ``scalecheck`` — certified asymptotic scaling: exact polynomial cost
+  envelopes per registry model (fitted over a grid ladder, cross-checked
+  against the memory planner and one measured training step) plus a
+  loop-nest complexity lint over the untraced flow code (REPRO701-710,
+  see repro.scaling).
 * ``check``  — the unified gate: lint + analyze + gradcheck + perfcheck
-  + plancheck + concheck in one command with one combined JSON report
-  (``repro.check/v1``).
+  + plancheck + concheck + scalecheck in one command with one combined
+  JSON report (``repro.check/v1``); ``--update-baselines`` atomically
+  refreshes every ``benchmarks/*_baseline.json`` instead.
 
 Every analysis command reports through one exit-code contract (the
 table lives in ``docs/API.md``): 0 = clean, 1 = blocking findings,
@@ -301,10 +307,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the deterministic slice of this run to a baseline JSON",
     )
 
+    scalecheck = sub.add_parser(
+        "scalecheck",
+        help="certified asymptotic scaling: exact cost envelopes per "
+        "model + loop-nest complexity lint over the flow code "
+        "(see repro.scaling)",
+    )
+    scalecheck.add_argument(
+        "target", choices=("unet", "pgnn", "pros2", "ours", "flow", "all"),
+        help="registry model to certify, 'flow' for the loop-nest lint "
+        "only, or 'all' for models + flow",
+    )
+    scalecheck.add_argument("--preset", default="fast",
+                            choices=("tiny", "fast", "paper"))
+    scalecheck.add_argument("--batch", type=int, default=1)
+    scalecheck.add_argument(
+        "--ladder", dest="ladder", type=int, action="append", metavar="N",
+        help="grid ladder rung; repeatable "
+        "(default: 64 96 128 192 256 384 512)",
+    )
+    scalecheck.add_argument(
+        "--cache", metavar="DIR", default=None,
+        help="cache trace samples here, keyed on a source fingerprint "
+        "of the traced packages (CI reuses them across runs)",
+    )
+    scalecheck.add_argument(
+        "--no-measure", action="store_true",
+        help="skip the tracemalloc-measured training-step cross-check "
+        "(REPRO709)",
+    )
+    scalecheck.add_argument("--json", action="store_true",
+                            help="print the full repro.scaling/v1 bundle")
+    scalecheck.add_argument(
+        "--check-baseline", metavar="PATH", default=None,
+        help="diff certified exponents + leading coefficients against a "
+        "baseline JSON and fail on any drift",
+    )
+    scalecheck.add_argument(
+        "--update-baseline", metavar="PATH", default=None,
+        help="write the deterministic slice of this run to a baseline JSON",
+    )
+
     check = sub.add_parser(
         "check",
         help="unified gate: lint + analyze + gradcheck + perfcheck "
-        "+ plancheck + concheck",
+        "+ plancheck + concheck + scalecheck",
     )
     check.add_argument("--preset", default="fast",
                        choices=("tiny", "fast", "paper"))
@@ -319,6 +366,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--fail-on", default="blocking", choices=("advisory", "blocking"),
         help="failure threshold: 'blocking' (default, current behavior) "
         "or 'advisory' to also fail when non-blocking findings appear",
+    )
+    check.add_argument(
+        "--update-baselines", action="store_true",
+        help="refresh every benchmarks/*_baseline.json atomically with "
+        "the CI-pinned configurations (all land, or none do), then exit",
     )
 
     return parser
@@ -553,21 +605,14 @@ def _cmd_analyze(args) -> int:
         print(f"error: {len(failures)} blocking finding(s)", file=sys.stderr)
         status = EXIT_BLOCKING
 
-    if args.update_baseline:
-        with open(args.update_baseline, "w") as fh:
-            json.dump(baseline_from_reports(bundle), fh, indent=2)
-            fh.write("\n")
-        print(f"baseline written: {args.update_baseline}")
-    if args.check_baseline:
-        with open(args.check_baseline) as fh:
-            problems = check_baseline(bundle, json.load(fh))
-        if problems:
-            for problem in problems:
-                print(f"baseline drift: {problem}", file=sys.stderr)
-            if status == EXIT_OK:
-                status = EXIT_DRIFT
-        else:
-            print(f"baseline OK ({args.check_baseline})")
+    from .baselines import apply_baseline_flags
+
+    drift = apply_baseline_flags(
+        args, baseline_from_reports(bundle),
+        lambda doc: check_baseline(bundle, doc),
+    )
+    if drift and status == EXIT_OK:
+        status = EXIT_DRIFT
     return status
 
 
@@ -729,21 +774,15 @@ def _cmd_perfcheck(args) -> int:
               file=sys.stderr)
         status = EXIT_BLOCKING
 
-    if args.update_baseline:
-        with open(args.update_baseline, "w") as fh:
-            json.dump(baseline_from_bundle(bundle), fh, indent=2)
-            fh.write("\n")
-        print(f"baseline written: {args.update_baseline}")
-    if args.check_baseline:
-        with open(args.check_baseline) as fh:
-            problems = check_perf_baseline(bundle, json.load(fh))
-        if problems:
-            for problem in problems:
-                print(f"baseline drift: {problem}", file=sys.stderr)
-            if status == EXIT_OK:
-                status = EXIT_DRIFT
-        else:
-            print(f"baseline OK ({args.check_baseline})")
+    from .baselines import apply_baseline_flags
+
+    drift = apply_baseline_flags(
+        args, baseline_from_bundle(bundle),
+        lambda doc: check_perf_baseline(bundle, doc),
+        carry=("fixes",),
+    )
+    if drift and status == EXIT_OK:
+        status = EXIT_DRIFT
     return status
 
 
@@ -792,21 +831,14 @@ def _cmd_concheck(args) -> int:
     elif not args.json:
         print("concurrency-safety certified (0 blocking REPRO6xx findings)")
 
-    if args.update_baseline:
-        with open(args.update_baseline, "w") as fh:
-            json.dump(baseline_from_concheck(bundle), fh, indent=2)
-            fh.write("\n")
-        print(f"baseline written: {args.update_baseline}")
-    if args.check_baseline:
-        with open(args.check_baseline) as fh:
-            problems = check_concheck_baseline(bundle, json.load(fh))
-        if problems:
-            for problem in problems:
-                print(f"baseline drift: {problem}", file=sys.stderr)
-            if status == EXIT_OK:
-                status = EXIT_DRIFT
-        else:
-            print(f"baseline OK ({args.check_baseline})")
+    from .baselines import apply_baseline_flags
+
+    drift = apply_baseline_flags(
+        args, baseline_from_concheck(bundle),
+        lambda doc: check_concheck_baseline(bundle, doc),
+    )
+    if drift and status == EXIT_OK:
+        status = EXIT_DRIFT
     return status
 
 
@@ -868,22 +900,155 @@ def _cmd_plancheck(args) -> int:
     elif not args.json:
         print("all plans verified (0 REPRO401-408 findings)")
 
-    if args.update_baseline:
-        with open(args.update_baseline, "w") as fh:
-            json.dump(baseline_from_plan_bundle(bundle), fh, indent=2)
-            fh.write("\n")
-        print(f"baseline written: {args.update_baseline}")
-    if args.check_baseline:
-        with open(args.check_baseline) as fh:
-            problems = check_schedule_baseline(bundle, json.load(fh))
-        if problems:
-            for problem in problems:
-                print(f"baseline drift: {problem}", file=sys.stderr)
-            if status == EXIT_OK:
-                status = EXIT_DRIFT
-        else:
-            print(f"baseline OK ({args.check_baseline})")
+    from .baselines import apply_baseline_flags
+
+    drift = apply_baseline_flags(
+        args, baseline_from_plan_bundle(bundle),
+        lambda doc: check_schedule_baseline(bundle, doc),
+    )
+    if drift and status == EXIT_OK:
+        status = EXIT_DRIFT
     return status
+
+
+def _print_scaling_model(name: str, report: dict) -> None:
+    print(f"{name} (preset={report['preset']}, batch={report['batch']}, "
+          f"ladder {report['ladder'][0]}..{report['ladder'][-1]})")
+    for regime in report["regimes"]:
+        total = regime["total"]
+        print(f"  regime [{regime['lo']}, {regime['hi']}] "
+              f"({len(regime['grids'])} grids, held-out "
+              f"{regime['held_out']}):")
+        print(f"    total: flops G^{total['flops']['degree']} "
+              f"(leading {total['flops']['leading']}), "
+              f"bytes G^{total['bytes']['degree']}")
+        degrees = {
+            stage: max(e["flops"]["degree"], e["bytes"]["degree"])
+            for stage, e in regime["stages"].items()
+        }
+        if degrees:
+            worst = max(degrees.values())
+            budget = max(e["budget"] for e in regime["stages"].values())
+            print(f"    stages: {len(degrees)} certified, "
+                  f"max G^{worst} <= budget G^{budget}")
+        for label in ("fwd_peak", "train_peak"):
+            entry = regime["memory"].get(label)
+            if entry is None:
+                continue
+            held = entry["held_out"]
+            print(f"    {label}: G^{entry['degree']} from grid "
+                  f"{entry['valid_from']} (held-out grid {held['grid']} "
+                  f"err {held['rel_err']:.1%})")
+    measured = report.get("measured")
+    if measured:
+        print(f"  measured: training-step peak at grid {measured['grid']} "
+              f"within {measured['rel_err']:.1%} of the envelope "
+              f"(bound {measured['bound']:.0%})")
+
+
+def _cmd_scalecheck(args) -> int:
+    import json
+
+    from .baselines import apply_baseline_flags
+    from .scaling import (
+        DEFAULT_LADDER,
+        baseline_from_scaling,
+        check_scaling_baseline,
+        scalecheck,
+    )
+
+    ladder = tuple(args.ladder) if args.ladder else DEFAULT_LADDER
+    bundle = scalecheck(
+        args.target, preset=args.preset, batch=args.batch, ladder=ladder,
+        cache_dir=args.cache, measure=not args.no_measure,
+    )
+
+    if args.json:
+        print(json.dumps(bundle, indent=2))
+    else:
+        for name in bundle["models"]:
+            _print_scaling_model(name, bundle["models"][name])
+            print()
+        if bundle["flow"] is not None:
+            summary = bundle["flow"]["summary"]
+            orders = ", ".join(
+                f"{m}={summary['max_order'][m]}/{summary['budgets'][m]}"
+                for m in sorted(summary["budgets"])
+            )
+            print(f"flow: {summary['functions']} functions "
+                  f"({summary['hot_functions']} hot), "
+                  f"max nest order vs budget: {orders}")
+            for f in bundle["flow"]["findings"]:
+                print(f"  {f['path']}:{f['line']}: {f['code']} "
+                      f"{f['message']}")
+        if bundle["by_code"]:
+            print("findings: " + ", ".join(
+                f"{code} x{count}"
+                for code, count in bundle["by_code"].items()
+            ))
+        print(f"sealed: {bundle['fingerprint'][:23]}…")
+
+    status = EXIT_OK
+    if bundle["failures"]:
+        print(f"error: {len(bundle['failures'])} blocking finding(s)",
+              file=sys.stderr)
+        status = EXIT_BLOCKING
+    elif not args.json:
+        print("scaling certified (0 blocking REPRO7xx findings)")
+
+    drift = apply_baseline_flags(
+        args, baseline_from_scaling(bundle),
+        lambda doc: check_scaling_baseline(bundle, doc),
+    )
+    if drift and status == EXIT_OK:
+        status = EXIT_DRIFT
+    return status
+
+
+def _update_all_baselines(args) -> int:
+    """``repro check --update-baselines``: refresh every benchmark pin.
+
+    Each analysis runs in its CI-pinned configuration (the grids and
+    flags the workflow jobs use), every document is serialized first,
+    and only then do all six rename into place — a failure anywhere
+    leaves the benchmarks directory untouched.
+    """
+    from pathlib import Path
+
+    from .baselines import carry_sections, write_baselines
+    from .concheck import baseline_from_concheck, concheck
+    from .ir import analyze_registry, baseline_from_reports
+    from .perf import baseline_from_bundle, perfcheck_all
+    from .scaling import baseline_from_scaling, scalecheck
+    from .schedule import baseline_from_plan_bundle, plan_registry
+
+    bench = Path(__file__).resolve().parents[2] / "benchmarks"
+    validate = not args.no_validate
+    docs: dict[str, dict] = {}
+
+    forward = analyze_registry(preset="fast", grids=(64, 256))
+    docs[str(bench / "ir_baseline.json")] = baseline_from_reports(forward)
+    backward = analyze_registry(
+        preset="fast", grids=(64, 256), determinism=False, backward=True
+    )
+    docs[str(bench / "adjoint_baseline.json")] = baseline_from_reports(backward)
+    perf = perfcheck_all(preset="fast", grid=64, validate=validate)
+    perf_path = str(bench / "perf_baseline.json")
+    docs[perf_path] = carry_sections(
+        perf_path, baseline_from_bundle(perf), ("fixes",)
+    )
+    plans = plan_registry(
+        preset="fast", grids=(64, 128, 256, 512), backward=True
+    )
+    docs[str(bench / "schedule_baseline.json")] = baseline_from_plan_bundle(plans)
+    docs[str(bench / "concheck_baseline.json")] = baseline_from_concheck(concheck())
+    scaling = scalecheck("all", measure=validate)
+    docs[str(bench / "scaling_baseline.json")] = baseline_from_scaling(scaling)
+
+    write_baselines(docs)
+    for path in sorted(docs):
+        print(f"baseline written: {path}")
+    return EXIT_OK
 
 
 def _iter_finding_codes(obj):
@@ -900,7 +1065,7 @@ def _iter_finding_codes(obj):
 
 def _cmd_check(args) -> int:
     """The unified gate: lint + analyze + gradcheck + perfcheck +
-    plancheck + concheck."""
+    plancheck + concheck + scalecheck."""
     import json
     from pathlib import Path
 
@@ -911,7 +1076,11 @@ def _cmd_check(args) -> int:
     from .lint.rules import lint_paths
     from .lint.shapes import ShapeError, validate_registry_models
     from .perf import perfcheck_all
+    from .scaling import scalecheck
     from .schedule import plan_registry
+
+    if args.update_baselines:
+        return _update_all_baselines(args)
 
     failures: list[str] = []
 
@@ -949,6 +1118,11 @@ def _cmd_check(args) -> int:
     concheck_bundle = concheck()
     failures.extend(concheck_bundle["failures"])
 
+    # 7. Certified scaling laws + flow-code complexity lint.
+    scaling_bundle = scalecheck("all", preset=args.preset,
+                                measure=not args.no_validate)
+    failures.extend(scaling_bundle["failures"])
+
     combined = {
         "schema": "repro.check/v1",
         "preset": args.preset,
@@ -962,6 +1136,7 @@ def _cmd_check(args) -> int:
         "perfcheck": perf_bundle,
         "plancheck": plan_bundle,
         "concheck": concheck_bundle,
+        "scalecheck": scaling_bundle,
         "failures": failures,
     }
     advisories: list[str] = []
@@ -986,6 +1161,7 @@ def _cmd_check(args) -> int:
             ("perfcheck", len(perf_bundle["failures"])),
             ("plancheck", len(plan_bundle["failures"])),
             ("concheck", len(concheck_bundle["failures"])),
+            ("scalecheck", len(scaling_bundle["failures"])),
         )
         for name, count in sections:
             print(f"{name}: {'OK' if not count else f'{count} failure(s)'}")
@@ -1020,6 +1196,7 @@ _COMMANDS = {
     "perfcheck": _cmd_perfcheck,
     "plancheck": _cmd_plancheck,
     "concheck": _cmd_concheck,
+    "scalecheck": _cmd_scalecheck,
     "check": _cmd_check,
 }
 

@@ -114,21 +114,16 @@ def check_concheck_baseline(bundle: dict, baseline: dict) -> list[str]:
             "reachable_functions changed "
             f"{want_n} -> {reduced['reachable_functions']}"
         )
-    want_summary = baseline.get("effect_summary", {})
-    for level in sorted(set(want_summary) | set(reduced["effect_summary"])):
-        got = reduced["effect_summary"].get(level, 0)
-        want = want_summary.get(level, 0)
-        if got != want:
-            problems.append(
-                f"effect level '{level}' count changed {want} -> {got} "
-                f"({got - want:+d})"
-            )
-    want_codes = baseline.get("by_code", {})
-    got_codes = reduced["by_code"]
-    for code in sorted(set(want_codes) | set(got_codes)):
-        got, want = got_codes.get(code, 0), want_codes.get(code, 0)
-        if got != want:
-            problems.append(
-                f"{code} count changed {want} -> {got} ({got - want:+d})"
-            )
+    from repro.baselines import diff_counts
+
+    problems += diff_counts(
+        baseline.get("effect_summary", {}),
+        reduced["effect_summary"],
+        label="effect level '{key}' count changed",
+    )
+    problems += diff_counts(
+        baseline.get("by_code", {}),
+        reduced["by_code"],
+        label="{key} count changed",
+    )
     return problems

@@ -435,3 +435,59 @@ register_code(
     "rename into place without fsync of the written temp file",
     component="concheck",
 )
+register_code(
+    "REPRO701",
+    "traced node's cost exponent exceeds its op-kind budget",
+    component="scaling",
+)
+register_code(
+    "REPRO702",
+    "stage or model cost exponent exceeds the stage budget",
+    component="scaling",
+)
+register_code(
+    "REPRO703",
+    "fitted peak-memory envelope misses the planner at the held-out grid "
+    "by more than 10%",
+    component="scaling",
+)
+register_code(
+    "REPRO704",
+    "grid-indexed loop nest exceeds the flow module's complexity budget",
+    component="scaling",
+)
+register_code(
+    "REPRO705",
+    "per-element Python loop over a grid-sized array reachable from the "
+    "hot placer loop",
+    component="scaling",
+)
+register_code(
+    "REPRO706",
+    "O(n) list primitive (pop(k), 'in' on list) inside a grid-order loop",
+    component="scaling",
+)
+register_code(
+    "REPRO707",
+    "traced cost sequence admits no exact polynomial fit over the grid "
+    "ladder",
+    component="scaling",
+)
+register_code(
+    "REPRO708",
+    "traced graph structure varies between structurally-equal ladder "
+    "grids",
+    component="scaling",
+)
+register_code(
+    "REPRO709",
+    "measured training-step peak deviates from the fitted envelope at "
+    "the held-out grid",
+    component="scaling",
+)
+register_code(
+    "REPRO710",
+    "superlinear-in-area stages dominate the model's asymptotic cost",
+    component="scaling",
+    blocking=False,
+)

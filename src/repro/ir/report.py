@@ -212,36 +212,11 @@ def check_baseline(bundle: dict, baseline: dict) -> list[str]:
     the forward+backward slice (``benchmarks/adjoint_baseline.json``) —
     a baseline only pins the numbers it records.
     """
-    current = {
-        (e["model"], e["preset"], e["grid"]): e
-        for e in baseline_from_reports(bundle)["entries"]
-    }
-    expected = {
-        (e["model"], e["preset"], e["grid"]): e for e in baseline.get("entries", [])
-    }
-    problems = []
-    for key in sorted(set(expected) | set(current)):
-        name = f"{key[0]}/{key[1]}/grid{key[2]}"
-        if key not in current:
-            problems.append(f"{name}: in baseline but not analyzed")
-            continue
-        if key not in expected:
-            problems.append(f"{name}: analyzed but missing from baseline "
-                            "(run with --update-baseline)")
-            continue
-        for field in expected[key]:
-            if field in ("model", "preset", "grid"):
-                continue
-            if field not in current[key]:
-                problems.append(
-                    f"{name}: baseline pins {field!r} but the report has no "
-                    "such field (re-run with --backward?)"
-                )
-                continue
-            got, want = current[key][field], expected[key][field]
-            if got != want:
-                delta = got - want
-                problems.append(
-                    f"{name}: {field} changed {want} -> {got} ({delta:+d})"
-                )
-    return problems
+    from repro.baselines import diff_entries
+
+    return diff_entries(
+        baseline.get("entries", []),
+        baseline_from_reports(bundle)["entries"],
+        verb="analyzed",
+        missing_field_hint="re-run with --backward?",
+    )

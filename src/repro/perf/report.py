@@ -308,42 +308,15 @@ def baseline_from_bundle(bundle: dict) -> dict:
 
 def check_perf_baseline(bundle: dict, baseline: dict) -> list[str]:
     """Exact-match diff of the deterministic slice; returns mismatches."""
+    from repro.baselines import diff_counts, diff_entries
+
     reduced = baseline_from_bundle(bundle)
-    current = {
-        (e["model"], e["preset"], e["grid"]): e for e in reduced["entries"]
-    }
-    expected = {
-        (e["model"], e["preset"], e["grid"]): e
-        for e in baseline.get("entries", [])
-    }
-    problems = []
-    for key in sorted(set(expected) | set(current)):
-        name = f"{key[0]}/{key[1]}/grid{key[2]}"
-        if key not in current:
-            problems.append(f"{name}: in baseline but not checked")
-            continue
-        if key not in expected:
-            problems.append(
-                f"{name}: checked but missing from baseline "
-                "(run with --update-baseline)"
-            )
-            continue
-        for field in expected[key]:
-            if field in ("model", "preset", "grid"):
-                continue
-            got = current[key].get(field)
-            want = expected[key][field]
-            if got != want:
-                problems.append(
-                    f"{name}: {field} changed {want} -> {got} "
-                    f"({got - want:+d})"
-                )
-    want_codes = baseline.get("flow_codes", {})
-    got_codes = reduced["flow_codes"]
-    for code in sorted(set(want_codes) | set(got_codes)):
-        got, want = got_codes.get(code, 0), want_codes.get(code, 0)
-        if got != want:
-            problems.append(
-                f"flow: {code} count changed {want} -> {got} ({got - want:+d})"
-            )
+    problems = diff_entries(
+        baseline.get("entries", []), reduced["entries"], verb="checked"
+    )
+    problems += diff_counts(
+        baseline.get("flow_codes", {}),
+        reduced["flow_codes"],
+        label="flow: {key} count changed",
+    )
     return problems

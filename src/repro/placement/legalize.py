@@ -63,20 +63,20 @@ def _find_window(
     ``occupied`` is the column's boolean occupancy; cost is the distance
     between the window center and ``target``.
     """
-    best_row: int | None = None
-    best_cost = np.inf
-    free = ~occupied
-    run = 0
-    for row in range(lo, hi):
-        run = run + 1 if free[row] else 0
-        if run >= length:
-            start = row - length + 1
-            center = start + 0.5 * (length - 1)
-            cost = abs(center - target)
-            if cost < best_cost:
-                best_cost = cost
-                best_row = start
-    return best_row
+    if hi - lo < length:
+        return None
+    free = ~occupied[lo:hi]
+    # Sliding-window free count via prefix sums: window i (start
+    # lo + i) is fully free iff the count over its span equals length.
+    csum = np.cumsum(free)
+    window = csum[length - 1 :] - np.concatenate(([0], csum[:-length]))
+    starts = np.nonzero(window == length)[0] + lo
+    if starts.size == 0:
+        return None
+    centers = starts + 0.5 * (length - 1)
+    # argmin takes the first minimum, matching the ascending-row scan's
+    # tie-break toward the lowest start.
+    return int(starts[np.argmin(np.abs(centers - target))])
 
 
 def legalize_macros(design: Design, x: np.ndarray, y: np.ndarray) -> LegalizationResult:
@@ -152,14 +152,13 @@ def legalize_macros(design: Design, x: np.ndarray, y: np.ndarray) -> Legalizatio
             if start is None:
                 continue
             columns[int(col)][start : start + length] = True
-            for rank, inst in enumerate(instances):
-                dx = float(col) - x[inst]
-                dy = float(start + rank) - y[inst]
-                disp = float(np.hypot(dx, dy))
-                total_disp += disp
-                max_disp = max(max_disp, disp)
-                x[inst] = float(col)
-                y[inst] = float(start + rank)
+            idx = np.asarray(instances, dtype=np.int64)
+            rows = start + np.arange(length, dtype=np.float64)
+            disp = np.hypot(float(col) - x[idx], rows - y[idx])
+            total_disp += float(disp.sum())
+            max_disp = max(max_disp, float(disp.max()))
+            x[idx] = float(col)
+            y[idx] = rows
             placed = True
             break
         if not placed:

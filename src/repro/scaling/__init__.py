@@ -1,0 +1,82 @@
+"""Static asymptotic-complexity & resource-envelope certifier.
+
+The cost model (:mod:`repro.ir.cost`) prices every op *at one grid*;
+this package certifies how those prices *grow*.  Two halves:
+
+* **Parametric cost envelopes** (:mod:`.envelopes`) — trace each
+  registry model at a ladder of grids, partition the ladder into
+  structural regimes, and fit per-node / per-stage / per-model FLOP,
+  byte and peak-memory counts to **exact** polynomials in the grid
+  side over :mod:`fractions` (:mod:`.polyfit`).  Costs are polynomial
+  by construction, so a residual is a bug, not noise: a non-fitting
+  node is blocking (REPRO707), exponents above per-kind budgets are
+  REPRO701/702, and peak envelopes are cross-checked against the
+  memory planner at a held-out grid (REPRO703) and against one
+  tracemalloc-measured training step (REPRO709).
+
+* **Loop-nest complexity lint** (:mod:`.nests`) — the flow code
+  (placement, routing, features, netlist) never passes through the
+  tracer, so its complexity is inferred from the AST: grid-indexed
+  loop-nest orders with interprocedural propagation through the
+  ``repro.concheck`` call graph (REPRO704), per-element scans
+  reachable from the hot placer loop (REPRO705), and O(n) list
+  primitives inside grid-order loops (REPRO706).
+
+CLI: ``repro scalecheck``; baseline:
+``benchmarks/scaling_baseline.json``; docs: ``docs/SCALING.md``.
+The fitted envelopes are the admission-control / tile-sizing oracle
+for the serving arc in ROADMAP.md.
+"""
+
+from repro.diagnostics import codes_for
+
+from .envelopes import (
+    DEFAULT_LADDER,
+    GRID_STEP,
+    MEASURED_GRID,
+    LadderSampler,
+    Regime,
+    build_regimes,
+    measure_training_step,
+    node_budget,
+    scale_model,
+)
+from .nests import FLOW_PACKAGES, HOT_ROOTS, NEST_BUDGETS, analyze_orders, audit_nests
+from .polyfit import Poly, fit_minimal, fit_suffix, interpolate
+from .report import (
+    MODEL_NAMES,
+    SCHEMA,
+    baseline_from_scaling,
+    check_scaling_baseline,
+    scalecheck,
+)
+
+#: The diagnostic band this package owns (REPRO701-710).
+SCALING_RULES = codes_for("scaling")
+
+__all__ = [
+    "SCHEMA",
+    "SCALING_RULES",
+    "MODEL_NAMES",
+    "DEFAULT_LADDER",
+    "GRID_STEP",
+    "MEASURED_GRID",
+    "FLOW_PACKAGES",
+    "HOT_ROOTS",
+    "NEST_BUDGETS",
+    "LadderSampler",
+    "Regime",
+    "build_regimes",
+    "Poly",
+    "interpolate",
+    "fit_minimal",
+    "fit_suffix",
+    "node_budget",
+    "scale_model",
+    "measure_training_step",
+    "analyze_orders",
+    "audit_nests",
+    "scalecheck",
+    "baseline_from_scaling",
+    "check_scaling_baseline",
+]

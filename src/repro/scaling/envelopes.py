@@ -1,0 +1,800 @@
+"""Parametric cost envelopes: certified scaling laws per model.
+
+Traces every registry model at a ladder of grids — forward via
+:func:`repro.ir.trace.trace_model`, the full training step (forward +
+cross-entropy loss + backward tape) via :func:`trace_tape` — and fits
+each node's, stage's and the model's FLOP/byte counts to exact
+polynomials in the grid side ``G`` (grid *area* is ``G**2``, so an
+area-linear op certifies at degree 2).
+
+Structure is not assumed constant across the ladder: models that pool
+their attention tokens adaptively change graph structure at size
+thresholds, making every cost *piecewise* polynomial.  The sampler
+partitions the ladder into **regimes** of identical graph structure,
+refines the boundaries by bisection, and densifies each regime with
+extra step-aligned grids until fits have verification points.  Costs
+must then fit exactly per regime (REPRO707, blocking) and a grid that
+breaks structural stability strictly inside a regime is REPRO708.
+
+Budgets: a node's certified exponent in ``G`` must not exceed its
+op-kind budget — 2 (one grid area) for elementwise/reduction/conv
+lowering, 4 for contractions and anything inside an attention module,
+whose token count is itself an area (REPRO701; stage/model totals:
+REPRO702).  Peak memory is a max of polynomials, so its envelope is
+fitted on the asymptotic branch of each regime and cross-checked
+against the planner at the held-out grid within 10% (REPRO703), and
+against one tracemalloc-measured training step (REPRO709), reusing the
+warm-up + ``gc.collect`` discipline of ``repro.perf.validate``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from dataclasses import dataclass, field
+from fractions import Fraction
+
+from ..diagnostics import is_blocking
+from ..ir.cost import _stage_of
+from .polyfit import Poly, fit_minimal, fit_suffix
+
+__all__ = [
+    "DEFAULT_LADDER",
+    "MEASURED_GRID",
+    "GRID_STEP",
+    "LadderSampler",
+    "Regime",
+    "scale_model",
+    "measure_training_step",
+]
+
+DEFAULT_LADDER = (64, 96, 128, 192, 256, 384, 512)
+#: Grid every sampled size must be a multiple of ("ours" requires % 16).
+GRID_STEP = 16
+#: Smallest grid the sampler will probe when extending the lowest regime.
+MIN_GRID = 16
+#: Grids per regime the sampler aims for before fitting.
+TARGET_POINTS = 8
+#: Ladder grid excluded from every fit; the measured cross-check point.
+MEASURED_GRID = 96
+#: Relative tolerance for the held-out peak-memory checks (703/709).
+MEM_REL_TOL = 0.10
+#: Highest exponent in G any fit may certify.
+MAX_DEGREE = 6
+
+#: Ops whose output is a contraction over an area-sized axis: one extra
+#: area factor is expected (attention scores, im2col GEMMs).
+_CONTRACTION_OPS = frozenset({"matmul", "einsum", "bmm"})
+#: Module scopes whose token count is an area: everything inside them
+#: (including elementwise softmax arithmetic) may be O(area^2).
+_ATTENTION_SCOPE_RE = re.compile(
+    r"(^|\.)(pam|cam|attn|attention|mha|self_attention)\d*(\.|$)"
+)
+_STAGE_BUDGET_CAP = 4
+
+
+def node_budget(op: str, scope: str) -> int:
+    """Max certified exponent in G allowed for a node of this kind."""
+    if op in _CONTRACTION_OPS or _ATTENTION_SCOPE_RE.search(scope):
+        return 4
+    return 2
+
+
+def _source_fingerprint() -> str:
+    """Hash of the packages whose code determines traced costs."""
+    import repro
+
+    root = os.path.dirname(os.path.abspath(repro.__file__))
+    digest = hashlib.sha256()
+    for pkg in ("models", "nn", "ir", "adjoint"):
+        pkg_dir = os.path.join(root, pkg)
+        for dirpath, dirnames, filenames in sorted(os.walk(pkg_dir)):
+            dirnames.sort()
+            for fname in sorted(filenames):
+                if not fname.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, fname)
+                digest.update(os.path.relpath(path, root).encode())
+                with open(path, "rb") as fh:
+                    digest.update(fh.read())
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class GridSample:
+    """All grid-dependent costs of one model at one grid size."""
+
+    grid: int
+    signature: str
+    nodes: tuple[tuple[str, str, str], ...]  # (op, kind, scope) per op node
+    flops: tuple[int, ...]
+    bytes_: tuple[int, ...]
+    fwd_peak: int
+    train_peak: int
+    grad_bytes_total: int
+    tape_entries: int
+
+
+class LadderSampler:
+    """Traces one model across grids, with optional on-disk caching.
+
+    Tracing is symbolic (no payload data), so a sample costs the same
+    at grid 512 as at 64; the cache exists so CI can key a whole
+    ladder sweep on the source fingerprint of the traced packages.
+    """
+
+    def __init__(
+        self,
+        model: str,
+        *,
+        preset: str = "fast",
+        batch: int = 1,
+        seed: int = 0,
+        cache_dir: str | None = None,
+    ) -> None:
+        self.model = model
+        self.preset = preset
+        self.batch = batch
+        self.seed = seed
+        self.cache_dir = cache_dir
+        self._samples: dict[int, GridSample] = {}
+        self._fingerprint = _source_fingerprint() if cache_dir else ""
+
+    def _cache_path(self, grid: int) -> str:
+        key = hashlib.sha256(
+            json.dumps(
+                [self.model, self.preset, self.batch, self.seed, grid,
+                 self._fingerprint]
+            ).encode()
+        ).hexdigest()[:32]
+        return os.path.join(self.cache_dir, f"trace-{key}.json")
+
+    def sample(self, grid: int) -> GridSample:
+        if grid in self._samples:
+            return self._samples[grid]
+        if self.cache_dir:
+            path = self._cache_path(grid)
+            if os.path.exists(path):
+                with open(path) as fh:
+                    doc = json.load(fh)
+                sample = GridSample(
+                    grid=doc["grid"],
+                    signature=doc["signature"],
+                    nodes=tuple(tuple(n) for n in doc["nodes"]),
+                    flops=tuple(doc["flops"]),
+                    bytes_=tuple(doc["bytes"]),
+                    fwd_peak=doc["fwd_peak"],
+                    train_peak=doc["train_peak"],
+                    grad_bytes_total=doc["grad_bytes_total"],
+                    tape_entries=doc["tape_entries"],
+                )
+                self._samples[grid] = sample
+                return sample
+        sample = self._trace(grid)
+        self._samples[grid] = sample
+        if self.cache_dir:
+            os.makedirs(self.cache_dir, exist_ok=True)
+            doc = {
+                "grid": sample.grid,
+                "signature": sample.signature,
+                "nodes": [list(n) for n in sample.nodes],
+                "flops": list(sample.flops),
+                "bytes": list(sample.bytes_),
+                "fwd_peak": sample.fwd_peak,
+                "train_peak": sample.train_peak,
+                "grad_bytes_total": sample.grad_bytes_total,
+                "tape_entries": sample.tape_entries,
+            }
+            path = self._cache_path(grid)
+            tmp = f"{path}.tmp.{os.getpid()}"
+            with open(tmp, "w") as fh:
+                json.dump(doc, fh)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        return sample
+
+    def _trace(self, grid: int) -> GridSample:
+        from ..adjoint.memory import plan_training_memory
+        from ..ir.memory import plan_memory
+        from ..ir.trace import trace_model, trace_tape
+
+        graph = trace_model(
+            self.model, preset=self.preset, grid=grid, batch=self.batch,
+            seed=self.seed,
+        )
+        op_nodes = [n for n in graph if n.kind == "op"]
+        nodes = tuple((n.op, n.kind, n.scope) for n in op_nodes)
+        signature = hashlib.sha256(
+            repr([(n.op, n.kind, n.scope) for n in graph]).encode()
+        ).hexdigest()
+        fwd_peak = plan_memory(graph)["peak_bytes"]
+
+        step, _ = build_training_step(
+            self.model, preset=self.preset, grid=grid, batch=self.batch,
+            seed=self.seed, num_classes=_num_classes(graph),
+        )
+        tgraph, tape = trace_tape(
+            step, (self.batch, 6, grid, grid), input_vrange=(0.0, 1.0),
+            name=f"{self.model}-step",
+        )
+        train = plan_training_memory(tgraph, tape)
+        sample = GridSample(
+            grid=grid,
+            signature=signature,
+            nodes=nodes,
+            flops=tuple(n.flops for n in op_nodes),
+            bytes_=tuple(n.bytes for n in op_nodes),
+            fwd_peak=fwd_peak,
+            train_peak=train["train_peak_bytes"],
+            grad_bytes_total=train["grad_bytes_total"],
+            tape_entries=train["tape_entries"],
+        )
+        return sample
+
+
+def _num_classes(graph) -> int:
+    out = graph[graph.outputs[0]]
+    return int(out.shape[1])
+
+
+def build_training_step(
+    model_name: str,
+    *,
+    preset: str,
+    grid: int,
+    batch: int,
+    seed: int,
+    num_classes: int,
+):
+    """The traceable forward+loss module used for training envelopes.
+
+    Mirrors the planner-vs-measured harness of ``tests/adjoint``: the
+    envelope and the tracemalloc measurement must describe the same
+    computation or the 10% cross-check is meaningless.
+    """
+    import numpy as np
+
+    from ..models import build_model
+    from ..nn.loss import CrossEntropyLoss2d
+    from ..nn.module import Module
+
+    class TrainStep(Module):
+        def __init__(self, model, targets):
+            super().__init__()
+            self.model = model
+            self.loss = CrossEntropyLoss2d(num_classes)
+            self.targets = targets
+
+        def forward(self, x):
+            return self.loss(self.model(x), self.targets)
+
+    model = build_model(model_name, preset=preset, grid=grid, seed=seed)
+    rng = np.random.default_rng(seed)
+    targets = rng.integers(0, num_classes, size=(batch, grid, grid))
+    return TrainStep(model, targets), model
+
+
+@dataclass
+class Regime:
+    """A maximal grid interval with one graph structure."""
+
+    lo: int
+    hi: int
+    grids: list[int]
+    held_out: int = 0
+    fit_grids: list[int] = field(default_factory=list)
+
+    def finalize(self) -> None:
+        self.grids.sort()
+        self.lo, self.hi = self.grids[0], self.grids[-1]
+        self.held_out = self.grids[-1]
+        self.fit_grids = [
+            g for g in self.grids if g not in (self.held_out, MEASURED_GRID)
+        ]
+
+
+def _densify_candidates(have: list[int], lo: int, hi: int) -> list[int]:
+    """Step-aligned grids inside [lo, hi] by descending isolation.
+
+    Deterministic farthest-point ordering: each pick maximizes the
+    distance to the nearest already-chosen grid (ties to the smaller
+    grid), so two runs sample identical ladders byte for byte.
+    """
+    pool = [
+        g
+        for g in range(-(-lo // GRID_STEP) * GRID_STEP, hi + 1, GRID_STEP)
+        if g not in have
+    ]
+    chosen: list[int] = []
+    anchors = sorted(have)
+    while pool:
+        best = max(
+            pool,
+            key=lambda g: (min(abs(g - a) for a in anchors + chosen), -g),
+        )
+        chosen.append(best)
+        pool.remove(best)
+    return chosen
+
+
+def build_regimes(
+    sampler: LadderSampler, ladder: tuple[int, ...]
+) -> tuple[list[Regime], list[dict]]:
+    """Partition the ladder into structural regimes; REPRO708 findings."""
+    findings: list[dict] = []
+    ladder = tuple(sorted(set(ladder)))
+    samples = {g: sampler.sample(g) for g in ladder}
+    regimes: list[Regime] = []
+    for g in ladder:
+        if regimes and samples[g].signature == sampler.sample(
+            regimes[-1].grids[-1]
+        ).signature:
+            regimes[-1].grids.append(g)
+            regimes[-1].hi = g
+        else:
+            regimes.append(Regime(lo=g, hi=g, grids=[g]))
+
+    def sig_of(regime: Regime) -> str:
+        return sampler.sample(regime.grids[0]).signature
+
+    # Refine each boundary by bisection over step-aligned grids so a
+    # regime's span (and with it the envelope's validity interval) is
+    # maximal before densification.
+    for left, right in zip(regimes, regimes[1:]):
+        lo, hi = left.hi, right.lo
+        while hi - lo > GRID_STEP:
+            mid = ((lo + hi) // 2) // GRID_STEP * GRID_STEP
+            if mid <= lo or mid >= hi:
+                break
+            sig = sampler.sample(mid).signature
+            if sig == sig_of(left):
+                left.grids.append(mid)
+                left.hi = mid
+                lo = mid
+            elif sig == sig_of(right):
+                right.grids.append(mid)
+                right.lo = mid
+                hi = mid
+            else:
+                findings.append(
+                    _structure_finding(
+                        sampler, mid, lo, hi,
+                        "matches neither neighbouring regime",
+                    )
+                )
+                break
+
+    # Densify: sample extra grids inside each span until fits will have
+    # enough verification points; the lowest regime may extend below
+    # the ladder floor (structure permitting) to reach the target.
+    for idx, regime in enumerate(regimes):
+        for g in _densify_candidates(regime.grids, regime.lo, regime.hi):
+            if len(regime.grids) >= TARGET_POINTS:
+                break
+            if sampler.sample(g).signature != sig_of(regime):
+                findings.append(
+                    _structure_finding(
+                        sampler, g, regime.lo, regime.hi,
+                        "breaks structural stability inside the regime",
+                    )
+                )
+                continue
+            regime.grids.append(g)
+        if idx == 0:
+            g = min(regime.grids) - GRID_STEP
+            while len(regime.grids) < TARGET_POINTS and g >= MIN_GRID:
+                try:
+                    if sampler.sample(g).signature != sig_of(regime):
+                        break
+                except Exception:
+                    break
+                regime.grids.append(g)
+                g -= GRID_STEP
+        regime.finalize()
+    return regimes, findings
+
+
+def _structure_finding(sampler, grid, lo, hi, detail) -> dict:
+    return {
+        "code": "REPRO708",
+        "blocking": is_blocking("REPRO708"),
+        "model": sampler.model,
+        "grid": grid,
+        "message": (
+            f"{sampler.model}: graph structure at grid {grid} {detail} "
+            f"[{lo}, {hi}] — costs are not piecewise polynomial over the "
+            "ladder"
+        ),
+    }
+
+
+def _poly_json(poly: Poly, field_name: str) -> dict:
+    doc = poly.to_json()
+    doc["field"] = field_name
+    return doc
+
+
+def _rel_err(got: int, want: Fraction) -> float:
+    if got == 0:
+        return 0.0 if want == 0 else float("inf")
+    return abs(float(want) - got) / abs(got)
+
+
+def scale_model(
+    model: str,
+    *,
+    preset: str = "fast",
+    batch: int = 1,
+    seed: int = 0,
+    ladder: tuple[int, ...] = DEFAULT_LADDER,
+    cache_dir: str | None = None,
+    measure: bool = True,
+) -> dict:
+    """Fit and certify one model's cost envelopes; returns the report."""
+    sampler = LadderSampler(
+        model, preset=preset, batch=batch, seed=seed, cache_dir=cache_dir
+    )
+    regimes, findings = build_regimes(sampler, ladder)
+    regime_docs = []
+    for regime in regimes:
+        regime_docs.append(
+            _fit_regime(sampler, regime, findings, model)
+        )
+
+    asymptotic = regime_docs[-1] if regime_docs else None
+    if asymptotic is not None:
+        _budget_findings(asymptotic, findings, model)
+    for doc in regime_docs:
+        doc.pop("_nodes", None)
+
+    report = {
+        "model": model,
+        "preset": preset,
+        "batch": batch,
+        "ladder": list(ladder),
+        "measured_grid": MEASURED_GRID,
+        "regimes": regime_docs,
+        "findings": findings,
+    }
+    if measure:
+        _measured_check(sampler, regimes, regime_docs, findings, report)
+    return report
+
+
+def _fit_regime(sampler, regime: Regime, findings: list[dict], model) -> dict:
+    xs = regime.fit_grids
+    verify = [g for g in regime.grids if g not in xs]
+    samples = {g: sampler.sample(g) for g in regime.grids}
+    ref = samples[regime.grids[0]]
+    n_nodes = len(ref.nodes)
+
+    def fit_exact(series: dict[int, int], label: str) -> Poly | None:
+        ys = [series[g] for g in xs]
+        poly = fit_minimal(xs, ys, max_degree=MAX_DEGREE)
+        if poly is not None and all(poly(g) == series[g] for g in verify):
+            return poly
+        findings.append(
+            {
+                "code": "REPRO707",
+                "blocking": is_blocking("REPRO707"),
+                "model": model,
+                "regime": [regime.lo, regime.hi],
+                "message": (
+                    f"{model}: {label} admits no exact polynomial fit over "
+                    f"grids {regime.grids} (regime [{regime.lo}, "
+                    f"{regime.hi}])"
+                ),
+            }
+        )
+        return None
+
+    stage_flops: dict[str, Poly] = {}
+    stage_bytes: dict[str, Poly] = {}
+    node_degrees: list[dict] = []
+    for i in range(n_nodes):
+        op, _, scope = ref.nodes[i]
+        stage = _stage_of(scope)
+        f_poly = fit_exact(
+            {g: samples[g].flops[i] for g in regime.grids},
+            f"node {i} ({op}, {scope}) flops",
+        )
+        b_poly = fit_exact(
+            {g: samples[g].bytes_[i] for g in regime.grids},
+            f"node {i} ({op}, {scope}) bytes",
+        )
+        if f_poly is None or b_poly is None:
+            continue
+        stage_flops[stage] = stage_flops.get(stage, _zero()) + f_poly
+        stage_bytes[stage] = stage_bytes.get(stage, _zero()) + b_poly
+        node_degrees.append(
+            {
+                "index": i,
+                "op": op,
+                "scope": scope,
+                "stage": stage,
+                "budget": node_budget(op, scope),
+                "flops": f_poly,
+                "bytes": b_poly,
+            }
+        )
+
+    doc = {
+        "lo": regime.lo,
+        "hi": regime.hi,
+        "grids": regime.grids,
+        "held_out": regime.held_out,
+        "op_nodes": n_nodes,
+        "stages": {},
+        "total": {},
+        "memory": {},
+        "_nodes": node_degrees,  # in-process only; stripped on seal
+    }
+    total_f = _zero()
+    total_b = _zero()
+    for stage in sorted(set(stage_flops) | set(stage_bytes)):
+        f_poly = stage_flops.get(stage, _zero())
+        b_poly = stage_bytes.get(stage, _zero())
+        total_f = total_f + f_poly
+        total_b = total_b + b_poly
+        doc["stages"][stage] = {
+            "flops": _poly_json(f_poly, "flops"),
+            "bytes": _poly_json(b_poly, "bytes"),
+            "budget": max(
+                (n["budget"] for n in node_degrees if n["stage"] == stage),
+                default=2,
+            ),
+        }
+    doc["total"] = {
+        "flops": _poly_json(total_f, "flops"),
+        "bytes": _poly_json(total_b, "bytes"),
+    }
+
+    # Exact series that ride with training: tape length, gradient bytes.
+    for label, attr in (
+        ("tape_entries", "tape_entries"),
+        ("grad_bytes_total", "grad_bytes_total"),
+    ):
+        poly = fit_exact(
+            {g: getattr(samples[g], attr) for g in regime.grids},
+            f"training {label}",
+        )
+        if poly is not None:
+            doc["memory"][label] = _poly_json(poly, label)
+
+    # Peak envelopes: max-of-polynomials, fitted on the asymptotic
+    # branch of the regime, then cross-checked at the held-out grid.
+    # The argmax buffer can shift several times inside a regime, so the
+    # peak series uses every step-aligned grid in the span (each one
+    # also re-checks structural stability — REPRO708), and a suffix
+    # short enough to leave no internal verification point is accepted
+    # as pure interpolation: the held-out grid is its verification.
+    ref_sig = ref.signature
+    dense: list[int] = []
+    for g in range(regime.lo, regime.hi + 1, GRID_STEP):
+        if g in regime.grids:
+            dense.append(g)
+            continue
+        if sampler.sample(g).signature != ref_sig:
+            findings.append(
+                _structure_finding(
+                    sampler, g, regime.lo, regime.hi,
+                    "breaks structural stability inside the regime",
+                )
+            )
+            continue
+        dense.append(g)
+    xs_peak = [g for g in dense if g != regime.held_out]
+    peak_samples = {g: sampler.sample(g) for g in xs_peak}
+    for label, attr in (("fwd_peak", "fwd_peak"), ("train_peak", "train_peak")):
+        ys = [getattr(peak_samples[g], attr) for g in xs_peak]
+        fitted = fit_suffix(
+            xs_peak, ys, min_verify=0, max_degree=_STAGE_BUDGET_CAP
+        )
+        if fitted is None:
+            findings.append(
+                {
+                    "code": "REPRO703",
+                    "blocking": is_blocking("REPRO703"),
+                    "model": model,
+                    "regime": [regime.lo, regime.hi],
+                    "message": (
+                        f"{model}: {label} envelope admits no exact fit on "
+                        f"any suffix of grids {xs_peak}"
+                    ),
+                }
+            )
+            continue
+        poly, start = fitted
+        held = regime.held_out
+        planner = getattr(samples[held], attr)
+        rel = _rel_err(planner, poly(held))
+        entry = _poly_json(poly, label)
+        entry["valid_from"] = xs_peak[start]
+        entry["held_out"] = {
+            "grid": held,
+            "planner": planner,
+            "envelope": str(poly(held)),
+            "rel_err": rel,
+        }
+        doc["memory"][label] = entry
+        if rel > MEM_REL_TOL:
+            findings.append(
+                {
+                    "code": "REPRO703",
+                    "blocking": is_blocking("REPRO703"),
+                    "model": model,
+                    "regime": [regime.lo, regime.hi],
+                    "message": (
+                        f"{model}: fitted {label} envelope misses the "
+                        f"planner at held-out grid {held}: "
+                        f"envelope {float(poly(held)):.0f} vs planner "
+                        f"{planner} ({rel:.1%} > {MEM_REL_TOL:.0%})"
+                    ),
+                }
+            )
+    return doc
+
+
+def _zero() -> Poly:
+    return Poly((Fraction(0),))
+
+
+def _budget_findings(regime_doc: dict, findings: list[dict], model) -> None:
+    lo, hi = regime_doc["lo"], regime_doc["hi"]
+    for node in regime_doc.get("_nodes", ()):
+        degree = max(node["flops"].degree, node["bytes"].degree)
+        if degree > node["budget"]:
+            findings.append(
+                {
+                    "code": "REPRO701",
+                    "blocking": is_blocking("REPRO701"),
+                    "model": model,
+                    "regime": [lo, hi],
+                    "message": (
+                        f"{model}: node {node['index']} ({node['op']} in "
+                        f"{node['scope']}) certifies exponent G^{degree}, "
+                        f"budget for its kind is G^{node['budget']} "
+                        f"(regime [{lo}, {hi}])"
+                    ),
+                }
+            )
+    superlinear = []
+    for stage, entry in regime_doc["stages"].items():
+        degree = max(entry["flops"]["degree"], entry["bytes"]["degree"])
+        if degree > entry["budget"]:
+            findings.append(
+                {
+                    "code": "REPRO702",
+                    "blocking": is_blocking("REPRO702"),
+                    "model": model,
+                    "regime": [lo, hi],
+                    "message": (
+                        f"{model}: stage '{stage}' certifies exponent "
+                        f"G^{degree}, stage budget is "
+                        f"G^{entry['budget']} (regime [{lo}, {hi}])"
+                    ),
+                }
+            )
+        if degree > 2:
+            superlinear.append(
+                (stage, degree, Fraction(entry["flops"]["leading"]))
+            )
+    total_degree = max(
+        regime_doc["total"]["flops"]["degree"],
+        regime_doc["total"]["bytes"]["degree"],
+    )
+    if total_degree > _STAGE_BUDGET_CAP:
+        findings.append(
+            {
+                "code": "REPRO702",
+                "blocking": is_blocking("REPRO702"),
+                "model": model,
+                "regime": [lo, hi],
+                "message": (
+                    f"{model}: model total certifies exponent "
+                    f"G^{total_degree}, cap is G^{_STAGE_BUDGET_CAP}"
+                ),
+            }
+        )
+    if superlinear:
+        superlinear.sort(key=lambda item: (-item[1], -item[2], item[0]))
+        ranked = ", ".join(
+            f"{stage} (G^{degree})" for stage, degree, _ in superlinear[:5]
+        )
+        findings.append(
+            {
+                "code": "REPRO710",
+                "blocking": is_blocking("REPRO710"),
+                "model": model,
+                "regime": [lo, hi],
+                "message": (
+                    f"{model}: superlinear-in-area stages dominate "
+                    f"asymptotic cost: {ranked}"
+                ),
+            }
+        )
+
+
+def measure_training_step(
+    model: str, *, preset: str, batch: int, seed: int, grid: int
+) -> int:
+    """tracemalloc peak of one real training step at ``grid``.
+
+    Same discipline as ``repro.perf.validate``: one warm-up run (numpy
+    pools, einsum paths), ``gc.collect``, then a measured run.
+    """
+    import gc
+    import tracemalloc
+
+    import numpy as np
+
+    from ..ir.trace import trace_model
+    from ..nn.tensor import Tensor
+
+    graph = trace_model(model, preset=preset, grid=grid, batch=batch, seed=seed)
+    step, net = build_training_step(
+        model, preset=preset, grid=grid, batch=batch, seed=seed,
+        num_classes=_num_classes(graph),
+    )
+    rng = np.random.default_rng(seed + 1)
+    x = Tensor(rng.random((batch, 6, grid, grid)))
+
+    def run_step():
+        for p in net.parameters():
+            p.grad = None
+        step(x).backward()
+
+    run_step()
+    gc.collect()
+    tracemalloc.start()
+    run_step()
+    _, measured = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return int(measured)
+
+
+def _measured_check(sampler, regimes, regime_docs, findings, report) -> None:
+    grid = MEASURED_GRID
+    doc = None
+    for regime, rdoc in zip(regimes, regime_docs):
+        if regime.lo <= grid <= regime.hi:
+            doc = rdoc
+            break
+    if doc is None or "train_peak" not in doc["memory"]:
+        return
+    entry = doc["memory"]["train_peak"]
+    if entry.get("valid_from", grid) > grid:
+        return
+    envelope = Fraction(0)
+    for power, coeff in enumerate(entry["coeffs"]):
+        envelope += Fraction(coeff) * grid**power
+    measured = measure_training_step(
+        sampler.model, preset=sampler.preset, batch=sampler.batch,
+        seed=sampler.seed, grid=grid,
+    )
+    rel = _rel_err(measured, envelope)
+    report["measured"] = {
+        "grid": grid,
+        "train_peak_measured": measured,
+        "train_peak_envelope": str(envelope),
+        "rel_err": rel,
+        "bound": MEM_REL_TOL,
+    }
+    if rel > MEM_REL_TOL:
+        findings.append(
+            {
+                "code": "REPRO709",
+                "blocking": is_blocking("REPRO709"),
+                "model": sampler.model,
+                "grid": grid,
+                "message": (
+                    f"{sampler.model}: measured training-step peak at grid "
+                    f"{grid} is {measured:,} bytes but the fitted envelope "
+                    f"predicts {float(envelope):,.0f} ({rel:.1%} > "
+                    f"{MEM_REL_TOL:.0%})"
+                ),
+            }
+        )

@@ -1,0 +1,605 @@
+"""AST loop-nest complexity lint over the untraced flow code.
+
+The IR certifier covers everything that runs through the tracer; the
+placement/routing/netlist/features flow is plain numpy + Python and can
+go accidentally superlinear without any cost model noticing.  This
+lint infers, per function, the *grid order* of its loop nests — how
+many nested loops range over grid- or netlist-sized iterables — and
+propagates it interprocedurally through the same call-resolution logic
+``repro.concheck`` uses for its call graph, so a helper whose per-row
+scan is invoked under a per-column loop is charged the full nest.
+
+Classification is deliberately **under-approximating**: only loops
+whose iterable is provably grid-sized count — a name that matches the
+grid/netlist vocabulary (``rows``, ``cols``, ``nets``, ``pins``, ...),
+``range()`` over such names / ``len()`` of them / ``.shape`` extents,
+direct iteration over an inferred ``ndarray``, or a loop whose body
+subscripts an inferred ``ndarray`` with the loop variable (the
+per-element-scan signature).  Iteration-count loops
+(``range(max_iters)``), ``while`` loops and unknown iterables do not
+count, so a clean bill of health is a certificate over the loops the
+lint *can* see, and every flagged nest is real.
+
+Codes: REPRO704 (function's nest order exceeds its flow module's
+budget), REPRO705 (per-element scan reachable from the hot placer
+loop), REPRO706 (``list.pop(k)`` / ``in``-on-list inside a grid-order
+loop).  ``# noqa: REPRO7xx`` on the offending line suppresses, same as
+every other repro lint.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+
+from ..concheck.callgraph import CallGraph, _FunctionScanner, build_call_graph
+from ..concheck.index import FunctionInfo, PackageIndex, build_index
+from ..diagnostics import is_blocking
+
+__all__ = [
+    "FLOW_PACKAGES",
+    "NEST_BUDGETS",
+    "HOT_ROOTS",
+    "audit_nests",
+    "analyze_orders",
+]
+
+#: Flow subpackages the lint certifies (everything the tracer cannot see).
+FLOW_PACKAGES = ("placement", "routing", "features", "netlist")
+
+#: Documented per-module complexity budgets: the max grid order any
+#: loop nest (including through callees) may reach.  placement's
+#: budget is the column x row window scan; routing allows net x
+#: candidate x edge-stamp; netlist allows the net x pin x pin clique
+#: expansion of the clustering affinity model.
+NEST_BUDGETS = {
+    "placement": 2,
+    "routing": 3,
+    "features": 2,
+    "netlist": 3,
+}
+
+#: The hot placer loop: every gradient step of global placement runs
+#: this closure, so a per-element Python scan here multiplies the whole
+#: Nesterov iteration count (REPRO705).  Stored as (module, attr) pairs
+#: rather than spelled "module:attr" — ``repro.concheck`` treats every
+#: in-package dotted-ref string literal as a worker entry point, and
+#: these are lint configuration, not job references.
+HOT_ROOTS = (
+    ("repro.placement.nesterov", "GlobalPlacer.step"),
+    ("repro.placement.inflation", "inflate_all_fields"),
+    ("repro.placement.netweight", "apply_congestion_net_weights"),
+)
+_HOT_QUALNAMES = tuple(f"{mod}:{attr}" for mod, attr in HOT_ROOTS)
+
+#: Vocabulary of grid-/netlist-sized iterables.  Matched against the
+#: last identifier of the iterable expression, underscore-aware.
+_GRID_NAME_RE = re.compile(
+    r"(?:^|_)("
+    r"grid|rows?|cols?|columns?|bins?|sites?|tracks?|tiles?"
+    r"|nets?|pins?|cells?|insts?|instances?|macros?|paths?|edges?"
+    r"|nodes?|items|singles|offenders|waypoints|movers|cascades"
+    r"|num_rows|num_cols|num_nets|num_instances"
+    r")(?:$|_)",
+    re.IGNORECASE,
+)
+
+_NDARRAY_FACTORIES = frozenset({
+    "array", "asarray", "zeros", "ones", "full", "empty", "arange",
+    "linspace", "fromiter", "nonzero", "argsort", "where", "concatenate",
+    "stack", "hstack", "vstack", "cumsum", "abs", "argmin", "argmax",
+    "maximum", "minimum", "clip", "sort", "unique", "copy", "hypot",
+})
+
+_LIST_FACTORIES = frozenset({"list", "sorted"})
+
+_ORDER_CAP = 9
+
+
+def _last_name(node: ast.AST) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+@dataclass
+class _LoopInfo:
+    line: int
+    depth: int  # grid-loop depth *including* this loop
+
+
+@dataclass
+class FnNest:
+    """Everything order inference needs about one function."""
+
+    fn: FunctionInfo
+    own_depth: int = 0  # deepest intra-function grid nest
+    grid_loops: list[_LoopInfo] = field(default_factory=list)
+    #: per-element scans: (line, reason) — ndarray subscripted by the
+    #: loop variable, or direct iteration over an inferred ndarray
+    scans: list[tuple[int, str]] = field(default_factory=list)
+    #: (enclosing grid depth, callee qualname, line) per resolved call
+    calls: list[tuple[int, str, int]] = field(default_factory=list)
+    #: REPRO706 sites: (line, message)
+    list_abuse: list[tuple[int, str]] = field(default_factory=list)
+    order: int = 0
+    deepest_callee: str | None = None
+
+
+class _CallResolver(_FunctionScanner):
+    """concheck's call resolution, re-targeted to per-site queries.
+
+    The class-hierarchy fallback is disabled: over-approximated edges
+    are the safe direction for reachability but would inflate nest
+    orders through methods the function never calls.
+    """
+
+    def __init__(self, index: PackageIndex, fn: FunctionInfo) -> None:
+        super().__init__(CallGraph(index=index), fn)
+        self.targets: list[str] = []
+        for node in ast.walk(fn.node):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Call)
+            ):
+                cls = self._call_class(node.value)
+                if cls is not None:
+                    self.var_types[node.targets[0].id] = cls
+
+    def _add_edge(self, target_qualname: str) -> None:
+        self.targets.append(target_qualname)
+
+    def _cha(self, method_name: str) -> None:
+        return
+
+    def resolve(self, call: ast.Call) -> list[str]:
+        self.targets = []
+        self._resolve_call(call)
+        return list(self.targets)
+
+
+class _NestScanner(ast.NodeVisitor):
+    """One pass over a function body, tracking grid-loop depth."""
+
+    def __init__(self, index: PackageIndex, fn: FunctionInfo) -> None:
+        self.index = index
+        self.fn = fn
+        self.nest = FnNest(fn=fn)
+        self.resolver = _CallResolver(index, fn)
+        self.depth = 0
+        self.ndarrays: set[str] = set()
+        self.lists: set[str] = set()
+        self._infer_locals()
+
+    # -- local type inference (flow-insensitive, assignment-driven) --
+
+    def _is_ndarray_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in self.ndarrays
+        if isinstance(node, ast.Call):
+            name = _last_name(node.func)
+            if name in _NDARRAY_FACTORIES:
+                return True
+            if name == "copy" and isinstance(node.func, ast.Attribute):
+                return self._is_ndarray_expr(node.func.value)
+            return False
+        if isinstance(node, ast.Subscript):
+            return self._is_ndarray_expr(node.value)
+        if isinstance(node, ast.UnaryOp):
+            return self._is_ndarray_expr(node.operand)
+        if isinstance(node, ast.BinOp):
+            return self._is_ndarray_expr(node.left) or self._is_ndarray_expr(
+                node.right
+            )
+        return False
+
+    def _is_list_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.ListComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self.lists
+        if isinstance(node, ast.Call):
+            name = _last_name(node.func)
+            if isinstance(node.func, ast.Name) and name in _LIST_FACTORIES:
+                return True
+            if name == "tolist":
+                return True
+        return False
+
+    def _infer_locals(self) -> None:
+        args = self.fn.node.args
+        for arg in (
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        ):
+            note = arg.annotation
+            text = ast.unparse(note) if note is not None else ""
+            if "ndarray" in text or "NDArray" in text:
+                self.ndarrays.add(arg.arg)
+        for _ in range(2):  # two rounds: chase one level of aliasing
+            for node in ast.walk(self.fn.node):
+                if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                    continue
+                target = node.targets[0]
+                if not isinstance(target, ast.Name):
+                    continue
+                if self._is_ndarray_expr(node.value):
+                    self.ndarrays.add(target.id)
+                if self._is_list_expr(node.value):
+                    self.lists.add(target.id)
+
+    # -- loop classification --
+
+    def _name_is_grid(self, name: str | None) -> bool:
+        if not name or name.isupper():
+            return False  # ALL_CAPS names are module constants, not grids
+        return bool(_GRID_NAME_RE.search(name))
+
+    def _grid_sized(self, node: ast.AST) -> bool:
+        """Is this expression a grid-/netlist-sized iterable?"""
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            return self._name_is_grid(_last_name(node))
+        if isinstance(node, ast.Subscript):
+            # pins[i+1:], order[: k] — a slice of a grid iterable.
+            return self._grid_sized(node.value)
+        if isinstance(node, ast.Call):
+            fname = _last_name(node.func)
+            if isinstance(node.func, ast.Name):
+                if fname == "range":
+                    return any(self._range_arg_grid(a) for a in node.args)
+                if fname in ("enumerate", "sorted", "reversed", "list",
+                             "tuple", "set"):
+                    return bool(node.args) and self._grid_sized(node.args[0])
+                if fname == "zip":
+                    return any(self._grid_sized(a) for a in node.args)
+            if fname in ("items", "keys", "values") and isinstance(
+                node.func, ast.Attribute
+            ):
+                return self._grid_sized(node.func.value)
+            if fname in ("nonzero", "argsort", "flatten", "ravel") and (
+                isinstance(node.func, ast.Attribute)
+            ):
+                return self._grid_sized(node.func.value)
+        return False
+
+    def _range_arg_grid(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            return self._name_is_grid(_last_name(node))
+        if isinstance(node, ast.Call):
+            fname = _last_name(node.func)
+            if fname == "len" and node.args:
+                arg = node.args[0]
+                return self._grid_sized(arg) or self._is_ndarray_expr(arg)
+        if isinstance(node, ast.Subscript):
+            # a.shape[0] — any shape extent is grid-sized in flow code.
+            if (
+                isinstance(node.value, ast.Attribute)
+                and node.value.attr == "shape"
+            ):
+                return True
+            return False
+        if isinstance(node, ast.BinOp):
+            return self._range_arg_grid(node.left) or self._range_arg_grid(
+                node.right
+            )
+        return False
+
+    def _loop_vars(self, target: ast.AST) -> set[str]:
+        return {
+            n.id for n in ast.walk(target) if isinstance(n, ast.Name)
+        }
+
+    def _body_scans_array(self, loop: ast.For) -> str | None:
+        """Does the loop body subscript an ndarray with the loop var?
+
+        Only ``range()``/``enumerate()`` loops qualify: their loop
+        variables are scalar indices, so ``arr[i]`` in the body is a
+        per-element scan.  Any other iterable may yield index *arrays*
+        (``for members, rect in zip(...): x[members]``), where the
+        same subscript is vectorized fancy indexing.
+        """
+        if not (
+            isinstance(loop.iter, ast.Call)
+            and _last_name(loop.iter.func) in ("range", "enumerate")
+        ):
+            return None
+        names = self._loop_vars(loop.target)
+        for node in ast.walk(loop):
+            if not isinstance(node, ast.Subscript):
+                continue
+            if not self._is_ndarray_expr(node.value):
+                continue
+            index_names = {
+                n.id
+                for n in ast.walk(node.slice)
+                if isinstance(n, ast.Name)
+            }
+            if index_names & names:
+                array = _last_name(node.value) or "<array>"
+                return f"subscripts ndarray '{array}' with the loop variable"
+        return None
+
+    def _classify(self, loop: ast.For | ast.comprehension) -> str | None:
+        """Grid-order reason, or None when the loop does not count."""
+        iterable = loop.iter
+        if self._grid_sized(iterable):
+            return f"iterates grid-sized '{ast.unparse(iterable)}'"
+        if self._is_ndarray_expr(iterable):
+            return f"iterates ndarray '{ast.unparse(iterable)}'"
+        if isinstance(iterable, ast.Call):
+            fname = _last_name(iterable.func)
+            if fname in ("enumerate", "zip", "sorted", "reversed") and any(
+                self._is_ndarray_expr(a) for a in iterable.args
+            ):
+                return f"iterates ndarray via {fname}()"
+        return None
+
+    # -- traversal --
+
+    def _enter_loop(self, loop, reason: str | None, is_scan: bool):
+        if reason is None:
+            return 0
+        self.depth += 1
+        self.nest.grid_loops.append(_LoopInfo(loop.lineno, self.depth))
+        self.nest.own_depth = max(self.nest.own_depth, self.depth)
+        if is_scan:
+            self.nest.scans.append((loop.lineno, reason))
+        return 1
+
+    def visit_For(self, node: ast.For) -> None:
+        # Counting the loop and spotting a per-element scan are
+        # independent facts: range(len(arr)) classifies as grid-sized,
+        # and arr[i] in its body is still a scan.
+        reason = self._classify(node)
+        scan = self._body_scans_array(node)
+        if reason is None:
+            reason = scan
+        is_scan = scan is not None or bool(reason and "ndarray" in reason)
+        entered = self._enter_loop(node, scan or reason, is_scan)
+        self._check_list_abuse(node)
+        self.generic_visit(node)
+        self.depth -= entered
+
+    def visit_While(self, node: ast.While) -> None:
+        # while loops are never counted (documented under-approximation)
+        self.generic_visit(node)
+
+    def _visit_comp(self, node) -> None:
+        entered = 0
+        for gen in node.generators:
+            reason = self._classify(gen)
+            if reason is not None:
+                self.depth += 1
+                entered += 1
+                self.nest.grid_loops.append(_LoopInfo(node.lineno, self.depth))
+                self.nest.own_depth = max(self.nest.own_depth, self.depth)
+        self.generic_visit(node)
+        self.depth -= entered
+
+    visit_ListComp = _visit_comp
+    visit_SetComp = _visit_comp
+    visit_DictComp = _visit_comp
+    visit_GeneratorExp = _visit_comp
+
+    def visit_Call(self, node: ast.Call) -> None:
+        for target in self.resolver.resolve(node):
+            self.nest.calls.append((self.depth, target, node.lineno))
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        # Nested defs belong to this unit (the index does not split
+        # them out) but their bodies do not run at the definition
+        # point, so their loops count from depth zero, not under the
+        # enclosing nest.
+        saved = self.depth
+        self.depth = 0
+        self.generic_visit(node)
+        self.depth = saved
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def _check_list_abuse(self, loop: ast.For) -> None:
+        if self.depth == 0 and self._classify(loop) is None:
+            return
+        for node in ast.walk(loop):
+            if isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                if (
+                    node.func.attr == "pop"
+                    and node.args
+                    and self._is_list_expr(node.func.value)
+                    and not (
+                        isinstance(node.args[0], ast.UnaryOp)
+                        and isinstance(node.args[0].op, ast.USub)
+                    )
+                ):
+                    self.nest.list_abuse.append(
+                        (
+                            node.lineno,
+                            "list.pop(k) is O(n) inside a grid-order loop "
+                            "— use a deque or index bookkeeping",
+                        )
+                    )
+            if isinstance(node, ast.Compare) and any(
+                isinstance(op, (ast.In, ast.NotIn)) for op in node.ops
+            ):
+                receiver = node.comparators[0]
+                if self._is_list_expr(receiver):
+                    self.nest.list_abuse.append(
+                        (
+                            node.lineno,
+                            "'in' on a list is O(n) inside a grid-order "
+                            "loop — use a set",
+                        )
+                    )
+
+    def scan(self) -> FnNest:
+        self.generic_visit(self.fn.node)
+        return self.nest
+
+
+def _flow_module(qualname: str, package: str) -> str | None:
+    module = qualname.partition(":")[0]
+    prefix = package + "."
+    if not module.startswith(prefix):
+        return None
+    head = module[len(prefix):].split(".")[0]
+    return head if head in FLOW_PACKAGES else None
+
+
+def analyze_orders(index: PackageIndex) -> dict[str, FnNest]:
+    """Per-function nest info + interprocedural order fixpoint."""
+    nests: dict[str, FnNest] = {}
+    for qualname, fn in index.functions.items():
+        if _flow_module(qualname, index.package) is None:
+            continue
+        nests[qualname] = _NestScanner(index, fn).scan()
+
+    for nest in nests.values():
+        nest.order = nest.own_depth
+    changed = True
+    while changed:
+        changed = False
+        for nest in nests.values():
+            best = nest.own_depth
+            deepest = None
+            for depth, callee, _line in nest.calls:
+                callee_order = nests[callee].order if callee in nests else 0
+                candidate = min(depth + callee_order, _ORDER_CAP)
+                if candidate > best:
+                    best = candidate
+                    deepest = callee
+            if best > nest.order:
+                nest.order = best
+                nest.deepest_callee = deepest
+                changed = True
+    return nests
+
+
+def _chain_of(nests: dict[str, FnNest], qualname: str) -> list[str]:
+    chain = [qualname]
+    seen = {qualname}
+    while True:
+        nxt = nests[chain[-1]].deepest_callee
+        if nxt is None or nxt in seen or nxt not in nests:
+            break
+        chain.append(nxt)
+        seen.add(nxt)
+    return chain
+
+
+def _suppressed(index: PackageIndex, fn: FunctionInfo, line: int, code) -> bool:
+    module = index.modules.get(fn.module)
+    return bool(module and module.suppressed(line, code))
+
+
+def _finding(code, fn: FunctionInfo, line: int, message: str) -> dict:
+    return {
+        "code": code,
+        "blocking": is_blocking(code),
+        "path": fn.path,
+        "line": line,
+        "function": fn.qualname,
+        "message": message,
+    }
+
+
+def audit_nests(
+    root: str | None = None, package: str = "repro"
+) -> tuple[list[dict], dict]:
+    """Run the flow-code lint; returns (findings, summary)."""
+    if root is None:
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    index = build_index(root, package)
+    graph = build_call_graph(index)
+    nests = analyze_orders(index)
+
+    findings: list[dict] = []
+    max_order: dict[str, int] = {m: 0 for m in NEST_BUDGETS}
+
+    def _over_budget(qualname: str) -> bool:
+        module = _flow_module(qualname, package)
+        return nests[qualname].order > NEST_BUDGETS.get(module, 2)
+
+    for qualname in sorted(nests):
+        nest = nests[qualname]
+        fn = nest.fn
+        module = _flow_module(qualname, package)
+        budget = NEST_BUDGETS.get(module, 2)
+        max_order[module] = max(max_order.get(module, 0), nest.order)
+        # Blame the root cause only: a caller whose excess order is
+        # inherited from an over-budget callee stays quiet — fixing
+        # the callee fixes the whole chain.
+        inherited = (
+            nest.deepest_callee is not None
+            and nest.deepest_callee in nests
+            and _over_budget(nest.deepest_callee)
+        )
+        if nest.order > budget and not inherited:
+            # Point at the deepest loop — the level to eliminate.
+            line = (
+                max(nest.grid_loops, key=lambda g: g.depth).line
+                if nest.grid_loops
+                else fn.lineno
+            )
+            if not _suppressed(index, fn, line, "REPRO704"):
+                chain = " -> ".join(
+                    q.partition(":")[2] for q in _chain_of(nests, qualname)
+                )
+                findings.append(
+                    _finding(
+                        "REPRO704",
+                        fn,
+                        line,
+                        f"{qualname}: grid loop nest reaches order "
+                        f"{nest.order} (through {chain}), module "
+                        f"'{module}' budget is {budget}",
+                    )
+                )
+        for line, message in nest.list_abuse:
+            if not _suppressed(index, fn, line, "REPRO706"):
+                findings.append(
+                    _finding("REPRO706", fn, line, f"{qualname}: {message}")
+                )
+
+    # REPRO705: per-element scans reachable from the hot placer loop.
+    hot: set[str] = set()
+    frontier = [q for q in _HOT_QUALNAMES if q in index.functions]
+    hot.update(frontier)
+    while frontier:
+        current = frontier.pop()
+        for callee in graph.edges.get(current, ()):
+            if callee not in hot:
+                hot.add(callee)
+                frontier.append(callee)
+    for qualname in sorted(hot):
+        nest = nests.get(qualname)
+        if nest is None:
+            continue
+        for line, reason in nest.scans:
+            if not _suppressed(index, nest.fn, line, "REPRO705"):
+                findings.append(
+                    _finding(
+                        "REPRO705",
+                        nest.fn,
+                        line,
+                        f"{qualname}: per-element Python loop ({reason}) "
+                        "is reachable from the hot placer loop — "
+                        "vectorize it",
+                    )
+                )
+
+    summary = {
+        "functions": len(nests),
+        "hot_functions": len([q for q in hot if q in nests]),
+        "budgets": dict(NEST_BUDGETS),
+        "max_order": max_order,
+        "hot_roots": [q for q in _HOT_QUALNAMES if q in index.functions],
+    }
+    return findings, summary

@@ -1,0 +1,138 @@
+"""Exact polynomial fitting over integer cost sequences.
+
+Traced costs (FLOPs, bytes, tape entries) are *polynomials in the grid
+side by construction*: every shape in the graph is an affine function
+of the grid, and costs are products of shape extents.  That licenses a
+much stronger fit than least squares — exact Lagrange/Newton
+interpolation over ``fractions.Fraction``, with *verification points*:
+a degree-``d`` claim is only certified when the interpolant through
+``d + 1`` sample points exactly reproduces at least one sample it was
+not built from.  Residuals are not "small"; they are zero, or the fit
+is rejected.
+
+Peak memory is the one exception: it is a *max* of polynomials, so the
+argmax buffer can change within a regime.  :func:`fit_suffix` handles
+it by fitting the asymptotic branch — the longest suffix of the sample
+ladder on which a single polynomial is exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+__all__ = ["Poly", "interpolate", "fit_minimal", "fit_suffix"]
+
+
+@dataclass(frozen=True)
+class Poly:
+    """A polynomial with exact rational coefficients, ascending order."""
+
+    coeffs: tuple[Fraction, ...]
+
+    @property
+    def degree(self) -> int:
+        return len(self.coeffs) - 1
+
+    @property
+    def leading(self) -> Fraction:
+        return self.coeffs[-1]
+
+    def __call__(self, x) -> Fraction:
+        acc = Fraction(0)
+        for c in reversed(self.coeffs):
+            acc = acc * x + c
+        return acc
+
+    def __add__(self, other: "Poly") -> "Poly":
+        n = max(len(self.coeffs), len(other.coeffs))
+        a = list(self.coeffs) + [Fraction(0)] * (n - len(self.coeffs))
+        b = list(other.coeffs) + [Fraction(0)] * (n - len(other.coeffs))
+        return _strip(tuple(x + y for x, y in zip(a, b)))
+
+    def to_json(self) -> dict:
+        return {
+            "degree": self.degree,
+            "leading": str(self.leading),
+            "coeffs": [str(c) for c in self.coeffs],
+        }
+
+
+ZERO = Poly((Fraction(0),))
+
+
+def _strip(coeffs: tuple[Fraction, ...]) -> Poly:
+    n = len(coeffs)
+    while n > 1 and coeffs[n - 1] == 0:
+        n -= 1
+    return Poly(coeffs[:n])
+
+
+def interpolate(points: list[tuple[int, int]]) -> Poly:
+    """Exact Newton interpolation through all ``points`` (distinct x)."""
+    xs = [Fraction(x) for x, _ in points]
+    coef = [Fraction(y) for _, y in points]
+    n = len(points)
+    for j in range(1, n):
+        for i in range(n - 1, j - 1, -1):
+            coef[i] = (coef[i] - coef[i - 1]) / (xs[i] - xs[i - j])
+    # Expand the Newton form into the power basis.
+    poly = [coef[n - 1]]
+    for k in range(n - 2, -1, -1):
+        shifted = [Fraction(0)] * (len(poly) + 1)
+        for i, c in enumerate(poly):
+            shifted[i + 1] += c
+            shifted[i] -= c * xs[k]
+        shifted[0] += coef[k]
+        poly = shifted
+    return _strip(tuple(poly))
+
+
+def fit_minimal(
+    xs: list[int],
+    ys: list[int],
+    *,
+    min_verify: int = 1,
+    max_degree: int | None = None,
+) -> Poly | None:
+    """Minimal-degree polynomial through a prefix, exact on the rest.
+
+    Tries degree 0, 1, ... — each candidate interpolates the first
+    ``d + 1`` samples and must exactly reproduce every remaining one.
+    At least ``min_verify`` samples must remain beyond the interpolation
+    set, so a fit is never a vacuous pass-through of all points.
+    Returns ``None`` when no degree within the cap generalizes.
+    """
+    n = len(xs)
+    cap = n - 1 - min_verify
+    if max_degree is not None:
+        cap = min(cap, max_degree)
+    for d in range(cap + 1):
+        poly = interpolate(list(zip(xs[: d + 1], ys[: d + 1])))
+        if all(poly(x) == y for x, y in zip(xs[d + 1 :], ys[d + 1 :])):
+            return poly
+    return None
+
+
+def fit_suffix(
+    xs: list[int],
+    ys: list[int],
+    *,
+    min_verify: int = 1,
+    max_degree: int | None = None,
+) -> tuple[Poly, int] | None:
+    """Fit the longest exactly-polynomial suffix of ``(xs, ys)``.
+
+    Samples must be in ascending x order.  Returns ``(poly, start)``
+    where ``xs[start:]`` is the widest suffix admitting an exact
+    minimal-degree fit (with verification); used for max-of-polynomial
+    envelopes whose argmax stabilizes at large sizes.
+    """
+    n = len(xs)
+    for start in range(0, n - 1 - min_verify):
+        poly = fit_minimal(
+            xs[start:], ys[start:], min_verify=min_verify, max_degree=max_degree
+        )
+        if poly is not None:
+            return poly, start
+    return None

@@ -1,0 +1,194 @@
+"""Scalecheck driver and sealed report (``repro.scaling/v1``).
+
+``scalecheck`` runs the two analysis families — parametric cost
+envelopes over the traced models (:mod:`.envelopes`) and the loop-nest
+complexity lint over the untraced flow code (:mod:`.nests`) — and
+bundles their findings in the shared diagnostic format.  The bundle is
+*sealed*: its ``fingerprint`` is the hash of the deterministic slice
+(exponents, exact rational leading coefficients, flow orders — never
+paths, timings or measured bytes), so two runs over the same source
+produce byte-identical certified claims or the seal visibly changes.
+
+``check_scaling_baseline`` diffs that same slice against
+``benchmarks/scaling_baseline.json`` through :mod:`repro.baselines`:
+an exponent drifting from ``G^2`` to ``G^3`` anywhere in a model is a
+one-line CI failure, not a silent slowdown.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.baselines import diff_counts, diff_entries
+from repro.diagnostics import is_blocking
+
+from .envelopes import DEFAULT_LADDER, scale_model
+from .nests import audit_nests
+
+__all__ = [
+    "SCHEMA",
+    "MODEL_NAMES",
+    "scalecheck",
+    "baseline_from_scaling",
+    "check_scaling_baseline",
+]
+
+SCHEMA = "repro.scaling/v1"
+
+#: Registry models, in certification order (kept in sync with
+#: repro.models.MODEL_NAMES by a test, not an import, so the lint half
+#: of scalecheck works without the model stack importable).
+MODEL_NAMES = ("unet", "pgnn", "pros2", "ours")
+
+
+def scalecheck(
+    target: str = "all",
+    *,
+    preset: str = "fast",
+    batch: int = 1,
+    seed: int = 0,
+    ladder: tuple[int, ...] = DEFAULT_LADDER,
+    cache_dir: str | None = None,
+    measure: bool = True,
+    root: str | None = None,
+    package: str = "repro",
+) -> dict:
+    """Certify scaling for ``target``: a model name, ``flow`` or ``all``."""
+    models = {}
+    flow = None
+    if target == "all":
+        names, do_flow = MODEL_NAMES, True
+    elif target == "flow":
+        names, do_flow = (), True
+    else:
+        names, do_flow = (target,), False
+
+    findings: list[dict] = []
+    for name in names:
+        report = scale_model(
+            name, preset=preset, batch=batch, seed=seed, ladder=ladder,
+            cache_dir=cache_dir, measure=measure,
+        )
+        models[name] = report
+        findings.extend(report["findings"])
+    if do_flow:
+        flow_findings, flow_summary = audit_nests(root, package)
+        flow = {"findings": flow_findings, "summary": flow_summary}
+        findings.extend(flow_findings)
+
+    by_code: dict[str, int] = {}
+    for f in findings:
+        by_code[f["code"]] = by_code.get(f["code"], 0) + 1
+
+    bundle = {
+        "schema": SCHEMA,
+        "target": target,
+        "preset": preset,
+        "batch": batch,
+        "ladder": list(ladder),
+        "models": models,
+        "flow": flow,
+        "by_code": dict(sorted(by_code.items())),
+        "findings": findings,
+        "failures": [f["message"] for f in findings if f["blocking"]],
+    }
+    bundle["fingerprint"] = _fingerprint(bundle)
+    return bundle
+
+
+def _fingerprint(bundle: dict) -> str:
+    """Seal over the deterministic slice only (no paths, no timings)."""
+    slice_ = baseline_from_scaling(bundle)
+    return hashlib.sha256(
+        json.dumps(slice_, sort_keys=True).encode()
+    ).hexdigest()
+
+
+def _envelope_entries(bundle: dict) -> list[dict]:
+    entries: list[dict] = []
+    for name in sorted(bundle["models"]):
+        report = bundle["models"][name]
+        for regime in report["regimes"]:
+            span = f"{regime['lo']}-{regime['hi']}"
+            base = {"model": name, "preset": report["preset"]}
+
+            def entry(stage: str, doc: dict, fields=("flops", "bytes")):
+                row = dict(base, regime=span, stage=stage)
+                for f in fields:
+                    row[f"{f}_degree"] = doc[f]["degree"]
+                    row[f"{f}_leading"] = doc[f]["leading"]
+                return row
+
+            for stage in sorted(regime["stages"]):
+                entries.append(entry(stage, regime["stages"][stage]))
+            entries.append(entry("(total)", regime["total"]))
+            for label in sorted(regime["memory"]):
+                doc = regime["memory"][label]
+                row = dict(base, regime=span, stage=f"(memory:{label})")
+                row["degree"] = doc["degree"]
+                row["leading"] = doc["leading"]
+                if "valid_from" in doc:
+                    row["valid_from"] = doc["valid_from"]
+                entries.append(row)
+    return entries
+
+
+def baseline_from_scaling(bundle: dict) -> dict:
+    """Reduce a scalecheck bundle to its deterministic, path-free slice.
+
+    Certified exponents and exact leading coefficients per
+    model/regime/stage, flow-lint orders and per-code counts — nothing
+    host- or checkout-dependent.
+    """
+    doc: dict = {"schema": SCHEMA, "entries": _envelope_entries(bundle)}
+    if bundle.get("flow") is not None:
+        summary = bundle["flow"]["summary"]
+        flow_codes: dict[str, int] = {}
+        for f in bundle["flow"]["findings"]:
+            flow_codes[f["code"]] = flow_codes.get(f["code"], 0) + 1
+        doc["flow"] = {
+            "budgets": dict(summary["budgets"]),
+            "max_order": dict(summary["max_order"]),
+            "by_code": dict(sorted(flow_codes.items())),
+        }
+    doc["by_code"] = dict(bundle["by_code"])
+    return doc
+
+
+def check_scaling_baseline(bundle: dict, baseline: dict) -> list[str]:
+    """Diff the deterministic slice against a pinned baseline."""
+    reduced = baseline_from_scaling(bundle)
+    problems = diff_entries(
+        baseline.get("entries", []),
+        reduced["entries"],
+        key=("model", "preset", "regime", "stage"),
+        verb="certified",
+    )
+    want_flow = baseline.get("flow")
+    got_flow = reduced.get("flow")
+    if want_flow is not None and got_flow is None:
+        problems.append("flow lint in baseline but not run (target was a model)")
+    elif want_flow is not None:
+        problems += diff_counts(
+            want_flow.get("max_order", {}),
+            got_flow["max_order"],
+            label="flow module '{key}' max nest order changed",
+        )
+        problems += diff_counts(
+            want_flow.get("by_code", {}),
+            got_flow["by_code"],
+            label="flow {key} count changed",
+        )
+    problems += diff_counts(
+        baseline.get("by_code", {}),
+        reduced["by_code"],
+        label="{key} count changed",
+    )
+    return problems
+
+
+def has_blocking(bundle: dict) -> bool:
+    return any(
+        is_blocking(f["code"]) for f in bundle["findings"]
+    )

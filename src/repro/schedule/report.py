@@ -175,41 +175,11 @@ def baseline_from_plan_bundle(bundle: dict) -> dict:
 
 def check_schedule_baseline(bundle: dict, baseline: dict) -> list[str]:
     """Exact-match diff of the plan slice; returns mismatch messages."""
-    current = {
-        (e["model"], e["preset"], e["grid"]): e
-        for e in baseline_from_plan_bundle(bundle)["entries"]
-    }
-    expected = {
-        (e["model"], e["preset"], e["grid"]): e
-        for e in baseline.get("entries", [])
-    }
-    problems = []
-    for key in sorted(set(expected) | set(current)):
-        name = f"{key[0]}/{key[1]}/grid{key[2]}"
-        if key not in current:
-            problems.append(f"{name}: in baseline but not planned")
-            continue
-        if key not in expected:
-            problems.append(
-                f"{name}: planned but missing from baseline "
-                "(run with --update-baseline)"
-            )
-            continue
-        for field in expected[key]:
-            if field in ("model", "preset", "grid"):
-                continue
-            if field not in current[key]:
-                problems.append(
-                    f"{name}: baseline pins {field!r} but the report has "
-                    "no such field (re-run with --backward?)"
-                )
-                continue
-            got, want = current[key][field], expected[key][field]
-            if got != want:
-                detail = (
-                    f"{want} -> {got} ({got - want:+d})"
-                    if isinstance(got, int) and isinstance(want, int)
-                    else f"{want} -> {got}"
-                )
-                problems.append(f"{name}: {field} changed {detail}")
-    return problems
+    from repro.baselines import diff_entries
+
+    return diff_entries(
+        baseline.get("entries", []),
+        baseline_from_plan_bundle(bundle)["entries"],
+        verb="planned",
+        missing_field_hint="re-run with --backward?",
+    )

@@ -104,3 +104,47 @@ class TestPartialAPIs:
         legalize(tiny_design, tiny_design.x, tiny_design.y)
         np.testing.assert_allclose(tiny_design.x, x0)
         np.testing.assert_allclose(tiny_design.y, y0)
+
+
+class TestFindWindowVectorized:
+    """The sliding-window scan must match a reference row-by-row scan.
+
+    ``_find_window`` was vectorized (prefix-sum window counts instead
+    of a per-row Python loop) after the scaling lint flagged the nest;
+    this pins exact equivalence, first-minimum tie-break included.
+    """
+
+    @staticmethod
+    def _reference(occupied, length, target, lo, hi):
+        best, best_cost = None, None
+        for start in range(lo, hi - length + 1):
+            if occupied[start:start + length].any():
+                continue
+            center = start + 0.5 * (length - 1)
+            cost = abs(center - target)
+            if best_cost is None or cost < best_cost:
+                best, best_cost = start, cost
+        return best
+
+    def test_matches_reference_on_random_occupancies(self):
+        from repro.placement.legalize import _find_window
+
+        rng = np.random.default_rng(7)
+        for _ in range(300):
+            rows = int(rng.integers(4, 96))
+            occupied = rng.random(rows) < rng.random()
+            length = int(rng.integers(1, 6))
+            lo = int(rng.integers(0, rows))
+            hi = int(rng.integers(lo, rows + 1))
+            target = float(rng.uniform(-2, rows + 2))
+            got = _find_window(occupied, length, target, lo, hi)
+            want = self._reference(occupied, length, target, lo, hi)
+            assert got == want, (rows, length, lo, hi, target)
+
+    def test_full_and_empty_columns(self):
+        from repro.placement.legalize import _find_window
+
+        free = np.zeros(16, dtype=bool)
+        assert _find_window(free, 4, 8.0, 0, 16) == 6  # centered window
+        assert _find_window(~free, 4, 8.0, 0, 16) is None
+        assert _find_window(free, 5, 0.0, 0, 4) is None  # span too short

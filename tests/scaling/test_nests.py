@@ -1,0 +1,226 @@
+"""Loop-nest lint: planted nests, hot-path scans, list abuse, noqa.
+
+Each test writes a tiny package under ``tmp_path`` (never imported —
+the lint is AST-only) planting exactly one complexity hazard or its
+vectorized twin, and asserts the verdict.  The planted package is named
+``repro`` when a test needs the hard-coded hot roots to resolve.
+"""
+
+from repro.scaling.nests import NEST_BUDGETS, audit_nests
+
+
+def audit(tmp_path, files, package="repro"):
+    root = tmp_path / package
+    root.mkdir(exist_ok=True)
+    (root / "__init__.py").write_text("")
+    for name, source in files.items():
+        path = root / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        init = path.parent / "__init__.py"
+        if not init.exists():
+            init.write_text("")
+        path.write_text(source)
+    return audit_nests(root=root, package=package)
+
+
+def codes(findings):
+    return [f["code"] for f in findings]
+
+
+TRIPLE_NEST = """
+def stamp(rows, cols, sites):
+    total = 0.0
+    for r in rows:
+        for c in cols:
+            for s in sites:
+                total += 1.0
+    return total
+"""
+
+
+class TestNestBudgets:
+    def test_triple_nest_in_placement_fires_704(self, tmp_path):
+        findings, summary = audit(tmp_path, {"placement/core.py": TRIPLE_NEST})
+        assert codes(findings) == ["REPRO704"]
+        f = findings[0]
+        assert f["blocking"] is True
+        assert "order 3" in f["message"] and "budget is 2" in f["message"]
+        # Anchored at the deepest loop — the level to eliminate.
+        assert f["line"] == 6
+        assert summary["max_order"]["placement"] == 3
+
+    def test_same_nest_within_routing_budget_is_clean(self, tmp_path):
+        findings, summary = audit(tmp_path, {"routing/maze.py": TRIPLE_NEST})
+        assert findings == []
+        assert summary["max_order"]["routing"] == 3
+
+    def test_interprocedural_nest_blames_the_caller(self, tmp_path):
+        # helper is at budget (order 2); the caller's extra net loop
+        # pushes the chain to 3, so the caller is the root cause.
+        findings, _ = audit(tmp_path, {"placement/chain.py": """
+def helper(rows, cols):
+    for r in rows:
+        for c in cols:
+            pass
+
+def caller(nets, rows, cols):
+    for n in nets:
+        helper(rows, cols)
+"""})
+        assert codes(findings) == ["REPRO704"]
+        assert "caller" in findings[0]["function"]
+        assert "caller -> helper" in findings[0]["message"]
+
+    def test_root_cause_reported_once_not_per_caller(self, tmp_path):
+        # inner is over budget by itself; outer only inherits it.
+        findings, _ = audit(tmp_path, {"placement/deep.py": """
+def inner(rows, cols, sites):
+    for r in rows:
+        for c in cols:
+            for s in sites:
+                pass
+
+def outer(nets, rows, cols, sites):
+    for n in nets:
+        inner(rows, cols, sites)
+"""})
+        assert codes(findings) == ["REPRO704"]
+        assert findings[0]["function"].endswith(":inner")
+
+    def test_noqa_on_the_deepest_loop_suppresses(self, tmp_path):
+        findings, _ = audit(tmp_path, {"placement/core.py": """
+def stamp(rows, cols, sites):
+    for r in rows:
+        for c in cols:
+            for s in sites:  # noqa: REPRO704
+                pass
+"""})
+        assert findings == []
+
+    def test_iteration_count_loops_do_not_count(self, tmp_path):
+        findings, summary = audit(tmp_path, {"placement/solver.py": """
+def relax(rows, max_iters):
+    for it in range(max_iters):
+        while rows:
+            for r in rows:
+                pass
+"""})
+        assert findings == []
+        # Only the rows loop is grid-order; range(max_iters)/while are
+        # documented under-approximations.
+        assert summary["max_order"]["placement"] == 1
+
+    def test_all_caps_constants_are_not_grids(self, tmp_path):
+        findings, summary = audit(tmp_path, {"placement/tables.py": """
+SITES = {"a": 1}
+
+def lookup():
+    out = []
+    for s in sorted(SITES):
+        out.append(s)
+    return out
+"""})
+        assert findings == []
+        assert summary["max_order"]["placement"] == 0
+
+
+class TestHotPathScans:
+    HOT_TREE = {
+        "placement/nesterov.py": """
+from .scanner import gather, slow_scan
+
+class GlobalPlacer:
+    def step(self, grad):
+        return slow_scan(grad) + gather(grad)
+""",
+        "placement/scanner.py": """
+import numpy as np
+
+def slow_scan(grad: np.ndarray) -> float:
+    total = 0.0
+    for i in range(len(grad)):
+        total += grad[i]
+    return total
+
+def gather(x: np.ndarray) -> float:
+    total = 0.0
+    items = [1, 2]
+    for members in items:
+        total += x[members]
+    return total
+""",
+    }
+
+    def test_scan_reachable_from_hot_root_fires_705(self, tmp_path):
+        findings, summary = audit(tmp_path, dict(self.HOT_TREE))
+        hits = [f for f in findings if f["code"] == "REPRO705"]
+        assert [f["function"] for f in hits] == [
+            "repro.placement.scanner:slow_scan"
+        ]
+        assert "vectorize" in hits[0]["message"]
+        assert summary["hot_roots"] == ["repro.placement.nesterov:GlobalPlacer.step"]
+
+    def test_fancy_indexing_is_not_a_scan(self, tmp_path):
+        # gather() subscripts with a loop variable too, but its loop is
+        # not range()/enumerate(): the variable may be an index array
+        # (vectorized fancy indexing), so it must stay silent.
+        findings, _ = audit(tmp_path, dict(self.HOT_TREE))
+        assert not any(
+            f["function"].endswith(":gather") for f in findings
+        )
+
+    def test_same_scan_outside_the_hot_closure_is_silent(self, tmp_path):
+        files = {"placement/scanner.py": self.HOT_TREE["placement/scanner.py"]}
+        findings, _ = audit(tmp_path, files)
+        assert findings == []
+
+    def test_noqa_suppresses_705(self, tmp_path):
+        files = dict(self.HOT_TREE)
+        files["placement/scanner.py"] = files["placement/scanner.py"].replace(
+            "for i in range(len(grad)):",
+            "for i in range(len(grad)):  # noqa: REPRO705",
+        )
+        findings, _ = audit(tmp_path, files)
+        assert not any(f["code"] == "REPRO705" for f in findings)
+
+
+class TestListAbuse:
+    def test_pop_front_and_in_on_list_fire_706(self, tmp_path):
+        findings, _ = audit(tmp_path, {"routing/queue.py": """
+def drain(nets):
+    queue = list(nets)
+    seen = []
+    hit = 0
+    for net in nets:
+        queue.pop(0)
+        if net in seen:
+            hit += 1
+    return hit
+"""})
+        assert codes(findings) == ["REPRO706", "REPRO706"]
+        messages = " ".join(f["message"] for f in findings)
+        assert "list.pop(k)" in messages and "'in' on a list" in messages
+
+    def test_pop_last_and_set_membership_are_clean(self, tmp_path):
+        findings, _ = audit(tmp_path, {"routing/queue.py": """
+def drain(nets):
+    stack = list(nets)
+    seen = set()
+    hit = 0
+    for net in nets:
+        stack.pop()
+        stack.pop(-1)
+        if net in seen:
+            hit += 1
+    return hit
+"""})
+        assert findings == []
+
+
+class TestRealTree:
+    def test_flow_code_is_certified_clean(self):
+        findings, summary = audit_nests()
+        assert findings == []
+        for module, order in summary["max_order"].items():
+            assert order <= NEST_BUDGETS[module], (module, order)
+        assert len(summary["hot_roots"]) == 3

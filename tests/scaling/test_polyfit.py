@@ -1,0 +1,95 @@
+"""Exact rational polynomial fitting: the substrate of every 7xx claim."""
+
+from fractions import Fraction
+
+from repro.scaling.polyfit import Poly, fit_minimal, fit_suffix, interpolate
+
+
+def poly_of(*coeffs):
+    return Poly(tuple(Fraction(c) for c in coeffs))
+
+
+class TestPoly:
+    def test_evaluation_is_exact(self):
+        p = poly_of(2, 0, 3)  # 3x^2 + 2
+        assert p(5) == Fraction(77)
+        assert p(Fraction(1, 2)) == Fraction(11, 4)
+
+    def test_degree_and_leading(self):
+        p = poly_of(1, 2, 3)
+        assert p.degree == 2
+        assert p.leading == Fraction(3)
+
+    def test_add_strips_cancelled_leading_terms(self):
+        p = poly_of(0, 0, 1) + poly_of(1, 0, -1)
+        assert p.degree == 0
+        assert p(10) == Fraction(1)
+
+    def test_to_json_keeps_exact_rationals_as_strings(self):
+        doc = Poly((Fraction(1, 3), Fraction(2))).to_json()
+        assert doc == {"degree": 1, "leading": "2", "coeffs": ["1/3", "2"]}
+
+
+class TestInterpolate:
+    def test_recovers_known_polynomial(self):
+        target = poly_of(7, -2, 0, 5)  # 5x^3 - 2x + 7
+        points = [(x, int(target(x))) for x in (1, 2, 3, 4)]
+        assert interpolate(points).coeffs == target.coeffs
+
+    def test_rational_coefficients_survive(self):
+        # y = x(x-1)/2 — binomial(x, 2) — has leading coefficient 1/2.
+        points = [(x, x * (x - 1) // 2) for x in (0, 1, 2)]
+        p = interpolate(points)
+        assert p.leading == Fraction(1, 2)
+        assert p(10) == Fraction(45)
+
+
+class TestFitMinimal:
+    def test_finds_minimal_degree(self):
+        xs = [1, 2, 3, 4, 5, 6]
+        ys = [3 * x * x + 1 for x in xs]
+        p = fit_minimal(xs, ys)
+        assert p is not None and p.degree == 2
+        assert p(100) == 30001
+
+    def test_rejects_non_polynomial_data(self):
+        xs = [1, 2, 3, 4, 5, 6, 7]
+        ys = [2**x for x in xs]
+        assert fit_minimal(xs, ys) is None
+
+    def test_verification_points_are_mandatory(self):
+        # Three samples of a quadratic: an exact degree-2 interpolant
+        # exists, but certifying it would leave zero verification
+        # points — the fit must refuse rather than pass through.
+        xs, ys = [1, 2, 3], [1, 4, 9]
+        assert fit_minimal(xs, ys) is None
+        assert fit_minimal(xs, ys, min_verify=0).degree == 2
+
+    def test_max_degree_caps_the_search(self):
+        xs = [1, 2, 3, 4, 5, 6, 7]
+        ys = [x**3 for x in xs]
+        assert fit_minimal(xs, ys, max_degree=2) is None
+        assert fit_minimal(xs, ys, max_degree=3).degree == 3
+
+
+class TestFitSuffix:
+    def test_fits_asymptotic_branch_of_a_max(self):
+        # max(100, x^2): the constant branch wins until x = 10.
+        xs = list(range(2, 20, 2))
+        ys = [max(100, x * x) for x in xs]
+        fitted = fit_suffix(xs, ys)
+        assert fitted is not None
+        poly, start = fitted
+        assert xs[start] == 10
+        assert poly.degree == 2 and poly(50) == 2500
+
+    def test_whole_series_polynomial_starts_at_zero(self):
+        xs = [1, 2, 3, 4, 5]
+        ys = [7 * x for x in xs]
+        poly, start = fit_suffix(xs, ys)
+        assert start == 0 and poly.degree == 1
+
+    def test_returns_none_when_no_suffix_fits(self):
+        xs = [1, 2, 3, 4, 5, 6, 7, 8]
+        ys = [2**x for x in xs]
+        assert fit_suffix(xs, ys) is None

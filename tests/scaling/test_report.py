@@ -1,0 +1,105 @@
+"""Sealed scalecheck bundle: fingerprint, baseline slice, drift."""
+
+import json
+
+import pytest
+
+from repro.scaling.report import (
+    MODEL_NAMES,
+    SCHEMA,
+    baseline_from_scaling,
+    check_scaling_baseline,
+    has_blocking,
+    scalecheck,
+)
+
+
+@pytest.fixture(scope="module")
+def flow_bundle():
+    return scalecheck("flow")
+
+
+@pytest.fixture(scope="module")
+def unet_bundle():
+    return scalecheck("unet", preset="tiny", measure=False)
+
+
+class TestRegistrySync:
+    def test_model_names_match_the_registry(self):
+        # Kept in sync by this test, not an import, so the lint half of
+        # scalecheck works without the model stack importable.
+        from repro.models.registry import MODEL_NAMES as REGISTRY
+
+        assert tuple(REGISTRY) == MODEL_NAMES
+
+
+class TestBundle:
+    def test_flow_bundle_shape(self, flow_bundle):
+        b = flow_bundle
+        assert b["schema"] == SCHEMA
+        assert b["models"] == {}
+        assert b["flow"] is not None
+        assert b["failures"] == []
+        assert not has_blocking(b)
+        assert len(b["fingerprint"]) == 64
+
+    def test_model_bundle_certifies_envelopes(self, unet_bundle):
+        report = unet_bundle["models"]["unet"]
+        assert report["regimes"], "at least one regime"
+        regime = report["regimes"][-1]
+        assert regime["total"]["flops"]["degree"] >= 2
+        assert "fwd_peak" in regime["memory"]
+        assert "train_peak" in regime["memory"]
+        assert unet_bundle["flow"] is None  # model target skips the lint
+
+    def test_fingerprint_is_stable_across_runs(self, flow_bundle):
+        again = scalecheck("flow")
+        assert again["fingerprint"] == flow_bundle["fingerprint"]
+
+    def test_fingerprint_covers_only_the_deterministic_slice(self, unet_bundle):
+        # Mutating a non-slice field (timing-ish metadata) must not
+        # change the seal; mutating a certified exponent must.
+        import copy
+
+        from repro.scaling.report import _fingerprint
+
+        bundle = copy.deepcopy(unet_bundle)
+        bundle["models"]["unet"]["ladder"] = [1, 2, 3]
+        assert _fingerprint(bundle) == unet_bundle["fingerprint"]
+        regime = bundle["models"]["unet"]["regimes"][-1]
+        regime["total"]["flops"]["degree"] += 1
+        assert _fingerprint(bundle) != unet_bundle["fingerprint"]
+
+
+class TestBaseline:
+    def test_round_trip_is_clean(self, unet_bundle):
+        doc = baseline_from_scaling(unet_bundle)
+        assert check_scaling_baseline(unet_bundle, doc) == []
+
+    def test_exponent_drift_is_reported(self, unet_bundle):
+        doc = json.loads(json.dumps(baseline_from_scaling(unet_bundle)))
+        entry = next(e for e in doc["entries"] if e["stage"] == "(total)")
+        entry["flops_degree"] += 1
+        problems = check_scaling_baseline(unet_bundle, doc)
+        assert any("flops_degree changed" in p for p in problems)
+
+    def test_leading_coefficient_drift_is_reported(self, unet_bundle):
+        doc = json.loads(json.dumps(baseline_from_scaling(unet_bundle)))
+        entry = next(e for e in doc["entries"] if e["stage"] == "(total)")
+        entry["flops_leading"] = "999999"
+        problems = check_scaling_baseline(unet_bundle, doc)
+        assert any("flops_leading changed" in p for p in problems)
+
+    def test_flow_in_baseline_but_model_only_run(self, flow_bundle, unet_bundle):
+        doc = baseline_from_scaling(flow_bundle)
+        problems = check_scaling_baseline(unet_bundle, doc)
+        assert any("flow lint in baseline but not run" in p for p in problems)
+
+    def test_flow_order_drift_is_reported(self, flow_bundle):
+        doc = json.loads(json.dumps(baseline_from_scaling(flow_bundle)))
+        doc["flow"]["max_order"]["placement"] += 1
+        problems = check_scaling_baseline(flow_bundle, doc)
+        assert any(
+            "flow module 'placement' max nest order changed" in p
+            for p in problems
+        )

@@ -229,6 +229,60 @@ class TestAnalysisJSONSchemas:
                      / "benchmarks" / "concheck_baseline.json")
         assert main(["concheck", "--check-baseline", str(committed)]) == 0
 
+    def test_scalecheck_flow_json_schema(self, capsys):
+        bundle = self._json(capsys, ["scalecheck", "flow", "--json"])
+        assert bundle["schema"] == "repro.scaling/v1"
+        assert set(bundle) >= {
+            "schema", "target", "models", "flow", "by_code", "findings",
+            "failures", "fingerprint",
+        }
+        assert bundle["models"] == {}
+        assert bundle["flow"]["findings"] == []
+        assert bundle["failures"] == []
+
+    def test_scalecheck_model_pretty_output(self, capsys):
+        rc = main(["scalecheck", "unet", "--preset", "tiny", "--no-measure"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sealed:" in out
+        assert "scaling certified" in out
+
+    def test_scalecheck_committed_baseline_is_current(self, capsys):
+        # The checked-in exponents must match the tree; CI diffs them.
+        from pathlib import Path
+
+        committed = (Path(__file__).resolve().parents[1]
+                     / "benchmarks" / "scaling_baseline.json")
+        assert main(["scalecheck", "all", "--no-measure",
+                     "--check-baseline", str(committed)]) == 0
+
+    def test_scalecheck_baseline_byte_stable(self, tmp_path, capsys):
+        # Two independent runs must serialize byte-identical baselines.
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        argv = ["scalecheck", "unet", "--preset", "tiny", "--no-measure"]
+        assert main(argv + ["--update-baseline", str(a)]) == 0
+        assert main(argv + ["--update-baseline", str(b)]) == 0
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_update_baseline_carries_ride_along_sections(self, tmp_path):
+        # perf's "fixes" section is checker-ignored but human-curated;
+        # refreshing the deterministic slice must not destroy it.
+        from repro.baselines import load_baseline, write_baseline
+
+        path = str(tmp_path / "perf_baseline.json")
+        write_baseline(path, {"entries": [1], "fixes": [{"finding": "x"}]})
+        write_baseline(path, {"entries": [2]}, carry=("fixes",))
+        doc = load_baseline(path)
+        assert doc["entries"] == [2]
+        assert doc["fixes"] == [{"finding": "x"}]
+        write_baseline(path, {"entries": [3]})  # no carry: section drops
+        assert "fixes" not in load_baseline(path)
+
+    def test_check_update_baselines_flag_registered(self):
+        args = build_parser().parse_args(["check", "--update-baselines"])
+        assert args.update_baselines is True
+        assert build_parser().parse_args(["check"]).update_baselines is False
+
     def test_check_combined_json(self, capsys):
         combined = self._json(
             capsys,
@@ -238,7 +292,7 @@ class TestAnalysisJSONSchemas:
         assert combined["schema"] == "repro.check/v1"
         assert set(combined) >= {
             "schema", "preset", "grid", "lint", "analyze", "gradcheck",
-            "perfcheck", "plancheck", "concheck", "failures",
+            "perfcheck", "plancheck", "concheck", "scalecheck", "failures",
         }
         # Each section carries its own full bundle under its own schema.
         assert combined["analyze"]["schema"] == "repro.ir/v1"
@@ -247,6 +301,8 @@ class TestAnalysisJSONSchemas:
         assert combined["plancheck"]["schema"] == "repro.schedule/v1"
         assert combined["concheck"]["schema"] == "repro.concheck/v1"
         assert combined["concheck"]["failures"] == []
+        assert combined["scalecheck"]["schema"] == "repro.scaling/v1"
+        assert combined["scalecheck"]["failures"] == []
         assert combined["failures"] == []
 
 
@@ -270,49 +326,96 @@ class TestExitCodeContract:
         assert (EXIT_OK, EXIT_BLOCKING, EXIT_USAGE, EXIT_DRIFT,
                 EXIT_INTERNAL) == (0, 1, 2, 3, 4)
 
-    def test_usage_error_exits_2(self, capsys):
-        with pytest.raises(SystemExit) as exc:
-            main(["plancheck", "unet", "--no-such-flag"])
-        assert exc.value.code == 2
+    # One spec per analysis subcommand: a tiny-scale clean invocation,
+    # the baseline filename, and a mutation that drifts one pinned
+    # value.  scalecheck's mutation bumps a certified *exponent* — the
+    # drift that matters is asymptotic, not a count.
+    SUBCOMMANDS = {
+        "analyze": {
+            "argv": ["analyze", "unet", "--preset", "tiny", "--grid", "32",
+                     "--no-determinism"],
+            "baseline": "ir.json",
+            "drift": lambda doc: doc["entries"][0].update(
+                total_flops=doc["entries"][0]["total_flops"] + 1),
+        },
+        "gradcheck": {
+            "argv": ["gradcheck", "unet", "--preset", "tiny",
+                     "--grid", "32"],
+        },
+        "perfcheck": {
+            "argv": ["perfcheck", "unet", "--preset", "tiny", "--grid", "32",
+                     "--no-validate"],
+            "baseline": "perf.json",
+            "drift": lambda doc: doc["entries"][0].update(
+                graph_nodes=doc["entries"][0]["graph_nodes"] + 1),
+        },
+        "plancheck": {
+            "argv": ["plancheck", "unet", "--preset", "tiny", "--grid", "32"],
+            "baseline": "schedule.json",
+            "drift": lambda doc: doc["entries"][0].update(
+                arena_bytes=doc["entries"][0]["arena_bytes"] + 1),
+        },
+        "concheck": {
+            "argv": ["concheck"],
+            "baseline": "concheck.json",
+            "drift": lambda doc: doc.update(
+                reachable_functions=doc["reachable_functions"] + 1),
+        },
+        "scalecheck": {
+            "argv": ["scalecheck", "unet", "--preset", "tiny",
+                     "--no-measure"],
+            "baseline": "scaling.json",
+            "drift": lambda doc: (
+                lambda e: e.update(flops_degree=e["flops_degree"] + 1)
+            )(next(e for e in doc["entries"] if e["stage"] == "(total)")),
+        },
+    }
 
-    def _drifted(self, tmp_path, capsys, argv, name, field):
-        """Write a baseline, bump one pinned integer, re-check."""
+    @pytest.mark.parametrize("command", sorted(SUBCOMMANDS))
+    def test_contract_holds_for_every_subcommand(
+        self, command, tmp_path, capsys
+    ):
         import json
 
-        baseline = tmp_path / name
+        spec = self.SUBCOMMANDS[command]
+        argv = list(spec["argv"])
+        # 2: usage errors come from argparse before any analysis runs.
+        with pytest.raises(SystemExit) as exc:
+            main(argv + ["--no-such-flag"])
+        assert exc.value.code == 2
+        # 0: the tree is clean at tiny scale.
+        assert main(argv) == 0
+        if "baseline" not in spec:
+            return  # gradcheck carries no baseline flags
+        baseline = tmp_path / spec["baseline"]
+        # 0: update then re-check round-trips.
         assert main(argv + ["--update-baseline", str(baseline)]) == 0
+        capsys.readouterr()
+        assert main(argv + ["--check-baseline", str(baseline)]) == 0
+        assert "baseline OK" in capsys.readouterr().out
+        # 3: one drifted pinned value fails with a one-line diff.
         doc = json.loads(baseline.read_text())
-        doc["entries"][0][field] += 1
+        spec["drift"](doc)
         baseline.write_text(json.dumps(doc))
         capsys.readouterr()
-        rc = main(argv + ["--check-baseline", str(baseline)])
+        assert main(argv + ["--check-baseline", str(baseline)]) == 3
         assert "baseline drift" in capsys.readouterr().err
-        return rc
-
-    def test_plancheck_drift_exits_3(self, tmp_path, capsys):
-        rc = self._drifted(
-            tmp_path, capsys,
-            ["plancheck", "unet", "--preset", "tiny", "--grid", "32"],
-            "schedule.json", "arena_bytes",
-        )
-        assert rc == 3
-
-    def test_analyze_drift_exits_3(self, tmp_path, capsys):
-        rc = self._drifted(
-            tmp_path, capsys,
-            ["analyze", "unet", "--preset", "tiny", "--grid", "32",
-             "--no-determinism"],
-            "ir.json", "total_flops",
-        )
-        assert rc == 3
-
-    def test_internal_error_exits_4(self, tmp_path, capsys):
-        rc = main(
-            ["plancheck", "unet", "--preset", "tiny", "--grid", "32",
-             "--check-baseline", str(tmp_path / "does-not-exist.json")]
-        )
+        # 4: a missing baseline file is an internal error, not drift.
+        rc = main(argv + ["--check-baseline", str(tmp_path / "nope.json")])
         assert rc == 4
         assert "internal error" in capsys.readouterr().err
+
+    def test_scalecheck_blocking_exits_1(self, capsys, monkeypatch):
+        # Shrink every node budget below one grid area so unet's
+        # area-quadratic nodes bust it: blocking REPRO701s must exit 1.
+        from repro.scaling import envelopes
+
+        monkeypatch.setattr(envelopes, "node_budget", lambda op, scope: 1)
+        rc = main(["scalecheck", "unet", "--preset", "tiny", "--no-measure"])
+        assert rc == 1
+        captured = capsys.readouterr()
+        assert "REPRO701" in captured.out
+        assert "blocking finding(s)" in captured.err
 
     def test_check_accepts_fail_on_choices(self):
         parser = build_parser()

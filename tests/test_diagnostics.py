@@ -23,7 +23,7 @@ class TestRegistry:
             band = int(code.removeprefix("REPRO")) // 100
             expected = {
                 0: "lint", 1: "ir", 2: "adjoint", 3: "perf", 4: "schedule",
-                5: "orchestrate", 6: "concheck",
+                5: "orchestrate", 6: "concheck", 7: "scaling",
             }[band]
             assert spec.component == expected, code
 
@@ -34,6 +34,7 @@ class TestRegistry:
         from repro.lint.rules import RULES
         from repro.orchestrate import ORCHESTRATE_RULES
         from repro.perf import PERF_RULES
+        from repro.scaling import SCALING_RULES
         from repro.schedule import SCHEDULE_RULES
 
         assert RULES == codes_for("lint")
@@ -43,6 +44,7 @@ class TestRegistry:
         assert SCHEDULE_RULES == codes_for("schedule")
         assert ORCHESTRATE_RULES == codes_for("orchestrate")
         assert CONCHECK_RULES == codes_for("concheck")
+        assert SCALING_RULES == codes_for("scaling")
         assert set(OPPORTUNITY_RULES) == {
             c for c, s in all_codes().items()
             if s.component == "ir" and not s.blocking
@@ -88,6 +90,18 @@ class TestRegistry:
         # breaks the parity or crash-recovery contract outright.
         assert {c for c in codes_for("concheck") if not is_blocking(c)} == {
             "REPRO603", "REPRO610",
+        }
+
+    def test_scaling_codes_present(self):
+        assert set(codes_for("scaling")) == {
+            f"REPRO7{i:02d}" for i in range(1, 11)
+        }
+        # Advisory: the superlinear-hotspot ranking (710) is informative
+        # context; every other code is a certification failure — an
+        # exponent over budget, a cost that isn't polynomial, or an
+        # envelope the planner/measurement contradicts.
+        assert {c for c in codes_for("scaling") if not is_blocking(c)} == {
+            "REPRO710",
         }
 
     def test_blocking_metadata(self):

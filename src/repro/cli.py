@@ -31,10 +31,17 @@ Subcommands mirror the library's main workflows:
   against the memory planner and one measured training step) plus a
   loop-nest complexity lint over the untraced flow code (REPRO701-710,
   see repro.scaling).
+* ``numcheck`` — static floating-point error-bound certification:
+  first-order rounding-error envelopes over every registry model's
+  forward and adjoint graphs, cancellation/conditioning screens,
+  reassociation + dtype-pin safety certificates for each execution
+  plan, a mixed-precision lint over the flow code, and a float64
+  shadow-execution harness that validates every certified bound by
+  measurement (REPRO801-810, see repro.numcheck).
 * ``check``  — the unified gate: lint + analyze + gradcheck + perfcheck
-  + plancheck + concheck + scalecheck in one command with one combined
-  JSON report (``repro.check/v1``); ``--update-baselines`` atomically
-  refreshes every ``benchmarks/*_baseline.json`` instead.
+  + plancheck + concheck + scalecheck + numcheck in one command with
+  one combined JSON report (``repro.check/v1``); ``--update-baselines``
+  atomically refreshes every ``benchmarks/*_baseline.json`` instead.
 
 Every analysis command reports through one exit-code contract (the
 table lives in ``docs/API.md``): 0 = clean, 1 = blocking findings,
@@ -348,10 +355,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the deterministic slice of this run to a baseline JSON",
     )
 
+    numcheck = sub.add_parser(
+        "numcheck",
+        help="static floating-point error-bound certification + float64 "
+        "shadow validation (see repro.numcheck)",
+    )
+    numcheck.add_argument(
+        "target", choices=("unet", "pgnn", "pros2", "ours", "flow", "all"),
+        help="registry model to certify, 'flow' for the mixed-precision "
+        "lint only, or 'all' for models + flow",
+    )
+    numcheck.add_argument("--preset", default="fast",
+                          choices=("tiny", "fast", "paper"))
+    numcheck.add_argument(
+        "--grid", dest="grids", type=int, action="append", metavar="N",
+        help="certification grid; repeatable (default: 32 64)",
+    )
+    numcheck.add_argument("--batch", type=int, default=1)
+    numcheck.add_argument("--seed", type=int, default=0)
+    numcheck.add_argument(
+        "--budget", type=float, default=None,
+        help="relative-error budget for the certified envelopes "
+        "(default: the registry budget, see repro.numcheck)",
+    )
+    numcheck.add_argument(
+        "--no-measure", action="store_true",
+        help="skip the float64 shadow-execution harness (REPRO809/810)",
+    )
+    numcheck.add_argument(
+        "--cache", metavar="DIR", default=None,
+        help="cache static certifications here, keyed on a source "
+        "fingerprint (CI shares the scaling trace cache directory)",
+    )
+    numcheck.add_argument("--json", action="store_true",
+                          help="print the full repro.numcheck/v1 bundle")
+    numcheck.add_argument("--top", type=int, default=10,
+                          help="findings shown without --json (default 10)")
+    numcheck.add_argument(
+        "--check-baseline", metavar="PATH", default=None,
+        help="diff certified bounds + certificate verdicts against a "
+        "baseline JSON and fail on any drift",
+    )
+    numcheck.add_argument(
+        "--update-baseline", metavar="PATH", default=None,
+        help="write the deterministic slice of this run to a baseline JSON",
+    )
+
     check = sub.add_parser(
         "check",
         help="unified gate: lint + analyze + gradcheck + perfcheck "
-        "+ plancheck + concheck + scalecheck",
+        "+ plancheck + concheck + scalecheck + numcheck",
     )
     check.add_argument("--preset", default="fast",
                        choices=("tiny", "fast", "paper"))
@@ -1005,12 +1058,96 @@ def _cmd_scalecheck(args) -> int:
     return status
 
 
+def _print_numcheck_model(name: str, report: dict) -> None:
+    print(f"{name} (preset={report['preset']}, "
+          f"budget={report['budget']:.1e})")
+    for grid in sorted(report["grids"], key=int):
+        doc = report["grids"][grid]
+        pin = doc["dtype_pin"]
+        print(f"  grid {grid}: forward rel <= {doc['forward_rel']:.3e}, "
+              f"backward rel <= {doc['backward_rel']:.3e}")
+        print(f"    fusion: {doc['fusion_certified']}/"
+              f"{doc['fusion_groups']} groups error-neutral; "
+              f"pin {pin['dtype']} worst node contributes "
+              f"{pin['worst_contribution_rel']} "
+              f"({'within' if pin['within_budget'] else 'OVER'} budget)")
+        if doc["unsupported"]:
+            print(f"    unsupported ops: {', '.join(doc['unsupported'])}")
+        measured = doc.get("measured")
+        if measured:
+            print(f"    measured: forward {measured['forward']:.3e}, "
+                  f"backward {measured['backward']:.3e} "
+                  f"(worst {measured['worst_param']})")
+
+
+def _cmd_numcheck(args) -> int:
+    import json
+
+    from .baselines import apply_baseline_flags
+    from .numcheck import (
+        CERT_GRIDS,
+        DEFAULT_BUDGET,
+        baseline_from_numcheck,
+        check_numcheck_baseline,
+        numcheck,
+    )
+
+    grids = tuple(args.grids) if args.grids else CERT_GRIDS
+    budget = DEFAULT_BUDGET if args.budget is None else args.budget
+    bundle = numcheck(
+        args.target, preset=args.preset, grids=grids, batch=args.batch,
+        seed=args.seed, budget=budget, measure=not args.no_measure,
+        cache_dir=args.cache,
+    )
+
+    if args.json:
+        print(json.dumps(bundle, indent=2))
+    else:
+        for name in bundle["models"]:
+            _print_numcheck_model(name, bundle["models"][name])
+            print()
+        if bundle["flow"] is not None:
+            print(f"flow: {len(bundle['flow']['audited_files'])} files "
+                  f"audited, {len(bundle['flow']['findings'])} finding(s)")
+        if bundle["by_code"]:
+            print("findings: " + ", ".join(
+                f"{code} x{count}"
+                for code, count in bundle["by_code"].items()
+            ))
+        shown = 0
+        for finding in bundle["findings"]:
+            if shown >= args.top:
+                remaining = len(bundle["findings"]) - shown
+                print(f"  ... {remaining} more (--json for all)")
+                break
+            print(f"  {finding['path']}:{finding['line']}: "
+                  f"{finding['code']} {finding['message']}")
+            shown += 1
+        print(f"sealed: {bundle['fingerprint'][:23]}…")
+
+    status = EXIT_OK
+    if bundle["failures"]:
+        print(f"error: {len(bundle['failures'])} blocking finding(s)",
+              file=sys.stderr)
+        status = EXIT_BLOCKING
+    elif not args.json:
+        print("rounding certified (0 blocking REPRO8xx findings)")
+
+    drift = apply_baseline_flags(
+        args, baseline_from_numcheck(bundle),
+        lambda doc: check_numcheck_baseline(bundle, doc),
+    )
+    if drift and status == EXIT_OK:
+        status = EXIT_DRIFT
+    return status
+
+
 def _update_all_baselines(args) -> int:
     """``repro check --update-baselines``: refresh every benchmark pin.
 
     Each analysis runs in its CI-pinned configuration (the grids and
     flags the workflow jobs use), every document is serialized first,
-    and only then do all six rename into place — a failure anywhere
+    and only then do all seven rename into place — a failure anywhere
     leaves the benchmarks directory untouched.
     """
     from pathlib import Path
@@ -1018,6 +1155,7 @@ def _update_all_baselines(args) -> int:
     from .baselines import carry_sections, write_baselines
     from .concheck import baseline_from_concheck, concheck
     from .ir import analyze_registry, baseline_from_reports
+    from .numcheck import baseline_from_numcheck, numcheck
     from .perf import baseline_from_bundle, perfcheck_all
     from .scaling import baseline_from_scaling, scalecheck
     from .schedule import baseline_from_plan_bundle, plan_registry
@@ -1044,6 +1182,8 @@ def _update_all_baselines(args) -> int:
     docs[str(bench / "concheck_baseline.json")] = baseline_from_concheck(concheck())
     scaling = scalecheck("all", measure=validate)
     docs[str(bench / "scaling_baseline.json")] = baseline_from_scaling(scaling)
+    numbers = numcheck("all", measure=validate)
+    docs[str(bench / "numcheck_baseline.json")] = baseline_from_numcheck(numbers)
 
     write_baselines(docs)
     for path in sorted(docs):
@@ -1065,7 +1205,7 @@ def _iter_finding_codes(obj):
 
 def _cmd_check(args) -> int:
     """The unified gate: lint + analyze + gradcheck + perfcheck +
-    plancheck + concheck + scalecheck."""
+    plancheck + concheck + scalecheck + numcheck."""
     import json
     from pathlib import Path
 
@@ -1075,6 +1215,7 @@ def _cmd_check(args) -> int:
     from .ir.report import serialize_finding
     from .lint.rules import lint_paths
     from .lint.shapes import ShapeError, validate_registry_models
+    from .numcheck import numcheck
     from .perf import perfcheck_all
     from .scaling import scalecheck
     from .schedule import plan_registry
@@ -1123,6 +1264,11 @@ def _cmd_check(args) -> int:
                                 measure=not args.no_validate)
     failures.extend(scaling_bundle["failures"])
 
+    # 8. Rounding-error certification + float64 shadow validation.
+    numcheck_bundle = numcheck("all", preset=args.preset,
+                               measure=not args.no_validate)
+    failures.extend(numcheck_bundle["failures"])
+
     combined = {
         "schema": "repro.check/v1",
         "preset": args.preset,
@@ -1137,6 +1283,7 @@ def _cmd_check(args) -> int:
         "plancheck": plan_bundle,
         "concheck": concheck_bundle,
         "scalecheck": scaling_bundle,
+        "numcheck": numcheck_bundle,
         "failures": failures,
     }
     advisories: list[str] = []
@@ -1162,6 +1309,7 @@ def _cmd_check(args) -> int:
             ("plancheck", len(plan_bundle["failures"])),
             ("concheck", len(concheck_bundle["failures"])),
             ("scalecheck", len(scaling_bundle["failures"])),
+            ("numcheck", len(numcheck_bundle["failures"])),
         )
         for name, count in sections:
             print(f"{name}: {'OK' if not count else f'{count} failure(s)'}")
@@ -1197,6 +1345,7 @@ _COMMANDS = {
     "plancheck": _cmd_plancheck,
     "concheck": _cmd_concheck,
     "scalecheck": _cmd_scalecheck,
+    "numcheck": _cmd_numcheck,
     "check": _cmd_check,
 }
 

@@ -491,3 +491,63 @@ register_code(
     component="scaling",
     blocking=False,
 )
+register_code(
+    "REPRO801",
+    "certified rounding-error envelope exceeds the relative-error budget",
+    component="numcheck",
+)
+register_code(
+    "REPRO802",
+    "catastrophic cancellation: interval analysis proves subtraction of "
+    "near-equal operands with incoming rounding error",
+    component="numcheck",
+    blocking=False,
+)
+register_code(
+    "REPRO803",
+    "ill-conditioned reduction: mixed-sign summands whose total can "
+    "cancel to zero",
+    component="numcheck",
+    blocking=False,
+)
+register_code(
+    "REPRO804",
+    "planned fusion group or summation-order change is not error-neutral",
+    component="numcheck",
+)
+register_code(
+    "REPRO805",
+    "float32 dtype pin breaks the certified error budget",
+    component="numcheck",
+)
+register_code(
+    "REPRO806",
+    "float32 accumulator (cumsum/bincount weights) over a grid-sized "
+    "array in flow code",
+    component="numcheck",
+)
+register_code(
+    "REPRO807",
+    "unpaired exp/log in flow code: exponential without a max-shift, "
+    "clip or log-domain pairing",
+    component="numcheck",
+    blocking=False,
+)
+register_code(
+    "REPRO808",
+    "tolerance literal tighter than the certified float32 error bound",
+    component="numcheck",
+    blocking=False,
+)
+register_code(
+    "REPRO809",
+    "shadow execution measured error above the certified envelope",
+    component="numcheck",
+)
+register_code(
+    "REPRO810",
+    "certified envelope is vacuous: more than 100x slack over the "
+    "measured error",
+    component="numcheck",
+    blocking=False,
+)

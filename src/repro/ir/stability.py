@@ -38,7 +38,9 @@ _LOG_OPS = ("log",)
 def _exp_limit(dtype: np.dtype) -> float:
     try:
         return float(np.log(np.finfo(dtype).max))
-    except ValueError:  # non-float dtype; exp would upcast anyway
+    except ValueError:
+        # Non-float dtype: numpy's exp upcasts integers to float64, so
+        # the float64 bound is the one the runtime actually enforces.
         return float(np.log(np.finfo(np.float64).max))
 
 
@@ -46,8 +48,24 @@ def _is_weak(node: Node) -> bool:
     return bool(node.meta.get("weak")) and node.kind == "const"
 
 
-def check_stability(graph: Graph) -> dict:
+def check_stability(graph: Graph, *, pins: dict | None = None) -> dict:
+    """Interval-domain stability findings for ``graph``.
+
+    ``pins`` optionally maps node id -> dtype name, as produced by an
+    :class:`repro.schedule.ExecutionPlan`'s ``node_pins``.  Overflow
+    thresholds are then evaluated at the *pinned* dtype: a graph traced
+    at float64 but scheduled to execute at float32 must be checked
+    against the float32 exp-overflow bound (~88.7), not the float64 one
+    (~709.8) — otherwise a value that only overflows after the REPRO301
+    demotion certifies clean.
+    """
     findings = []
+    pins = pins or {}
+
+    def pinned_dtype(node: Node) -> np.dtype:
+        name = pins.get(node.id)
+        return np.dtype(name) if name else node.dtype
+
     for node in graph:
         if node.kind != "op":
             continue
@@ -55,14 +73,15 @@ def check_stability(graph: Graph) -> dict:
 
         if node.op == "exp":
             hi = ins[0].vrange[1]
-            limit = _exp_limit(node.dtype)
+            limit = _exp_limit(pinned_dtype(node))
             if hi > limit:
                 bound = "unbounded" if math.isinf(hi) else f"<= {hi:.3g}"
                 findings.append(
                     node_finding(
                         node,
                         "REPRO101",
-                        f"exp() of a value {bound} overflows {node.dtype} "
+                        f"exp() of a value {bound} overflows "
+                        f"{pinned_dtype(node)} "
                         f"(limit ~{limit:.1f}); subtract the max first "
                         "(numerically stable softmax/log-sum-exp)",
                     )

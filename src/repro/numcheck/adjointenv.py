@@ -1,0 +1,497 @@
+"""Rounding-error envelopes for the backward pass.
+
+Extends the forward envelope (:mod:`repro.numcheck.envelope`) over the
+adjoint SSA graph (:mod:`repro.adjoint.graph`).  Each adjoint node gets
+
+* ``gmag`` — supremum of ``|gradient|`` per element, and
+* ``gdelta`` — worst-case absolute rounding error of that gradient,
+
+propagated in the adjoint graph's emission order (which is topological).
+A vjp node's error has three parts:
+
+``gdelta = L * gdelta_in  +  cross  +  u * round``
+
+where ``L`` bounds the closure's linear amplification of the incoming
+gradient error, ``cross`` prices the *primal* activations' forward
+error flowing through the closure (the forward envelope's deltas are
+evaluated at the same roundoff ``u``), and ``round`` is the closure's
+own rounding mass.  Closures are enumerated from the actual autograd
+surface (``repro.nn.tensor`` + ``repro.nn.functional``); an op without
+a rule yields an infinite envelope and is reported, never guessed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..adjoint.graph import AdjointGraph
+from .envelope import (
+    REL_VAR_FLOOR,
+    ForwardEnvelope,
+    _mul,
+    _sum_seed,
+    _TINY,
+    _var_plus_eps,
+)
+
+__all__ = ["AdjointEnvelope", "adjoint_envelope"]
+
+_INF = math.inf
+
+#: |d gelu(x)/dx| and |d^2 gelu/dx^2| bounds (tanh approximation).
+_GELU_L = 1.2
+_GELU_L2 = 1.2
+#: inv_std fallback when the captured divide node cannot be identified:
+#: 1/sqrt(eps) with the substrate's eps = 1e-5.
+_INV_STD_FALLBACK = 1.0 / math.sqrt(1e-5)
+
+
+@dataclass
+class AdjointEnvelope:
+    """Backward-pass envelope at one compute precision."""
+
+    adjoint: AdjointGraph
+    fenv: ForwardEnvelope
+    u: float
+    gmags: dict = field(default_factory=dict)
+    gdeltas: dict = field(default_factory=dict)
+    unsupported: tuple = ()
+
+    def grad_delta(self, primal_id: int) -> float:
+        aid = self.adjoint.grad_of.get(primal_id)
+        return self.gdeltas[aid] if aid is not None else 0.0
+
+    def grad_relative(self, primal_id: int) -> float:
+        aid = self.adjoint.grad_of.get(primal_id)
+        if aid is None:
+            return 0.0
+        return self.gdeltas[aid] / max(self.gmags[aid], _TINY)
+
+    def param_relative(self) -> float:
+        """Worst scale-relative gradient error over all trainable leaves."""
+        worst = 0.0
+        graph = self.adjoint.primal
+        for pid, aid in self.adjoint.grad_of.items():
+            if graph[pid].kind != "param":
+                continue
+            worst = max(
+                worst, self.gdeltas[aid] / max(self.gmags[aid], _TINY)
+            )
+        return worst
+
+
+def _size(shape) -> int:
+    return int(np.prod(shape)) if shape else 1
+
+
+def adjoint_envelope(
+    adjoint: AdjointGraph, fenv: ForwardEnvelope, *, u: float,
+    seed_mag: float = 1.0,
+) -> AdjointEnvelope:
+    """Propagate gradient-error envelopes through ``adjoint`` at roundoff ``u``.
+
+    ``seed_mag`` is the magnitude bound of the ``backward()`` seed (the
+    shadow harness seeds with ones, hence the default 1.0).
+    """
+    aenv = AdjointEnvelope(adjoint=adjoint, fenv=fenv, u=u)
+    graph = adjoint.primal
+    unsupported: list = []
+
+    def pm(pid: int) -> float:
+        return fenv.nodes[pid].mag
+
+    def pd(pid: int) -> float:
+        return fenv.deltas[pid]
+
+    def captured_mag(entry, op: str, fallback: float):
+        """(mag, delta) of the closure-captured node with primal op ``op``."""
+        for cid in entry.captured:
+            node = graph[cid]
+            if node.kind == "op" and node.op == op:
+                return pm(cid), pd(cid)
+        return fallback, 0.0
+
+    for n in adjoint.nodes:
+        if n.kind == "seed":
+            aenv.gmags[n.id] = seed_mag
+            aenv.gdeltas[n.id] = 0.0
+            continue
+        if n.kind == "add":
+            gmag = sum(aenv.gmags[i] for i in n.inputs)
+            gdelta = sum(aenv.gdeltas[i] for i in n.inputs)
+            aenv.gmags[n.id] = gmag
+            aenv.gdeltas[n.id] = gdelta + _mul(u, gmag)
+            continue
+
+        entry = adjoint.tape[n.entry]
+        g_id = n.inputs[0]
+        mg = aenv.gmags[g_id]
+        dg = aenv.gdeltas[g_id]
+        out_size = _size(graph[entry.out].shape)
+        fan = max(1, out_size // max(_size(n.shape), 1))
+        parents = entry.parents
+        pidx = [i for i, p in enumerate(parents) if p == n.primal]
+        rule = _VJP_RULES.get(n.op)
+        if rule is None:
+            unsupported.append(n.op)
+            aenv.gmags[n.id] = _INF
+            aenv.gdeltas[n.id] = _INF
+            continue
+        gmag, gdelta = 0.0, 0.0
+        for i in pidx:
+            m, d = rule(
+                _Ctx(
+                    graph=graph, entry=entry, parent_index=i, fan=fan,
+                    mg=mg, dg=dg, u=u, pm=pm, pd=pd,
+                    captured_mag=captured_mag,
+                )
+            )
+            gmag, gdelta = max(gmag, m), max(gdelta, d)
+        aenv.gmags[n.id] = gmag
+        aenv.gdeltas[n.id] = gdelta
+
+    aenv.unsupported = tuple(sorted(set(unsupported)))
+    return aenv
+
+
+@dataclass
+class _Ctx:
+    """Everything a vjp rule needs, bundled to keep rule signatures flat."""
+
+    graph: object
+    entry: object
+    parent_index: int
+    fan: int
+    mg: float
+    dg: float
+    u: float
+    pm: object
+    pd: object
+    captured_mag: object
+
+    def parent(self, i: int) -> int:
+        return self.entry.parents[i]
+
+    def pshape(self, i: int):
+        return self.graph[self.parent(i)].shape
+
+    def oshape(self):
+        return self.graph[self.entry.out].shape
+
+
+def _linear(c, L: float, cross: float, round_base: float):
+    """Assemble a vjp envelope with an unbroadcast fan-in summation.
+
+    ``L`` amplifies the incoming gradient (value and error alike);
+    ``cross`` is the primal-error term per unit incoming gradient
+    magnitude; ``round_base`` is the closure's per-element rounding mass
+    (before the fan-in summation, whose mass is added here).
+    """
+    f = float(c.fan)
+    gmag = _mul(f, _mul(L, c.mg))
+    per = _mul(L, c.dg) + _mul(cross, c.mg) + _mul(c.u, round_base)
+    gdelta = _mul(f, per) + _mul(c.u, _sum_seed(c.fan, _mul(L, c.mg)))
+    return gmag, gdelta
+
+
+def _exact(c):
+    return c.mg, c.dg
+
+
+def _r_add(c):
+    return _linear(c, 1.0, 0.0, 0.0)
+
+
+def _r_mul(c):
+    other = c.parent(1 - c.parent_index)
+    L = c.pm(other)
+    return _linear(c, L, c.pd(other), _mul(L, c.mg))
+
+
+def _r_div(c):
+    a, b = c.parent(0), c.parent(1)
+    from .envelope import _assumed_lo
+
+    blo = _assumed_lo(c.graph[b], c.graph)
+    if blo == 0.0:
+        return _INF, _INF
+    if c.parent_index == 0:
+        L = 1.0 / blo
+        cross = c.pd(b) / (blo * blo)
+        return _linear(c, L, cross, _mul(L, c.mg))
+    L = c.pm(a) / (blo * blo)
+    cross = c.pd(a) / (blo * blo) + 2.0 * _mul(c.pm(a), c.pd(b)) / blo ** 3
+    return _linear(c, L, cross, _mul(2.0 * L, c.mg))
+
+
+def _r_pow(c):
+    a, b = c.parent(0), c.parent(1)
+    p_lo, p_hi = c.graph[b].vrange
+    if p_lo != p_hi or math.isinf(p_lo):
+        return _INF, _INF
+    p = p_lo
+    from .envelope import _assumed_lo
+
+    ma, alo = c.pm(a), _assumed_lo(c.graph[a], c.graph)
+
+    def apow(q: float) -> float:
+        if q >= 0.0:
+            return ma ** q if not math.isinf(ma) else _INF
+        return _INF if alo == 0.0 else alo ** q
+
+    L = abs(p) * apow(p - 1.0)
+    cross = abs(p * (p - 1.0)) * apow(p - 2.0) * c.pd(a)
+    return _linear(c, L, cross, _mul(2.0 * L, c.mg))
+
+
+def _r_matmul(c):
+    a, b = c.parent(0), c.parent(1)
+    oshape = c.oshape()
+    if c.parent_index == 0:
+        k = int(oshape[-1])  # grad_a = g @ b.T contracts the out cols
+        other, m_other, d_other = b, c.pm(b), c.pd(b)
+    else:
+        k = max(1, _size(oshape) // int(oshape[-1]))
+        other, m_other, d_other = a, c.pm(a), c.pd(a)
+    gmag = _mul(float(k), _mul(m_other, c.mg))
+    gdelta = (
+        _mul(float(k), _mul(m_other, c.dg) + _mul(d_other, c.mg))
+        + _mul(c.u, _mul(float(k), _mul(float(k), _mul(m_other, c.mg))))
+    )
+    return gmag, gdelta
+
+
+def _r_exp(c):
+    out = c.entry.out
+    L = c.pm(out)
+    return _linear(c, L, c.pd(out), _mul(L, c.mg))
+
+
+def _r_log(c):
+    from .envelope import _assumed_lo
+
+    a = c.parent(0)
+    alo = _assumed_lo(c.graph[a], c.graph)
+    if alo == 0.0:
+        return _INF, _INF
+    L = 1.0 / alo
+    return _linear(c, L, c.pd(a) / (alo * alo), _mul(L, c.mg))
+
+
+def _r_tanh(c):
+    out = c.entry.out
+    return _linear(c, 1.0, 2.0 * _mul(c.pm(out), c.pd(out)), 3.0 * c.mg)
+
+
+def _r_sigmoid(c):
+    out = c.entry.out
+    return _linear(c, 0.25, c.pd(out), c.mg)
+
+
+def _r_gelu(c):
+    a = c.parent(0)
+    return _linear(c, _GELU_L, _GELU_L2 * c.pd(a), 4.0 * _GELU_L * c.mg)
+
+
+def _r_avg_pool(c):
+    # grad / kernel^2, broadcast back: one division's rounding.
+    return _linear(c, 1.0, 0.0, c.mg)
+
+
+def _r_upsample(c):
+    # Backward sums the scale^2 fan of each input cell.
+    scale2 = max(1, _size(c.oshape()) // _size(c.pshape(0)))
+    gmag = _mul(float(scale2), c.mg)
+    gdelta = _mul(float(scale2), c.dg) + _mul(c.u, _sum_seed(scale2, c.mg))
+    return gmag, gdelta
+
+
+def _conv_counts(c):
+    """(t_x, t_w, t_b): contraction lengths of the three conv vjps."""
+    i = c.parent_index
+    oshape = c.oshape()
+    wshape = c.pshape(1)
+    t_b = int(oshape[0]) * _size(oshape[2:])
+    if i == 0:
+        if len(wshape) == 4:
+            # conv2d weight (c_out, c_in, k, k); transpose (c_in, c_out, k, k)
+            c_out = int(oshape[1])
+            k2 = _size(wshape[2:])
+        else:
+            c_out, k2 = int(oshape[1]), 1
+        return c_out * k2, None, t_b
+    if i == 1:
+        xshape = c.pshape(0)
+        return None, int(xshape[0]) * _size(xshape[2:]), t_b
+    return None, None, t_b
+
+
+def _r_conv(c):
+    t_x, t_w, t_b = _conv_counts(c)
+    i = c.parent_index
+    if i == 2:  # bias: plain fan-in sum over batch x spatial
+        gmag = _mul(float(t_b), c.mg)
+        return gmag, _mul(float(t_b), c.dg) + _mul(
+            c.u, _sum_seed(t_b, c.mg)
+        )
+    if i == 0:
+        t, other = t_x, c.parent(1)
+    else:
+        t, other = t_w, c.parent(0)
+    m_o, d_o = c.pm(other), c.pd(other)
+    gmag = _mul(float(t), _mul(m_o, c.mg))
+    gdelta = (
+        _mul(float(t), _mul(m_o, c.dg) + _mul(d_o, c.mg))
+        + _mul(c.u, _mul(float(t), _mul(float(t), _mul(m_o, c.mg))))
+    )
+    return gmag, gdelta
+
+
+def _softmax_axis_len(c) -> int:
+    oshape = c.oshape()
+    return max((int(s) for s in oshape), default=1)
+
+
+def _r_softmax(c):
+    out = c.entry.out
+    d = _softmax_axis_len(c)
+    m_out = min(c.pm(out), 1.0)
+    L = 2.0 * m_out
+    cross = 4.0 * c.pd(out)
+    round_base = _mul(float(d + 3), _mul(m_out, c.mg))
+    return _linear(c, L, cross, round_base)
+
+
+def _r_log_softmax(c):
+    # grad = g - probs * sum(g): probs is the captured exp of the output.
+    d = _softmax_axis_len(c)
+    m_probs, d_probs = c.captured_mag(c.entry, "exp", 1.0)
+    m_probs = min(m_probs, 1.0)
+    L = 1.0 + _mul(float(d), m_probs)
+    cross = _mul(float(d), d_probs)
+    round_base = _sum_seed(d, c.mg) + 2.0 * _mul(L, c.mg)
+    return _linear(c, L, cross, round_base)
+
+
+def _norm_shared(c):
+    """Shared lookups for batch_norm / layer_norm vjps."""
+    is_mag, is_delta = c.captured_mag(c.entry, "divide", _INV_STD_FALLBACK)
+    xh_mag, xh_delta = c.captured_mag(c.entry, "multiply", _INF)
+    gamma = c.parent(1)
+    return is_mag, is_delta, xh_mag, xh_delta, c.pm(gamma), c.pd(gamma)
+
+
+def _norm_affine(c, xh_mag, xh_delta):
+    """gamma/beta vjps: fan-in reductions of g (optionally times x_hat)."""
+    r = max(1, _size(c.oshape()) // max(_size(c.pshape(c.parent_index)), 1))
+    if c.parent_index == 2:  # beta: sum(g)
+        gmag = _mul(float(r), c.mg)
+        return gmag, _mul(float(r), c.dg) + _mul(c.u, _sum_seed(r, c.mg))
+    # gamma: sum(g * x_hat)
+    gmag = _mul(float(r), _mul(xh_mag, c.mg))
+    gdelta = (
+        _mul(float(r), _mul(xh_mag, c.dg) + _mul(xh_delta, c.mg))
+        + _mul(c.u, _sum_seed(r, _mul(xh_mag, c.mg)))
+    )
+    return gmag, gdelta
+
+
+def _r_batch_norm(c):
+    is_mag, is_delta, xh_mag, xh_delta, g_mag, g_delta = _norm_shared(c)
+    if c.parent_index != 0:
+        return _norm_affine(c, xh_mag, xh_delta)
+    # eval-mode x-grad: g * gamma * inv_std (the traced graphs run eval).
+    L = _mul(g_mag, is_mag)
+    cross = _mul(g_mag, is_delta) + _mul(is_mag, g_delta)
+    return _linear(c, L, cross, _mul(2.0 * L, c.mg))
+
+
+def _ln_coupled_inv_std(c, is_mag: float, is_delta: float):
+    """Re-bound inv_std under the REL_VAR_FLOOR regime (see envelope.py).
+
+    The captured divide's node-by-node forward delta pairs the maximal
+    ``var`` error (at ``|x| = sup``) with the minimal denominator (at
+    near-constant ``x``) — the same interval dependency problem the
+    forward normalizer composite avoids.  With ``var >= rho * sup|x|^2``
+    the extremes stay coupled:
+
+    ``|d inv_std| = (s^3/2)|d var| <= (s^3/2)(4 sup|x| |dx| + round)
+                 <= 2 s |dx| / (rho sup|x|)  +  (s^3/2) round``.
+    """
+    x = c.parent(0)
+    mx, dx = c.pm(x), c.pd(x)
+    if not math.isfinite(mx) or mx <= 0.0:
+        return is_mag, is_delta
+    eps = 1e-5
+    for cid in c.entry.captured:
+        node = c.graph[cid]
+        if node.kind == "op" and node.op == "divide":
+            den = c.graph[node.inputs[1]]
+            if den.kind == "op" and den.op == "sqrt":
+                found = _var_plus_eps(c.graph[den.inputs[0]], c.graph)
+                if found is not None:
+                    eps = found
+            break
+    rho = REL_VAR_FLOOR
+    d = int(c.pshape(0)[-1])
+    s = 1.0 / math.sqrt(rho * mx * mx + eps)
+    var_seed = _sum_seed(d, mx * mx) / max(d, 1) + 3.0 * mx * mx
+    coupled = 2.0 * s * dx / (rho * mx) + _mul(c.u, 0.5 * s ** 3 * var_seed)
+    return min(is_mag, s), min(is_delta, coupled)
+
+
+def _r_layer_norm(c):
+    is_mag, is_delta, xh_mag, xh_delta, g_mag, g_delta = _norm_shared(c)
+    if c.parent_index != 0:
+        return _norm_affine(c, xh_mag, xh_delta)
+    is_mag, is_delta = _ln_coupled_inv_std(c, is_mag, is_delta)
+    d = int(c.pshape(0)[-1])
+    shape_f = 2.0 + xh_mag * xh_mag
+    L = _mul(is_mag, _mul(g_mag, shape_f))
+    cross = (
+        _mul(shape_f, _mul(g_mag, is_delta) + _mul(is_mag, g_delta))
+        + _mul(is_mag, _mul(g_mag, 2.0 * _mul(xh_mag, xh_delta)))
+    )
+    round_base = (
+        _mul(_sum_seed(d, _mul(g_mag, max(xh_mag, 1.0))), is_mag) / max(d, 1)
+        + 6.0 * _mul(L, c.mg)
+    )
+    return _linear(c, L, cross, round_base)
+
+
+_VJP_RULES = {
+    "__add__": _r_add,
+    "__sub__": _r_add,
+    "__neg__": lambda c: _exact(c),
+    "__mul__": _r_mul,
+    "__truediv__": _r_div,
+    "__pow__": _r_pow,
+    "__matmul__": _r_matmul,
+    "sum": _exact,        # broadcast of g back over the reduced axes
+    "max": _exact,        # scatter to the argmax
+    "reshape": _exact,
+    "transpose": _exact,
+    "__getitem__": _exact,  # slice-scatter; disjoint destinations
+    "exp": _r_exp,
+    "log": _r_log,
+    "tanh": _r_tanh,
+    "sigmoid": _r_sigmoid,
+    "relu": _exact,       # mask
+    "gelu": _r_gelu,
+    "concatenate": _exact,
+    "stack": _exact,
+    "pad2d": _exact,      # slice
+    "max_pool2d": _exact,  # scatter to the argmax
+    "avg_pool2d": _r_avg_pool,
+    "upsample_nearest": _r_upsample,
+    "conv2d": _r_conv,
+    "conv_transpose2d": _r_conv,
+    "softmax": _r_softmax,
+    "log_softmax": _r_log_softmax,
+    "batch_norm": _r_batch_norm,
+    "layer_norm": _r_layer_norm,
+    "dropout": _exact,    # eval-mode identity never records; train: mask
+}

@@ -1,0 +1,155 @@
+"""Numerical-safety certificates for compiled execution plans.
+
+`repro.schedule` plans three transformations that can change results:
+pointwise fusion, execution reordering, and the REPRO301 dtype pin.
+This module prices each of them against the rounding-error envelope and
+either issues an explicit certificate or a blocking finding:
+
+* ``REPRO804`` — a fusion group is *error-neutral* iff every member is
+  an elementwise op from the fusable set, the group carries one uniform
+  dtype, and no reduction is fused into the chain.  Fused pointwise
+  chains evaluate each element in the same order as the unfused ops, so
+  they replay bitwise; a fused reduction or a mixed-dtype chain would
+  reassociate or re-round, and is refused.  Reductions themselves are
+  certified order-preserving: each executes as a single op whose
+  operand sequence the plan cannot permute.
+* ``REPRO805`` — each dtype-pin decision is priced as that node's share
+  of the output error envelope at the pinned roundoff minus its share
+  at float64 (``amp * seed * (u_pin - u64)``, scale-relative).  A pin
+  whose price exceeds the budget blocks; so does a pin under which the
+  interval domain proves overflow (``check_stability(pins=...)``, the
+  dtype-aware REPRO101 threshold).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..ir.passes import node_finding
+from ..ir.stability import check_stability
+from ..lint.rules import LintDiagnostic
+from ..schedule.compiler import FUSABLE_OPS
+from .envelope import UNIT_ROUNDOFF, _mul, _TINY
+
+__all__ = ["certify_plan"]
+
+_REDUCTIONS = (
+    "sum", "mean", "var", "matmul", "einsum", "col2im", "max", "amax",
+    "amin",
+)
+
+
+def _group_verdict(group, graph) -> tuple[bool, str]:
+    dtypes = {graph[nid].dtype.name for nid in group.nodes}
+    for nid, op in zip(group.nodes, group.ops):
+        if op in _REDUCTIONS:
+            return False, (
+                f"reduction {op!r} (%{nid}) inside a fused chain "
+                "reassociates the summation order"
+            )
+        if op not in FUSABLE_OPS:
+            return False, (
+                f"op {op!r} (%{nid}) is not in the fusable elementwise set"
+            )
+    if len(dtypes) > 1:
+        return False, (
+            "mixed dtypes "
+            + "/".join(sorted(dtypes))
+            + " re-round interior values at a different precision"
+        )
+    return True, (
+        "elementwise chain, uniform "
+        + next(iter(dtypes), "dtype")
+        + ", per-element evaluation order preserved"
+    )
+
+
+def certify_plan(plan, graph, fenv, *, budget: float) -> dict:
+    """Certificates + findings for ``plan`` given the forward envelope.
+
+    ``fenv`` must be the envelope of ``graph`` at the plan's pinned
+    roundoff (float32 for REPRO301-pinned plans).  Returns
+    ``{"certificates": [...], "findings": [...]}`` — every fusion group
+    and the dtype-pin decision appear in exactly one of the two.
+    """
+    findings: list = []
+    certificates: list = []
+
+    # -- REPRO804: fusion groups and summation order ---------------------------
+    for group in plan.fusion_groups:
+        neutral, reason = _group_verdict(group, graph)
+        cert = {
+            "kind": "fusion",
+            "nodes": list(group.nodes),
+            "ops": list(group.ops),
+            "error_neutral": neutral,
+            "reason": reason,
+        }
+        certificates.append(cert)
+        if not neutral:
+            findings.append(
+                node_finding(
+                    graph[group.nodes[0]],
+                    "REPRO804",
+                    f"planned fusion of ops {list(group.ops)} is not "
+                    f"error-neutral: {reason}",
+                )
+            )
+    reductions = [
+        nid for nid in plan.order
+        if graph[nid].kind == "op" and graph[nid].op in _REDUCTIONS
+    ]
+    certificates.append({
+        "kind": "summation_order",
+        "reductions": len(reductions),
+        "error_neutral": True,
+        "reason": "each reduction executes as a single op; the plan "
+                  "orders nodes, never a reduction's operand sequence",
+    })
+
+    # -- REPRO805: dtype-pin pricing -------------------------------------------
+    pin = plan.dtype_pin or "float64"
+    u_pin = UNIT_ROUNDOFF.get(pin, UNIT_ROUNDOFF["float64"])
+    u64 = UNIT_ROUNDOFF["float64"]
+    out_mag = max(
+        (fenv.nodes[i].mag for i in graph.outputs), default=_TINY
+    )
+    scale = max(out_mag, _TINY)
+    worst_rel, worst_node, priced = 0.0, None, 0
+    for nid in plan.order:
+        env = fenv.nodes.get(nid)
+        if env is None or env.seed == 0.0:
+            continue
+        priced += 1
+        amp = fenv.amps.get(nid, 0.0)
+        price = _mul(amp, env.seed) * (u_pin - u64) / scale
+        if price > worst_rel or (
+            math.isinf(price) and worst_node is None
+        ):
+            worst_rel, worst_node = price, nid
+        if price > budget:
+            findings.append(
+                node_finding(
+                    graph[nid],
+                    "REPRO805",
+                    f"pinning {graph[nid].op!r} to {pin} contributes "
+                    f"{price:.3e} relative error to the output "
+                    f"(budget {budget:.1e}); keep this node at float64",
+                )
+            )
+    for f in check_stability(graph, pins=plan.node_pins)["findings"]:
+        if f.code == "REPRO101":
+            findings.append(LintDiagnostic(
+                f.path, f.line, f.col, "REPRO805",
+                f"{pin} pin reaches overflow: {f.message}",
+            ))
+    certificates.append({
+        "kind": "dtype_pin",
+        "dtype": pin,
+        "nodes_priced": priced,
+        "worst_node": worst_node,
+        "worst_contribution_rel": f"{worst_rel:.6e}",
+        "budget": f"{budget:.1e}",
+        "within_budget": bool(worst_rel <= budget),
+    })
+    return {"certificates": certificates, "findings": findings}

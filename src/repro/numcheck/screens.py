@@ -1,0 +1,135 @@
+"""Interval-domain screens for cancellation and ill-conditioned reductions.
+
+These are *screens*, not proofs of failure: they flag sites where the
+value intervals admit catastrophic relative-error growth.  Both are
+advisory — the blocking verdicts come from the envelope bound (REPRO801)
+and the shadow harness (REPRO809), which price the actual impact.
+
+* ``REPRO802`` — a ``subtract`` whose operand intervals overlap with
+  nonzero width, whose result interval contains 0, and whose operands
+  carry incoming rounding error: the classic catastrophic-cancellation
+  shape, where relative error is unbounded even though absolute error
+  is fine.  Exact-centering idioms are exempt: the substrate's
+  max-shifted softmax (``meta["max_shifted"]``) and mean/max centering
+  ``x - reduce(x)``, both of which cancel *exactly rounded* quantities
+  by design.
+* ``REPRO803`` — a ``sum``/``mean`` over >= ``_MIN_COUNT`` mixed-sign
+  summands whose total can reach 0: the condition number
+  ``sum|x| / |sum x|`` is unbounded on the interval.  Softmax and
+  log-sum-exp denominators never fire (their summands are ``exp`` >= 0).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..ir.graph import Graph, Node
+from ..ir.passes import node_finding
+
+__all__ = ["screen_cancellation", "screen_reductions"]
+
+#: Reductions shorter than this cannot lose meaningful accuracy.
+_MIN_COUNT = 16
+
+_CENTER_REDUCTIONS = ("mean", "max", "amax", "min", "amin")
+
+
+def _overlap_width(a: Node, b: Node) -> float:
+    lo = max(a.vrange[0], b.vrange[0])
+    hi = min(a.vrange[1], b.vrange[1])
+    return hi - lo
+
+
+def _is_centering(a: Node, b: Node, graph: Graph) -> bool:
+    """``a - reduce(a)`` — subtracting a reduction of yourself."""
+    if b.op in _CENTER_REDUCTIONS and a.id in b.inputs:
+        return True
+    # mean spelled as ``sum(a) * (1/n)`` — the Tensor.mean lowering.
+    if b.op == "multiply":
+        return any(
+            graph[i].op == "sum" and a.id in graph[i].inputs
+            for i in b.inputs
+        )
+    return False
+
+
+def screen_cancellation(graph: Graph, fenv) -> list:
+    """REPRO802 findings for ``graph`` given its forward envelope."""
+    findings = []
+    for node in graph:
+        if node.kind != "op" or node.op != "subtract":
+            continue
+        if node.meta.get("max_shifted") is not None:
+            continue
+        a, b = (graph[i] for i in node.inputs)
+        if a.kind != "op" and b.kind != "op":
+            continue  # leaf-minus-leaf carries no incoming error
+        if _is_centering(a, b, graph) or _is_centering(b, a, graph):
+            continue
+        lo, hi = node.vrange
+        if not (lo <= 0.0 <= hi):
+            continue
+        width = _overlap_width(a, b)
+        if not (width > 0.0) and not math.isnan(width):
+            continue
+        incoming = fenv.deltas.get(a.id, 0.0) + fenv.deltas.get(b.id, 0.0)
+        if incoming == 0.0:
+            continue
+        findings.append(
+            node_finding(
+                node,
+                "REPRO802",
+                "catastrophic cancellation: operand intervals "
+                f"[{a.vrange[0]:.3g}, {a.vrange[1]:.3g}] and "
+                f"[{b.vrange[0]:.3g}, {b.vrange[1]:.3g}] overlap and the "
+                "difference can reach 0 while the operands carry rounding "
+                "error; restructure (factor, fused op, or compensated "
+                "subtraction) or widen the tolerance budget",
+            )
+        )
+    return findings
+
+
+def screen_reductions(graph: Graph, fenv) -> list:
+    """REPRO803 findings: ill-conditioned mixed-sign reductions."""
+    findings = []
+    for node in graph:
+        if node.kind != "op" or node.op not in ("sum", "mean"):
+            continue
+        src = graph[node.inputs[0]]
+        count = _reduce_count(node, src)
+        if count < _MIN_COUNT:
+            continue
+        slo, shi = src.vrange
+        if not (math.isfinite(slo) and math.isfinite(shi)):
+            continue  # sign-only interval: the screen would be vacuous
+        if not (slo < 0.0 < shi):
+            continue  # single-sign summands: condition number is 1
+        lo, hi = node.vrange
+        if not (lo <= 0.0 <= hi):
+            continue
+        findings.append(
+            node_finding(
+                node,
+                "REPRO803",
+                f"ill-conditioned {node.op} over {count} mixed-sign "
+                f"summands in [{slo:.3g}, {shi:.3g}]: the total can cancel "
+                "to 0, so relative accuracy is unbounded; reorder into "
+                "same-sign partial sums or accumulate in float64",
+            )
+        )
+    return findings
+
+
+def _reduce_count(node: Node, src: Node) -> int:
+    axes = dict(node.attrs).get("axes")
+    if axes is None:
+        import numpy as np
+
+        total = int(np.prod(src.shape)) if src.shape else 1
+        out = int(np.prod(node.shape)) if node.shape else 1
+        return max(1, total // max(out, 1))
+    count = 1
+    for ax in axes:
+        count *= src.shape[ax]
+    return int(count)

@@ -1,0 +1,117 @@
+"""Shadow execution: measure float32 error against a float64 oracle.
+
+Following the ``repro.perf.validate`` discipline — every static claim
+gets checked against a measurement — this harness runs each registry
+model's forward *and* backward once in float32 and once in float64,
+with bit-identical weights and inputs, and reports the measured
+scale-relative error of the output and of every parameter gradient.
+
+The oracle shares the float32 run's exact weights: the model is built
+under the float32 default dtype, then its parameters and buffers are
+promoted to float64 — an exact conversion (every float32 value is
+representable in float64), so the two runs differ *only* in rounding.
+The driver compares the measured errors against the certified envelope
+(REPRO809 blocking when measurement exceeds certificate, REPRO810
+advisory when the certificate is >100x slack).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..models.registry import build_model
+from ..nn.tensor import Tensor
+from ..perf.report import default_dtype
+
+__all__ = ["ShadowResult", "shadow_run"]
+
+_TINY = 1e-300
+
+
+@dataclass(frozen=True)
+class ShadowResult:
+    """Measured float32-vs-float64 error of one forward+backward run."""
+
+    model: str
+    preset: str
+    grid: int
+    batch: int
+    forward_error: float   # scale-relative: max|d(out)| / max|out_64|
+    forward_abs: float     # absolute: max|out_32 - out_64|
+    backward_error: float  # worst scale-relative parameter-gradient error
+    worst_param: str       # which parameter gradient was worst
+    grad_abs: dict         # param name -> absolute gradient error
+
+
+def _abs_rel(lhs: np.ndarray, ref: np.ndarray) -> tuple[float, float]:
+    diff = float(np.max(np.abs(lhs.astype(np.float64) - ref)))
+    scale = float(np.max(np.abs(ref)))
+    return diff, diff / max(scale, _TINY)
+
+
+def shadow_run(
+    model_name: str,
+    *,
+    preset: str = "fast",
+    grid: int = 32,
+    batch: int = 1,
+    in_channels: int = 6,
+    seed: int = 0,
+) -> ShadowResult:
+    """Run ``model_name`` forward+backward at float32 and float64.
+
+    Deterministic for fixed arguments up to the BLAS the runtime links
+    (measured values are therefore *never* part of the byte-stable
+    baseline slice — only the certified envelopes are).
+    """
+    with default_dtype(np.float32):
+        model = build_model(
+            model_name, preset=preset, grid=grid, seed=seed,
+            in_channels=in_channels,
+        )
+    model.eval()
+    rng = np.random.default_rng(seed + 1)
+    x32 = rng.random((batch, in_channels, grid, grid)).astype(np.float32)
+
+    with default_dtype(np.float32):
+        out32 = model(Tensor(x32))
+        out32.backward(np.ones(out32.data.shape, dtype=np.float32))
+    out32_data = np.asarray(out32.data, dtype=np.float64)
+    grads32 = {
+        name: np.array(p.grad, copy=True)
+        for name, p in model.named_parameters()
+        if p.grad is not None
+    }
+
+    # Exact promotion: same weights, wider accumulation.
+    for p in model.parameters():
+        p.data = p.data.astype(np.float64)
+        p.grad = None
+    for m in model.modules():
+        for name, buf in list(m._buffers.items()):
+            m.register_buffer(name, buf.astype(np.float64))
+
+    with default_dtype(np.float64):
+        out64 = model(Tensor(x32.astype(np.float64)))
+        out64.backward(np.ones(out64.data.shape, dtype=np.float64))
+    out64_data = np.asarray(out64.data)
+
+    forward_abs, forward_error = _abs_rel(out32_data, out64_data)
+    backward_error, worst_param = 0.0, ""
+    grad_abs: dict = {}
+    for name, p in model.named_parameters():
+        g32 = grads32.get(name)
+        if g32 is None or p.grad is None:
+            continue
+        diff, err = _abs_rel(g32, np.asarray(p.grad))
+        grad_abs[name] = diff
+        if err > backward_error:
+            backward_error, worst_param = err, name
+    return ShadowResult(
+        model=model_name, preset=preset, grid=grid, batch=batch,
+        forward_error=forward_error, forward_abs=forward_abs,
+        backward_error=backward_error, worst_param=worst_param,
+        grad_abs=grad_abs,
+    )

@@ -1,0 +1,142 @@
+"""Float32 feature-pipeline certification (numcheck satellite).
+
+The six feature maps ship as float32 while every rectangle
+accumulation (``bincount`` + ``cumsum``) runs in float64 — the
+REPRO806 invariant.  These tests certify both halves of that contract:
+
+* a float64 *shadow run* of the identical extraction code bounds the
+  end-to-end float32 error at grids 64 and 256 within an envelope
+  derived from float32 unit roundoff (ops-counted, not tuned), and
+* the numcheck flow lint statically proves the float64-only-inside-
+  accumulation invariant on ``features/grids.py`` — and still fires on
+  a mutated copy that narrows before accumulating.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import numpy as np
+import pytest
+
+import repro.features.grids as grids
+from repro.features import FEATURE_NAMES, FeatureExtractor
+from repro.numcheck import lint_source
+from repro.numcheck.envelope import unit_roundoff
+
+U32 = unit_roundoff(np.float32)
+
+# Ops-counted envelope: after the float64 accumulation narrows, at most
+# ~5 float32 roundings reach a raw map element (the narrowing itself,
+# the normalization divides, the rudy add, the pre-accumulation pin
+# weights); bilinear resize adds ~11 more (weight rounding plus four
+# convex products and three adds).  A 3x headroom factor keeps the
+# bound a certificate rather than a tuned constant.
+CERT_REL_RAW = 16 * U32
+CERT_REL_RESIZED = 48 * U32
+
+
+class _Float64Numpy:
+    """numpy proxy whose ``float32`` is float64: the shadow pipeline.
+
+    Rebinding ``grids.np`` to this object makes every explicit
+    ``astype(np.float32)`` / ``dtype=np.float32`` in the extraction
+    code widen instead of narrow, so the shadow run exercises the
+    *identical* code path at full precision.
+    """
+
+    float32 = np.float64
+
+    def __getattr__(self, name):
+        return getattr(np, name)
+
+
+@pytest.fixture
+def shadow_numpy(monkeypatch):
+    monkeypatch.setattr(grids, "np", _Float64Numpy())
+
+
+def _shadow_pair(design, grid, out=None, monkeypatch=None):
+    """(float32 stack, float64 shadow stack) for the same placement."""
+    extractor = FeatureExtractor(grid=grid)
+    if out is None:
+        f32 = extractor(design)
+    else:
+        f32 = extractor.resized(design, out)
+    saved = grids.np
+    grids.np = _Float64Numpy()
+    try:
+        if out is None:
+            f64 = extractor(design)
+        else:
+            f64 = extractor.resized(design, out)
+    finally:
+        grids.np = saved
+    return f32, f64
+
+
+class TestFloat32Certification:
+    """Shadow-run validation of the shipped float32 pipeline."""
+
+    def test_raw_grid64_within_certified_envelope(self, tiny_design):
+        f32, f64 = _shadow_pair(tiny_design, 64)
+        assert f32.dtype == np.float32
+        assert f64.dtype == np.float64
+        for k, name in enumerate(FEATURE_NAMES):
+            scale = max(float(np.abs(f64[k]).max()), 1.0)
+            err = float(np.abs(f32[k].astype(np.float64) - f64[k]).max())
+            assert err <= CERT_REL_RAW * scale, (
+                f"{name}: float32 error {err:.3e} exceeds certified "
+                f"{CERT_REL_RAW * scale:.3e} at grid 64"
+            )
+
+    def test_resized_grid256_within_certified_envelope(self, tiny_design):
+        f32, f64 = _shadow_pair(tiny_design, 64, out=256)
+        assert f32.shape == (len(FEATURE_NAMES), 256, 256)
+        for k, name in enumerate(FEATURE_NAMES):
+            scale = max(float(np.abs(f64[k]).max()), 1.0)
+            err = float(np.abs(f32[k].astype(np.float64) - f64[k]).max())
+            assert err <= CERT_REL_RESIZED * scale, (
+                f"{name}: float32 error {err:.3e} exceeds certified "
+                f"{CERT_REL_RESIZED * scale:.3e} at 256x256"
+            )
+
+    def test_shadow_pipeline_actually_widens(self, tiny_design, shadow_numpy):
+        stack = FeatureExtractor(grid=16)(tiny_design)
+        assert stack.dtype == np.float64
+
+    def test_error_is_not_identically_zero(self, tiny_design):
+        # The certificate must bound a *real* quantity: the float32 run
+        # genuinely differs from the float64 shadow somewhere.
+        f32, f64 = _shadow_pair(tiny_design, 64)
+        assert float(np.abs(f32.astype(np.float64) - f64).max()) > 0.0
+
+
+class TestAccumulationInvariantLint:
+    """Static REPRO806 audit: float64-only inside the accumulations."""
+
+    def test_grids_module_is_clean(self):
+        source = inspect.getsource(grids)
+        findings = lint_source(source, "repro/features/grids.py")
+        assert findings == [], [f.message for f in findings]
+
+    def test_narrowed_accumulation_fires(self):
+        # The adversarial twin: narrowing *before* the accumulation is
+        # exactly the hazard the shipped code avoids.
+        bad = (
+            "import numpy as np\n"
+            "def f(diff):\n"
+            "    diff_f32 = diff.astype(np.float32)\n"
+            "    return diff_f32.cumsum(axis=0).cumsum(axis=1)\n"
+        )
+        findings = lint_source(bad, "twin.py")
+        assert any(f.code == "REPRO806" for f in findings)
+
+    def test_float32_weighted_bincount_fires(self):
+        bad = (
+            "import numpy as np\n"
+            "def f(idx, v):\n"
+            "    return np.bincount(idx, weights=v.astype(np.float32))\n"
+        )
+        findings = lint_source(bad, "twin.py")
+        assert any(f.code == "REPRO806" for f in findings)

@@ -119,6 +119,42 @@ class TestPromotion:
         assert _codes(Scaled(), (2, 8), input_vrange=(0.0, 1.0)) == []
 
 
+class TestPinnedDtypeThresholds:
+    """Overflow limits follow the *pinned* execution dtype, not the
+    traced one — a graph scheduled to run at float32 must be screened
+    against exp's ~88.7 bound, not float64's ~709.8 (REPRO805's
+    stability half)."""
+
+    class Exp(Module):
+        def forward(self, x):
+            return x.exp()
+
+    def _exp_graph(self, hi):
+        return trace(self.Exp(), (2, 8), input_vrange=(0.0, hi))
+
+    def _exp_node(self, graph):
+        return next(n for n in graph if n.kind == "op" and n.op == "exp")
+
+    def test_float64_trace_clean_between_thresholds(self):
+        # 100 < log(float64 max) ~ 709.8: safe as traced.
+        graph = self._exp_graph(100.0)
+        assert check_stability(graph)["findings"] == []
+
+    def test_float32_pin_lowers_the_limit(self):
+        # The same graph pinned to float32 overflows past ~88.7.
+        graph = self._exp_graph(100.0)
+        pins = {self._exp_node(graph).id: "float32"}
+        codes = [
+            f.code for f in check_stability(graph, pins=pins)["findings"]
+        ]
+        assert codes == ["REPRO101"]
+
+    def test_float32_pin_safe_below_its_limit(self):
+        graph = self._exp_graph(80.0)
+        pins = {self._exp_node(graph).id: "float32"}
+        assert check_stability(graph, pins=pins)["findings"] == []
+
+
 @pytest.mark.parametrize("name", MODEL_NAMES)
 def test_registry_models_are_stable(name):
     """The shipped models must produce zero stability findings."""

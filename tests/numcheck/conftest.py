@@ -1,0 +1,48 @@
+"""Shared toy modules and tracing helpers for the numcheck suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir import trace
+from repro.ir.trace import trace_tape
+from repro.nn import Module
+from repro.numcheck import UNIT_ROUNDOFF, forward_envelope
+
+U32 = UNIT_ROUNDOFF["float32"]
+U64 = UNIT_ROUNDOFF["float64"]
+
+
+class StableSoftmax(Module):
+    """The substrate's max-shifted softmax, written in Tensor ops."""
+
+    def forward(self, x):
+        e = (x - x.max(axis=-1, keepdims=True)).exp()
+        return e / e.sum(axis=-1, keepdims=True)
+
+
+class StableLogSoftmax(Module):
+    def forward(self, x):
+        s = x - x.max(axis=-1, keepdims=True)
+        return s - s.exp().sum(axis=-1, keepdims=True).log()
+
+
+def traced_envelope(module, *shapes, vrange=(0.0, 1.0), u=U32):
+    """Trace ``module`` and return ``(graph, forward_envelope)``."""
+    graph = trace(module, *shapes, input_vrange=vrange)
+    return graph, forward_envelope(graph, u=u)
+
+
+@pytest.fixture(scope="session")
+def unet_traced():
+    """One shared forward+tape trace of the smallest registry model."""
+    from repro.models.registry import build_model
+    from repro.perf.report import DEPLOY_DTYPE, default_dtype
+
+    with default_dtype(DEPLOY_DTYPE):
+        model = build_model("unet", preset="tiny", grid=32, seed=0)
+        graph, tape = trace_tape(
+            model, (1, 6, 32, 32), input_vrange=(0.0, 1.0), name="unet",
+            concrete_params=True,
+        )
+    return graph, tape

@@ -1,0 +1,47 @@
+"""Adjoint envelope: finite per-parameter gradient bounds that scale
+with the roundoff and cover every grad-carrying leaf."""
+
+import math
+
+import pytest
+
+from repro.adjoint import build_adjoint_graph
+from repro.numcheck import adjoint_envelope, forward_envelope
+
+from .conftest import U32, U64
+
+
+@pytest.fixture(scope="module")
+def adjoint_pair(unet_traced):
+    graph, tape = unet_traced
+    adjoint = build_adjoint_graph(graph, tape)
+    fenv32 = forward_envelope(graph, u=U32)
+    fenv64 = forward_envelope(graph, u=U64)
+    a32 = adjoint_envelope(adjoint, fenv32, u=U32)
+    a64 = adjoint_envelope(adjoint, fenv64, u=U64)
+    return graph, adjoint, a32, a64
+
+
+class TestAdjointEnvelope:
+    def test_all_param_gradients_bounded(self, adjoint_pair):
+        graph, adjoint, a32, _ = adjoint_pair
+        params = [n for n in graph if n.kind == "param"]
+        assert params
+        for leaf in params:
+            aid = adjoint.grad_of.get(leaf.id)
+            assert aid is not None, leaf.name
+            delta = a32.gdeltas[aid]
+            assert math.isfinite(delta) and delta >= 0.0, leaf.name
+
+    def test_no_unsupported_adjoint_ops(self, adjoint_pair):
+        _, _, a32, _ = adjoint_pair
+        assert a32.unsupported == ()
+
+    def test_param_relative_finite_positive(self, adjoint_pair):
+        _, _, a32, _ = adjoint_pair
+        rel = a32.param_relative()
+        assert math.isfinite(rel) and rel > 0.0
+
+    def test_float64_adjoint_tighter(self, adjoint_pair):
+        _, _, a32, a64 = adjoint_pair
+        assert 0.0 < a64.param_relative() < a32.param_relative()

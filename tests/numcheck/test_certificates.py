@@ -1,0 +1,106 @@
+"""Plan certificates: every fusion group and dtype pin gets either a
+certificate or a blocking finding — never silence."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.numcheck import certify_plan, forward_envelope
+from repro.schedule.compiler import compile_plan
+
+from .conftest import U32
+
+
+@pytest.fixture(scope="module")
+def certified(unet_traced):
+    graph, tape = unet_traced
+    fenv = forward_envelope(graph, u=U32)
+    plan = compile_plan(graph, tape)
+    return plan, graph, fenv, certify_plan(
+        plan, graph, fenv, budget=1e3
+    )
+
+
+class TestFusionCertificates:
+    def test_every_group_certified_or_flagged(self, certified):
+        plan, graph, fenv, result = certified
+        fusion = [
+            c for c in result["certificates"] if c["kind"] == "fusion"
+        ]
+        assert len(fusion) == len(plan.fusion_groups)
+        flagged = {
+            f.line for f in result["findings"] if f.code == "REPRO804"
+        }
+        for cert in fusion:
+            if not cert["error_neutral"]:
+                assert flagged  # refusal always carries a finding
+
+    def test_compiled_plan_is_error_neutral(self, certified):
+        _, _, _, result = certified
+        assert all(
+            c["error_neutral"]
+            for c in result["certificates"]
+            if c["kind"] == "fusion"
+        )
+        assert not any(
+            f.code == "REPRO804" for f in result["findings"]
+        )
+
+    def test_summation_order_certificate_present(self, certified):
+        _, _, _, result = certified
+        order = [
+            c for c in result["certificates"]
+            if c["kind"] == "summation_order"
+        ]
+        assert len(order) == 1 and order[0]["error_neutral"]
+
+    def test_fused_reduction_is_refused(self, certified):
+        plan, graph, fenv, _ = certified
+        # Adversarial plan: splice a reduction into a pointwise chain.
+        from repro.numcheck.certificates import _REDUCTIONS
+
+        some_red = next(
+            n for n in graph if n.kind == "op" and n.op in _REDUCTIONS
+        )
+        some_add = next(
+            n.id for n in graph if n.kind == "op" and n.op == "add"
+        )
+        bad = SimpleNamespace(
+            fusion_groups=[SimpleNamespace(
+                nodes=(some_add, some_red.id), ops=("add", some_red.op),
+            )],
+            order=list(plan.order),
+            dtype_pin=plan.dtype_pin,
+            node_pins=plan.node_pins,
+        )
+        result = certify_plan(bad, graph, fenv, budget=1e3)
+        assert any(f.code == "REPRO804" for f in result["findings"])
+        fusion = [
+            c for c in result["certificates"] if c["kind"] == "fusion"
+        ]
+        assert fusion and not fusion[0]["error_neutral"]
+        assert "reassociates" in fusion[0]["reason"]
+
+
+class TestDtypePinPricing:
+    def test_pin_certificate_within_budget(self, certified):
+        _, _, _, result = certified
+        pin = next(
+            c for c in result["certificates"] if c["kind"] == "dtype_pin"
+        )
+        assert pin["dtype"] == "float32"
+        assert pin["within_budget"]
+        assert pin["nodes_priced"] > 0
+        assert float(pin["worst_contribution_rel"]) >= 0.0
+        assert not any(
+            f.code == "REPRO805" for f in result["findings"]
+        )
+
+    def test_zero_budget_blocks_the_pin(self, certified):
+        plan, graph, fenv, _ = certified
+        result = certify_plan(plan, graph, fenv, budget=0.0)
+        assert any(f.code == "REPRO805" for f in result["findings"])
+        pin = next(
+            c for c in result["certificates"] if c["kind"] == "dtype_pin"
+        )
+        assert not pin["within_budget"]

@@ -1,0 +1,119 @@
+"""Forward envelope: finiteness, u-scaling, the contribution identity
+and the two structural mechanisms (softmax cap, normalizer composite)
+that keep deep bounds finite."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ir.trace import trace_tape
+from repro.nn import Module
+from repro.nn.layers import LayerNorm
+from repro.numcheck import forward_envelope
+
+from .conftest import U32, U64, StableSoftmax, traced_envelope
+
+
+class PolyTanh(Module):
+    """Cap-free single-output chain: every op is linearized exactly."""
+
+    def forward(self, x):
+        y = (x * 3.0 + 1.5).tanh()
+        return (y * y + x).sum(axis=-1)
+
+
+class TestEnvelopeBasics:
+    def test_deltas_finite_nonnegative(self):
+        graph, fenv = traced_envelope(StableSoftmax(), (2, 8))
+        assert fenv.unsupported == ()
+        for nid, delta in fenv.deltas.items():
+            assert delta >= 0.0, nid
+            assert math.isfinite(delta), nid
+
+    def test_leaves_are_exact(self):
+        graph, fenv = traced_envelope(StableSoftmax(), (2, 8))
+        for node in graph:
+            if node.kind != "op":
+                assert fenv.deltas[node.id] == 0.0
+                assert fenv.nodes[node.id].exact
+
+    def test_float64_envelope_tighter_than_float32(self):
+        graph, f32 = traced_envelope(PolyTanh(), (2, 8))
+        f64 = forward_envelope(graph, u=U64)
+        assert 0.0 < f64.output_delta() < f32.output_delta()
+        # u-linear model: deltas scale exactly with the roundoff.
+        assert f64.output_delta() == pytest.approx(
+            f32.output_delta() * U64 / U32
+        )
+
+
+class TestContributionIdentity:
+    """delta(out) == sum_n amp(n)*seed(n)*u on cap-free graphs."""
+
+    def test_identity_holds_without_caps(self):
+        graph, fenv = traced_envelope(PolyTanh(), (2, 8))
+        total = sum(fenv.contribution(n.id) for n in graph)
+        assert math.isfinite(fenv.output_delta())
+        assert total == pytest.approx(fenv.output_delta(), rel=1e-9)
+
+    def test_decomposition_upper_bounds_when_cap_saturates(self):
+        # At +-1e4 logits the softmax quotient cap saturates: the
+        # linear decomposition stays an upper bound, never an equality
+        # claim.
+        graph, fenv = traced_envelope(
+            StableSoftmax(), (2, 64), vrange=(-1e4, 1e4)
+        )
+        total = sum(fenv.contribution(n.id) for n in graph)
+        assert fenv.output_delta() <= total * (1 + 1e-12)
+
+
+class TestSoftmaxCap:
+    def test_cap_bounds_extreme_logits(self):
+        # Without the structural cap, 1e4-scale score errors make the
+        # quotient bound vacuous; the computed quotient provably lives
+        # in [0, 1 + O(u)], so the error saturates there.
+        graph, fenv = traced_envelope(
+            StableSoftmax(), (2, 64), vrange=(-1e4, 1e4)
+        )
+        assert fenv.output_delta() <= 1.0 + 4.0 * U32
+
+    def test_small_logits_beat_the_cap(self):
+        graph, fenv = traced_envelope(
+            StableSoftmax(), (2, 8), vrange=(-1.0, 1.0)
+        )
+        # Benign regime: the linear envelope itself is well under the
+        # saturation cap, so the cap is not what bounds it.
+        assert fenv.output_delta() < 0.5
+
+
+class TestNormalizerComposite:
+    def test_layer_norm_envelope_is_finite_at_scale(self):
+        # Node-by-node interval propagation pairs the maximal variance
+        # error with the minimal denominator — mutually exclusive
+        # extremes whose product diverges.  The composite rule
+        # (REL_VAR_FLOOR regime) must keep the bound finite even for
+        # inputs at +-50.
+        ln = LayerNorm(32)
+        graph, _ = trace_tape(
+            ln, (2, 32), input_vrange=(-50.0, 50.0), concrete_params=True
+        )
+        fenv = forward_envelope(graph, u=U32)
+        delta = fenv.output_delta()
+        assert math.isfinite(delta)
+        assert delta < 1.0
+        assert any(
+            env.note == "normalizer composite"
+            for env in fenv.nodes.values()
+        )
+
+    def test_layer_norm_output_magnitude_bounded(self):
+        # |x_hat| <= sqrt(d) under the variance-floor regime.
+        d = 32
+        ln = LayerNorm(d)
+        graph, _ = trace_tape(
+            ln, (2, d), input_vrange=(-50.0, 50.0), concrete_params=True
+        )
+        fenv = forward_envelope(graph, u=U32)
+        out_mag = max(fenv.nodes[i].mag for i in graph.outputs)
+        assert out_mag <= np.sqrt(d) * 1.5  # gamma*x_hat + beta headroom

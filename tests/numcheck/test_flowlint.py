@@ -1,0 +1,116 @@
+"""Flow lint: every REPRO806-808 shape fires on its adversarial twin
+and stays silent on the guarded spelling the flow actually uses."""
+
+from repro.numcheck import FLOW_PACKAGES, lint_flow, lint_source
+
+
+def _codes(source: str) -> list[str]:
+    return [f.code for f in lint_source(source, "fixture.py")]
+
+
+class TestFloat32Accumulation:
+    def test_cumsum_of_narrowed_operand_fires(self):
+        src = (
+            "import numpy as np\n"
+            "def f(d):\n"
+            "    return d.astype(np.float32).cumsum(axis=0)\n"
+        )
+        assert "REPRO806" in _codes(src)
+
+    def test_bincount_float32_weights_fires(self):
+        src = (
+            "import numpy as np\n"
+            "def f(i, v):\n"
+            "    return np.bincount(i, weights=np.float32(1) * v)\n"
+        )
+        assert "REPRO806" in _codes(src)
+
+    def test_untyped_accumulation_is_safe(self):
+        # numpy's default float64 accumulation is the safe case.
+        src = "def f(d):\n    return d.cumsum(axis=0)\n"
+        assert _codes(src) == []
+
+    def test_narrow_after_accumulate_is_safe(self):
+        src = (
+            "import numpy as np\n"
+            "def f(d):\n"
+            "    return d.cumsum(axis=0).astype(np.float32)\n"
+        )
+        assert _codes(src) == []
+
+
+class TestUnguardedExp:
+    def test_bare_exp_fires(self):
+        assert "REPRO807" in _codes(
+            "import numpy as np\ndef f(x):\n    return np.exp(x)\n"
+        )
+
+    def test_negated_argument_is_guarded(self):
+        assert _codes(
+            "import numpy as np\ndef f(x):\n    return np.exp(-x)\n"
+        ) == []
+
+    def test_metropolis_shape_is_guarded(self):
+        # exp(-delta / temperature): negation nested under a division.
+        assert _codes(
+            "import numpy as np\n"
+            "def f(delta, t):\n"
+            "    return np.exp(-delta / t)\n"
+        ) == []
+
+    def test_max_shift_is_guarded(self):
+        assert _codes(
+            "import numpy as np\n"
+            "def f(x):\n"
+            "    return np.exp(x - x.max())\n"
+        ) == []
+
+    def test_clip_is_guarded(self):
+        assert _codes(
+            "import numpy as np\n"
+            "def f(x):\n"
+            "    return np.exp(np.clip(x, None, 80.0))\n"
+        ) == []
+
+
+class TestOverTightTolerance:
+    def test_sub_roundoff_atol_fires(self):
+        src = (
+            "import numpy as np\n"
+            "def f(a, b):\n"
+            "    return np.allclose(a, b, atol=1e-9)\n"
+        )
+        assert "REPRO808" in _codes(src)
+
+    def test_float32_achievable_rtol_is_safe(self):
+        src = (
+            "import numpy as np\n"
+            "def f(a, b):\n"
+            "    return np.allclose(a, b, rtol=1e-5)\n"
+        )
+        assert _codes(src) == []
+
+
+class TestSuppressionAndAudit:
+    def test_noqa_suppresses(self):
+        src = (
+            "import numpy as np\n"
+            "def f(x):\n"
+            "    return np.exp(x)  # noqa: REPRO807\n"
+        )
+        assert _codes(src) == []
+
+    def test_syntax_error_returns_empty(self):
+        assert lint_source("def f(:\n", "broken.py") == []
+
+    def test_flow_surface_is_clean(self):
+        # The shipped placer/router/feature/netlist code must audit
+        # clean — these packages are exactly what the envelope cannot
+        # reach.
+        result = lint_flow()
+        assert len(result["audited_files"]) >= 20
+        assert result["findings"] == [], [
+            f"{f.path}:{f.line} {f.code}" for f in result["findings"]
+        ]
+        audited_pkgs = {p.split("/")[1] for p in result["audited_files"]}
+        assert audited_pkgs == set(FLOW_PACKAGES)

@@ -1,0 +1,95 @@
+"""Property tests: measured float32 softmax / log-softmax error at
++-1e4 logits stays inside the statically certified envelope.
+
+This is the shadow-harness contract in miniature — the certified bound
+must hold for *concrete* extreme inputs, not just in the abstract
+domain — exercised at logit magnitudes where an unshifted softmax
+would overflow outright.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor
+from repro.numcheck import forward_envelope
+
+from .conftest import U32, U64, StableLogSoftmax, StableSoftmax, traced_envelope
+
+LOGIT_SCALE = 1e4
+
+
+def _certified_abs(module, shape):
+    graph, f32 = traced_envelope(
+        module, shape, vrange=(-LOGIT_SCALE, LOGIT_SCALE)
+    )
+    f64 = forward_envelope(graph, u=U64)
+    # Same convention as the certifier: float32 run vs float64
+    # reference, so both sides' rounding is priced.
+    return f32.output_delta() + f64.output_delta()
+
+
+def _float32_run(module, logits):
+    from repro.perf.report import default_dtype
+
+    with default_dtype(np.float32):
+        y32 = module(Tensor(logits.astype(np.float32))).numpy()
+    assert y32.dtype == np.float32
+    return y32
+
+
+def _measured_abs(module, logits):
+    y32 = _float32_run(module, logits)
+    y64 = module(Tensor(logits.astype(np.float64))).numpy()
+    return float(np.abs(y32.astype(np.float64) - y64).max())
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+class TestSoftmaxEnvelope:
+    def test_measured_within_certified(self, seed):
+        rng = np.random.default_rng(seed)
+        logits = rng.uniform(-LOGIT_SCALE, LOGIT_SCALE, size=(16, 64))
+        cert = _certified_abs(StableSoftmax(), (16, 64))
+        assert math.isfinite(cert)
+        assert _measured_abs(StableSoftmax(), logits) <= cert
+
+    def test_rows_remain_normalized_in_float32(self, seed):
+        rng = np.random.default_rng(seed)
+        logits = rng.uniform(-LOGIT_SCALE, LOGIT_SCALE, size=(16, 64))
+        y32 = _float32_run(StableSoftmax(), logits)
+        assert np.all(np.isfinite(y32))
+        np.testing.assert_allclose(
+            y32.sum(axis=-1), 1.0, rtol=64 * U32
+        )
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+class TestLogSoftmaxEnvelope:
+    def test_measured_within_certified(self, seed):
+        rng = np.random.default_rng(seed)
+        logits = rng.uniform(-LOGIT_SCALE, LOGIT_SCALE, size=(16, 64))
+        cert = _certified_abs(StableLogSoftmax(), (16, 64))
+        assert math.isfinite(cert)
+        assert _measured_abs(StableLogSoftmax(), logits) <= cert
+
+    def test_outputs_are_finite_nonpositive_ish(self, seed):
+        # log-softmax <= 0 mathematically; float32 rounding can only
+        # cross zero by an ulp-scale amount.
+        rng = np.random.default_rng(seed)
+        logits = rng.uniform(-LOGIT_SCALE, LOGIT_SCALE, size=(16, 64))
+        y32 = _float32_run(StableLogSoftmax(), logits)
+        assert np.all(np.isfinite(y32))
+        assert y32.max() <= 64 * U32
+
+
+class TestAdversarialTwin:
+    def test_unshifted_softmax_overflows_where_shifted_does_not(self):
+        # The twin justifying the whole exercise: without the max
+        # shift, float32 exp overflows at these logits.
+        logits = np.full((2, 4), 500.0, dtype=np.float32)
+        with np.errstate(over="ignore"):
+            naive = np.exp(logits)
+        assert np.isinf(naive).any()
+        y32 = _float32_run(StableSoftmax(), logits)
+        assert np.all(np.isfinite(y32))

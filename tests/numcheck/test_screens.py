@@ -1,0 +1,100 @@
+"""Interval screens: each fires on its adversarial shape and stays
+silent on the safe twin the substrate actually ships."""
+
+from repro.nn import Module
+from repro.numcheck import screen_cancellation, screen_reductions
+
+from .conftest import StableSoftmax, traced_envelope
+
+
+def _codes(module, *shapes, vrange=(0.0, 1.0)):
+    graph, fenv = traced_envelope(module, *shapes, vrange=vrange)
+    return [
+        f.code
+        for f in screen_cancellation(graph, fenv)
+        + screen_reductions(graph, fenv)
+    ]
+
+
+# -- REPRO802: catastrophic cancellation ---------------------------------------
+
+
+class CancellingDifference(Module):
+    """Two rounded quantities whose difference can reach 0."""
+
+    def forward(self, x):
+        return x * 2.0 - x * 3.0
+
+
+class LeafMinusLeaf(Module):
+    """Exact operands carry no incoming error: nothing to cancel."""
+
+    def forward(self, x, y):
+        return x - y
+
+
+class MeanCentering(Module):
+    """``x - mean(x)`` cancels exactly rounded quantities by design."""
+
+    def forward(self, x):
+        return (x - x.mean(axis=-1, keepdims=True)) * 2.0
+
+
+class TestCancellationScreen:
+    def test_fires_on_overlapping_difference(self):
+        assert "REPRO802" in _codes(CancellingDifference(), (2, 8))
+
+    def test_silent_on_leaf_minus_leaf(self):
+        assert "REPRO802" not in _codes(LeafMinusLeaf(), (2, 8), (2, 8))
+
+    def test_silent_on_centering_idiom(self):
+        assert "REPRO802" not in _codes(MeanCentering(), (2, 8))
+
+    def test_silent_on_max_shifted_softmax(self):
+        assert "REPRO802" not in _codes(
+            StableSoftmax(), (2, 8), vrange=(-10.0, 10.0)
+        )
+
+    def test_silent_when_difference_cannot_vanish(self):
+        class Shifted(Module):
+            def forward(self, x):
+                return x * 2.0 - (x * 3.0 + 10.0)
+
+        # x in [0,1]: diff in [-13, -8], provably bounded away from 0.
+        assert "REPRO802" not in _codes(Shifted(), (2, 8))
+
+
+# -- REPRO803: ill-conditioned mixed-sign reductions ---------------------------
+
+
+class MixedSignMean(Module):
+    def forward(self, x):
+        return (x * 2.0).mean(axis=-1)
+
+
+class TestReductionScreen:
+    def test_fires_on_long_mixed_sign_reduction(self):
+        assert "REPRO803" in _codes(
+            MixedSignMean(), (2, 32), vrange=(-1.0, 1.0)
+        )
+
+    def test_silent_on_nonnegative_summands(self):
+        # Softmax/LSE denominators: exp() >= 0, condition number 1.
+        assert "REPRO803" not in _codes(
+            MixedSignMean(), (2, 32), vrange=(0.0, 1.0)
+        )
+
+    def test_silent_on_short_reductions(self):
+        # 8 summands cannot lose meaningful accuracy (< _MIN_COUNT).
+        assert "REPRO803" not in _codes(
+            MixedSignMean(), (2, 8), vrange=(-1.0, 1.0)
+        )
+
+    def test_silent_on_unbounded_interval(self):
+        # A sign-only [-inf, inf] interval would make the screen
+        # vacuous noise: every deep model sums *something* unbounded.
+        import numpy as np
+
+        assert "REPRO803" not in _codes(
+            MixedSignMean(), (2, 32), vrange=(-np.inf, np.inf)
+        )

@@ -264,6 +264,44 @@ class TestAnalysisJSONSchemas:
         assert main(argv + ["--update-baseline", str(b)]) == 0
         assert a.read_bytes() == b.read_bytes()
 
+    def test_numcheck_flow_json_schema(self, capsys):
+        bundle = self._json(capsys, ["numcheck", "flow", "--json"])
+        assert bundle["schema"] == "repro.numcheck/v1"
+        assert set(bundle) >= {
+            "schema", "target", "models", "flow", "by_code", "findings",
+            "failures", "fingerprint",
+        }
+        assert bundle["models"] == {}
+        assert bundle["flow"]["findings"] == []
+        assert bundle["failures"] == []
+
+    def test_numcheck_model_pretty_output(self, capsys):
+        rc = main(["numcheck", "unet", "--preset", "tiny", "--grid", "32",
+                   "--no-measure"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sealed:" in out
+        assert "rounding certified" in out
+
+    def test_numcheck_committed_baseline_is_current(self, capsys):
+        # The checked-in certified bounds must match the tree; CI
+        # diffs them (the measured REPRO809/810 codes are excluded
+        # from the slice, so --no-measure compares the same bytes).
+        from pathlib import Path
+
+        committed = (Path(__file__).resolve().parents[1]
+                     / "benchmarks" / "numcheck_baseline.json")
+        assert main(["numcheck", "all", "--no-measure",
+                     "--check-baseline", str(committed)]) == 0
+
+    def test_numcheck_baseline_byte_stable(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        argv = ["numcheck", "unet", "--preset", "tiny", "--grid", "32",
+                "--no-measure"]
+        assert main(argv + ["--update-baseline", str(a)]) == 0
+        assert main(argv + ["--update-baseline", str(b)]) == 0
+        assert a.read_bytes() == b.read_bytes()
+
     def test_update_baseline_carries_ride_along_sections(self, tmp_path):
         # perf's "fixes" section is checker-ignored but human-curated;
         # refreshing the deterministic slice must not destroy it.
@@ -303,6 +341,8 @@ class TestAnalysisJSONSchemas:
         assert combined["concheck"]["failures"] == []
         assert combined["scalecheck"]["schema"] == "repro.scaling/v1"
         assert combined["scalecheck"]["failures"] == []
+        assert combined["numcheck"]["schema"] == "repro.numcheck/v1"
+        assert combined["numcheck"]["failures"] == []
         assert combined["failures"] == []
 
 
@@ -369,6 +409,15 @@ class TestExitCodeContract:
                 lambda e: e.update(flops_degree=e["flops_degree"] + 1)
             )(next(e for e in doc["entries"] if e["stage"] == "(total)")),
         },
+        # numcheck's drift mutation loosens a certified error bound —
+        # the regression that matters is the envelope, not a count.
+        "numcheck": {
+            "argv": ["numcheck", "unet", "--preset", "tiny",
+                     "--grid", "32", "--no-measure"],
+            "baseline": "numcheck.json",
+            "drift": lambda doc: doc["entries"][0].update(
+                forward_rel="1.000000e+00"),
+        },
     }
 
     @pytest.mark.parametrize("command", sorted(SUBCOMMANDS))
@@ -415,6 +464,16 @@ class TestExitCodeContract:
         assert rc == 1
         captured = capsys.readouterr()
         assert "REPRO701" in captured.out
+        assert "blocking finding(s)" in captured.err
+
+    def test_numcheck_blocking_exits_1(self, capsys):
+        # An impossible error budget turns the certified bounds into
+        # blocking REPRO801 breaches: the command must exit 1.
+        rc = main(["numcheck", "unet", "--preset", "tiny", "--grid", "32",
+                   "--no-measure", "--budget", "1e-12"])
+        assert rc == 1
+        captured = capsys.readouterr()
+        assert "REPRO801" in captured.out
         assert "blocking finding(s)" in captured.err
 
     def test_check_accepts_fail_on_choices(self):

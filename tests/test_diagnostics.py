@@ -24,6 +24,7 @@ class TestRegistry:
             expected = {
                 0: "lint", 1: "ir", 2: "adjoint", 3: "perf", 4: "schedule",
                 5: "orchestrate", 6: "concheck", 7: "scaling",
+                8: "numcheck",
             }[band]
             assert spec.component == expected, code
 
@@ -32,6 +33,7 @@ class TestRegistry:
         from repro.concheck import CONCHECK_RULES
         from repro.ir.passes import IR_RULES, OPPORTUNITY_RULES
         from repro.lint.rules import RULES
+        from repro.numcheck import NUMCHECK_RULES
         from repro.orchestrate import ORCHESTRATE_RULES
         from repro.perf import PERF_RULES
         from repro.scaling import SCALING_RULES
@@ -45,6 +47,7 @@ class TestRegistry:
         assert ORCHESTRATE_RULES == codes_for("orchestrate")
         assert CONCHECK_RULES == codes_for("concheck")
         assert SCALING_RULES == codes_for("scaling")
+        assert NUMCHECK_RULES == codes_for("numcheck")
         assert set(OPPORTUNITY_RULES) == {
             c for c, s in all_codes().items()
             if s.component == "ir" and not s.blocking
@@ -102,6 +105,20 @@ class TestRegistry:
         # envelope the planner/measurement contradicts.
         assert {c for c in codes_for("scaling") if not is_blocking(c)} == {
             "REPRO710",
+        }
+
+    def test_numcheck_codes_present(self):
+        assert set(codes_for("numcheck")) == {
+            f"REPRO8{i:02d}" for i in range(1, 11)
+        }
+        # Advisory: cancellation sites (802) and conditioning screens
+        # (803) flag where the certificate leans on a regime
+        # assumption; tight-tolerance lint (807/808) and excess slack
+        # (810) are hygiene.  Budget breaches, unsound fusion/pins,
+        # float32 accumulators and measured-beats-certified are hard
+        # certification failures.
+        assert {c for c in codes_for("numcheck") if not is_blocking(c)} == {
+            "REPRO802", "REPRO803", "REPRO807", "REPRO808", "REPRO810",
         }
 
     def test_blocking_metadata(self):

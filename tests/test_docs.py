@@ -203,6 +203,30 @@ class TestScalingDoc:
         assert (_ROOT / "docs" / "SCALING.md").exists()
 
 
+class TestNumericsDoc:
+    def test_exists_and_covers_the_certifier(self):
+        text = _read("docs/NUMERICS.md")
+        for topic in (
+            "repro.numcheck/v1", "benchmarks/numcheck_baseline.json",
+            "envelope", "unit roundoff", "adjoint", "VAR_FLOOR",
+            "REL_VAR_FLOOR", "softmax", "shadow", "budget",
+            "noqa", "fingerprint",
+        ):
+            assert topic in text, f"NUMERICS.md does not cover {topic}"
+
+    def test_documents_every_numcheck_code(self):
+        from repro.diagnostics import codes_for
+
+        text = _read("docs/NUMERICS.md") + _read("docs/DIAGNOSTICS.md")
+        for code in codes_for("numcheck"):
+            assert code in text, f"numcheck docs do not mention {code}"
+
+    def test_linked_from_readme_and_api(self):
+        assert "docs/NUMERICS.md" in _read("README.md")
+        assert "NUMERICS.md" in _read("docs/API.md")
+        assert (_ROOT / "docs" / "NUMERICS.md").exists()
+
+
 class TestApiDoc:
     def test_every_backticked_symbol_importable(self):
         """Symbols written as `name` in a module section must exist there."""
